@@ -1,0 +1,148 @@
+"""Ablation studies on the design choices the paper calls out.
+
+These go beyond the paper's own evaluation:
+
+* LOB depth sweep at several accuracies (generalising Figure 4),
+* channel startup-overhead sweep (how much of the gain survives on a faster
+  channel -- the scheme exists *because* of the 12.2 us startup cost),
+* state store/restore cost sweep (the simulator-side store cost is what
+  separates SLA from ALS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.report import render_table
+from repro.channel.phy import ChannelTimingParams
+from repro.core.analytical import AnalyticalConfig, conventional_performance, estimate_performance
+from repro.core.modes import OperatingMode
+from repro.sim.checkpoint import StateCostModel
+
+
+def test_bench_ablation_lob_depth(benchmark, report):
+    depths = (1, 4, 8, 16, 32, 64, 128, 256)
+    accuracies = (1.0, 0.99, 0.9, 0.6)
+
+    def compute():
+        table = {}
+        for accuracy in accuracies:
+            table[accuracy] = [
+                estimate_performance(
+                    AnalyticalConfig(prediction_accuracy=accuracy, lob_depth=depth)
+                ).ratio
+                for depth in depths
+            ]
+        return table
+
+    table = benchmark(compute)
+    rows = [
+        [f"p={accuracy:g}"] + [f"{ratio:.2f}" for ratio in ratios]
+        for accuracy, ratios in table.items()
+    ]
+    report(
+        render_table(
+            ["accuracy \\ LOB depth"] + [str(d) for d in depths],
+            rows,
+            title="Ablation: gain over conventional vs LOB depth (ALS, sim 1,000 kcycles/s)",
+        )
+    )
+    # At perfect accuracy the gain grows monotonically with depth...
+    assert table[1.0] == sorted(table[1.0])
+    # ...but at 60 % accuracy the optimum is an intermediate depth.
+    best_depth_index = table[0.6].index(max(table[0.6]))
+    assert 0 < best_depth_index < len(depths) - 1
+
+
+def test_bench_ablation_channel_startup(benchmark, report):
+    startups = (12.2e-6, 6e-6, 2e-6, 1e-6, 0.2e-6, 0.0)
+
+    def compute():
+        rows = []
+        for startup in startups:
+            channel = ChannelTimingParams(
+                startup_overhead=startup,
+                sim_to_acc_word_time=49.95e-9,
+                acc_to_sim_word_time=75.73e-9,
+            )
+            config = AnalyticalConfig(prediction_accuracy=1.0, channel=channel)
+            optimistic = estimate_performance(config)
+            conventional = conventional_performance(config)
+            rows.append((startup, optimistic.performance, conventional, optimistic.ratio))
+        return rows
+
+    data = benchmark(compute)
+    report(
+        render_table(
+            ["startup (us)", "optimistic (cycles/s)", "conventional (cycles/s)", "gain"],
+            [
+                [f"{startup * 1e6:.1f}", f"{opt:.0f}", f"{conv:.0f}", f"{gain:.2f}"]
+                for startup, opt, conv, gain in data
+            ],
+            title="Ablation: the gain exists because of the channel startup overhead",
+        )
+    )
+    gains = [gain for _, _, _, gain in data]
+    # the gain shrinks monotonically as the startup overhead vanishes
+    assert gains == sorted(gains, reverse=True)
+    assert gains[0] > 10.0
+    assert gains[-1] < 1.5
+
+
+def test_bench_ablation_state_store_cost(benchmark, report):
+    per_variable_costs = (0.0, 1e-9, 10e-9, 100e-9, 1e-6)
+
+    def compute():
+        rows = []
+        for cost in per_variable_costs:
+            config = AnalyticalConfig(
+                mode=OperatingMode.SLA,
+                prediction_accuracy=0.99,
+                simulator_state_costs=StateCostModel(
+                    store_time_per_variable=cost, restore_time_per_variable=cost
+                ),
+            )
+            rows.append((cost, estimate_performance(config).ratio))
+        return rows
+
+    data = benchmark(compute)
+    report(
+        render_table(
+            ["store cost per variable (s)", "SLA gain at p=0.99"],
+            [[f"{cost:.1e}", f"{gain:.2f}"] for cost, gain in data],
+            title="Ablation: SLA gain vs simulator state-store cost (1,000 rollback variables)",
+        )
+    )
+    gains = [gain for _, gain in data]
+    assert gains == sorted(gains, reverse=True)
+    # with a microsecond-per-variable store the scheme loses most of its gain
+    assert gains[0] / gains[-1] > 2.0
+
+
+def test_bench_ablation_rollback_variable_count(benchmark, report):
+    variable_counts = (10, 100, 1000, 10_000, 100_000)
+
+    def compute():
+        return [
+            (
+                count,
+                estimate_performance(
+                    replace(
+                        AnalyticalConfig(mode=OperatingMode.SLA, prediction_accuracy=0.9),
+                        rollback_variables=count,
+                    )
+                ).ratio,
+            )
+            for count in variable_counts
+        ]
+
+    data = benchmark(compute)
+    report(
+        render_table(
+            ["rollback variables", "SLA gain at p=0.9"],
+            [[str(count), f"{gain:.2f}"] for count, gain in data],
+            title="Ablation: sensitivity to the number of rollback variables",
+        )
+    )
+    gains = [gain for _, gain in data]
+    assert gains == sorted(gains, reverse=True)

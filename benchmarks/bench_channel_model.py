@@ -1,0 +1,50 @@
+"""Channel characterisation (paper Section 1.2).
+
+Regenerates the consequences of the measured channel constants: per-access
+cost as a function of payload size, the break-even payload, and the share of
+a conventional cycle spent on startup overhead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.channel.phy import ChannelDirection, ChannelTimingParams
+
+
+def test_bench_channel_access_cost_curve(benchmark, report):
+    params = ChannelTimingParams()
+    payloads = [1, 2, 5, 8, 16, 64, 256, 1024]
+
+    def compute():
+        return {
+            words: (
+                params.access_time(ChannelDirection.SIM_TO_ACC, words),
+                params.access_time(ChannelDirection.ACC_TO_SIM, words),
+            )
+            for words in payloads
+        }
+
+    costs = benchmark(compute)
+    rows = []
+    for words, (to_acc, to_sim) in costs.items():
+        rows.append(
+            [
+                str(words),
+                f"{to_acc * 1e6:.2f}",
+                f"{to_sim * 1e6:.2f}",
+                f"{params.startup_overhead / to_acc * 100:.1f}%",
+            ]
+        )
+    report(
+        render_table(
+            ["words", "sim->acc (us)", "acc->sim (us)", "startup share"],
+            rows,
+            title="Channel access cost vs payload size (startup 12.2 us, "
+            "49.95 / 75.73 ns per word)",
+        )
+    )
+    # a 5-word conventional exchange is >95% startup overhead
+    five_word = costs[5][0]
+    assert params.startup_overhead / five_word > 0.95
+    # the break-even payload is far larger than any single-cycle exchange
+    assert params.breakeven_words(ChannelDirection.SIM_TO_ACC) > 200

@@ -1,0 +1,81 @@
+"""Figure 4 -- ALS performance curves.
+
+Regenerates the paper's Figure 4: simulation performance versus prediction
+accuracy for four configurations (simulator 100 k / 1,000 kcycles/s crossed
+with LOB depth 8 / 64), with the two conventional-method reference lines.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import monotonically_non_increasing
+from repro.analysis.report import Series, render_ascii_chart, render_table
+from repro.core.analytical import (
+    FIGURE4_ACCURACIES,
+    PAPER_CONVENTIONAL_100K,
+    PAPER_CONVENTIONAL_1000K,
+    figure4,
+)
+
+
+MARKERS = {
+    "Sim=100k, LOBdepth=64": "a",
+    "Sim=100k, LOBdepth=8": "b",
+    "Sim=1000k, LOBdepth=64": "C",
+    "Sim=1000k, LOBdepth=8": "D",
+}
+
+
+def test_bench_figure4_reproduction(benchmark, report):
+    series_estimates = benchmark(figure4)
+
+    table_rows = []
+    chart_series = []
+    for label, estimates in series_estimates.items():
+        table_rows.append(
+            [label]
+            + [f"{estimate.performance / 1000:.1f}k" for estimate in estimates]
+        )
+        chart_series.append(
+            Series(
+                label=label,
+                x=[e.prediction_accuracy for e in estimates],
+                y=[e.performance for e in estimates],
+                marker=MARKERS[label],
+            )
+        )
+    header = ["series"] + [f"{p:g}" for p in FIGURE4_ACCURACIES]
+    report(
+        render_table(
+            header,
+            table_rows,
+            title="Figure 4 (reproduced): simulation performance (cycles/s) vs prediction accuracy",
+        )
+    )
+    report(
+        render_ascii_chart(
+            chart_series,
+            title="Figure 4 (reproduced, ASCII rendering)",
+            x_label="prediction accuracy",
+            y_label="simulation performance (cycles/s)",
+            reference_lines={
+                "conventional @ sim=1000k": PAPER_CONVENTIONAL_1000K,
+                "conventional @ sim=100k": PAPER_CONVENTIONAL_100K,
+            },
+        )
+    )
+
+    # Shape assertions matching the paper's reading of the figure.
+    for label, estimates in series_estimates.items():
+        performances = [e.performance for e in estimates]
+        assert monotonically_non_increasing(performances), label
+    deep_fast = series_estimates["Sim=1000k, LOBdepth=64"]
+    shallow_fast = series_estimates["Sim=1000k, LOBdepth=8"]
+    deep_slow = series_estimates["Sim=100k, LOBdepth=64"]
+    # deeper LOB helps at p = 1 and hurts at p = 0.1
+    assert deep_fast[0].performance > shallow_fast[0].performance
+    assert deep_fast[-1].performance < shallow_fast[-1].performance
+    # the faster simulator gets the larger relative gain
+    assert deep_fast[0].ratio > deep_slow[0].ratio
+    # at p = 1 every configuration beats its conventional reference line
+    for estimates in series_estimates.values():
+        assert estimates[0].performance > estimates[0].conventional_performance

@@ -1,0 +1,104 @@
+"""SLA results (paper Section 6, text).
+
+Regenerates the SLA numbers quoted in the paper: maximum performance gains of
+3.25 (simulator at 100 kcycles/s) and 15.34 (1,000 kcycles/s), and the
+break-even prediction accuracies of 98 % and 70 % respectively.  Also checks
+the qualitative claim that SLA suffers more than ALS at low accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_comparison, render_table
+from repro.core.analytical import (
+    AnalyticalConfig,
+    PAPER_SLA_BREAKEVEN_100K,
+    PAPER_SLA_BREAKEVEN_1000K,
+    PAPER_SLA_MAX_GAIN_100K,
+    PAPER_SLA_MAX_GAIN_1000K,
+    accuracy_sweep,
+    estimate_performance,
+    sla_summary,
+)
+from repro.core.modes import OperatingMode
+
+
+def test_bench_sla_summary(benchmark, report):
+    summary = benchmark(sla_summary)
+
+    rows = [
+        {
+            "name": "SLA max gain, sim=1000k",
+            "paper": PAPER_SLA_MAX_GAIN_1000K,
+            "measured": summary[1_000_000.0]["max_gain"],
+            "ratio": summary[1_000_000.0]["max_gain"] / PAPER_SLA_MAX_GAIN_1000K,
+            "relative_error": abs(summary[1_000_000.0]["max_gain"] - PAPER_SLA_MAX_GAIN_1000K)
+            / PAPER_SLA_MAX_GAIN_1000K,
+        },
+        {
+            "name": "SLA max gain, sim=100k",
+            "paper": PAPER_SLA_MAX_GAIN_100K,
+            "measured": summary[100_000.0]["max_gain"],
+            "ratio": summary[100_000.0]["max_gain"] / PAPER_SLA_MAX_GAIN_100K,
+            "relative_error": abs(summary[100_000.0]["max_gain"] - PAPER_SLA_MAX_GAIN_100K)
+            / PAPER_SLA_MAX_GAIN_100K,
+        },
+        {
+            "name": "SLA break-even accuracy, sim=1000k",
+            "paper": PAPER_SLA_BREAKEVEN_1000K,
+            "measured": summary[1_000_000.0]["breakeven_accuracy"],
+            "ratio": summary[1_000_000.0]["breakeven_accuracy"] / PAPER_SLA_BREAKEVEN_1000K,
+            "relative_error": abs(
+                summary[1_000_000.0]["breakeven_accuracy"] - PAPER_SLA_BREAKEVEN_1000K
+            )
+            / PAPER_SLA_BREAKEVEN_1000K,
+        },
+        {
+            "name": "SLA break-even accuracy, sim=100k",
+            "paper": PAPER_SLA_BREAKEVEN_100K,
+            "measured": summary[100_000.0]["breakeven_accuracy"],
+            "ratio": summary[100_000.0]["breakeven_accuracy"] / PAPER_SLA_BREAKEVEN_100K,
+            "relative_error": abs(
+                summary[100_000.0]["breakeven_accuracy"] - PAPER_SLA_BREAKEVEN_100K
+            )
+            / PAPER_SLA_BREAKEVEN_100K,
+        },
+    ]
+    report(render_comparison("SLA results: paper vs reproduction", rows))
+
+    assert abs(summary[1_000_000.0]["max_gain"] - PAPER_SLA_MAX_GAIN_1000K) < 1.0
+    assert abs(summary[100_000.0]["max_gain"] - PAPER_SLA_MAX_GAIN_100K) < 0.3
+    # break-even ordering: the slower simulator needs (much) higher accuracy
+    assert (
+        summary[100_000.0]["breakeven_accuracy"] > summary[1_000_000.0]["breakeven_accuracy"]
+    )
+    # and both are in the right neighbourhood
+    assert abs(summary[100_000.0]["breakeven_accuracy"] - PAPER_SLA_BREAKEVEN_100K) < 0.05
+    assert abs(summary[1_000_000.0]["breakeven_accuracy"] - PAPER_SLA_BREAKEVEN_1000K) < 0.15
+
+
+def test_bench_sla_vs_als_sensitivity(benchmark, report):
+    accuracies = (1.0, 0.99, 0.9, 0.8, 0.6, 0.3)
+
+    def compute():
+        als = accuracy_sweep(AnalyticalConfig(mode=OperatingMode.ALS), accuracies)
+        sla = accuracy_sweep(AnalyticalConfig(mode=OperatingMode.SLA), accuracies)
+        return als, sla
+
+    als, sla = benchmark(compute)
+    rows = [
+        [f"{a.prediction_accuracy:.2f}", f"{a.ratio:.2f}", f"{s.ratio:.2f}"]
+        for a, s in zip(als, sla)
+    ]
+    report(
+        render_table(
+            ["accuracy", "ALS gain", "SLA gain"],
+            rows,
+            title="ALS vs SLA sensitivity to prediction accuracy (sim 1,000 kcycles/s)",
+        )
+    )
+    # SLA degrades faster than ALS as accuracy drops (paper Section 6)
+    for a, s in zip(als[1:], sla[1:]):
+        assert a.ratio >= s.ratio
+    als_drop = als[0].ratio / als[-1].ratio
+    sla_drop = sla[0].ratio / sla[-1].ratio
+    assert sla_drop > als_drop

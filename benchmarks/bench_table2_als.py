@@ -1,0 +1,103 @@
+"""Table 2 -- Performance of ALS.
+
+Regenerates the paper's Table 2: per-cycle time breakdown (Tsim., Tacc.,
+Tstore, Trest., Tch.), absolute performance and the ratio over the
+conventional scheme, as a function of prediction accuracy, for the paper's
+environment (simulator 1,000 kcycles/s, accelerator 10 Mcycles/s, LOB depth
+64, 1,000 rollback variables).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import PaperComparison
+from repro.analysis.report import render_comparison, render_transposed_table
+from repro.core.analytical import (
+    AnalyticalConfig,
+    PAPER_ALS_MAX_GAIN_1000K,
+    PAPER_TABLE2,
+    TABLE2_ACCURACIES,
+    table2,
+)
+
+
+def test_bench_table2_reproduction(benchmark, report):
+    estimates = benchmark(table2)
+
+    columns = {
+        f"{estimate.prediction_accuracy:.3f}": [
+            estimate.t_sim,
+            estimate.t_acc,
+            estimate.t_store,
+            estimate.t_restore,
+            estimate.t_channel,
+            estimate.performance,
+            estimate.ratio,
+        ]
+        for estimate in estimates
+    }
+    report(
+        render_transposed_table(
+            ["Tsim.", "Tacc.", "Tstore", "Trest.", "Tch.", "Perform.", "Ratio"],
+            columns,
+            title="Table 2 (reproduced): Performance of ALS "
+            "(sim 1,000 kcycles/s, acc 10 Mcycles/s, LOB 64, 1,000 rollback variables)",
+        )
+    )
+
+    comparison = PaperComparison.from_mappings(
+        "Table 2 performance: paper vs reproduction",
+        paper={f"p={p:.3f}": PAPER_TABLE2[p]["performance"] for p in TABLE2_ACCURACIES},
+        measured={
+            f"p={e.prediction_accuracy:.3f}": e.performance for e in estimates
+        },
+    )
+    report(render_comparison(comparison.title, comparison.as_dicts()))
+
+    # Shape assertions: monotone decline, headline gain, crossover location.
+    performances = [e.performance for e in estimates]
+    assert performances == sorted(performances, reverse=True)
+    assert estimates[0].ratio > 15.0  # "1500%" headline at p = 1
+    assert abs(estimates[0].ratio - PAPER_ALS_MAX_GAIN_1000K) / PAPER_ALS_MAX_GAIN_1000K < 0.05
+    assert estimates[-1].ratio < 1.1  # ~break-even at p = 0.1
+    assert comparison.max_error() < 0.30
+
+
+def test_bench_table2_component_breakdown(benchmark, report):
+    """The degradation at low accuracy is dominated by leader re-execution and
+    channel accesses (paper Section 6)."""
+
+    def compute():
+        return {
+            accuracy: AnalyticalConfig(prediction_accuracy=accuracy)
+            for accuracy in (1.0, 0.9, 0.6, 0.3, 0.1)
+        }
+
+    configs = benchmark(compute)
+    from repro.core.analytical import estimate_performance
+
+    rows = []
+    for accuracy, config in configs.items():
+        estimate = estimate_performance(config)
+        total = estimate.total_per_cycle
+        rows.append(
+            [
+                f"{accuracy:.2f}",
+                f"{estimate.t_sim / total * 100:.1f}%",
+                f"{estimate.t_acc / total * 100:.1f}%",
+                f"{(estimate.t_store + estimate.t_restore) / total * 100:.1f}%",
+                f"{estimate.t_channel / total * 100:.1f}%",
+            ]
+        )
+    from repro.analysis.report import render_table
+
+    report(
+        render_table(
+            ["accuracy", "simulator", "accelerator (leader)", "store+restore", "channel"],
+            rows,
+            title="Share of each cost component per committed cycle (ALS)",
+        )
+    )
+    # at low accuracy the channel share dominates and store/restore stays small
+    low = rows[-1]
+    assert float(low[4].rstrip("%")) > 50.0
+    assert float(low[3].rstrip("%")) < 5.0

@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or one of
+the reproduction's own ablations) and prints it.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the reproduced tables; without it only the timing
+numbers appear.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table/figure with surrounding whitespace."""
+    print("\n" + text + "\n")
+
+
+@pytest.fixture
+def report():
+    return emit

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Sweep prediction accuracy, analytically and mechanism-level (Table 2 / Figure 4).
+
+Reproduces the paper's accuracy sweep twice:
+
+1. with the closed-form analytical model (the paper's own methodology), and
+2. with the protocol-level co-emulation engine, injecting prediction failures
+   at the target rate,
+
+then prints both next to the paper's published Table 2 numbers and renders an
+ASCII version of Figure 4.
+
+Run with::
+
+    python examples/accuracy_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Series, render_ascii_chart, render_table
+from repro.analysis.sweep import accuracy_sweep_mechanism, run_engine
+from repro.core import CoEmulationConfig, OperatingMode
+from repro.core.analytical import PAPER_TABLE2, figure4, table2
+from repro.workloads import als_streaming_soc
+
+
+MECHANISM_ACCURACIES = (1.0, 0.99, 0.9, 0.8, 0.6, 0.3)
+MECHANISM_CYCLES = 400
+
+
+def print_analytical_table() -> None:
+    rows = []
+    for estimate in table2():
+        paper = PAPER_TABLE2[round(estimate.prediction_accuracy, 3)]
+        rows.append(
+            [
+                f"{estimate.prediction_accuracy:.3f}",
+                f"{estimate.performance / 1000:.0f}k",
+                f"{paper['performance'] / 1000:.0f}k",
+                f"{estimate.ratio:.2f}",
+                f"{paper['ratio']:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["accuracy", "reproduced perf", "paper perf", "reproduced ratio", "paper ratio"],
+            rows,
+            title="Table 2 (ALS, analytical model) -- reproduction vs paper",
+        )
+    )
+
+
+def print_mechanism_table() -> None:
+    spec = als_streaming_soc(n_bursts=10)
+    conventional = run_engine(
+        spec, CoEmulationConfig(mode=OperatingMode.CONSERVATIVE, total_cycles=MECHANISM_CYCLES)
+    )
+    points = accuracy_sweep_mechanism(
+        spec,
+        CoEmulationConfig(mode=OperatingMode.ALS, total_cycles=MECHANISM_CYCLES),
+        MECHANISM_ACCURACIES,
+    )
+    rows = [
+        [
+            point.label,
+            f"{point.result.performance_cycles_per_second / 1000:.1f}k",
+            f"{point.result.speedup_over(conventional):.2f}",
+            str(point.result.transitions["rollbacks"]),
+            str(point.result.channel["accesses"]),
+        ]
+        for point in points
+    ]
+    rows.append(
+        ["conventional", f"{conventional.performance_cycles_per_second / 1000:.1f}k", "1.00", "0",
+         str(conventional.channel["accesses"])]
+    )
+    print()
+    print(
+        render_table(
+            ["injected accuracy", "performance", "gain", "rollbacks", "channel accesses"],
+            rows,
+            title=f"Mechanism-level ALS sweep ({MECHANISM_CYCLES} target cycles)",
+        )
+    )
+
+
+def print_figure4() -> None:
+    markers = {"Sim=100k, LOBdepth=64": "a", "Sim=100k, LOBdepth=8": "b",
+               "Sim=1000k, LOBdepth=64": "C", "Sim=1000k, LOBdepth=8": "D"}
+    series = [
+        Series(
+            label=label,
+            x=[e.prediction_accuracy for e in estimates],
+            y=[e.performance for e in estimates],
+            marker=markers[label],
+        )
+        for label, estimates in figure4().items()
+    ]
+    print()
+    print(
+        render_ascii_chart(
+            series,
+            title="Figure 4 (reproduced): ALS performance vs prediction accuracy",
+            x_label="prediction accuracy",
+            y_label="cycles/s",
+            reference_lines={"conventional @1000k": 38.9e3, "conventional @100k": 28.8e3},
+        )
+    )
+
+
+def main() -> None:
+    print_analytical_table()
+    print_mechanism_table()
+    print_figure4()
+
+
+if __name__ == "__main__":
+    main()

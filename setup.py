@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in pyproject.toml; this file exists so
+that legacy editable installs (``python setup.py develop``) work in offline
+environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

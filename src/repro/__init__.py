@@ -1,0 +1,72 @@
+"""repro -- reproduction of "A Prediction Packetizing Scheme for Reducing
+Channel Traffic in Transaction-Level Hardware/Software Co-Emulation"
+(Lee, Chung, Ahn, Lee and Kyung, DATE 2005).
+
+The package is organised as:
+
+* :mod:`repro.sim` -- cycle-based simulation kernel, checkpointing, time ledger,
+* :mod:`repro.ahb` -- AMBA AHB bus substrate (monolithic and split half-bus models),
+* :mod:`repro.channel` -- simulator-accelerator channel timing / traffic model,
+* :mod:`repro.accelerator` -- the emulated simulation accelerator,
+* :mod:`repro.core` -- the prediction packetizing scheme itself (the paper's
+  contribution): predictors, Leader Output Buffer, channel wrappers, rollback,
+  SLA/ALS engines, the conventional baseline and the analytical model,
+* :mod:`repro.workloads` -- synthetic traffic and SoC configurations,
+* :mod:`repro.analysis` -- metrics, sweeps and report rendering.
+
+Quick start::
+
+    from repro import (
+        CoEmulationConfig, OperatingMode, OptimisticCoEmulation,
+        ConventionalCoEmulation, als_streaming_soc,
+    )
+
+    spec = als_streaming_soc()
+    sim_hbm, acc_hbm, _ = spec.build_split()
+    config = CoEmulationConfig(mode=OperatingMode.ALS, total_cycles=2000)
+    result = OptimisticCoEmulation(sim_hbm, acc_hbm, config).run()
+    print(result.performance_cycles_per_second)
+"""
+
+from .core import (
+    AnalyticalConfig,
+    CoEmulationConfig,
+    CoEmulationResult,
+    ConventionalCoEmulation,
+    OperatingMode,
+    OptimisticCoEmulation,
+    PerformanceEstimate,
+    conventional_performance,
+    estimate_performance,
+    figure4,
+    sla_summary,
+    table2,
+)
+from .workloads import (
+    als_streaming_soc,
+    mixed_soc,
+    single_master_soc,
+    sla_streaming_soc,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticalConfig",
+    "CoEmulationConfig",
+    "CoEmulationResult",
+    "ConventionalCoEmulation",
+    "OperatingMode",
+    "OptimisticCoEmulation",
+    "PerformanceEstimate",
+    "__version__",
+    "als_streaming_soc",
+    "conventional_performance",
+    "estimate_performance",
+    "figure4",
+    "mixed_soc",
+    "single_master_soc",
+    "sla_streaming_soc",
+    "sla_summary",
+    "table2",
+]

@@ -1,0 +1,19 @@
+"""The emulated simulation accelerator (substitute for the paper's iPROVE)."""
+
+from .emulator import AcceleratorError, AcceleratorSpec, EmulatedAccelerator
+from .rtl_block import (
+    RtlBlockInfo,
+    RtlBlockRegistry,
+    estimate_gates,
+    estimate_registers,
+)
+
+__all__ = [
+    "AcceleratorError",
+    "AcceleratorSpec",
+    "EmulatedAccelerator",
+    "RtlBlockInfo",
+    "RtlBlockRegistry",
+    "estimate_gates",
+    "estimate_registers",
+]

@@ -1,0 +1,97 @@
+"""The emulated simulation accelerator.
+
+This is the substitution for the paper's PCI-attached iPROVE accelerator: a
+software model of an FPGA-based cycle emulator.  It owns the accelerator-
+domain half bus model, tracks the RTL blocks mapped onto it, models its clock
+rating (cycles per second -- constant regardless of design size, as the paper
+notes for hardware accelerators) and provides the hardware-side state
+store/restore used for rollback.
+
+The co-emulation engines in :mod:`repro.core` operate on
+:class:`~repro.core.domain.DomainHost` objects; :class:`EmulatedAccelerator`
+is a thin, inspectable wrapper that produces the accelerator-side host
+configuration and capacity report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ahb.half_bus import HalfBusModel
+from ..sim.checkpoint import ACCELERATOR_STATE_COSTS, StateCostModel
+from ..sim.component import Domain
+from ..sim.time_model import DEFAULT_ACCELERATOR_SPEED, DomainSpeed
+from .rtl_block import RtlBlockRegistry
+
+
+class AcceleratorError(RuntimeError):
+    """Raised for invalid accelerator configuration (capacity exceeded)."""
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Static description of the emulated accelerator hardware.
+
+    Attributes:
+        cycles_per_second: emulation clock rating.  The paper uses
+            10 Mcycles/s and notes it is independent of design size.
+        capacity_gates: usable logic capacity.  Exceeding it raises an error
+            when the design is mapped, mirroring a real emulator flow.
+        state_costs: per-variable store/restore cost of the hardware
+            checkpointing mechanism (shadow registers / on-board copy).
+    """
+
+    cycles_per_second: float = DEFAULT_ACCELERATOR_SPEED.cycles_per_second
+    capacity_gates: int = 5_000_000
+    state_costs: StateCostModel = ACCELERATOR_STATE_COSTS
+
+    @property
+    def speed(self) -> DomainSpeed:
+        return DomainSpeed(self.cycles_per_second)
+
+
+@dataclass
+class EmulatedAccelerator:
+    """An accelerator instance with a mapped accelerator-domain half bus."""
+
+    spec: AcceleratorSpec = field(default_factory=AcceleratorSpec)
+    hbm: Optional[HalfBusModel] = None
+    blocks: RtlBlockRegistry = field(default_factory=RtlBlockRegistry)
+
+    def map_design(self, hbm: HalfBusModel) -> "EmulatedAccelerator":
+        """Map the accelerator-domain half bus (and its RTL blocks) onto the
+        emulator, checking capacity."""
+        if hbm.domain is not Domain.ACCELERATOR:
+            raise AcceleratorError(
+                "only the accelerator-domain half bus can be mapped onto the accelerator"
+            )
+        self.hbm = hbm
+        self.blocks = RtlBlockRegistry()
+        self.blocks.register_all(hbm.local_components())
+        if self.blocks.total_gates > self.spec.capacity_gates:
+            raise AcceleratorError(
+                f"design needs ~{self.blocks.total_gates} gates but the accelerator "
+                f"only offers {self.spec.capacity_gates}"
+            )
+        return self
+
+    # -- reporting -----------------------------------------------------------------
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the logic capacity used by the mapped design."""
+        return self.blocks.utilisation(self.spec.capacity_gates)
+
+    def rollback_register_estimate(self) -> int:
+        """Registers the hardware must shadow for ``rb_store``/``rb_restore``."""
+        return self.blocks.total_registers
+
+    def capacity_report(self) -> dict:
+        return {
+            "cycles_per_second": self.spec.cycles_per_second,
+            "capacity_gates": self.spec.capacity_gates,
+            "used_gates": self.blocks.total_gates,
+            "utilisation": self.utilisation,
+            "rollback_registers": self.rollback_register_estimate(),
+            "blocks": self.blocks.as_dict(),
+        }

@@ -1,0 +1,129 @@
+"""RTL block bookkeeping for the emulated accelerator.
+
+The paper's accelerator (iPROVE) maps RTL sub-blocks of the SoC into FPGA
+hardware; the remaining transaction-level blocks stay in the software
+simulator.  The reproduction has no FPGA, so RTL blocks are ordinary Python
+components marked :class:`~repro.sim.component.AbstractionLevel.RTL` -- but
+the accelerator substrate still tracks, for each mapped block, the kind of
+information a real emulator needs: an estimated gate count (capacity
+planning), a register count (contributing to the rollback-variable budget)
+and per-block activity counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ahb.master import AhbMaster
+from ..ahb.slave import AhbSlave, FifoPeripheralSlave, MemorySlave
+from ..sim.component import AbstractionLevel, ClockedComponent
+
+
+#: Very rough synthesis-cost heuristics (gates per element) used to size the
+#: emulated FPGA.  The absolute values do not matter for any experiment; they
+#: only have to produce plausible, monotone capacity numbers.
+GATES_PER_MEMORY_BIT = 1.5
+GATES_PER_FIFO_ENTRY = 400
+GATES_PER_MASTER = 12_000
+GATES_PER_GENERIC_BLOCK = 5_000
+REGISTERS_PER_MASTER = 96
+REGISTERS_PER_FIFO_ENTRY = 33
+REGISTERS_PER_GENERIC_BLOCK = 64
+
+
+@dataclass
+class RtlBlockInfo:
+    """Mapping record of one RTL block hosted by the accelerator."""
+
+    component: ClockedComponent
+    gate_estimate: int
+    register_estimate: int
+    cycles_emulated: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.component.name
+
+
+def estimate_gates(component: ClockedComponent) -> int:
+    """Heuristic gate count for one component."""
+    if isinstance(component, MemorySlave):
+        return int(component.size_bytes * 8 * GATES_PER_MEMORY_BIT)
+    if isinstance(component, FifoPeripheralSlave):
+        return int(component.depth * GATES_PER_FIFO_ENTRY)
+    if isinstance(component, AhbMaster):
+        return GATES_PER_MASTER
+    return GATES_PER_GENERIC_BLOCK
+
+
+def estimate_registers(component: ClockedComponent) -> int:
+    """Heuristic register (flip-flop) count for one component.
+
+    Registers are what the accelerator must shadow to support the
+    ``rb_store`` / ``rb_restore`` operations, so this feeds the rollback
+    variable budget.
+    """
+    if isinstance(component, MemorySlave):
+        # Memory contents are stored in block RAM; the rollback snapshot of a
+        # memory is handled word-wise by the component itself.
+        return int(component.size_bytes // 4)
+    if isinstance(component, FifoPeripheralSlave):
+        return int(component.depth * REGISTERS_PER_FIFO_ENTRY)
+    if isinstance(component, AhbMaster):
+        return REGISTERS_PER_MASTER
+    return REGISTERS_PER_GENERIC_BLOCK
+
+
+@dataclass
+class RtlBlockRegistry:
+    """All RTL blocks mapped onto one accelerator."""
+
+    blocks: List[RtlBlockInfo] = field(default_factory=list)
+
+    def register(self, component: ClockedComponent) -> RtlBlockInfo:
+        info = RtlBlockInfo(
+            component=component,
+            gate_estimate=estimate_gates(component),
+            register_estimate=estimate_registers(component),
+        )
+        self.blocks.append(info)
+        return info
+
+    def register_all(self, components) -> None:
+        for component in components:
+            if getattr(component, "level", AbstractionLevel.TL) is AbstractionLevel.RTL:
+                self.register(component)
+
+    @property
+    def total_gates(self) -> int:
+        return sum(block.gate_estimate for block in self.blocks)
+
+    @property
+    def total_registers(self) -> int:
+        return sum(block.register_estimate for block in self.blocks)
+
+    def tick_all(self, cycles: int = 1) -> None:
+        for block in self.blocks:
+            block.cycles_emulated += cycles
+
+    def utilisation(self, capacity_gates: int) -> float:
+        if capacity_gates <= 0:
+            return float("inf")
+        return self.total_gates / capacity_gates
+
+    def by_name(self, name: str) -> Optional[RtlBlockInfo]:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        return None
+
+    def as_dict(self) -> Dict[str, dict]:
+        return {
+            block.name: {
+                "gates": block.gate_estimate,
+                "registers": block.register_estimate,
+                "cycles_emulated": block.cycles_emulated,
+            }
+            for block in self.blocks
+        }

@@ -1,0 +1,116 @@
+"""AMBA AHB bus substrate.
+
+The bus model comes in two flavours:
+
+* :class:`~repro.ahb.bus.AhbBus` -- the monolithic reference interconnect,
+  used as the golden model for functional-equivalence checks.
+* :class:`~repro.ahb.half_bus.HalfBusModel` -- one half of the split bus used
+  for co-emulation (HBMS / HBMA in the paper), glued together by the channel
+  wrappers in :mod:`repro.core`.
+"""
+
+from .arbiter import (
+    Arbiter,
+    ArbiterStats,
+    ArbitrationError,
+    ArbitrationPolicy,
+    FixedPriorityPolicy,
+    RoundRobinPolicy,
+)
+from .burst import (
+    BurstTracker,
+    beat_count,
+    burst_addresses,
+    iter_burst_addresses,
+    next_beat_address,
+    wrap_boundary,
+)
+from .bus import AhbBus, AhbBusCore, DataPhaseInfo, DriveValues
+from .decoder import AddressDecoder, AddressRegion, DecodeError
+from .half_bus import BoundaryDrive, BoundaryResponse, HalfBusModel, NeededFields
+from .master import AhbMaster, IdleMaster, MasterStats, TrafficMaster
+from .monitor import AhbProtocolMonitor, ProtocolViolation
+from .signals import (
+    AddressPhase,
+    AhbError,
+    BusCycleRecord,
+    DataPhaseResult,
+    HBurst,
+    HResp,
+    HSize,
+    HTrans,
+    MasterRequest,
+    MSABS_CLASSIFICATION,
+    SignalClass,
+    WORDS_PER_ADDRESS_PHASE,
+    WORDS_PER_READ_DATA,
+    WORDS_PER_REQUEST_VECTOR,
+    WORDS_PER_RESPONSE,
+    WORDS_PER_WRITE_DATA,
+    is_predictable,
+)
+from .slave import AhbSlave, DefaultSlave, FifoPeripheralSlave, MemorySlave, SlaveStats
+from .transaction import (
+    BusTransaction,
+    CompletedBeat,
+    CompletedTransaction,
+    TransactionRecorder,
+)
+
+__all__ = [
+    "AddressDecoder",
+    "AddressPhase",
+    "AddressRegion",
+    "AhbBus",
+    "AhbBusCore",
+    "AhbError",
+    "AhbMaster",
+    "AhbProtocolMonitor",
+    "AhbSlave",
+    "Arbiter",
+    "ArbiterStats",
+    "ArbitrationError",
+    "ArbitrationPolicy",
+    "BoundaryDrive",
+    "BoundaryResponse",
+    "BurstTracker",
+    "BusCycleRecord",
+    "BusTransaction",
+    "CompletedBeat",
+    "CompletedTransaction",
+    "DataPhaseInfo",
+    "DataPhaseResult",
+    "DecodeError",
+    "DefaultSlave",
+    "DriveValues",
+    "FifoPeripheralSlave",
+    "FixedPriorityPolicy",
+    "HBurst",
+    "HResp",
+    "HSize",
+    "HTrans",
+    "HalfBusModel",
+    "IdleMaster",
+    "MSABS_CLASSIFICATION",
+    "MasterRequest",
+    "MasterStats",
+    "MemorySlave",
+    "NeededFields",
+    "ProtocolViolation",
+    "RoundRobinPolicy",
+    "SignalClass",
+    "SlaveStats",
+    "TrafficMaster",
+    "TransactionRecorder",
+    "WORDS_PER_ADDRESS_PHASE",
+    "WORDS_PER_READ_DATA",
+    "WORDS_PER_REQUEST_VECTOR",
+    "WORDS_PER_RESPONSE",
+    "WORDS_PER_WRITE_DATA",
+    "beat_count",
+    "burst_addresses",
+    "is_predictable",
+    "iter_burst_addresses",
+    "next_beat_address",
+    "wrap_boundary",
+]

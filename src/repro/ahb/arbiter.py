@@ -1,0 +1,152 @@
+"""AHB bus arbitration.
+
+The arbiter decides which master owns the address phase each cycle.  The
+paper assumes the arbitration priority is statically defined, which is what
+removes the arbiter's output from the minimal set of active bus signals: the
+arbitration *result* can be recomputed on both sides of the channel from the
+request vector, and -- crucially for the prediction scheme -- it "tends to
+change only occasionally" so the leader predicts it from its previous value.
+
+Two policies are provided: fixed priority (the paper's assumption) and
+round-robin (useful for stress-testing the predictors with a harder-to-
+predict arbitration pattern).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+
+class ArbitrationError(ValueError):
+    """Raised for malformed arbitration inputs."""
+
+
+class ArbitrationPolicy(ABC):
+    """Strategy object choosing the next granted master."""
+
+    @abstractmethod
+    def choose(
+        self,
+        requests: Dict[int, bool],
+        current_grant: int,
+        default_master: int,
+    ) -> int:
+        """Pick the master to grant given the latched request vector."""
+
+    def reset(self) -> None:
+        """Clear any internal fairness state."""
+
+
+class FixedPriorityPolicy(ArbitrationPolicy):
+    """Grant the requesting master with the highest static priority.
+
+    Priority is given by position in ``priority_order`` (earlier = higher).
+    When nobody requests, the grant goes to the default master (AHB keeps the
+    bus parked on a default master driving IDLE transfers).
+    """
+
+    def __init__(self, priority_order: Sequence[int]) -> None:
+        if len(set(priority_order)) != len(priority_order):
+            raise ArbitrationError("priority order contains duplicate master ids")
+        self.priority_order = list(priority_order)
+
+    def choose(self, requests: Dict[int, bool], current_grant: int, default_master: int) -> int:
+        for master_id in self.priority_order:
+            if requests.get(master_id, False):
+                return master_id
+        return default_master
+
+    def reset(self) -> None:  # stateless
+        return
+
+
+class RoundRobinPolicy(ArbitrationPolicy):
+    """Rotating-priority arbitration.
+
+    The master after the currently granted one (in id order) has the highest
+    priority.  Deterministic given the same request history, so the two half
+    bus models stay in agreement.
+    """
+
+    def __init__(self, master_ids: Sequence[int]) -> None:
+        if not master_ids:
+            raise ArbitrationError("round-robin policy needs at least one master")
+        self.master_ids = sorted(set(master_ids))
+
+    def choose(self, requests: Dict[int, bool], current_grant: int, default_master: int) -> int:
+        if not any(requests.get(master_id, False) for master_id in self.master_ids):
+            return default_master
+        try:
+            start = self.master_ids.index(current_grant) + 1
+        except ValueError:
+            start = 0
+        order = self.master_ids[start:] + self.master_ids[:start]
+        for master_id in order:
+            if requests.get(master_id, False):
+                return master_id
+        return default_master
+
+    def reset(self) -> None:  # stateless (rotation derives from current grant)
+        return
+
+
+@dataclass
+class ArbiterStats:
+    """Counters describing arbitration activity."""
+
+    decisions: int = 0
+    grant_changes: int = 0
+    cycles_parked: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "decisions": self.decisions,
+            "grant_changes": self.grant_changes,
+            "cycles_parked": self.cycles_parked,
+        }
+
+
+@dataclass
+class Arbiter:
+    """The bus arbiter.
+
+    The arbiter is *not* a clocked component of its own: the bus core invokes
+    it at the end of every cycle in which re-arbitration is allowed (HREADY
+    high and no fixed-length burst in progress).  Both half bus models run an
+    identical arbiter over an identical request vector, so their decisions
+    always agree -- this is the paper's justification for excluding the
+    arbitration result from the exchanged signal set.
+    """
+
+    policy: ArbitrationPolicy
+    default_master: int
+    current_grant: int = field(default=-1)
+    stats: ArbiterStats = field(default_factory=ArbiterStats)
+
+    def __post_init__(self) -> None:
+        if self.current_grant < 0:
+            self.current_grant = self.default_master
+
+    def arbitrate(self, requests: Dict[int, bool]) -> int:
+        """Choose the granted master for the next cycle."""
+        chosen = self.policy.choose(requests, self.current_grant, self.default_master)
+        self.stats.decisions += 1
+        if chosen != self.current_grant:
+            self.stats.grant_changes += 1
+        if not any(requests.values()):
+            self.stats.cycles_parked += 1
+        self.current_grant = chosen
+        return chosen
+
+    def reset(self) -> None:
+        self.current_grant = self.default_master
+        self.policy.reset()
+        self.stats = ArbiterStats()
+
+    def snapshot(self) -> dict:
+        return {"current_grant": self.current_grant}
+
+    def restore(self, state: dict) -> None:
+        self.current_grant = state["current_grant"]

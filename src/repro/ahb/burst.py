@@ -1,0 +1,193 @@
+"""Burst address sequencing.
+
+AHB bursts are the reason the paper can predict address/control signals: the
+address either increments linearly or wraps within an aligned boundary, and
+the control signals stay constant for the duration of the burst.  This module
+generates and checks those sequences; it is used by bus masters (to drive
+bursts), by the address/control predictor (to predict the remaining beats of
+a burst from its first beat) and by the protocol monitor (to check SEQ beats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .signals import AhbError, HBurst, HSize
+
+
+def beat_count(hburst: HBurst, requested_beats: int | None = None) -> int:
+    """Number of beats in a burst.
+
+    For fixed-length bursts the count comes from the burst type; for SINGLE it
+    is one; for INCR (undefined length) the caller must supply
+    ``requested_beats``.
+    """
+    fixed = hburst.beats
+    if fixed is not None:
+        return fixed
+    if hburst is HBurst.INCR:
+        if requested_beats is None or requested_beats < 1:
+            raise AhbError("INCR bursts require an explicit positive beat count")
+        return requested_beats
+    raise AhbError(f"unsupported burst type {hburst!r}")
+
+
+def wrap_boundary(start_addr: int, hburst: HBurst, hsize: HSize) -> tuple[int, int]:
+    """Return the (low, high) byte addresses of the wrap window for a burst.
+
+    Only meaningful for wrapping bursts; the window size is
+    ``beats * transfer_size`` bytes and is aligned to its own size.
+    """
+    if not hburst.is_wrapping:
+        raise AhbError(f"{hburst!r} is not a wrapping burst")
+    window = hburst.beats * hsize.bytes
+    low = (start_addr // window) * window
+    return low, low + window
+
+
+def next_beat_address(addr: int, hburst: HBurst, hsize: HSize, start_addr: int | None = None) -> int:
+    """Compute the address of the beat following the beat at ``addr``.
+
+    Incrementing bursts add the transfer size; wrapping bursts wrap at the
+    window boundary computed from ``start_addr`` (defaults to ``addr``).
+    """
+    step = hsize.bytes
+    if hburst.is_wrapping:
+        low, high = wrap_boundary(start_addr if start_addr is not None else addr, hburst, hsize)
+        nxt = addr + step
+        if nxt >= high:
+            nxt = low + (nxt - high)
+        return nxt
+    return addr + step
+
+
+def burst_addresses(
+    start_addr: int,
+    hburst: HBurst,
+    hsize: HSize,
+    beats: int | None = None,
+) -> List[int]:
+    """Return the full list of beat addresses for a burst.
+
+    Args:
+        start_addr: address of the first beat (must be size-aligned).
+        hburst: burst type.
+        hsize: transfer size.
+        beats: beat count, required for INCR bursts.
+    """
+    if start_addr % hsize.bytes != 0:
+        raise AhbError(f"start address {start_addr:#x} not aligned to {hsize.name}")
+    count = beat_count(hburst, beats)
+    addresses = [start_addr]
+    addr = start_addr
+    for _ in range(count - 1):
+        addr = next_beat_address(addr, hburst, hsize, start_addr)
+        addresses.append(addr)
+    return addresses
+
+
+def iter_burst_addresses(
+    start_addr: int,
+    hburst: HBurst,
+    hsize: HSize,
+    beats: int | None = None,
+) -> Iterator[int]:
+    """Iterator variant of :func:`burst_addresses`."""
+    return iter(burst_addresses(start_addr, hburst, hsize, beats))
+
+
+@dataclass
+class BurstTracker:
+    """Tracks progress through a burst one accepted beat at a time.
+
+    Masters use this to sequence SEQ beats; the address/control predictor
+    uses an identical tracker to extrapolate the remaining beats of an
+    observed burst (this is exactly why the paper classifies address and
+    control signals as predictable).
+    """
+
+    start_addr: int
+    hburst: HBurst
+    hsize: HSize
+    total_beats: int
+    beats_done: int = 0
+
+    @classmethod
+    def from_first_beat(
+        cls,
+        start_addr: int,
+        hburst: HBurst,
+        hsize: HSize,
+        beats: int | None = None,
+    ) -> "BurstTracker":
+        return cls(
+            start_addr=start_addr,
+            hburst=hburst,
+            hsize=hsize,
+            total_beats=beat_count(hburst, beats),
+        )
+
+    @property
+    def complete(self) -> bool:
+        return self.beats_done >= self.total_beats
+
+    @property
+    def remaining_beats(self) -> int:
+        return max(0, self.total_beats - self.beats_done)
+
+    @property
+    def current_address(self) -> int:
+        """Address of the next beat to be issued."""
+        if self.complete:
+            raise AhbError("burst already complete")
+        addr = self.start_addr
+        for _ in range(self.beats_done):
+            addr = next_beat_address(addr, self.hburst, self.hsize, self.start_addr)
+        return addr
+
+    @property
+    def is_first_beat(self) -> bool:
+        return self.beats_done == 0
+
+    def accept_beat(self) -> int:
+        """Record that the current beat's address phase was accepted.
+
+        Returns the address of the accepted beat.
+        """
+        addr = self.current_address
+        self.beats_done += 1
+        return addr
+
+    def remaining_addresses(self) -> List[int]:
+        """Addresses of all beats not yet accepted."""
+        addresses = []
+        addr = None
+        for index in range(self.beats_done, self.total_beats):
+            if addr is None:
+                addr = self.start_addr
+                for _ in range(index):
+                    addr = next_beat_address(addr, self.hburst, self.hsize, self.start_addr)
+            else:
+                addr = next_beat_address(addr, self.hburst, self.hsize, self.start_addr)
+            addresses.append(addr)
+        return addresses
+
+    def snapshot(self) -> dict:
+        return {
+            "start_addr": self.start_addr,
+            "hburst": int(self.hburst),
+            "hsize": int(self.hsize),
+            "total_beats": self.total_beats,
+            "beats_done": self.beats_done,
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "BurstTracker":
+        return cls(
+            start_addr=state["start_addr"],
+            hburst=HBurst(state["hburst"]),
+            hsize=HSize(state["hsize"]),
+            total_beats=state["total_beats"],
+            beats_done=state["beats_done"],
+        )

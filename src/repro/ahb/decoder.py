@@ -1,0 +1,96 @@
+"""AHB address decoding / memory map.
+
+The decoder selects the active slave from the high-order address bits.  The
+paper assumes the address map is statically defined, which (like the static
+arbitration priority) removes the decoder output from the minimal set of
+active bus signals: both verification domains hold an identical copy of the
+map and recompute the selection locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class DecodeError(ValueError):
+    """Raised for malformed or overlapping address maps."""
+
+
+@dataclass(frozen=True)
+class AddressRegion:
+    """A contiguous address region assigned to one slave."""
+
+    base: int
+    size: int
+    slave_id: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise DecodeError(f"negative base address {self.base:#x}")
+        if self.size <= 0:
+            raise DecodeError(f"region size must be positive, got {self.size}")
+
+    @property
+    def end(self) -> int:
+        """First byte address after the region."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def overlaps(self, other: "AddressRegion") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+class AddressDecoder:
+    """Maps byte addresses to slave identifiers.
+
+    A ``default_slave_id`` may be supplied to receive accesses that hit no
+    region (AHB requires a default slave that responds with ERROR to
+    non-IDLE transfers); otherwise unmapped accesses raise
+    :class:`DecodeError`.
+    """
+
+    def __init__(self, default_slave_id: Optional[int] = None) -> None:
+        self.regions: List[AddressRegion] = []
+        self.default_slave_id = default_slave_id
+
+    def add_region(self, base: int, size: int, slave_id: int, name: str = "") -> AddressRegion:
+        """Register a region; overlapping regions are rejected."""
+        region = AddressRegion(base=base, size=size, slave_id=slave_id, name=name)
+        for existing in self.regions:
+            if existing.overlaps(region):
+                raise DecodeError(
+                    f"region {name or hex(base)} overlaps existing region "
+                    f"{existing.name or hex(existing.base)}"
+                )
+        self.regions.append(region)
+        return region
+
+    def region_for(self, address: int) -> Optional[AddressRegion]:
+        """Return the region containing ``address`` or None."""
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def select(self, address: int) -> int:
+        """Return the slave id selected by ``address``."""
+        region = self.region_for(address)
+        if region is not None:
+            return region.slave_id
+        if self.default_slave_id is not None:
+            return self.default_slave_id
+        raise DecodeError(f"address {address:#x} hits no region and no default slave is set")
+
+    def slave_ids(self) -> List[int]:
+        """All slave ids present in the map (excluding the default slave)."""
+        return sorted({region.slave_id for region in self.regions})
+
+    def copy(self) -> "AddressDecoder":
+        """An independent decoder with the same map (for the second HBM)."""
+        clone = AddressDecoder(default_slave_id=self.default_slave_id)
+        clone.regions = list(self.regions)
+        return clone

@@ -1,0 +1,360 @@
+"""Half bus models (HBMS / HBMA) and the domain boundary value containers.
+
+The paper splits the single target bus into two *half bus models*: one in the
+simulation domain (HBMS) and one in the acceleration domain (HBMA).  Each
+half bus has the structure of a complete bus -- its own arbiter and decoder --
+and is connected to the bus components local to its domain.  The components
+residing in the *other* domain are mimicked by the channel wrapper, which
+supplies their signal values (read from the channel or predicted).
+
+:class:`HalfBusModel` implements one half bus.  Its per-cycle protocol is the
+same three-step drive / respond / commit sequence as the monolithic
+:class:`~repro.ahb.bus.AhbBus`, but each step only evaluates *local*
+components and declares which values must come from the remote domain
+(:class:`NeededFields`).  The channel wrapper (see
+:mod:`repro.core.wrapper`) is responsible for filling those in.
+
+Because both half bus models embed an identical :class:`AhbBusCore` and are
+committed with identical merged values, their registered state (grant, data
+phase, latched requests) evolves identically -- unless the leader commits a
+*predicted* value that later turns out to be wrong, which is exactly the
+situation rollback repairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.component import ClockedComponent, Domain
+from .arbiter import Arbiter, ArbitrationPolicy, FixedPriorityPolicy
+from .bus import AhbBusCore, DataPhaseInfo, DriveValues
+from .decoder import AddressDecoder
+from .master import AhbMaster
+from .monitor import AhbProtocolMonitor
+from .signals import (
+    AddressPhase,
+    AhbError,
+    BusCycleRecord,
+    DataPhaseResult,
+    HTrans,
+)
+from .slave import AhbSlave, DefaultSlave
+from .transaction import CompletedBeat, TransactionRecorder
+
+
+@dataclass
+class BoundaryDrive:
+    """One domain's contribution to the drive step of a target cycle.
+
+    These are the values that may have to cross the simulator-accelerator
+    channel: the local masters' bus requests, the active master's
+    address/control phase (only if the granted master is local), the active
+    write data (only if the data-phase owner is local and the transfer is a
+    write) and any interrupt lines driven by local components.
+    """
+
+    cycle: int
+    requests: Dict[int, bool] = field(default_factory=dict)
+    address_phase: Optional[AddressPhase] = None
+    hwdata: Optional[int] = None
+    interrupts: Dict[str, bool] = field(default_factory=dict)
+
+
+@dataclass
+class BoundaryResponse:
+    """One domain's contribution to the respond step of a target cycle."""
+
+    cycle: int
+    response: Optional[DataPhaseResult] = None
+
+
+@dataclass(frozen=True)
+class NeededFields:
+    """What a domain must obtain from the remote domain for one cycle."""
+
+    remote_master_ids: tuple
+    needs_remote_requests: bool
+    needs_remote_address_phase: bool
+    needs_remote_hwdata: bool
+    needs_remote_response: bool
+    response_is_read: bool
+    granted_master_id: Optional[int] = None
+
+    @property
+    def needs_anything_non_predictable(self) -> bool:
+        """True when a non-predictable MSABS value (data) must come from remote."""
+        return self.needs_remote_hwdata or (self.needs_remote_response and self.response_is_read)
+
+
+class HalfBusModel(ClockedComponent):
+    """One domain's half of the split target bus."""
+
+    def __init__(
+        self,
+        name: str,
+        domain: Domain,
+        policy: Optional[ArbitrationPolicy] = None,
+        default_master_id: Optional[int] = None,
+        enable_monitor: bool = True,
+    ) -> None:
+        super().__init__(name)
+        self.domain = domain
+        self.local_masters: Dict[int, AhbMaster] = {}
+        self.local_slaves: Dict[int, AhbSlave] = {}
+        self.remote_master_ids: List[int] = []
+        self.remote_slave_ids: List[int] = []
+        self.decoder = AddressDecoder()
+        self.default_slave = DefaultSlave(name=f"{name}_default_slave")
+        self.decoder.default_slave_id = self.default_slave.slave_id
+        self.local_slaves[self.default_slave.slave_id] = self.default_slave
+        self._policy = policy
+        self._default_master_id = default_master_id
+        self.core: Optional[AhbBusCore] = None
+        self.recorder = TransactionRecorder()
+        self.records: List[BusCycleRecord] = []
+        self.monitor = AhbProtocolMonitor() if enable_monitor else None
+        self.interrupt_outputs: Dict[str, bool] = {}
+
+    # -- construction --------------------------------------------------------------
+    def add_local_master(self, master: AhbMaster) -> AhbMaster:
+        self._check_new_master(master.master_id)
+        self.local_masters[master.master_id] = master
+        return master
+
+    def add_remote_master(self, master_id: int) -> None:
+        self._check_new_master(master_id)
+        self.remote_master_ids.append(master_id)
+
+    def _check_new_master(self, master_id: int) -> None:
+        if master_id in self.local_masters or master_id in self.remote_master_ids:
+            raise AhbError(f"duplicate master id {master_id} in half bus {self.name!r}")
+
+    def add_local_slave(self, slave: AhbSlave, base: int, size: int) -> AhbSlave:
+        if slave.slave_id in self.local_slaves or slave.slave_id in self.remote_slave_ids:
+            raise AhbError(f"duplicate slave id {slave.slave_id} in half bus {self.name!r}")
+        self.local_slaves[slave.slave_id] = slave
+        self.decoder.add_region(base, size, slave.slave_id, name=slave.name)
+        return slave
+
+    def add_remote_slave(self, slave_id: int, base: int, size: int, name: str = "") -> None:
+        if slave_id in self.local_slaves or slave_id in self.remote_slave_ids:
+            raise AhbError(f"duplicate slave id {slave_id} in half bus {self.name!r}")
+        self.remote_slave_ids.append(slave_id)
+        self.decoder.add_region(base, size, slave_id, name=name or f"remote_slave_{slave_id}")
+
+    def finalize(self) -> None:
+        """Build the arbiter / bus core once the component map is complete."""
+        if self.core is not None:
+            return
+        master_ids = sorted(list(self.local_masters) + self.remote_master_ids)
+        if not master_ids:
+            raise AhbError(f"half bus {self.name!r} knows of no masters")
+        default_master = (
+            self._default_master_id if self._default_master_id is not None else master_ids[0]
+        )
+        policy = self._policy or FixedPriorityPolicy(master_ids)
+        arbiter = Arbiter(policy=policy, default_master=default_master)
+        self.core = AhbBusCore(arbiter=arbiter, decoder=self.decoder, master_ids=master_ids)
+
+    # -- ClockedComponent --------------------------------------------------------------
+    def evaluate(self, cycle: int) -> None:
+        """The half bus is driven through its phase methods, not by a kernel."""
+        return
+
+    # -- per-cycle protocol ---------------------------------------------------------------
+    def needed_fields(self) -> NeededFields:
+        """Describe which remote values are required for the upcoming cycle."""
+        assert self.core is not None, "finalize() must be called first"
+        info = self.core.data_phase_info()
+        granted = self.core.granted_master
+        needs_addr = granted in self.remote_master_ids
+        needs_wdata = (
+            info.active and info.is_write and info.owner_master_id in self.remote_master_ids
+        )
+        needs_response = info.active and info.slave_id in self.remote_slave_ids
+        return NeededFields(
+            remote_master_ids=tuple(self.remote_master_ids),
+            needs_remote_requests=bool(self.remote_master_ids),
+            needs_remote_address_phase=needs_addr,
+            needs_remote_hwdata=needs_wdata,
+            needs_remote_response=needs_response,
+            response_is_read=info.active and not info.is_write,
+            granted_master_id=granted,
+        )
+
+    def drive_phase(self, cycle: int) -> BoundaryDrive:
+        """Evaluate local components and return this domain's drive contribution."""
+        assert self.core is not None, "finalize() must be called first"
+        core = self.core
+        for component in list(self.local_masters.values()) + list(self.local_slaves.values()):
+            component.tick(cycle)
+        info = core.data_phase_info()
+        requests = {
+            mid: master.drive_hbusreq(cycle) for mid, master in self.local_masters.items()
+        }
+        granted = core.granted_master
+        address_phase = None
+        if granted in self.local_masters:
+            address_phase = self.local_masters[granted].drive_address_phase(cycle, granted=True)
+        hwdata = None
+        if info.active and info.is_write and info.owner_master_id in self.local_masters:
+            hwdata = self.local_masters[info.owner_master_id].drive_hwdata(info.address_phase)
+        return BoundaryDrive(
+            cycle=cycle,
+            requests=requests,
+            address_phase=address_phase,
+            hwdata=hwdata,
+            interrupts=dict(self.interrupt_outputs),
+        )
+
+    def merge_drive(self, local: BoundaryDrive, remote: BoundaryDrive) -> DriveValues:
+        """Combine the local and remote contributions into full drive values."""
+        assert self.core is not None
+        requests = {mid: False for mid in self.core.master_ids}
+        requests.update(local.requests)
+        requests.update(remote.requests)
+        address_phase = local.address_phase or remote.address_phase
+        if address_phase is None:
+            address_phase = AddressPhase.idle_phase(self.core.granted_master)
+        hwdata = local.hwdata if local.hwdata is not None else remote.hwdata
+        interrupts = dict(remote.interrupts)
+        interrupts.update(local.interrupts)
+        return DriveValues(
+            requests=requests,
+            address_phase=address_phase,
+            hwdata=hwdata,
+            interrupts=interrupts,
+        )
+
+    def response_phase(self, cycle: int, drive: DriveValues) -> BoundaryResponse:
+        """Compute the data-phase response if the active slave is local."""
+        assert self.core is not None
+        info = self.core.data_phase_info()
+        if not info.active or info.slave_id not in self.local_slaves:
+            return BoundaryResponse(cycle=cycle, response=None)
+        slave = self.local_slaves[info.slave_id]
+        response = slave.data_phase(cycle, info.address_phase, drive.hwdata, info.first_cycle)
+        return BoundaryResponse(cycle=cycle, response=response)
+
+    def commit_phase(
+        self, cycle: int, drive: DriveValues, response: DataPhaseResult
+    ) -> BusCycleRecord:
+        """Notify local masters and advance the registered bus state."""
+        assert self.core is not None
+        core = self.core
+        info = core.data_phase_info()
+        if response.hready:
+            if info.active and info.owner_master_id in self.local_masters:
+                owner = self.local_masters[info.owner_master_id]
+                owner.on_data_phase_done(cycle, info.address_phase, response)
+            accepted = drive.address_phase
+            if (
+                accepted is not None
+                and accepted.is_active
+                and accepted.master_id in self.local_masters
+            ):
+                self.local_masters[accepted.master_id].on_address_accepted(cycle, accepted)
+        record = core.commit_cycle(cycle, drive, response)
+        self.records.append(record)
+        if self.monitor is not None:
+            self.monitor.check(record)
+        self._record_completed_beat(cycle, info, drive, response)
+        return record
+
+    def run_local_cycle(
+        self,
+        cycle: int,
+        remote_drive: BoundaryDrive,
+        remote_response: Optional[DataPhaseResult],
+    ) -> tuple[BoundaryDrive, BoundaryResponse, BusCycleRecord]:
+        """Convenience wrapper running all three steps of one cycle.
+
+        ``remote_drive`` / ``remote_response`` contain the values obtained
+        from (or predicted for) the other domain.  Returns this domain's own
+        contributions plus the committed cycle record.
+        """
+        local_drive = self.drive_phase(cycle)
+        merged = self.merge_drive(local_drive, remote_drive)
+        local_response = self.response_phase(cycle, merged)
+        response = local_response.response or remote_response or DataPhaseResult.okay()
+        record = self.commit_phase(cycle, merged, response)
+        return local_drive, local_response, record
+
+    def _record_completed_beat(
+        self,
+        cycle: int,
+        info: DataPhaseInfo,
+        drive: DriveValues,
+        response: DataPhaseResult,
+    ) -> None:
+        if not (info.active and response.hready):
+            return
+        phase = info.address_phase
+        assert phase is not None
+        self.recorder.record_beat(
+            CompletedBeat(
+                cycle=cycle,
+                master_id=phase.master_id,
+                address=phase.haddr,
+                write=phase.hwrite,
+                data=drive.hwdata if phase.hwrite else response.hrdata,
+                hresp=response.hresp,
+                hburst=phase.hburst,
+                hsize=phase.hsize,
+                first_beat=phase.htrans is HTrans.NONSEQ,
+            )
+        )
+
+    # -- state management --------------------------------------------------------------------
+    def local_components(self) -> List[ClockedComponent]:
+        return list(self.local_masters.values()) + list(self.local_slaves.values())
+
+    def all_local_masters_done(self) -> bool:
+        done_flags = [
+            master.done for master in self.local_masters.values() if hasattr(master, "done")
+        ]
+        return all(done_flags) if done_flags else True
+
+    def reset(self) -> None:
+        super().reset()
+        for component in self.local_components():
+            component.reset()
+        if self.core is not None:
+            self.core.reset()
+        self.recorder = TransactionRecorder()
+        self.records.clear()
+        if self.monitor is not None:
+            self.monitor.reset()
+        self.interrupt_outputs.clear()
+
+    def snapshot_state(self) -> dict:
+        assert self.core is not None
+        return {
+            "core": self.core.snapshot(),
+            "masters": {mid: m.snapshot_state() for mid, m in self.local_masters.items()},
+            "slaves": {sid: s.snapshot_state() for sid, s in self.local_slaves.items()},
+            "recorder": self.recorder.snapshot(),
+            "n_records": len(self.records),
+            "interrupts": dict(self.interrupt_outputs),
+            "monitor": None if self.monitor is None else self.monitor.snapshot(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        assert self.core is not None
+        self.core.restore(state["core"])
+        for mid, m_state in state["masters"].items():
+            self.local_masters[mid].restore_state(m_state)
+        for sid, s_state in state["slaves"].items():
+            self.local_slaves[sid].restore_state(s_state)
+        self.recorder.restore(state["recorder"])
+        del self.records[state["n_records"]:]
+        self.interrupt_outputs = dict(state["interrupts"])
+        if self.monitor is not None and state.get("monitor") is not None:
+            self.monitor.restore(state["monitor"])
+
+    def rollback_variable_count(self) -> int:
+        total = 0
+        for component in self.local_components():
+            total += component.rollback_variable_count()
+        return total + 8  # bus core registers

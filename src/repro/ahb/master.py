@@ -1,0 +1,354 @@
+"""AHB bus masters.
+
+A bus master requests the bus, drives address/control phases for the beats
+of its transactions, supplies write data during write data phases and
+collects read data during read data phases.
+
+The central concrete implementation is :class:`TrafficMaster`, which executes
+a queue of :class:`~repro.ahb.transaction.BusTransaction` objects.  Workload
+generators (see :mod:`repro.workloads`) produce those queues.  Every master is
+fully snapshotable so it can live in the leader domain and be rolled back.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..sim.component import AbstractionLevel, ClockedComponent
+from .burst import BurstTracker
+from .signals import AddressPhase, AhbError, DataPhaseResult, HResp, HTrans
+from .transaction import BusTransaction, CompletedTransaction
+
+
+class AhbMaster(ClockedComponent):
+    """Interface every bus master implements.
+
+    The bus calls these methods in a fixed per-cycle order:
+
+    1. :meth:`drive_hbusreq` -- does the master want the bus?
+    2. :meth:`drive_address_phase` -- address/control for this cycle
+       (only the granted master's values reach the bus).
+    3. :meth:`drive_hwdata` -- write data, called during the data phase of a
+       write beat owned by this master.
+    4. :meth:`on_address_accepted` -- the address phase presented this cycle
+       was accepted (HREADY high).
+    5. :meth:`on_data_phase_done` -- a data phase owned by this master
+       finished (HREADY high), carrying the slave response / read data.
+    """
+
+    def __init__(self, name: str, master_id: int, level: AbstractionLevel = AbstractionLevel.TL) -> None:
+        super().__init__(name)
+        self.master_id = master_id
+        self.level = level
+
+    def evaluate(self, cycle: int) -> None:  # housekeeping hook; masters are bus-driven
+        return
+
+    @abstractmethod
+    def drive_hbusreq(self, cycle: int) -> bool:
+        """Return True if the master requests the bus this cycle."""
+
+    @abstractmethod
+    def drive_address_phase(self, cycle: int, granted: bool) -> AddressPhase:
+        """Drive address/control for this cycle.
+
+        Must return an IDLE phase when not granted or when there is nothing
+        to transfer.  The same values must be returned on consecutive cycles
+        until :meth:`on_address_accepted` is called (HREADY extension).
+        """
+
+    def drive_hwdata(self, address_phase: AddressPhase) -> int:
+        """Write data for the data phase of ``address_phase`` (writes only)."""
+        raise AhbError(f"master {self.name!r} was asked for write data it does not have")
+
+    def on_address_accepted(self, cycle: int, address_phase: AddressPhase) -> None:
+        """The address phase driven this cycle was accepted by the bus."""
+
+    def on_data_phase_done(
+        self, cycle: int, address_phase: AddressPhase, response: DataPhaseResult
+    ) -> None:
+        """A data phase owned by this master completed."""
+
+
+class IdleMaster(AhbMaster):
+    """A master that never requests the bus.
+
+    Used as the default (parked) master and as a placeholder in domains that
+    contain no local masters.
+    """
+
+    def drive_hbusreq(self, cycle: int) -> bool:
+        return False
+
+    def drive_address_phase(self, cycle: int, granted: bool) -> AddressPhase:
+        return AddressPhase.idle_phase(self.master_id)
+
+
+@dataclass
+class _OutstandingBeat:
+    """A beat whose address phase was accepted and whose data phase is pending."""
+
+    address_phase: AddressPhase
+    beat_index: int
+    transaction_index: int
+
+
+@dataclass
+class MasterStats:
+    """Per-master activity counters."""
+
+    transactions_issued: int = 0
+    transactions_completed: int = 0
+    beats_completed: int = 0
+    wait_cycles: int = 0
+    error_responses: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "transactions_issued": self.transactions_issued,
+            "transactions_completed": self.transactions_completed,
+            "beats_completed": self.beats_completed,
+            "wait_cycles": self.wait_cycles,
+            "error_responses": self.error_responses,
+        }
+
+
+class TrafficMaster(AhbMaster):
+    """Executes a queue of :class:`BusTransaction` objects beat by beat."""
+
+    def __init__(
+        self,
+        name: str,
+        master_id: int,
+        transactions: Optional[List[BusTransaction]] = None,
+        level: AbstractionLevel = AbstractionLevel.TL,
+    ) -> None:
+        super().__init__(name, master_id, level)
+        self.queue: List[BusTransaction] = list(transactions or [])
+        self.stats = MasterStats()
+        # Mutable execution state (all snapshotable).
+        self._next_txn_index = 0
+        self._tracker: Optional[BurstTracker] = None
+        self._active_txn_index: Optional[int] = None
+        self._outstanding: List[_OutstandingBeat] = []
+        self._read_data: dict[int, List[int]] = {}
+        self._completed: List[CompletedTransaction] = []
+        self._aborted_txns: set[int] = set()
+
+    # -- queue management ----------------------------------------------------
+    def enqueue(self, transaction: BusTransaction) -> None:
+        if transaction.master_id != self.master_id:
+            raise AhbError(
+                f"transaction for master {transaction.master_id} enqueued on master {self.master_id}"
+            )
+        self.queue.append(transaction)
+
+    @property
+    def completed_transactions(self) -> List[CompletedTransaction]:
+        return self._completed
+
+    @property
+    def done(self) -> bool:
+        """True when every queued transaction has completed (or aborted)."""
+        return (
+            self._next_txn_index >= len(self.queue)
+            and self._tracker is None
+            and not self._outstanding
+        )
+
+    # -- helpers ---------------------------------------------------------------
+    def _current_txn(self) -> Optional[BusTransaction]:
+        if self._active_txn_index is None:
+            return None
+        return self.queue[self._active_txn_index]
+
+    def _ready_txn_available(self, cycle: int) -> bool:
+        return (
+            self._next_txn_index < len(self.queue)
+            and self.queue[self._next_txn_index].issue_cycle <= cycle
+        )
+
+    def _start_next_txn(self) -> None:
+        txn = self.queue[self._next_txn_index]
+        self._active_txn_index = self._next_txn_index
+        self._next_txn_index += 1
+        self._tracker = BurstTracker.from_first_beat(
+            start_addr=txn.address,
+            hburst=txn.hburst,
+            hsize=txn.hsize,
+            beats=txn.n_beats,
+        )
+        self._read_data[self._active_txn_index] = []
+        self.stats.transactions_issued += 1
+
+    # -- AhbMaster interface ---------------------------------------------------
+    def drive_hbusreq(self, cycle: int) -> bool:
+        if self._tracker is not None and not self._tracker.complete:
+            return True
+        return self._ready_txn_available(cycle)
+
+    def drive_address_phase(self, cycle: int, granted: bool) -> AddressPhase:
+        if not granted:
+            return AddressPhase.idle_phase(self.master_id)
+        if self._tracker is None or self._tracker.complete:
+            if self._tracker is not None and self._tracker.complete:
+                self._tracker = None
+            if not self._ready_txn_available(cycle):
+                return AddressPhase.idle_phase(self.master_id)
+            self._start_next_txn()
+        txn = self._current_txn()
+        assert txn is not None and self._tracker is not None
+        htrans = HTrans.NONSEQ if self._tracker.is_first_beat else HTrans.SEQ
+        return AddressPhase(
+            master_id=self.master_id,
+            haddr=self._tracker.current_address,
+            htrans=htrans,
+            hwrite=txn.write,
+            hsize=txn.hsize,
+            hburst=txn.hburst,
+        )
+
+    def on_address_accepted(self, cycle: int, address_phase: AddressPhase) -> None:
+        if self._tracker is None or self._active_txn_index is None:
+            raise AhbError(f"master {self.name!r}: address accepted with no burst in progress")
+        beat_index = self._tracker.beats_done
+        self._tracker.accept_beat()
+        self._outstanding.append(
+            _OutstandingBeat(
+                address_phase=address_phase,
+                beat_index=beat_index,
+                transaction_index=self._active_txn_index,
+            )
+        )
+        if self._tracker.complete:
+            self._tracker = None
+            self._active_txn_index = None
+
+    def drive_hwdata(self, address_phase: AddressPhase) -> int:
+        beat = self._find_outstanding(address_phase)
+        txn = self.queue[beat.transaction_index]
+        if not txn.write:
+            raise AhbError(f"master {self.name!r}: write data requested for a read beat")
+        return txn.data[beat.beat_index]
+
+    def on_data_phase_done(
+        self, cycle: int, address_phase: AddressPhase, response: DataPhaseResult
+    ) -> None:
+        beat = self._find_outstanding(address_phase)
+        self._outstanding.remove(beat)
+        txn = self.queue[beat.transaction_index]
+        self.stats.beats_completed += 1
+        if response.hresp is not HResp.OKAY:
+            self.stats.error_responses += 1
+            self._aborted_txns.add(beat.transaction_index)
+        if not txn.write and response.hrdata is not None:
+            self._read_data.setdefault(beat.transaction_index, []).append(response.hrdata)
+        last_beat = beat.beat_index == txn.n_beats - 1
+        if last_beat:
+            self._finish_txn(cycle, beat.transaction_index)
+
+    def _finish_txn(self, cycle: int, txn_index: int) -> None:
+        txn = self.queue[txn_index]
+        data = list(txn.data) if txn.write else list(self._read_data.get(txn_index, []))
+        self._completed.append(
+            CompletedTransaction(
+                master_id=self.master_id,
+                address=txn.address,
+                write=txn.write,
+                hburst=txn.hburst,
+                hsize=txn.hsize,
+                data=data,
+                start_cycle=txn.issue_cycle,
+                end_cycle=cycle,
+                responses=[
+                    HResp.ERROR if txn_index in self._aborted_txns else HResp.OKAY
+                ],
+            )
+        )
+        self.stats.transactions_completed += 1
+
+    def _find_outstanding(self, address_phase: AddressPhase) -> _OutstandingBeat:
+        for beat in self._outstanding:
+            if beat.address_phase == address_phase:
+                return beat
+        # Fall back to address matching (the phase object may have been
+        # reconstructed on the remote side of the channel).
+        for beat in self._outstanding:
+            if (
+                beat.address_phase.haddr == address_phase.haddr
+                and beat.address_phase.hwrite == address_phase.hwrite
+            ):
+                return beat
+        raise AhbError(
+            f"master {self.name!r}: no outstanding beat matches address "
+            f"{address_phase.haddr:#x}"
+        )
+
+    # -- rollback support -------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "next_txn_index": self._next_txn_index,
+            "active_txn_index": self._active_txn_index,
+            "tracker": None if self._tracker is None else self._tracker.snapshot(),
+            "outstanding": [
+                {
+                    "address_phase": {
+                        "master_id": b.address_phase.master_id,
+                        "haddr": b.address_phase.haddr,
+                        "htrans": int(b.address_phase.htrans),
+                        "hwrite": b.address_phase.hwrite,
+                        "hsize": int(b.address_phase.hsize),
+                        "hburst": int(b.address_phase.hburst),
+                    },
+                    "beat_index": b.beat_index,
+                    "transaction_index": b.transaction_index,
+                }
+                for b in self._outstanding
+            ],
+            "read_data": {k: list(v) for k, v in self._read_data.items()},
+            "n_completed": len(self._completed),
+            "aborted": sorted(self._aborted_txns),
+            "stats": self.stats.as_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from .signals import HBurst, HSize  # local import to avoid cycle noise
+
+        self._next_txn_index = state["next_txn_index"]
+        self._active_txn_index = state["active_txn_index"]
+        self._tracker = (
+            None if state["tracker"] is None else BurstTracker.from_snapshot(state["tracker"])
+        )
+        self._outstanding = [
+            _OutstandingBeat(
+                address_phase=AddressPhase(
+                    master_id=b["address_phase"]["master_id"],
+                    haddr=b["address_phase"]["haddr"],
+                    htrans=HTrans(b["address_phase"]["htrans"]),
+                    hwrite=b["address_phase"]["hwrite"],
+                    hsize=HSize(b["address_phase"]["hsize"]),
+                    hburst=HBurst(b["address_phase"]["hburst"]),
+                ),
+                beat_index=b["beat_index"],
+                transaction_index=b["transaction_index"],
+            )
+            for b in state["outstanding"]
+        ]
+        self._read_data = {k: list(v) for k, v in state["read_data"].items()}
+        del self._completed[state["n_completed"]:]
+        self._aborted_txns = set(state["aborted"])
+        stats = state["stats"]
+        self.stats = MasterStats(**stats)
+
+    def reset(self) -> None:
+        super().reset()
+        self._next_txn_index = 0
+        self._tracker = None
+        self._active_txn_index = None
+        self._outstanding.clear()
+        self._read_data.clear()
+        self._completed.clear()
+        self._aborted_txns.clear()
+        self.stats = MasterStats()

@@ -1,0 +1,177 @@
+"""AHB protocol monitor.
+
+A lightweight checker that observes :class:`~repro.ahb.signals.BusCycleRecord`
+objects and flags protocol violations.  It is attached to both the monolithic
+reference bus and the half bus models; the test suite asserts that no
+violations are reported in any configuration, which guards against the split
+co-emulated bus drifting away from legal AHB behaviour.
+
+Checked invariants (a pragmatic subset of the specification):
+
+* ``SEQ`` transfers continue the burst of the preceding active transfer by
+  the same master, with the expected incremented/wrapped address.
+* The first active transfer of a burst is ``NONSEQ``.
+* When ``HREADY`` is low the address phase must be held stable.
+* Wait-state responses carry ``HRESP == OKAY`` (except for the first cycle
+  of a two-cycle ERROR/RETRY/SPLIT response).
+* Only the granted master drives active transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .burst import next_beat_address
+from .signals import AddressPhase, BusCycleRecord, HResp, HTrans
+
+
+@dataclass
+class ProtocolViolation:
+    """A single detected protocol violation."""
+
+    cycle: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return f"cycle {self.cycle}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class AhbProtocolMonitor:
+    """Streaming protocol checker over bus cycle records."""
+
+    violations: List[ProtocolViolation] = field(default_factory=list)
+    _previous: Optional[BusCycleRecord] = None
+    _burst_start: Optional[AddressPhase] = None
+    _last_accepted: Optional[AddressPhase] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def reset(self) -> None:
+        self.violations.clear()
+        self._previous = None
+        self._burst_start = None
+        self._last_accepted = None
+
+    def snapshot(self) -> dict:
+        """Snapshot for rollback support.
+
+        The monitor is part of the leader domain's state: after a rollback the
+        leader re-executes the committed prefix, and the monitor must compare
+        those cycles against the pre-run-ahead history rather than against the
+        discarded speculative cycles.
+        """
+        return {
+            "n_violations": len(self.violations),
+            "previous": self._previous,
+            "burst_start": self._burst_start,
+            "last_accepted": self._last_accepted,
+        }
+
+    def restore(self, state: dict) -> None:
+        del self.violations[state["n_violations"]:]
+        self._previous = state["previous"]
+        self._burst_start = state["burst_start"]
+        self._last_accepted = state["last_accepted"]
+
+    def check(self, record: BusCycleRecord) -> None:
+        """Check one bus cycle; violations accumulate in :attr:`violations`."""
+        self._check_grant(record)
+        self._check_wait_state_response(record)
+        self._check_address_stability(record)
+        self._check_burst_sequencing(record)
+        self._previous = record
+
+    # -- individual rules --------------------------------------------------------
+    def _flag(self, record: BusCycleRecord, rule: str, message: str) -> None:
+        self.violations.append(ProtocolViolation(cycle=record.cycle, rule=rule, message=message))
+
+    def _check_grant(self, record: BusCycleRecord) -> None:
+        phase = record.address_phase
+        if phase is None or not phase.is_active:
+            return
+        if phase.master_id != record.granted_master:
+            self._flag(
+                record,
+                "GRANT",
+                f"master {phase.master_id} drove an active transfer while master "
+                f"{record.granted_master} was granted",
+            )
+
+    def _check_wait_state_response(self, record: BusCycleRecord) -> None:
+        response = record.response
+        if response.hready:
+            return
+        if response.hresp is HResp.OKAY:
+            return
+        # First cycle of a two-cycle ERROR/RETRY/SPLIT response is legal.
+        if record.data_phase is not None and record.data_phase.is_active:
+            return
+        self._flag(
+            record,
+            "RESP",
+            f"HREADY low with HRESP={response.hresp.name} outside an active data phase",
+        )
+
+    def _check_address_stability(self, record: BusCycleRecord) -> None:
+        previous = self._previous
+        if previous is None:
+            return
+        if previous.response.hready:
+            return
+        prev_phase = previous.address_phase
+        cur_phase = record.address_phase
+        if prev_phase is None or not prev_phase.is_active:
+            return
+        if cur_phase is None or (
+            cur_phase.haddr != prev_phase.haddr
+            or cur_phase.htrans != prev_phase.htrans
+            or cur_phase.hwrite != prev_phase.hwrite
+        ):
+            current_addr = "none" if cur_phase is None else f"{cur_phase.haddr:#x}"
+            self._flag(
+                record,
+                "STABLE",
+                "address phase changed while HREADY was low "
+                f"({prev_phase.haddr:#x} -> {current_addr})",
+            )
+
+    def _check_burst_sequencing(self, record: BusCycleRecord) -> None:
+        phase = record.address_phase
+        if phase is None or not phase.is_active:
+            return
+        if not (record.response.hready):
+            return  # only check accepted address phases
+        if phase.htrans is HTrans.NONSEQ:
+            self._burst_start = phase
+            self._last_accepted = phase
+            return
+        if phase.htrans is HTrans.SEQ:
+            last = self._last_accepted
+            start = self._burst_start
+            if last is None or start is None:
+                self._flag(record, "BURST", "SEQ transfer without a preceding NONSEQ")
+                return
+            if phase.master_id != last.master_id:
+                self._flag(
+                    record,
+                    "BURST",
+                    f"SEQ transfer by master {phase.master_id} continues a burst "
+                    f"started by master {last.master_id}",
+                )
+                return
+            expected = next_beat_address(last.haddr, start.hburst, start.hsize, start.haddr)
+            if phase.haddr != expected:
+                self._flag(
+                    record,
+                    "BURST",
+                    f"SEQ address {phase.haddr:#x} does not follow {last.haddr:#x} "
+                    f"(expected {expected:#x})",
+                )
+            if phase.hburst != start.hburst or phase.hwrite != start.hwrite:
+                self._flag(record, "BURST", "burst control signals changed mid-burst")
+            self._last_accepted = phase

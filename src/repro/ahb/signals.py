@@ -1,0 +1,262 @@
+"""AMBA AHB signal definitions and MSABS classification.
+
+The reproduction models the subset of the AHB specification the paper relies
+on: a single shared address/data bus with pipelined address and data phases,
+a central arbiter and decoder, multiple masters and slaves, incrementing and
+wrapping bursts, and OKAY/ERROR/RETRY/SPLIT responses.
+
+The paper's key observation is a *classification* of bus signals
+(Section 3 / Figure 1):
+
+* **Set of bus signals** -- every signal in the specification.
+* **Set of active bus signals** -- signals that influence the bus operation
+  this cycle: those driven by the active master, the active slave, the
+  arbiter/decoder, plus all masters' bus-request signals.
+* **MSABS** (minimal set of active bus signals) -- the subset whose values
+  exclusively define the bus operation with no redundancy: address + control
+  + write data of the active master, response + read data of the active
+  slave, and the bus-request signals of all masters.  Arbiter / decoder
+  outputs are excluded because they can be recomputed from the request and
+  address values (arbitration priority and the address map are static).
+* Within MSABS, address/control and slave responses are **predictable**,
+  read/write data are **non-predictable**, and bus requests are
+  non-predictable individually but the *arbitration result* they feed is
+  predictable from its previous value.
+
+This module provides the enums, the per-phase value containers and the
+classification helpers used by the prediction core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum, IntEnum
+from typing import Optional
+
+
+class AhbError(ValueError):
+    """Raised for malformed AHB phase values."""
+
+
+class HTrans(IntEnum):
+    """Transfer type (HTRANS)."""
+
+    IDLE = 0
+    BUSY = 1
+    NONSEQ = 2
+    SEQ = 3
+
+    @property
+    def is_active(self) -> bool:
+        """True for transfer types that address a slave (NONSEQ / SEQ)."""
+        return self in (HTrans.NONSEQ, HTrans.SEQ)
+
+
+class HBurst(IntEnum):
+    """Burst type (HBURST)."""
+
+    SINGLE = 0
+    INCR = 1
+    WRAP4 = 2
+    INCR4 = 3
+    WRAP8 = 4
+    INCR8 = 5
+    WRAP16 = 6
+    INCR16 = 7
+
+    @property
+    def beats(self) -> Optional[int]:
+        """Number of beats for fixed-length bursts, None for SINGLE/INCR."""
+        return _BURST_BEATS[self]
+
+    @property
+    def is_wrapping(self) -> bool:
+        return self in (HBurst.WRAP4, HBurst.WRAP8, HBurst.WRAP16)
+
+
+_BURST_BEATS = {
+    HBurst.SINGLE: 1,
+    HBurst.INCR: None,
+    HBurst.WRAP4: 4,
+    HBurst.INCR4: 4,
+    HBurst.WRAP8: 8,
+    HBurst.INCR8: 8,
+    HBurst.WRAP16: 16,
+    HBurst.INCR16: 16,
+}
+
+
+class HSize(IntEnum):
+    """Transfer size (HSIZE); value is log2 of the number of bytes."""
+
+    BYTE = 0
+    HALFWORD = 1
+    WORD = 2
+    DOUBLEWORD = 3
+
+    @property
+    def bytes(self) -> int:
+        return 1 << int(self)
+
+
+class HResp(IntEnum):
+    """Slave response (HRESP)."""
+
+    OKAY = 0
+    ERROR = 1
+    RETRY = 2
+    SPLIT = 3
+
+
+class SignalClass(str, Enum):
+    """Prediction classification of an MSABS element (Figure 1)."""
+
+    PREDICTABLE = "predictable"
+    NON_PREDICTABLE = "non_predictable"
+
+
+#: Classification of the MSABS signal groups (paper Section 3, Figure 1).
+MSABS_CLASSIFICATION: dict[str, SignalClass] = {
+    # address and control of the active bus master: deducible from the values
+    # at the start of a burst (linear increment or constant).
+    "haddr": SignalClass.PREDICTABLE,
+    "htrans": SignalClass.PREDICTABLE,
+    "hwrite": SignalClass.PREDICTABLE,
+    "hsize": SignalClass.PREDICTABLE,
+    "hburst": SignalClass.PREDICTABLE,
+    "hprot": SignalClass.PREDICTABLE,
+    # responses of the active bus slave: producer-consumer model.
+    "hready": SignalClass.PREDICTABLE,
+    "hresp": SignalClass.PREDICTABLE,
+    "hsplit": SignalClass.PREDICTABLE,
+    # data signals: non-predictable.
+    "hwdata": SignalClass.NON_PREDICTABLE,
+    "hrdata": SignalClass.NON_PREDICTABLE,
+    # individual bus requests are non-predictable, but the arbitration result
+    # is predicted from its previous value.
+    "hbusreq": SignalClass.NON_PREDICTABLE,
+    "arbitration_result": SignalClass.PREDICTABLE,
+    # non-bus signals crossing the boundary (interrupts) are treated like
+    # MSABS elements and predicted (last value).
+    "interrupt": SignalClass.PREDICTABLE,
+}
+
+
+def is_predictable(signal_name: str) -> bool:
+    """Return True if the named MSABS element is classified as predictable."""
+    try:
+        return MSABS_CLASSIFICATION[signal_name] is SignalClass.PREDICTABLE
+    except KeyError as exc:
+        raise AhbError(f"unknown MSABS signal {signal_name!r}") from exc
+
+
+@dataclass(frozen=True)
+class AddressPhase:
+    """The address/control signals driven by the active master for one beat."""
+
+    master_id: int
+    haddr: int = 0
+    htrans: HTrans = HTrans.IDLE
+    hwrite: bool = False
+    hsize: HSize = HSize.WORD
+    hburst: HBurst = HBurst.SINGLE
+    hprot: int = 0
+
+    def __post_init__(self) -> None:
+        if self.haddr < 0:
+            raise AhbError(f"negative address {self.haddr:#x}")
+        if self.haddr % self.hsize.bytes != 0:
+            raise AhbError(
+                f"address {self.haddr:#x} is not aligned to HSIZE={self.hsize.name}"
+            )
+
+    @property
+    def is_active(self) -> bool:
+        return self.htrans.is_active
+
+    def idle(self) -> "AddressPhase":
+        """A copy of this phase with the transfer type forced to IDLE."""
+        return replace(self, htrans=HTrans.IDLE)
+
+    @staticmethod
+    def idle_phase(master_id: int) -> "AddressPhase":
+        return AddressPhase(master_id=master_id, htrans=HTrans.IDLE)
+
+
+@dataclass(frozen=True)
+class DataPhaseResult:
+    """The response of the active slave for one data-phase cycle."""
+
+    hready: bool = True
+    hresp: HResp = HResp.OKAY
+    hrdata: Optional[int] = None
+
+    @staticmethod
+    def okay(hrdata: Optional[int] = None) -> "DataPhaseResult":
+        return DataPhaseResult(hready=True, hresp=HResp.OKAY, hrdata=hrdata)
+
+    @staticmethod
+    def wait() -> "DataPhaseResult":
+        """One wait state: HREADY low, response must be OKAY."""
+        return DataPhaseResult(hready=False, hresp=HResp.OKAY, hrdata=None)
+
+    @staticmethod
+    def error_first_cycle() -> "DataPhaseResult":
+        """First cycle of a two-cycle ERROR response (HREADY low)."""
+        return DataPhaseResult(hready=False, hresp=HResp.ERROR, hrdata=None)
+
+    @staticmethod
+    def error_second_cycle() -> "DataPhaseResult":
+        """Second cycle of a two-cycle ERROR response (HREADY high)."""
+        return DataPhaseResult(hready=True, hresp=HResp.ERROR, hrdata=None)
+
+
+@dataclass(frozen=True)
+class MasterRequest:
+    """Arbitration request signals driven by one master (HBUSREQx, HLOCKx)."""
+
+    master_id: int
+    hbusreq: bool = False
+    hlock: bool = False
+
+
+@dataclass
+class BusCycleRecord:
+    """Everything that happened on the bus in one target clock cycle.
+
+    Used by the protocol monitor, the transaction recorder and the golden
+    equivalence tests between the monolithic and split bus models.
+    """
+
+    cycle: int
+    granted_master: int
+    address_phase: Optional[AddressPhase]
+    data_phase: Optional[AddressPhase]
+    hwdata: Optional[int]
+    response: DataPhaseResult
+    requests: dict[int, bool] = field(default_factory=dict)
+
+    def key(self) -> tuple:
+        """A hashable summary used for stream equivalence checks."""
+        addr = self.address_phase
+        data = self.data_phase
+        return (
+            self.cycle,
+            self.granted_master,
+            None if addr is None else (addr.master_id, addr.haddr, int(addr.htrans), addr.hwrite),
+            None if data is None else (data.master_id, data.haddr, int(data.htrans), data.hwrite),
+            self.hwdata,
+            self.response.hready,
+            int(self.response.hresp),
+            self.response.hrdata,
+        )
+
+
+#: Words on the channel used to encode each MSABS group (used by the
+#: packetizer and the channel-traffic accounting).  These match the paper's
+#: observation that a single cycle's exchange does not exceed five words.
+WORDS_PER_ADDRESS_PHASE = 2  # HADDR + packed control
+WORDS_PER_WRITE_DATA = 1
+WORDS_PER_RESPONSE = 1  # packed HREADY/HRESP (+ HSPLIT)
+WORDS_PER_READ_DATA = 1
+WORDS_PER_REQUEST_VECTOR = 1  # HBUSREQx bitmap (+ interrupts)

@@ -1,0 +1,217 @@
+"""Transaction-level representations of bus activity.
+
+A :class:`BusTransaction` is the unit of work a bus master wants to perform:
+a read or write burst of one or more beats.  Masters turn transactions into
+pin-level address/data phases; the :class:`TransactionRecorder` performs the
+inverse, re-assembling completed beats into transactions.  Comparing the
+recorded transaction streams of two system models (monolithic bus vs. split
+co-emulated bus, conservative vs. optimistic synchronisation) is the golden
+functional-equivalence check used throughout the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .signals import AhbError, HBurst, HResp, HSize
+from .burst import beat_count
+
+
+@dataclass
+class BusTransaction:
+    """A read or write burst requested by a master.
+
+    Attributes:
+        master_id: identifier of the issuing master.
+        address: byte address of the first beat (must be HSIZE aligned).
+        write: True for a write burst, False for a read burst.
+        data: write data words (writes) -- must have one entry per beat.
+        hburst: AHB burst type.
+        hsize: transfer size.
+        beats: number of beats; inferred from ``hburst`` when possible.
+        issue_cycle: earliest target cycle at which the master may request
+            the bus for this transaction.
+    """
+
+    master_id: int
+    address: int
+    write: bool
+    hburst: HBurst = HBurst.SINGLE
+    hsize: HSize = HSize.WORD
+    data: List[int] = field(default_factory=list)
+    beats: Optional[int] = None
+    issue_cycle: int = 0
+
+    def __post_init__(self) -> None:
+        if self.beats is None:
+            self.beats = beat_count(self.hburst, len(self.data) or None)
+        if self.write:
+            if len(self.data) != self.beats:
+                raise AhbError(
+                    f"write transaction has {len(self.data)} data words "
+                    f"but {self.beats} beats"
+                )
+        if self.address % self.hsize.bytes != 0:
+            raise AhbError(
+                f"transaction address {self.address:#x} not aligned to {self.hsize.name}"
+            )
+
+    @property
+    def n_beats(self) -> int:
+        return int(self.beats)
+
+
+@dataclass
+class CompletedBeat:
+    """One completed data phase, as observed on the bus."""
+
+    cycle: int
+    master_id: int
+    address: int
+    write: bool
+    data: Optional[int]
+    hresp: HResp
+    hburst: HBurst
+    hsize: HSize
+    first_beat: bool
+
+    def key(self) -> tuple:
+        """Order-sensitive functional summary (cycle excluded on purpose).
+
+        The optimistic scheme changes *when* things happen in wall-clock
+        terms but must not change the order or content of completed beats,
+        so equivalence checks compare keys without the cycle number only if
+        requested by the caller.
+        """
+        return (
+            self.master_id,
+            self.address,
+            self.write,
+            self.data,
+            int(self.hresp),
+            int(self.hburst),
+            int(self.hsize),
+            self.first_beat,
+        )
+
+
+@dataclass
+class CompletedTransaction:
+    """A fully completed burst, reassembled from its beats."""
+
+    master_id: int
+    address: int
+    write: bool
+    hburst: HBurst
+    hsize: HSize
+    data: List[int]
+    start_cycle: int
+    end_cycle: int
+    responses: List[HResp] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(resp is HResp.OKAY for resp in self.responses)
+
+
+class TransactionRecorder:
+    """Re-assembles completed beats into transactions.
+
+    The recorder groups consecutive beats from the same master: a beat marked
+    ``first_beat`` starts a new transaction, subsequent beats extend it until
+    the expected beat count is reached.
+    """
+
+    def __init__(self) -> None:
+        self.beats: List[CompletedBeat] = []
+        self.transactions: List[CompletedTransaction] = []
+        self._open: dict[int, CompletedTransaction] = {}
+        self._open_expected: dict[int, int] = {}
+
+    def record_beat(self, beat: CompletedBeat) -> None:
+        """Record one completed data phase."""
+        self.beats.append(beat)
+        if beat.first_beat:
+            self._start_transaction(beat)
+        else:
+            self._extend_transaction(beat)
+
+    def _start_transaction(self, beat: CompletedBeat) -> None:
+        # If the master had an unfinished transaction, close it as-is (an
+        # ERROR response aborts the remainder of a burst).
+        self._close(beat.master_id)
+        txn = CompletedTransaction(
+            master_id=beat.master_id,
+            address=beat.address,
+            write=beat.write,
+            hburst=beat.hburst,
+            hsize=beat.hsize,
+            data=[] if beat.data is None else [beat.data],
+            start_cycle=beat.cycle,
+            end_cycle=beat.cycle,
+            responses=[beat.hresp],
+        )
+        expected = beat.hburst.beats or 1
+        if beat.hburst is HBurst.INCR:
+            expected = -1  # unknown length; closed by the next first_beat
+        if expected == 1:
+            self.transactions.append(txn)
+        else:
+            self._open[beat.master_id] = txn
+            self._open_expected[beat.master_id] = expected
+
+    def _extend_transaction(self, beat: CompletedBeat) -> None:
+        txn = self._open.get(beat.master_id)
+        if txn is None:
+            # A SEQ beat without an open transaction: treat as a new single.
+            self._start_transaction(
+                CompletedBeat(
+                    cycle=beat.cycle,
+                    master_id=beat.master_id,
+                    address=beat.address,
+                    write=beat.write,
+                    data=beat.data,
+                    hresp=beat.hresp,
+                    hburst=HBurst.SINGLE,
+                    hsize=beat.hsize,
+                    first_beat=True,
+                )
+            )
+            return
+        if beat.data is not None:
+            txn.data.append(beat.data)
+        txn.responses.append(beat.hresp)
+        txn.end_cycle = beat.cycle
+        expected = self._open_expected[beat.master_id]
+        if expected > 0 and len(txn.responses) >= expected:
+            self._close(beat.master_id)
+
+    def _close(self, master_id: int) -> None:
+        txn = self._open.pop(master_id, None)
+        self._open_expected.pop(master_id, None)
+        if txn is not None:
+            self.transactions.append(txn)
+
+    def finalize(self) -> List[CompletedTransaction]:
+        """Close any open transactions and return the full list."""
+        for master_id in list(self._open):
+            self._close(master_id)
+        return self.transactions
+
+    def beat_keys(self) -> List[tuple]:
+        """Functional summary of the beat stream (for equivalence checks)."""
+        return [beat.key() for beat in self.beats]
+
+    def snapshot(self) -> dict:
+        """Snapshot for rollback: index counters only (beats are append-only)."""
+        return {
+            "n_beats": len(self.beats),
+            "n_transactions": len(self.transactions),
+        }
+
+    def restore(self, state: dict) -> None:
+        del self.beats[state["n_beats"]:]
+        del self.transactions[state["n_transactions"]:]
+        self._open.clear()
+        self._open_expected.clear()

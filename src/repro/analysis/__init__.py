@@ -1,0 +1,55 @@
+"""Metrics, sweeps and plain-text report rendering."""
+
+from .metrics import (
+    ComparisonRow,
+    PaperComparison,
+    crossover_accuracy,
+    geometric_mean,
+    monotonically_non_increasing,
+    relative_error,
+    speedup,
+    summarize_counts,
+    within_factor,
+)
+from .report import (
+    Series,
+    format_quantity,
+    render_ascii_chart,
+    render_comparison,
+    render_table,
+    render_transposed_table,
+)
+from .sweep import (
+    SweepPoint,
+    accuracy_sweep_mechanism,
+    generic_sweep,
+    lob_depth_sweep,
+    mode_comparison,
+    rows_from_points,
+    run_engine,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "PaperComparison",
+    "Series",
+    "SweepPoint",
+    "accuracy_sweep_mechanism",
+    "crossover_accuracy",
+    "format_quantity",
+    "generic_sweep",
+    "geometric_mean",
+    "lob_depth_sweep",
+    "mode_comparison",
+    "monotonically_non_increasing",
+    "relative_error",
+    "render_ascii_chart",
+    "render_comparison",
+    "render_table",
+    "render_transposed_table",
+    "rows_from_points",
+    "run_engine",
+    "speedup",
+    "summarize_counts",
+    "within_factor",
+]

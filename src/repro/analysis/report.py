@@ -1,0 +1,154 @@
+"""Plain-text rendering of tables and figures.
+
+The benchmark harness prints the reproduced tables/figures in the same shape
+as the paper: Table 2 as a column-per-accuracy table and Figure 4 as a set of
+performance-vs-accuracy series (rendered as an ASCII chart, since the
+environment is text only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_quantity(value: float, significant_digits: int = 3) -> str:
+    """Engineering-friendly formatting: scientific for small values,
+    thousands-separated for big ones."""
+    if value == 0:
+        return "0"
+    if abs(value) < 1e-3:
+        return f"{value:.{significant_digits - 1}e}"
+    if abs(value) >= 1e4:
+        return f"{value:,.0f}"
+    return f"{value:.{significant_digits}g}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    column_gap: int = 2,
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [
+        [cell if isinstance(cell, str) else format_quantity(float(cell)) for cell in row]
+        for row in rows
+    ]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    gap = " " * column_gap
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(gap.join(cell.rjust(width) for cell, width in zip(cells[0], widths)))
+    lines.append(gap.join("-" * width for width in widths))
+    for row in cells[1:]:
+        lines.append(gap.join(cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_transposed_table(
+    row_labels: Sequence[str],
+    columns: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render a table whose columns are keyed series (like the paper's
+    Table 2, where each column is one prediction accuracy)."""
+    headers = [""] + list(columns.keys())
+    rows = []
+    for index, label in enumerate(row_labels):
+        row = [label] + [format_quantity(columns[key][index]) for key in columns]
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+@dataclass
+class Series:
+    """One line of an ASCII chart."""
+
+    label: str
+    x: List[float]
+    y: List[float]
+    marker: str = "*"
+
+
+def render_ascii_chart(
+    series: Iterable[Series],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    reference_lines: Optional[Dict[str, float]] = None,
+) -> str:
+    """Render a set of series as a crude ASCII scatter/line chart.
+
+    The x axis is laid out by value order of the union of x points (matching
+    the paper's Figure 4, whose accuracy axis is categorical).
+    """
+    series = list(series)
+    if not series:
+        return "(no data)"
+    all_x = sorted({x for s in series for x in s.x}, reverse=True)
+    all_y = [y for s in series for y in s.y]
+    if reference_lines:
+        all_y.extend(reference_lines.values())
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def col_of(x: float) -> int:
+        index = all_x.index(x)
+        if len(all_x) == 1:
+            return 0
+        return round(index * (width - 1) / (len(all_x) - 1))
+
+    def row_of(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return (height - 1) - round(frac * (height - 1))
+
+    if reference_lines:
+        for _, value in reference_lines.items():
+            row = row_of(value)
+            for col in range(width):
+                if grid[row][col] == " ":
+                    grid[row][col] = "."
+    for s in series:
+        for x, y in zip(s.x, s.y):
+            grid[row_of(y)][col_of(x)] = s.marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"[y: {y_label}]  max={format_quantity(y_max)}  min={format_quantity(y_min)}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    axis = "  ".join(format_quantity(x) for x in all_x)
+    lines.append(f"x ({x_label}): {axis}")
+    legend = "legend: " + "  ".join(f"{s.marker}={s.label}" for s in series)
+    if reference_lines:
+        legend += "  " + "  ".join(
+            f".={name} ({format_quantity(value)})" for name, value in reference_lines.items()
+        )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_comparison(title: str, rows: List[dict]) -> str:
+    """Render paper-vs-measured comparison rows."""
+    table_rows = [
+        [
+            row["name"],
+            format_quantity(row["paper"]),
+            format_quantity(row["measured"]),
+            f"{row['ratio']:.2f}x",
+            f"{100 * row['relative_error']:.1f}%",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        ["quantity", "paper", "reproduced", "ratio", "rel.err"], table_rows, title=title
+    )

@@ -1,0 +1,110 @@
+"""Parameter sweep helpers.
+
+The experiments sweep prediction accuracy (Table 2, Figure 4), LOB depth and
+simulator speed (Figure 4), and -- in the reproduction's own ablations --
+channel startup overhead and state-store cost.  These helpers run the
+mechanism-level engines across such sweeps and collect flat result rows that
+the report renderers and benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..core.coemulation import CoEmulationConfig, CoEmulationResult
+from ..core.conventional import ConventionalCoEmulation
+from ..core.modes import OperatingMode
+from ..core.optimistic import OptimisticCoEmulation
+from ..workloads.soc import SocSpec
+
+
+@dataclass
+class SweepPoint:
+    """One point of a mechanism-level sweep."""
+
+    label: str
+    config: CoEmulationConfig
+    result: CoEmulationResult
+
+    def row(self) -> dict:
+        row = self.result.summary_row()
+        row["label"] = self.label
+        row["lob_depth"] = self.config.lob_depth
+        row["forced_accuracy"] = self.config.forced_accuracy
+        row["sim_speed"] = self.config.simulator_speed.cycles_per_second
+        return row
+
+
+def run_engine(spec: SocSpec, config: CoEmulationConfig) -> CoEmulationResult:
+    """Instantiate the SoC and run the engine selected by ``config.mode``."""
+    sim_hbm, acc_hbm, _ = spec.build_split()
+    if config.mode is OperatingMode.CONSERVATIVE:
+        engine = ConventionalCoEmulation(sim_hbm, acc_hbm, config)
+    else:
+        engine = OptimisticCoEmulation(sim_hbm, acc_hbm, config)
+    return engine.run()
+
+
+def accuracy_sweep_mechanism(
+    spec: SocSpec,
+    base_config: CoEmulationConfig,
+    accuracies: Iterable[float],
+) -> List[SweepPoint]:
+    """Run the optimistic engine across forced prediction accuracies."""
+    points = []
+    for accuracy in accuracies:
+        config = replace(base_config, forced_accuracy=accuracy)
+        result = run_engine(spec, config)
+        points.append(SweepPoint(label=f"p={accuracy:g}", config=config, result=result))
+    return points
+
+
+def lob_depth_sweep(
+    spec: SocSpec,
+    base_config: CoEmulationConfig,
+    depths: Iterable[int],
+) -> List[SweepPoint]:
+    """Run the optimistic engine across LOB depths."""
+    points = []
+    for depth in depths:
+        config = replace(base_config, lob_depth=depth)
+        result = run_engine(spec, config)
+        points.append(SweepPoint(label=f"lob={depth}", config=config, result=result))
+    return points
+
+
+def mode_comparison(
+    spec: SocSpec,
+    base_config: CoEmulationConfig,
+    modes: Iterable[OperatingMode] = (
+        OperatingMode.CONSERVATIVE,
+        OperatingMode.ALS,
+        OperatingMode.SLA,
+        OperatingMode.AUTO,
+    ),
+) -> Dict[OperatingMode, CoEmulationResult]:
+    """Run the same SoC under several operating modes."""
+    results: Dict[OperatingMode, CoEmulationResult] = {}
+    for mode in modes:
+        config = replace(base_config, mode=mode)
+        results[mode] = run_engine(spec, config)
+    return results
+
+
+def generic_sweep(
+    spec: SocSpec,
+    base_config: CoEmulationConfig,
+    variations: Dict[str, Callable[[CoEmulationConfig], CoEmulationConfig]],
+) -> List[SweepPoint]:
+    """Run arbitrary config variations, keyed by label."""
+    points = []
+    for label, mutate in variations.items():
+        config = mutate(base_config)
+        result = run_engine(spec, config)
+        points.append(SweepPoint(label=label, config=config, result=result))
+    return points
+
+
+def rows_from_points(points: List[SweepPoint]) -> List[dict]:
+    return [point.row() for point in points]

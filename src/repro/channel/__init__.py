@@ -1,0 +1,33 @@
+"""Simulator-accelerator channel substrate: timing model, packetizing,
+message transport and traffic accounting."""
+
+from .driver import ChannelError, ChannelMessage, LayerTimes, SimulatorAcceleratorChannel
+from .packet import BoundaryPacketizer, CycleRecordPacket, PacketError
+from .phy import (
+    ChannelDirection,
+    ChannelLayerBreakdown,
+    ChannelTimingParams,
+    FAST_CHANNEL,
+    IPROVE_PCI_CHANNEL,
+    ZERO_OVERHEAD_CHANNEL,
+)
+from .stats import ChannelAccessRecord, ChannelStats, compare_traffic
+
+__all__ = [
+    "BoundaryPacketizer",
+    "ChannelAccessRecord",
+    "ChannelDirection",
+    "ChannelError",
+    "ChannelLayerBreakdown",
+    "ChannelMessage",
+    "ChannelStats",
+    "ChannelTimingParams",
+    "CycleRecordPacket",
+    "FAST_CHANNEL",
+    "IPROVE_PCI_CHANNEL",
+    "LayerTimes",
+    "PacketError",
+    "SimulatorAcceleratorChannel",
+    "ZERO_OVERHEAD_CHANNEL",
+    "compare_traffic",
+]

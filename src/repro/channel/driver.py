@@ -1,0 +1,118 @@
+"""Layered channel access model.
+
+The paper describes the simulator-accelerator channel as "layers of API,
+device driver, and physical media each with static startup overhead".  The
+:class:`ChannelEndpoint` pair below models exactly that: a message written on
+one side becomes readable on the other side, every access pays the startup
+overhead, and the per-layer split of that overhead is tracked so the layered
+structure can be examined in the channel characterisation benchmark.
+
+This is a functional model, not an OS artifact: "blocking" reads are realised
+by the co-emulation orchestrator only calling ``read`` when a message is
+available, mirroring how the channel wrappers block in the paper's state
+machine (Read input data / Get response states).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from .phy import ChannelDirection, ChannelLayerBreakdown, ChannelTimingParams
+from .stats import ChannelStats
+
+
+class ChannelError(RuntimeError):
+    """Raised on invalid channel usage (reading an empty channel)."""
+
+
+@dataclass
+class ChannelMessage:
+    """One message in flight on the channel."""
+
+    direction: ChannelDirection
+    words: List[int]
+    purpose: str
+    target_cycle: int
+
+
+@dataclass
+class LayerTimes:
+    """Per-layer accumulated startup time."""
+
+    api: float = 0.0
+    driver: float = 0.0
+    physical: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.api + self.driver + self.physical
+
+
+class SimulatorAcceleratorChannel:
+    """The bidirectional channel connecting the two verification domains."""
+
+    def __init__(
+        self,
+        params: Optional[ChannelTimingParams] = None,
+        layers: Optional[ChannelLayerBreakdown] = None,
+        keep_log: bool = True,
+    ) -> None:
+        self.params = params or ChannelTimingParams()
+        self.layers = (layers or ChannelLayerBreakdown()).scaled_to(
+            self.params.startup_overhead
+        ) if self.params.startup_overhead > 0 else ChannelLayerBreakdown(0.0, 0.0, 0.0)
+        self.stats = ChannelStats(params=self.params, keep_log=keep_log)
+        self.layer_times = LayerTimes()
+        self._queues: dict[ChannelDirection, Deque[ChannelMessage]] = {
+            direction: deque() for direction in ChannelDirection
+        }
+
+    # -- write / read ----------------------------------------------------------
+    def write(
+        self,
+        direction: ChannelDirection,
+        words: List[int],
+        purpose: str = "",
+        target_cycle: int = -1,
+    ) -> float:
+        """Send ``words`` in ``direction``; returns the modelled access time."""
+        message = ChannelMessage(
+            direction=direction, words=list(words), purpose=purpose, target_cycle=target_cycle
+        )
+        self._queues[direction].append(message)
+        access_time = self.stats.record_access(
+            direction, len(words), purpose=purpose, target_cycle=target_cycle
+        )
+        self.layer_times.api += self.layers.api_overhead
+        self.layer_times.driver += self.layers.driver_overhead
+        self.layer_times.physical += self.layers.physical_overhead
+        return access_time
+
+    def pending(self, direction: ChannelDirection) -> int:
+        """Number of unread messages travelling in ``direction``."""
+        return len(self._queues[direction])
+
+    def read(self, direction: ChannelDirection) -> ChannelMessage:
+        """Receive the oldest unread message travelling in ``direction``.
+
+        Reading does not pay a second startup overhead: the cost model charges
+        the full access cost at write time (one access = one startup).
+        """
+        queue = self._queues[direction]
+        if not queue:
+            raise ChannelError(f"no pending message in direction {direction.value}")
+        return queue.popleft()
+
+    def drain(self, direction: ChannelDirection) -> List[ChannelMessage]:
+        """Read and return every pending message in ``direction``."""
+        messages = list(self._queues[direction])
+        self._queues[direction].clear()
+        return messages
+
+    def reset(self) -> None:
+        self.stats.reset()
+        self.layer_times = LayerTimes()
+        for queue in self._queues.values():
+            queue.clear()

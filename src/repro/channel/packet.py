@@ -1,0 +1,218 @@
+"""Packetizing of boundary values into channel words.
+
+The channel transports 32-bit words.  This module defines how the MSABS
+values exchanged between the two verification domains are packed into words:
+both so that the traffic accounting is realistic (the conventional scheme's
+per-cycle exchange is "at most five words", matching the paper) and so the
+packetizer can be exercised and tested as real code rather than a constant.
+
+Encoding layout (one *cycle record*):
+
+* header word: presence flags + request bitmap + interrupt bitmap,
+* address phase (2 words): HADDR, packed control (HTRANS/HWRITE/HSIZE/
+  HBURST/HPROT/master id),
+* write data (1 word),
+* response (1 word): HREADY/HRESP + flags,
+* read data (1 word).
+
+Only present fields are transmitted; the header says which.  The encoder is
+exactly invertible, which the property-based tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ahb.half_bus import BoundaryDrive
+from ..ahb.signals import AddressPhase, DataPhaseResult, HBurst, HResp, HSize, HTrans
+
+
+class PacketError(ValueError):
+    """Raised when decoding malformed packets."""
+
+
+_FLAG_ADDRESS_PHASE = 1 << 0
+_FLAG_WRITE_DATA = 1 << 1
+_FLAG_RESPONSE = 1 << 2
+_FLAG_READ_DATA = 1 << 3
+_REQUEST_SHIFT = 8
+_REQUEST_WIDTH = 8
+_INTERRUPT_SHIFT = 16
+_INTERRUPT_WIDTH = 8
+
+
+@dataclass
+class CycleRecordPacket:
+    """The decoded form of one cycle's boundary values."""
+
+    requests: Dict[int, bool] = field(default_factory=dict)
+    address_phase: Optional[AddressPhase] = None
+    hwdata: Optional[int] = None
+    response: Optional[DataPhaseResult] = None
+    interrupts: Dict[str, bool] = field(default_factory=dict)
+
+
+def _pack_control(phase: AddressPhase) -> int:
+    word = 0
+    word |= int(phase.htrans) & 0x3
+    word |= (1 if phase.hwrite else 0) << 2
+    word |= (int(phase.hsize) & 0x7) << 3
+    word |= (int(phase.hburst) & 0x7) << 6
+    word |= (phase.hprot & 0xF) << 9
+    word |= (phase.master_id & 0xFF) << 16
+    return word
+
+
+def _unpack_control(word: int, haddr: int) -> AddressPhase:
+    return AddressPhase(
+        master_id=(word >> 16) & 0xFF,
+        haddr=haddr,
+        htrans=HTrans(word & 0x3),
+        hwrite=bool((word >> 2) & 0x1),
+        hsize=HSize((word >> 3) & 0x7),
+        hburst=HBurst((word >> 6) & 0x7),
+        hprot=(word >> 9) & 0xF,
+    )
+
+
+def _pack_response(response: DataPhaseResult) -> int:
+    word = 0
+    word |= 1 if response.hready else 0
+    word |= (int(response.hresp) & 0x3) << 1
+    word |= (1 if response.hrdata is not None else 0) << 3
+    return word
+
+
+def _unpack_response(word: int, hrdata: Optional[int]) -> DataPhaseResult:
+    has_rdata = bool((word >> 3) & 0x1)
+    return DataPhaseResult(
+        hready=bool(word & 0x1),
+        hresp=HResp((word >> 1) & 0x3),
+        hrdata=hrdata if has_rdata else None,
+    )
+
+
+class BoundaryPacketizer:
+    """Encodes / decodes boundary values to and from channel words.
+
+    Master ids and interrupt names must be registered up front so both ends
+    agree on bit positions (the paper's static configuration assumption).
+    """
+
+    def __init__(self, master_ids: List[int], interrupt_names: Optional[List[str]] = None) -> None:
+        self.master_ids = sorted(master_ids)
+        if len(self.master_ids) > _REQUEST_WIDTH:
+            raise PacketError(
+                f"at most {_REQUEST_WIDTH} masters supported, got {len(self.master_ids)}"
+            )
+        self.interrupt_names = sorted(interrupt_names or [])
+        if len(self.interrupt_names) > _INTERRUPT_WIDTH:
+            raise PacketError(
+                f"at most {_INTERRUPT_WIDTH} interrupt lines supported, "
+                f"got {len(self.interrupt_names)}"
+            )
+
+    # -- encoding -------------------------------------------------------------
+    def encode(
+        self,
+        requests: Dict[int, bool],
+        address_phase: Optional[AddressPhase] = None,
+        hwdata: Optional[int] = None,
+        response: Optional[DataPhaseResult] = None,
+        interrupts: Optional[Dict[str, bool]] = None,
+    ) -> List[int]:
+        """Encode one cycle's boundary values into a list of 32-bit words."""
+        header = 0
+        for index, master_id in enumerate(self.master_ids):
+            if requests.get(master_id, False):
+                header |= 1 << (_REQUEST_SHIFT + index)
+        for index, name in enumerate(self.interrupt_names):
+            if interrupts and interrupts.get(name, False):
+                header |= 1 << (_INTERRUPT_SHIFT + index)
+        words: List[int] = [0]  # placeholder for header
+        if address_phase is not None:
+            header |= _FLAG_ADDRESS_PHASE
+            words.append(address_phase.haddr & 0xFFFFFFFF)
+            words.append(_pack_control(address_phase))
+        if hwdata is not None:
+            header |= _FLAG_WRITE_DATA
+            words.append(hwdata & 0xFFFFFFFF)
+        if response is not None:
+            header |= _FLAG_RESPONSE
+            words.append(_pack_response(response))
+            if response.hrdata is not None:
+                header |= _FLAG_READ_DATA
+                words.append(response.hrdata & 0xFFFFFFFF)
+        words[0] = header
+        return words
+
+    def encode_drive(self, drive: BoundaryDrive) -> List[int]:
+        """Encode a :class:`~repro.ahb.half_bus.BoundaryDrive` contribution."""
+        return self.encode(
+            requests=drive.requests,
+            address_phase=drive.address_phase,
+            hwdata=drive.hwdata,
+            interrupts=drive.interrupts,
+        )
+
+    def encode_response(self, response: Optional[DataPhaseResult]) -> List[int]:
+        """Encode a response-only packet (the lagger-to-leader direction)."""
+        return self.encode(requests={}, response=response)
+
+    # -- decoding ----------------------------------------------------------------
+    def decode(self, words: List[int]) -> CycleRecordPacket:
+        """Decode a word list produced by :meth:`encode`."""
+        if not words:
+            raise PacketError("empty packet")
+        header = words[0]
+        cursor = 1
+        requests = {}
+        for index, master_id in enumerate(self.master_ids):
+            requests[master_id] = bool((header >> (_REQUEST_SHIFT + index)) & 0x1)
+        interrupts = {}
+        for index, name in enumerate(self.interrupt_names):
+            interrupts[name] = bool((header >> (_INTERRUPT_SHIFT + index)) & 0x1)
+        address_phase = None
+        if header & _FLAG_ADDRESS_PHASE:
+            if cursor + 2 > len(words):
+                raise PacketError("truncated address phase")
+            haddr = words[cursor]
+            control = words[cursor + 1]
+            cursor += 2
+            address_phase = _unpack_control(control, haddr)
+        hwdata = None
+        if header & _FLAG_WRITE_DATA:
+            if cursor + 1 > len(words):
+                raise PacketError("truncated write data")
+            hwdata = words[cursor]
+            cursor += 1
+        response = None
+        if header & _FLAG_RESPONSE:
+            if cursor + 1 > len(words):
+                raise PacketError("truncated response")
+            response_word = words[cursor]
+            cursor += 1
+            hrdata = None
+            if header & _FLAG_READ_DATA:
+                if cursor + 1 > len(words):
+                    raise PacketError("truncated read data")
+                hrdata = words[cursor]
+                cursor += 1
+            response = _unpack_response(response_word, hrdata)
+        if cursor != len(words):
+            raise PacketError(f"trailing words in packet: used {cursor} of {len(words)}")
+        return CycleRecordPacket(
+            requests=requests,
+            address_phase=address_phase,
+            hwdata=hwdata,
+            response=response,
+            interrupts=interrupts,
+        )
+
+    # -- sizing helpers -------------------------------------------------------------
+    def drive_word_count(self, drive: BoundaryDrive) -> int:
+        return len(self.encode_drive(drive))
+
+    def response_word_count(self, response: Optional[DataPhaseResult]) -> int:
+        return len(self.encode_response(response))

@@ -1,0 +1,139 @@
+"""Channel traffic accounting.
+
+Every channel access performed by either synchronisation scheme is recorded
+here.  The statistics are the primary *measured* quantity of the
+reproduction's mechanism-level experiments: the optimistic scheme's whole
+point is to reduce the number of channel accesses (and therefore the total
+startup overhead paid) for the same number of target cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .phy import ChannelDirection, ChannelTimingParams
+
+
+@dataclass
+class ChannelAccessRecord:
+    """One channel access (a single startup-overhead payment)."""
+
+    index: int
+    direction: ChannelDirection
+    words: int
+    purpose: str
+    target_cycle: int
+    time: float
+
+
+@dataclass
+class ChannelStats:
+    """Aggregated channel traffic counters."""
+
+    params: ChannelTimingParams
+    accesses: int = 0
+    words: int = 0
+    total_time: float = 0.0
+    per_direction_accesses: Dict[ChannelDirection, int] = field(
+        default_factory=lambda: {d: 0 for d in ChannelDirection}
+    )
+    per_direction_words: Dict[ChannelDirection, int] = field(
+        default_factory=lambda: {d: 0 for d in ChannelDirection}
+    )
+    per_purpose_accesses: Dict[str, int] = field(default_factory=dict)
+    log: List[ChannelAccessRecord] = field(default_factory=list)
+    keep_log: bool = True
+
+    def record_access(
+        self,
+        direction: ChannelDirection,
+        words: int,
+        purpose: str = "",
+        target_cycle: int = -1,
+    ) -> float:
+        """Account one access; returns the modelled time it took."""
+        time = self.params.access_time(direction, words)
+        self.accesses += 1
+        self.words += words
+        self.total_time += time
+        self.per_direction_accesses[direction] += 1
+        self.per_direction_words[direction] += words
+        self.per_purpose_accesses[purpose] = self.per_purpose_accesses.get(purpose, 0) + 1
+        if self.keep_log:
+            self.log.append(
+                ChannelAccessRecord(
+                    index=self.accesses - 1,
+                    direction=direction,
+                    words=words,
+                    purpose=purpose,
+                    target_cycle=target_cycle,
+                    time=time,
+                )
+            )
+        return time
+
+    # -- derived metrics ------------------------------------------------------
+    @property
+    def startup_time(self) -> float:
+        """Portion of the total time that is pure startup overhead."""
+        return self.accesses * self.params.startup_overhead
+
+    @property
+    def payload_time(self) -> float:
+        return self.total_time - self.startup_time
+
+    def words_per_access(self) -> float:
+        return self.words / self.accesses if self.accesses else 0.0
+
+    def accesses_per_cycle(self, committed_cycles: int) -> float:
+        return self.accesses / committed_cycles if committed_cycles else 0.0
+
+    def time_per_cycle(self, committed_cycles: int) -> float:
+        return self.total_time / committed_cycles if committed_cycles else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "accesses": self.accesses,
+            "words": self.words,
+            "total_time": self.total_time,
+            "startup_time": self.startup_time,
+            "payload_time": self.payload_time,
+            "words_per_access": self.words_per_access(),
+            "sim_to_acc_accesses": self.per_direction_accesses[ChannelDirection.SIM_TO_ACC],
+            "acc_to_sim_accesses": self.per_direction_accesses[ChannelDirection.ACC_TO_SIM],
+            "per_purpose": dict(self.per_purpose_accesses),
+        }
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.words = 0
+        self.total_time = 0.0
+        self.per_direction_accesses = {d: 0 for d in ChannelDirection}
+        self.per_direction_words = {d: 0 for d in ChannelDirection}
+        self.per_purpose_accesses = {}
+        self.log.clear()
+
+
+def compare_traffic(
+    baseline: ChannelStats, optimized: ChannelStats, committed_cycles: Optional[int] = None
+) -> dict:
+    """Summarise the traffic reduction of ``optimized`` relative to ``baseline``."""
+    result = {
+        "baseline_accesses": baseline.accesses,
+        "optimized_accesses": optimized.accesses,
+        "access_reduction": (
+            1.0 - optimized.accesses / baseline.accesses if baseline.accesses else 0.0
+        ),
+        "baseline_time": baseline.total_time,
+        "optimized_time": optimized.total_time,
+        "time_reduction": (
+            1.0 - optimized.total_time / baseline.total_time if baseline.total_time else 0.0
+        ),
+        "baseline_words_per_access": baseline.words_per_access(),
+        "optimized_words_per_access": optimized.words_per_access(),
+    }
+    if committed_cycles:
+        result["baseline_accesses_per_cycle"] = baseline.accesses_per_cycle(committed_cycles)
+        result["optimized_accesses_per_cycle"] = optimized.accesses_per_cycle(committed_cycles)
+    return result

@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Exposes the reproduction's experiments without writing any Python::
+
+    python -m repro table2                  # Table 2 (analytical)
+    python -m repro figure4                 # Figure 4 (analytical, ASCII chart)
+    python -m repro sla                     # SLA summary
+    python -m repro conventional            # conventional baselines
+    python -m repro mechanism --cycles 400  # protocol-level accuracy sweep
+    python -m repro run --mode als --cycles 1000 --accuracy 0.9
+
+Every sub-command prints a plain-text table (and, where applicable, the
+paper's published values next to the reproduced ones).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .analysis.report import Series, render_ascii_chart, render_table
+from .analysis.sweep import accuracy_sweep_mechanism, run_engine
+from .core import CoEmulationConfig, OperatingMode
+from .core.analytical import (
+    AnalyticalConfig,
+    PAPER_CONVENTIONAL_100K,
+    PAPER_CONVENTIONAL_1000K,
+    PAPER_TABLE2,
+    conventional_performance,
+    figure4,
+    sla_summary,
+    table2,
+)
+from .workloads import als_streaming_soc, mixed_soc, sla_streaming_soc
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    rows = []
+    for estimate in table2():
+        paper = PAPER_TABLE2[round(estimate.prediction_accuracy, 3)]
+        rows.append(
+            [
+                f"{estimate.prediction_accuracy:.3f}",
+                f"{estimate.t_acc:.2e}",
+                f"{estimate.t_channel:.2e}",
+                f"{estimate.performance / 1000:.0f}k",
+                f"{paper['performance'] / 1000:.0f}k",
+                f"{estimate.ratio:.2f}",
+                f"{paper['ratio']:.2f}",
+            ]
+        )
+    return render_table(
+        ["accuracy", "Tacc", "Tch", "perf (repro)", "perf (paper)", "ratio (repro)", "ratio (paper)"],
+        rows,
+        title="Table 2: Performance of ALS (analytical reproduction vs paper)",
+    )
+
+
+def _cmd_figure4(args: argparse.Namespace) -> str:
+    markers = {
+        "Sim=100k, LOBdepth=64": "a",
+        "Sim=100k, LOBdepth=8": "b",
+        "Sim=1000k, LOBdepth=64": "C",
+        "Sim=1000k, LOBdepth=8": "D",
+    }
+    series = [
+        Series(
+            label=label,
+            x=[e.prediction_accuracy for e in estimates],
+            y=[e.performance for e in estimates],
+            marker=markers.get(label, "*"),
+        )
+        for label, estimates in figure4().items()
+    ]
+    return render_ascii_chart(
+        series,
+        title="Figure 4: ALS performance vs prediction accuracy",
+        x_label="prediction accuracy",
+        y_label="cycles/s",
+        reference_lines={
+            "conventional @1000k": PAPER_CONVENTIONAL_1000K,
+            "conventional @100k": PAPER_CONVENTIONAL_100K,
+        },
+    )
+
+
+def _cmd_sla(args: argparse.Namespace) -> str:
+    summary = sla_summary()
+    rows = [
+        [
+            f"{int(speed / 1000)}k",
+            f"{values['max_gain']:.2f}",
+            f"{values['max_performance'] / 1000:.0f}k",
+            f"{values['breakeven_accuracy']:.2f}",
+            f"{values['conventional_performance'] / 1000:.1f}k",
+        ]
+        for speed, values in sorted(summary.items())
+    ]
+    return render_table(
+        ["simulator speed", "max gain", "max perf", "break-even accuracy", "conventional"],
+        rows,
+        title="SLA summary (paper: gains 3.25 / 15.34, break-even 0.98 / 0.70)",
+    )
+
+
+def _cmd_conventional(args: argparse.Namespace) -> str:
+    rows = []
+    for speed, paper in ((1_000_000.0, PAPER_CONVENTIONAL_1000K), (100_000.0, PAPER_CONVENTIONAL_100K)):
+        perf = conventional_performance(AnalyticalConfig(simulator_cycles_per_second=speed))
+        rows.append([f"{int(speed / 1000)}k", f"{perf / 1000:.1f}k", f"{paper / 1000:.1f}k"])
+    return render_table(
+        ["simulator speed", "reproduced", "paper"],
+        rows,
+        title="Conventional (lock-step) co-emulation performance",
+    )
+
+
+_SOC_FACTORIES = {
+    "als_streaming": als_streaming_soc,
+    "sla_streaming": sla_streaming_soc,
+    "mixed": mixed_soc,
+}
+
+
+def _cmd_mechanism(args: argparse.Namespace) -> str:
+    spec = _SOC_FACTORIES[args.soc]()
+    base = CoEmulationConfig(mode=OperatingMode.ALS, total_cycles=args.cycles)
+    conventional = run_engine(
+        spec, CoEmulationConfig(mode=OperatingMode.CONSERVATIVE, total_cycles=args.cycles)
+    )
+    points = accuracy_sweep_mechanism(spec, base, args.accuracies)
+    rows = [
+        [
+            point.label,
+            f"{point.result.performance_cycles_per_second / 1000:.1f}k",
+            f"{point.result.speedup_over(conventional):.2f}",
+            str(point.result.transitions["rollbacks"]),
+            str(point.result.channel["accesses"]),
+        ]
+        for point in points
+    ]
+    rows.append(
+        [
+            "conventional",
+            f"{conventional.performance_cycles_per_second / 1000:.1f}k",
+            "1.00",
+            "0",
+            str(conventional.channel["accesses"]),
+        ]
+    )
+    return render_table(
+        ["accuracy", "performance", "gain", "rollbacks", "channel accesses"],
+        rows,
+        title=f"Mechanism-level ALS sweep on '{args.soc}' ({args.cycles} cycles)",
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    spec = _SOC_FACTORIES[args.soc]()
+    config = CoEmulationConfig(
+        mode=OperatingMode(args.mode),
+        total_cycles=args.cycles,
+        lob_depth=args.lob_depth,
+        forced_accuracy=args.accuracy,
+    )
+    result = run_engine(spec, config)
+    rows = [
+        ["mode", result.mode.value],
+        ["committed cycles", str(result.committed_cycles)],
+        ["performance", f"{result.performance_cycles_per_second / 1000:.1f} kcycles/s"],
+        ["Tsim / Tacc", f"{result.tsim:.2e} / {result.tacc:.2e}"],
+        ["Tstore / Trestore", f"{result.tstore:.2e} / {result.trestore:.2e}"],
+        ["Tch", f"{result.tchannel:.2e}"],
+        ["channel accesses", str(result.channel["accesses"])],
+        ["prediction accuracy", f"{result.prediction.get('accuracy', 1.0):.3f}"],
+        ["rollbacks", str(result.transitions.get("rollbacks", 0))],
+        ["monitors clean", str(result.monitors_ok)],
+    ]
+    return render_table(["quantity", "value"], rows, title=f"Co-emulation run on '{args.soc}'")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the DATE 2005 prediction packetizing scheme",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="Table 2 (analytical)").set_defaults(func=_cmd_table2)
+    sub.add_parser("figure4", help="Figure 4 (analytical, ASCII)").set_defaults(func=_cmd_figure4)
+    sub.add_parser("sla", help="SLA summary").set_defaults(func=_cmd_sla)
+    sub.add_parser("conventional", help="conventional baselines").set_defaults(
+        func=_cmd_conventional
+    )
+
+    mechanism = sub.add_parser("mechanism", help="protocol-level accuracy sweep")
+    mechanism.add_argument("--cycles", type=int, default=400)
+    mechanism.add_argument("--soc", choices=sorted(_SOC_FACTORIES), default="als_streaming")
+    mechanism.add_argument(
+        "--accuracies",
+        type=float,
+        nargs="+",
+        default=[1.0, 0.99, 0.9, 0.6],
+    )
+    mechanism.set_defaults(func=_cmd_mechanism)
+
+    run = sub.add_parser("run", help="one co-emulation run")
+    run.add_argument("--mode", choices=[m.value for m in OperatingMode], default="als")
+    run.add_argument("--cycles", type=int, default=1000)
+    run.add_argument("--lob-depth", type=int, default=64)
+    run.add_argument("--accuracy", type=float, default=None)
+    run.add_argument("--soc", choices=sorted(_SOC_FACTORIES), default="als_streaming")
+    run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.func(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

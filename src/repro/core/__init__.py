@@ -1,0 +1,127 @@
+"""The prediction packetizing scheme (the paper's contribution).
+
+Public entry points:
+
+* :class:`ConventionalCoEmulation` -- the lock-step baseline.
+* :class:`OptimisticCoEmulation` -- the prediction-and-rollback engine with
+  SLA / ALS / AUTO operating modes.
+* :class:`CoEmulationConfig` / :class:`CoEmulationResult` -- run configuration
+  and result containers shared by both engines.
+* :mod:`repro.core.analytical` -- the closed-form performance model that
+  regenerates the paper's Table 2, Figure 4 and SLA numbers.
+"""
+
+from .analytical import (
+    AnalyticalConfig,
+    FIGURE4_ACCURACIES,
+    PAPER_ALS_MAX_GAIN_1000K,
+    PAPER_CONVENTIONAL_100K,
+    PAPER_CONVENTIONAL_1000K,
+    PAPER_SLA_BREAKEVEN_100K,
+    PAPER_SLA_BREAKEVEN_1000K,
+    PAPER_SLA_MAX_GAIN_100K,
+    PAPER_SLA_MAX_GAIN_1000K,
+    PAPER_TABLE2,
+    PerformanceEstimate,
+    TABLE2_ACCURACIES,
+    accuracy_sweep,
+    breakeven_accuracy,
+    conventional_performance,
+    estimate_performance,
+    expected_committed_per_transition,
+    expected_rollforth_per_transition,
+    failure_probability,
+    figure4,
+    sla_summary,
+    table2,
+)
+from .coemulation import (
+    CoEmulationConfig,
+    CoEmulationEngineBase,
+    CoEmulationResult,
+    DEFAULT_LOB_DEPTH,
+    DEFAULT_ROLLBACK_VARIABLES,
+)
+from .conventional import ConventionalCoEmulation
+from .domain import DomainHost, DomainHostConfig, DomainHostError, assert_cores_in_sync
+from .lob import LeaderOutputBuffer, LobEntry, LobError, LobStats
+from .modes import (
+    AutoModePolicy,
+    ConservativePolicy,
+    ModeDecision,
+    ModePolicy,
+    OperatingMode,
+    StaticLeaderPolicy,
+    policy_for_mode,
+)
+from .optimistic import CwPath, OptimisticCoEmulation, OptimisticRunTrace, PathTraceEntry
+from .prediction import (
+    ForcedAccuracyModel,
+    LaggerPredictor,
+    PredictionRecord,
+    PredictionStats,
+)
+from .transition import (
+    TransitionLog,
+    TransitionOutcome,
+    TransitionRecord,
+    TransitionStep,
+)
+
+__all__ = [
+    "AnalyticalConfig",
+    "AutoModePolicy",
+    "CoEmulationConfig",
+    "CoEmulationEngineBase",
+    "CoEmulationResult",
+    "ConservativePolicy",
+    "ConventionalCoEmulation",
+    "CwPath",
+    "DEFAULT_LOB_DEPTH",
+    "DEFAULT_ROLLBACK_VARIABLES",
+    "DomainHost",
+    "DomainHostConfig",
+    "DomainHostError",
+    "FIGURE4_ACCURACIES",
+    "ForcedAccuracyModel",
+    "LaggerPredictor",
+    "LeaderOutputBuffer",
+    "LobEntry",
+    "LobError",
+    "LobStats",
+    "ModeDecision",
+    "ModePolicy",
+    "OperatingMode",
+    "OptimisticCoEmulation",
+    "OptimisticRunTrace",
+    "PAPER_ALS_MAX_GAIN_1000K",
+    "PAPER_CONVENTIONAL_100K",
+    "PAPER_CONVENTIONAL_1000K",
+    "PAPER_SLA_BREAKEVEN_100K",
+    "PAPER_SLA_BREAKEVEN_1000K",
+    "PAPER_SLA_MAX_GAIN_100K",
+    "PAPER_SLA_MAX_GAIN_1000K",
+    "PAPER_TABLE2",
+    "PathTraceEntry",
+    "PerformanceEstimate",
+    "PredictionRecord",
+    "PredictionStats",
+    "StaticLeaderPolicy",
+    "TABLE2_ACCURACIES",
+    "TransitionLog",
+    "TransitionOutcome",
+    "TransitionRecord",
+    "TransitionStep",
+    "accuracy_sweep",
+    "assert_cores_in_sync",
+    "breakeven_accuracy",
+    "conventional_performance",
+    "estimate_performance",
+    "expected_committed_per_transition",
+    "expected_rollforth_per_transition",
+    "failure_probability",
+    "figure4",
+    "policy_for_mode",
+    "sla_summary",
+    "table2",
+]

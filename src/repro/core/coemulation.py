@@ -1,0 +1,329 @@
+"""Co-emulation configuration, result containers and the common engine base.
+
+The two synchronisation engines (:class:`~repro.core.conventional.
+ConventionalCoEmulation` and :class:`~repro.core.optimistic.
+OptimisticCoEmulation`) share the split-system plumbing implemented here:
+building the domain hosts from two half bus models, routing boundary values
+through the channel, charging modelled time to the shared ledger and
+packaging results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ahb.half_bus import BoundaryDrive, HalfBusModel
+from ..ahb.signals import DataPhaseResult
+from ..channel.driver import SimulatorAcceleratorChannel
+from ..channel.packet import BoundaryPacketizer
+from ..channel.phy import ChannelDirection, ChannelTimingParams
+from ..sim.checkpoint import (
+    ACCELERATOR_STATE_COSTS,
+    SIMULATOR_STATE_COSTS,
+    StateCostModel,
+)
+from ..sim.component import Domain
+from ..sim.time_model import (
+    DEFAULT_ACCELERATOR_SPEED,
+    DEFAULT_SIMULATOR_SPEED,
+    DomainSpeed,
+    WallClockLedger,
+)
+from .domain import DomainHost, DomainHostConfig
+from .modes import OperatingMode
+from .prediction import ForcedAccuracyModel, LaggerPredictor, PredictionStats
+from .transition import TransitionLog
+
+
+#: Paper default: the evaluation assumes 1,000 rollback variables.
+DEFAULT_ROLLBACK_VARIABLES = 1000
+
+#: Paper default LOB depth (Table 2); Figure 4 also evaluates 8.
+DEFAULT_LOB_DEPTH = 64
+
+
+@dataclass
+class CoEmulationConfig:
+    """All knobs of a co-emulation run.
+
+    Defaults reproduce the paper's Table 2 environment: simulator at
+    1,000 kcycles/s, accelerator at 10 Mcycles/s, LOB depth 64, 1,000
+    rollback variables and the measured iPROVE PCI channel constants.
+    """
+
+    mode: OperatingMode = OperatingMode.ALS
+    total_cycles: int = 10_000
+    lob_depth: int = DEFAULT_LOB_DEPTH
+    simulator_speed: DomainSpeed = DEFAULT_SIMULATOR_SPEED
+    accelerator_speed: DomainSpeed = DEFAULT_ACCELERATOR_SPEED
+    simulator_state_costs: StateCostModel = SIMULATOR_STATE_COSTS
+    accelerator_state_costs: StateCostModel = ACCELERATOR_STATE_COSTS
+    rollback_variables: Optional[int] = DEFAULT_ROLLBACK_VARIABLES
+    channel_params: ChannelTimingParams = field(default_factory=ChannelTimingParams)
+    forced_accuracy: Optional[float] = None
+    forced_accuracy_seed: int = 2005
+    predict_new_remote_bursts: bool = True
+    interrupt_names: List[str] = field(default_factory=list)
+    keep_channel_log: bool = False
+    stop_when_workload_done: bool = False
+
+    def __post_init__(self) -> None:
+        if self.total_cycles <= 0:
+            raise ValueError("total_cycles must be positive")
+        if self.lob_depth < 1:
+            raise ValueError("lob_depth must be at least 1")
+        if self.forced_accuracy is not None and not 0.0 <= self.forced_accuracy <= 1.0:
+            raise ValueError("forced_accuracy must be within [0, 1]")
+
+
+@dataclass
+class CoEmulationResult:
+    """Outcome of one co-emulation run."""
+
+    mode: OperatingMode
+    committed_cycles: int
+    per_cycle_times: Dict[str, float]
+    total_modelled_time: float
+    performance_cycles_per_second: float
+    channel: dict
+    transitions: dict
+    prediction: dict
+    lob: dict
+    sim_beat_keys: List[tuple]
+    acc_beat_keys: List[tuple]
+    monitors_ok: bool
+    wasted_leader_cycles: int
+    ledger: WallClockLedger
+
+    @property
+    def tsim(self) -> float:
+        """Average simulator time per committed target cycle (Tsim.)."""
+        return self.per_cycle_times["simulator"]
+
+    @property
+    def tacc(self) -> float:
+        """Average accelerator time per committed target cycle (Tacc.)."""
+        return self.per_cycle_times["accelerator"]
+
+    @property
+    def tstore(self) -> float:
+        return self.per_cycle_times["state_store"]
+
+    @property
+    def trestore(self) -> float:
+        return self.per_cycle_times["state_restore"]
+
+    @property
+    def tchannel(self) -> float:
+        return self.per_cycle_times["channel"]
+
+    def speedup_over(self, baseline: "CoEmulationResult") -> float:
+        """Performance ratio of this run over ``baseline``."""
+        if baseline.performance_cycles_per_second == 0:
+            return float("inf")
+        return self.performance_cycles_per_second / baseline.performance_cycles_per_second
+
+    def summary_row(self) -> dict:
+        """A flat dict convenient for tabular reports."""
+        return {
+            "mode": self.mode.value,
+            "cycles": self.committed_cycles,
+            "Tsim": self.tsim,
+            "Tacc": self.tacc,
+            "Tstore": self.tstore,
+            "Trestore": self.trestore,
+            "Tch": self.tchannel,
+            "performance": self.performance_cycles_per_second,
+            "channel_accesses": self.channel.get("accesses", 0),
+            "prediction_accuracy": self.prediction.get("accuracy", 1.0),
+            "rollbacks": self.transitions.get("rollbacks", 0),
+        }
+
+
+class CoEmulationEngineBase:
+    """Shared plumbing of the conventional and optimistic engines."""
+
+    def __init__(
+        self,
+        sim_hbm: HalfBusModel,
+        acc_hbm: HalfBusModel,
+        config: CoEmulationConfig,
+    ) -> None:
+        if sim_hbm.domain is not Domain.SIMULATOR or acc_hbm.domain is not Domain.ACCELERATOR:
+            raise ValueError(
+                "sim_hbm must be the simulator-domain half bus and acc_hbm the "
+                "accelerator-domain half bus"
+            )
+        sim_hbm.finalize()
+        acc_hbm.finalize()
+        self.config = config
+        self.ledger = WallClockLedger()
+        self.channel = SimulatorAcceleratorChannel(
+            params=config.channel_params, keep_log=config.keep_channel_log
+        )
+        all_master_ids = sorted(
+            set(sim_hbm.local_masters) | set(acc_hbm.local_masters)
+        )
+        self.packetizer = BoundaryPacketizer(all_master_ids, config.interrupt_names)
+
+        forced = (
+            None
+            if config.forced_accuracy is None
+            else ForcedAccuracyModel(config.forced_accuracy, seed=config.forced_accuracy_seed)
+        )
+        sim_predictor = LaggerPredictor(
+            "sim_side_predictor",
+            remote_master_ids=sorted(acc_hbm.local_masters),
+            forced_accuracy=forced,
+            predict_new_remote_bursts=config.predict_new_remote_bursts,
+        )
+        acc_predictor = LaggerPredictor(
+            "acc_side_predictor",
+            remote_master_ids=sorted(sim_hbm.local_masters),
+            forced_accuracy=forced,
+            predict_new_remote_bursts=config.predict_new_remote_bursts,
+        )
+        self.sim_host = DomainHost(
+            DomainHostConfig(
+                domain=Domain.SIMULATOR,
+                speed=config.simulator_speed,
+                state_costs=config.simulator_state_costs,
+                rollback_variable_budget=config.rollback_variables,
+            ),
+            hbm=sim_hbm,
+            ledger=self.ledger,
+            predictor=sim_predictor,
+        )
+        self.acc_host = DomainHost(
+            DomainHostConfig(
+                domain=Domain.ACCELERATOR,
+                speed=config.accelerator_speed,
+                state_costs=config.accelerator_state_costs,
+                rollback_variable_budget=config.rollback_variables,
+            ),
+            hbm=acc_hbm,
+            ledger=self.ledger,
+            predictor=acc_predictor,
+        )
+        self.transitions = TransitionLog()
+
+    # -- host helpers -----------------------------------------------------------
+    def host_for(self, domain: Domain) -> DomainHost:
+        return self.sim_host if domain is Domain.SIMULATOR else self.acc_host
+
+    def other_host(self, host: DomainHost) -> DomainHost:
+        return self.acc_host if host is self.sim_host else self.sim_host
+
+    def _direction(self, source: DomainHost) -> ChannelDirection:
+        return (
+            ChannelDirection.SIM_TO_ACC
+            if source.domain is Domain.SIMULATOR
+            else ChannelDirection.ACC_TO_SIM
+        )
+
+    def _charge_channel(
+        self, source: DomainHost, words: List[int], purpose: str, cycle: int
+    ) -> float:
+        """Send one message over the channel and charge its time."""
+        access_time = self.channel.write(
+            self._direction(source), words, purpose=purpose, target_cycle=cycle
+        )
+        self.ledger.charge("channel", access_time)
+        return access_time
+
+    # -- conservative (lock-step) cycle ---------------------------------------------
+    def _slave_side_host(self) -> DomainHost:
+        """The domain hosting the data-phase slave (simulator when idle/tied)."""
+        info = self.sim_host.hbm.core.data_phase_info()  # both cores agree
+        if info.active and info.slave_id in self.acc_host.local_slave_ids() and (
+            info.slave_id not in self.sim_host.local_slave_ids()
+        ):
+            return self.acc_host
+        return self.sim_host
+
+    def run_conservative_cycle(self) -> None:
+        """One conventionally synchronised target cycle (two channel accesses).
+
+        The domain that does *not* host the active data-phase slave runs its
+        drive step first and ships its contribution across the channel; the
+        slave-side domain then completes the cycle and ships back its own
+        contribution plus the response.
+        """
+        second = self._slave_side_host()
+        first = self.other_host(second)
+        cycle = first.current_cycle
+
+        first_drive = first.drive()
+        self._charge_channel(
+            first,
+            self.packetizer.encode_drive(first_drive),
+            purpose="conservative_drive",
+            cycle=cycle,
+        )
+        second_drive = second.drive()
+        merged_second = second.hbm.merge_drive(second_drive, first_drive)
+        response = second.respond(merged_second).response or DataPhaseResult.okay()
+        second.commit(merged_second, response)
+
+        reply_words = self.packetizer.encode_drive(second_drive)
+        reply_words += self.packetizer.encode_response(response)
+        self._charge_channel(second, reply_words, purpose="conservative_reply", cycle=cycle)
+
+        merged_first = first.hbm.merge_drive(first_drive, second_drive)
+        first.commit(merged_first, response)
+
+        self._observe_actuals(first, second_drive, response)
+        self._observe_actuals(second, first_drive, response)
+        self.ledger.commit_cycles(1)
+        self.transitions.record_conservative_cycle()
+
+    def _observe_actuals(
+        self,
+        observer: DomainHost,
+        remote_drive: BoundaryDrive,
+        response: Optional[DataPhaseResult],
+    ) -> None:
+        """Let a domain's predictor learn from actual remote values."""
+        if observer.predictor is None:
+            return
+        info = observer.hbm.core.data_phase_info()
+        remote_slave = (
+            info.slave_id
+            if info.active and info.slave_id not in observer.local_slave_ids()
+            else None
+        )
+        observer.predictor.observe(
+            remote_drive,
+            response if remote_slave is not None else None,
+            slave_id=remote_slave,
+        )
+
+    # -- result packaging ------------------------------------------------------------
+    def _workload_done(self) -> bool:
+        return (
+            self.sim_host.hbm.all_local_masters_done()
+            and self.acc_host.hbm.all_local_masters_done()
+        )
+
+    def _build_result(self, mode: OperatingMode, prediction: PredictionStats, lob: dict) -> CoEmulationResult:
+        monitors_ok = True
+        for hbm in (self.sim_host.hbm, self.acc_host.hbm):
+            if hbm.monitor is not None and not hbm.monitor.ok:
+                monitors_ok = False
+        return CoEmulationResult(
+            mode=mode,
+            committed_cycles=self.ledger.committed_cycles,
+            per_cycle_times=self.ledger.per_cycle_breakdown(),
+            total_modelled_time=self.ledger.total_seconds,
+            performance_cycles_per_second=self.ledger.performance_cycles_per_second,
+            channel=self.channel.stats.as_dict(),
+            transitions=self.transitions.as_dict(),
+            prediction=prediction.as_dict(),
+            lob=lob,
+            sim_beat_keys=self.sim_host.hbm.recorder.beat_keys(),
+            acc_beat_keys=self.acc_host.hbm.recorder.beat_keys(),
+            monitors_ok=monitors_ok,
+            wasted_leader_cycles=self.sim_host.wasted_cycles + self.acc_host.wasted_cycles,
+            ledger=self.ledger,
+        )

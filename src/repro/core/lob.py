@@ -1,0 +1,141 @@
+"""The Leader Output Buffer (LOB).
+
+During the Run-Ahead step the leader does not send its outputs to the lagger
+cycle by cycle; instead each cycle's outputs -- together with the prediction
+made for the lagger's values that cycle -- are appended to the Leader Output
+Buffer.  When the leader can no longer predict (or the buffer is full) the
+whole buffer is flushed to the lagger as a single burst channel access, which
+is what amortises the channel startup overhead.
+
+The LOB depth is a key experimental parameter: the paper evaluates depths of
+8 and 64 (Figure 4). A deeper buffer allows longer run-ahead (more startup
+overhead amortised per flush) but wastes more leader work when a prediction
+near the start of the buffer fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..ahb.half_bus import BoundaryDrive
+from ..ahb.signals import DataPhaseResult
+from .prediction import PredictionRecord
+
+
+class LobError(RuntimeError):
+    """Raised on invalid buffer operations (overflow, popping an empty LOB)."""
+
+
+@dataclass
+class LobEntry:
+    """One run-ahead cycle recorded by the leader.
+
+    Attributes:
+        cycle: the leader's target cycle index for this entry.
+        leader_drive: the leader domain's drive contribution that cycle
+            (bus requests of leader-side masters, address phase / write data
+            if the active master was leader-side).
+        leader_response: the data-phase response if the active slave was
+            leader-side, else None.
+        prediction: the prediction made for the lagger's values that cycle.
+            The final entry of a flush may carry no prediction -- the paper
+            notes the last leader-to-lagger datum contains none, which is how
+            the lagger recognises the end of the burst.
+    """
+
+    cycle: int
+    leader_drive: BoundaryDrive
+    leader_response: Optional[DataPhaseResult]
+    prediction: Optional[PredictionRecord]
+
+    @property
+    def has_prediction(self) -> bool:
+        return self.prediction is not None
+
+
+@dataclass
+class LobStats:
+    """Occupancy and flush statistics for the Leader Output Buffer."""
+
+    entries_pushed: int = 0
+    flushes: int = 0
+    entries_flushed: int = 0
+    entries_invalidated: int = 0
+    max_occupancy_seen: int = 0
+    occupancy_at_flush: List[int] = field(default_factory=list)
+
+    def mean_flush_occupancy(self) -> float:
+        if not self.occupancy_at_flush:
+            return 0.0
+        return sum(self.occupancy_at_flush) / len(self.occupancy_at_flush)
+
+    def as_dict(self) -> dict:
+        return {
+            "entries_pushed": self.entries_pushed,
+            "flushes": self.flushes,
+            "entries_flushed": self.entries_flushed,
+            "entries_invalidated": self.entries_invalidated,
+            "max_occupancy_seen": self.max_occupancy_seen,
+            "mean_flush_occupancy": self.mean_flush_occupancy(),
+        }
+
+
+class LeaderOutputBuffer:
+    """Bounded buffer of leader outputs awaiting a flush to the lagger."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise LobError(f"LOB depth must be at least 1, got {depth}")
+        self.depth = depth
+        self._entries: List[LobEntry] = []
+        self.stats = LobStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def entries(self) -> List[LobEntry]:
+        return list(self._entries)
+
+    def push(self, entry: LobEntry) -> None:
+        """Append one run-ahead cycle; raises :class:`LobError` when full."""
+        if self.full:
+            raise LobError(f"LOB overflow: depth {self.depth} exceeded")
+        self._entries.append(entry)
+        self.stats.entries_pushed += 1
+        self.stats.max_occupancy_seen = max(self.stats.max_occupancy_seen, len(self._entries))
+
+    def flush(self) -> List[LobEntry]:
+        """Remove and return all entries (the burst sent to the lagger)."""
+        entries = self._entries
+        self._entries = []
+        self.stats.flushes += 1
+        self.stats.entries_flushed += len(entries)
+        self.stats.occupancy_at_flush.append(len(entries))
+        return entries
+
+    def invalidate(self) -> int:
+        """Drop all entries without flushing (used after a rollback).
+
+        Returns the number of entries dropped.
+        """
+        dropped = len(self._entries)
+        self._entries = []
+        self.stats.entries_invalidated += dropped
+        return dropped
+
+    def clear(self) -> None:
+        self._entries = []
+
+    def reset(self) -> None:
+        self._entries = []
+        self.stats = LobStats()

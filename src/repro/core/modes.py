@@ -1,0 +1,142 @@
+"""Operating modes of the co-emulation synchronisation scheme.
+
+The paper defines two optimistic operating modes named after which domain
+leads the other, plus the conventional conservative mode:
+
+* **SLA** -- Simulator Leading Accelerator: the software simulator runs ahead
+  and predicts the accelerator's responses.
+* **ALS** -- Accelerator Leading Simulator: the accelerator runs ahead and
+  predicts the simulator's responses.
+* **Conservative** -- the conventional cycle-by-cycle synchronisation.
+
+The fourth problem the paper lists (Section 3) is the *dynamic decision*
+among SLA, ALS and conservative operation; :class:`ModePolicy` captures that
+decision.  The static policies reproduce the paper's experiments (which fix
+the mode); the :class:`AutoModePolicy` chooses, cycle by cycle, a leader that
+does not require any non-predictable remote value, mirroring the paper's rule
+of placing the data-flow source in the leader domain.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..ahb.half_bus import NeededFields
+from ..sim.component import Domain
+
+
+class OperatingMode(str, Enum):
+    """Synchronisation scheme selector."""
+
+    CONSERVATIVE = "conservative"
+    SLA = "sla"
+    ALS = "als"
+    AUTO = "auto"
+
+    @property
+    def leader_domain(self) -> Optional[Domain]:
+        """The statically configured leader domain, if any."""
+        if self is OperatingMode.SLA:
+            return Domain.SIMULATOR
+        if self is OperatingMode.ALS:
+            return Domain.ACCELERATOR
+        return None
+
+    @property
+    def is_optimistic(self) -> bool:
+        return self is not OperatingMode.CONSERVATIVE
+
+
+@dataclass(frozen=True)
+class ModeDecision:
+    """The outcome of a per-transition mode decision."""
+
+    optimistic: bool
+    leader: Optional[Domain] = None
+    reason: str = ""
+
+
+class ModePolicy(ABC):
+    """Decides, before each transition, whether/who should lead."""
+
+    @abstractmethod
+    def decide(
+        self,
+        sim_needed: NeededFields,
+        acc_needed: NeededFields,
+        sim_can_predict: bool,
+        acc_can_predict: bool,
+    ) -> ModeDecision:
+        """Choose the operating mode for the next transition attempt.
+
+        Args:
+            sim_needed: remote fields the simulator domain would need if it led.
+            acc_needed: remote fields the accelerator domain would need if it led.
+            sim_can_predict: whether the simulator-side predictor can predict
+                everything in ``sim_needed``.
+            acc_can_predict: same for the accelerator-side predictor.
+        """
+
+
+class ConservativePolicy(ModePolicy):
+    """Never go optimistic (the conventional baseline)."""
+
+    def decide(self, sim_needed, acc_needed, sim_can_predict, acc_can_predict) -> ModeDecision:
+        return ModeDecision(optimistic=False, reason="conservative mode configured")
+
+
+class StaticLeaderPolicy(ModePolicy):
+    """Always attempt to lead with a fixed domain (SLA or ALS)."""
+
+    def __init__(self, leader: Domain) -> None:
+        self.leader = leader
+
+    def decide(self, sim_needed, acc_needed, sim_can_predict, acc_can_predict) -> ModeDecision:
+        can_predict = sim_can_predict if self.leader is Domain.SIMULATOR else acc_can_predict
+        if can_predict:
+            return ModeDecision(optimistic=True, leader=self.leader, reason="static leader")
+        return ModeDecision(
+            optimistic=False,
+            leader=self.leader,
+            reason="static leader cannot predict the lagger this cycle",
+        )
+
+
+class AutoModePolicy(ModePolicy):
+    """Pick whichever domain can currently predict its lagger.
+
+    Preference order: the preferred domain (accelerator by default, since it
+    is the faster engine and therefore the cheaper one to burn on wasted
+    run-ahead work), then the other domain, then conservative.
+    """
+
+    def __init__(self, prefer: Domain = Domain.ACCELERATOR) -> None:
+        self.prefer = prefer
+
+    def decide(self, sim_needed, acc_needed, sim_can_predict, acc_can_predict) -> ModeDecision:
+        ordered = (
+            (self.prefer, acc_can_predict if self.prefer is Domain.ACCELERATOR else sim_can_predict),
+            (self.prefer.other, sim_can_predict if self.prefer is Domain.ACCELERATOR else acc_can_predict),
+        )
+        for domain, can_predict in ordered:
+            if can_predict:
+                return ModeDecision(
+                    optimistic=True, leader=domain, reason=f"auto: {domain.value} can predict"
+                )
+        return ModeDecision(optimistic=False, reason="auto: neither domain can predict")
+
+
+def policy_for_mode(mode: OperatingMode, prefer: Domain = Domain.ACCELERATOR) -> ModePolicy:
+    """Build the :class:`ModePolicy` implementing ``mode``."""
+    if mode is OperatingMode.CONSERVATIVE:
+        return ConservativePolicy()
+    if mode is OperatingMode.SLA:
+        return StaticLeaderPolicy(Domain.SIMULATOR)
+    if mode is OperatingMode.ALS:
+        return StaticLeaderPolicy(Domain.ACCELERATOR)
+    if mode is OperatingMode.AUTO:
+        return AutoModePolicy(prefer=prefer)
+    raise ValueError(f"unknown operating mode {mode!r}")

@@ -1,0 +1,358 @@
+"""The optimistic (prediction packetizing) co-emulation engine.
+
+This module implements the paper's contribution: the pair of channel
+wrappers that let one verification domain (the *leader*) run ahead of the
+other (the *lagger*) by predicting the values it would otherwise read over
+the channel, buffering its own outputs in the Leader Output Buffer and
+flushing them as one burst transfer.
+
+The behaviour follows the channel-wrapper state machine of Figure 3.  Each
+per-cycle pass through the state machine takes one of six paths; the engine
+records which path each domain took so traces can be compared against the
+paper's Table 1:
+
+* **C-path** (conservative): conventional cycle-by-cycle synchronisation.
+* **P-path** (prediction): the leader's run-ahead cycles.  The first P-path
+  cycle of a transition registers a state store and still runs
+  conservatively (states P-5 / P-6 in the paper).
+* **S-path** (synchronisation): the leader flushes the LOB and waits for the
+  lagger's report; on a reported misprediction it stores the actual response
+  and requests a state restore.
+* **L-path** (lagger): the lagger's follow-up cycles, each checking one
+  prediction.
+* **R-path** (report): the lagger reports that every prediction was correct.
+* **F-path** (roll-forth): the leader re-executes committed cycles after a
+  rollback.
+
+Relation to the transition steps (Table 1): RA = leader on P-path while the
+lagger sits on L/R/C; FU = leader on S-path, lagger on L-path; RB = the state
+restore triggered from the S-path; RF = leader on F-path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from ..ahb.half_bus import HalfBusModel
+from ..sim.component import Domain
+from .coemulation import CoEmulationConfig, CoEmulationEngineBase, CoEmulationResult
+from .domain import DomainHost
+from .lob import LeaderOutputBuffer, LobEntry
+from .modes import ModeDecision, OperatingMode, policy_for_mode
+from .prediction import PredictionStats
+from .transition import TransitionOutcome, TransitionRecord
+
+
+class CwPath(str, Enum):
+    """The six operation paths of the channel wrapper (Figure 3)."""
+
+    CONSERVATIVE = "C"
+    PREDICTION = "P"
+    SYNCHRONIZATION = "S"
+    LAGGER = "L"
+    REPORT = "R"
+    ROLL_FORTH = "F"
+
+
+@dataclass
+class PathTraceEntry:
+    """One unit-cycle operation of one channel wrapper."""
+
+    domain: Domain
+    cycle: int
+    path: CwPath
+
+
+@dataclass
+class OptimisticRunTrace:
+    """Optional per-cycle path trace (kept only when enabled)."""
+
+    enabled: bool = False
+    entries: List[PathTraceEntry] = field(default_factory=list)
+
+    def record(self, domain: Domain, cycle: int, path: CwPath) -> None:
+        if self.enabled:
+            self.entries.append(PathTraceEntry(domain=domain, cycle=cycle, path=path))
+
+    def paths_for(self, domain: Domain) -> List[CwPath]:
+        return [entry.path for entry in self.entries if entry.domain is domain]
+
+
+class OptimisticCoEmulation(CoEmulationEngineBase):
+    """Prediction-and-rollback synchronisation between the two domains."""
+
+    def __init__(
+        self,
+        sim_hbm: HalfBusModel,
+        acc_hbm: HalfBusModel,
+        config: CoEmulationConfig,
+        trace_paths: bool = False,
+    ) -> None:
+        super().__init__(sim_hbm, acc_hbm, config)
+        if config.mode is OperatingMode.CONSERVATIVE:
+            raise ValueError(
+                "OptimisticCoEmulation requires an optimistic mode (SLA / ALS / AUTO); "
+                "use ConventionalCoEmulation for the conservative baseline"
+            )
+        self.policy = policy_for_mode(config.mode)
+        self.lob = LeaderOutputBuffer(config.lob_depth)
+        self.trace = OptimisticRunTrace(enabled=trace_paths)
+
+    # -- top level -----------------------------------------------------------------
+    def run(self) -> CoEmulationResult:
+        """Run ``config.total_cycles`` committed target cycles."""
+        total = self.config.total_cycles
+        while self.ledger.committed_cycles < total:
+            if self.config.stop_when_workload_done and self._workload_done():
+                break
+            decision = self._decide_mode()
+            if not decision.optimistic:
+                self._traced_conservative_cycle()
+                continue
+            leader = self.host_for(decision.leader)
+            self._run_transition(leader, remaining=total - self.ledger.committed_cycles)
+        prediction = self._combined_prediction_stats()
+        return self._build_result(self.config.mode, prediction=prediction, lob=self.lob.stats.as_dict())
+
+    # -- mode decision -----------------------------------------------------------------
+    def _decide_mode(self) -> ModeDecision:
+        sim_needed = self.sim_host.needed_fields()
+        acc_needed = self.acc_host.needed_fields()
+        sim_can = (
+            self.sim_host.predictor.can_predict(sim_needed)
+            if self.sim_host.predictor is not None
+            else False
+        )
+        acc_can = (
+            self.acc_host.predictor.can_predict(acc_needed)
+            if self.acc_host.predictor is not None
+            else False
+        )
+        return self.policy.decide(sim_needed, acc_needed, sim_can, acc_can)
+
+    def _traced_conservative_cycle(self) -> None:
+        cycle = self.sim_host.current_cycle
+        self.trace.record(Domain.SIMULATOR, cycle, CwPath.CONSERVATIVE)
+        self.trace.record(Domain.ACCELERATOR, cycle, CwPath.CONSERVATIVE)
+        self.run_conservative_cycle()
+
+    # -- one transition ------------------------------------------------------------------
+    def _run_transition(self, leader: DomainHost, remaining: int) -> TransitionRecord:
+        lagger = self.other_host(leader)
+        predictor = leader.predictor
+        assert predictor is not None
+        record = self.transitions.new_record(leader.domain, leader.current_cycle)
+
+        # First P-path cycle: register the state store and run conservatively
+        # (paper states P-5 / P-6).  The stored state is the leader state
+        # *after* this cycle completes.
+        self.trace.record(leader.domain, leader.current_cycle, CwPath.PREDICTION)
+        self.trace.record(lagger.domain, lagger.current_cycle, CwPath.CONSERVATIVE)
+        self.run_conservative_cycle()
+        remaining -= 1
+        leader.store_checkpoint(label=f"transition_{record.index}")
+
+        # Run-Ahead step: leader proceeds, predicting the lagger's values.
+        run_ahead_budget = min(self.config.lob_depth, max(remaining, 0))
+        entries = self._run_ahead(leader, predictor, record, run_ahead_budget)
+        if not entries:
+            # Degenerate transition: the leader could not predict even one
+            # cycle.  The state store was wasted overhead (paper footnote 6).
+            leader.discard_checkpoint()
+            record.outcome = TransitionOutcome.DEGENERATE
+            return record
+
+        # Synchronisation: flush the LOB to the lagger as one burst access.
+        flush_words = self._flush_lob(leader, entries, record)
+        record.flush_words = flush_words
+
+        # Follow-Up step: the lagger replays the buffered cycles, checking
+        # each prediction.
+        failure_index, failure_reason, injected, actual_drive, actual_response = (
+            self._follow_up(lagger, predictor, entries)
+        )
+
+        if failure_index is None:
+            self._finish_success(leader, lagger, record, entries)
+        else:
+            self._finish_misprediction(
+                leader,
+                lagger,
+                record,
+                entries,
+                failure_index,
+                failure_reason,
+                injected,
+                actual_drive,
+                actual_response,
+            )
+        return record
+
+    # -- RA step ------------------------------------------------------------------------------
+    def _run_ahead(
+        self,
+        leader: DomainHost,
+        predictor,
+        record: TransitionRecord,
+        budget: int,
+    ) -> List[LobEntry]:
+        ra_cycles = 0
+        while ra_cycles < budget:
+            needed = leader.needed_fields()
+            if not predictor.can_predict(needed):
+                predictor.record_unpredictable()
+                break
+            cycle = leader.current_cycle
+            prediction = predictor.predict(cycle, needed)
+            remote_drive, remote_response = prediction.as_boundary_values(cycle)
+            local_drive, local_response, _ = leader.execute_cycle(remote_drive, remote_response)
+            # Chain the prediction state: subsequent predictions extrapolate
+            # from what was just predicted.
+            predictor.observe(remote_drive, remote_response)
+            self.lob.push(
+                LobEntry(
+                    cycle=cycle,
+                    leader_drive=local_drive,
+                    leader_response=local_response.response,
+                    prediction=prediction,
+                )
+            )
+            self.trace.record(leader.domain, cycle, CwPath.PREDICTION)
+            ra_cycles += 1
+            if self.lob.full:
+                break
+        record.run_ahead_cycles = ra_cycles
+        return self.lob.flush() if ra_cycles else []
+
+    # -- flush (S-path, leader side) ---------------------------------------------------------------
+    def _flush_lob(
+        self, leader: DomainHost, entries: List[LobEntry], record: TransitionRecord
+    ) -> int:
+        words: List[int] = []
+        for entry in entries:
+            words.extend(self.packetizer.encode_drive(entry.leader_drive))
+            if entry.leader_response is not None:
+                words.extend(self.packetizer.encode_response(entry.leader_response))
+            if entry.prediction is not None:
+                words.extend(
+                    self.packetizer.encode(
+                        requests=entry.prediction.requests or {},
+                        address_phase=entry.prediction.address_phase,
+                        hwdata=entry.prediction.hwdata,
+                        response=entry.prediction.response,
+                        interrupts=entry.prediction.interrupts,
+                    )
+                )
+        self.trace.record(leader.domain, leader.current_cycle, CwPath.SYNCHRONIZATION)
+        self._charge_channel(leader, words, purpose="lob_flush", cycle=entries[0].cycle)
+        return len(words)
+
+    # -- FU step (L-path / R-path, lagger side) ---------------------------------------------------------
+    def _follow_up(self, lagger: DomainHost, predictor, entries: List[LobEntry]):
+        failure_index: Optional[int] = None
+        failure_reason = ""
+        injected = False
+        actual_drive = None
+        actual_response = None
+        for index, entry in enumerate(entries):
+            cycle = lagger.current_cycle
+            lag_drive, lag_response, _ = lagger.execute_cycle(
+                entry.leader_drive, entry.leader_response
+            )
+            self.trace.record(lagger.domain, cycle, CwPath.LAGGER)
+            if entry.prediction is None:
+                continue
+            matched, reason = entry.prediction.check(lag_drive, lag_response.response)
+            predictor.record_check(matched, entry.prediction.forced_failure)
+            if not matched:
+                failure_index = index
+                failure_reason = reason
+                injected = entry.prediction.forced_failure
+                actual_drive = lag_drive
+                actual_response = lag_response.response
+                break
+        return failure_index, failure_reason, injected, actual_drive, actual_response
+
+    # -- transition epilogue -----------------------------------------------------------------------------
+    def _finish_success(
+        self,
+        leader: DomainHost,
+        lagger: DomainHost,
+        record: TransitionRecord,
+        entries: List[LobEntry],
+    ) -> None:
+        # R-path: the lagger reports success (one channel access).  The reply
+        # carries the lagger's current boundary outputs, mirroring the
+        # conventional read the leader skipped on its final run-ahead cycle.
+        report_words = self.packetizer.encode(requests={})
+        self.trace.record(lagger.domain, lagger.current_cycle, CwPath.REPORT)
+        self._charge_channel(lagger, report_words, purpose="followup_success", cycle=lagger.current_cycle)
+        leader.discard_checkpoint()
+        committed = len(entries)
+        self.ledger.commit_cycles(committed)
+        record.committed_cycles = committed
+        record.outcome = TransitionOutcome.SUCCESS
+
+    def _finish_misprediction(
+        self,
+        leader: DomainHost,
+        lagger: DomainHost,
+        record: TransitionRecord,
+        entries: List[LobEntry],
+        failure_index: int,
+        failure_reason: str,
+        injected: bool,
+        actual_drive,
+        actual_response,
+    ) -> None:
+        predictor = leader.predictor
+        assert predictor is not None
+        # L-5 / L-6: the lagger reports the prediction failure together with
+        # its actual values for the failed cycle (one channel access).
+        report_words = self.packetizer.encode_drive(actual_drive)
+        report_words += self.packetizer.encode_response(actual_response)
+        self._charge_channel(
+            lagger, report_words, purpose="followup_failure", cycle=lagger.current_cycle
+        )
+        # S-5 / S-6 then RB step: leader stores the reported response and
+        # rolls back to the checkpoint taken at the start of the transition.
+        self.trace.record(leader.domain, leader.current_cycle, CwPath.SYNCHRONIZATION)
+        leader.restore_checkpoint()
+        # RF step (F-path): the leader re-executes the cycles the lagger has
+        # already committed.  For the validated prefix the (correct)
+        # predictions are re-used; the failed cycle uses the actual values
+        # reported by the lagger.
+        for index in range(failure_index + 1):
+            entry = entries[index]
+            if index < failure_index:
+                remote_drive, remote_response = entry.prediction.as_boundary_values(entry.cycle)
+            else:
+                remote_drive, remote_response = actual_drive, actual_response
+            leader.execute_cycle(remote_drive, remote_response)
+            predictor.observe(remote_drive, remote_response)
+            self.trace.record(leader.domain, entry.cycle, CwPath.ROLL_FORTH)
+        committed = failure_index + 1
+        self.ledger.commit_cycles(committed)
+        record.committed_cycles = committed
+        record.roll_forth_cycles = committed
+        record.outcome = TransitionOutcome.MISPREDICTION
+        record.failure_position = failure_index
+        record.failure_reason = failure_reason
+        record.forced_failure = injected
+
+    # -- reporting ------------------------------------------------------------------------------------------
+    def _combined_prediction_stats(self) -> PredictionStats:
+        combined = PredictionStats()
+        for host in (self.sim_host, self.acc_host):
+            if host.predictor is None:
+                continue
+            stats = host.predictor.stats
+            combined.predictions_made += stats.predictions_made
+            combined.predictions_checked += stats.predictions_checked
+            combined.predictions_correct += stats.predictions_correct
+            combined.real_failures += stats.real_failures
+            combined.injected_failures += stats.injected_failures
+            combined.unpredictable_cycles += stats.unpredictable_cycles
+        return combined

@@ -1,0 +1,148 @@
+"""Transition bookkeeping.
+
+The paper calls the span of one SLA or ALS phase a *transition*, composed of
+four steps:
+
+* **RA** (Run-Ahead): the leader executes ahead, predicting lagger responses
+  and storing its outputs in the Leader Output Buffer.
+* **FU** (Follow-Up): the lagger catches up, checking each prediction.
+* **RB** (RollBack, optional): on a misprediction the leader's state is
+  restored from the checkpoint taken at the start of the transition.
+* **RF** (Roll-Forth, optional): the leader re-executes up to the lagger's
+  progress point.
+
+:class:`TransitionRecord` captures what happened in one transition;
+:class:`TransitionLog` aggregates statistics across a run (rollback counts,
+average run-ahead length, committed cycles per transition, ...), which feed
+the experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from ..sim.component import Domain
+
+
+class TransitionStep(str, Enum):
+    """The four steps of a transition (Table 1 of the paper)."""
+
+    RUN_AHEAD = "run_ahead"
+    FOLLOW_UP = "follow_up"
+    ROLLBACK = "rollback"
+    ROLL_FORTH = "roll_forth"
+
+
+class TransitionOutcome(str, Enum):
+    """How a transition ended."""
+
+    SUCCESS = "success"  # every prediction was correct
+    MISPREDICTION = "misprediction"  # rollback + roll-forth happened
+    DEGENERATE = "degenerate"  # leader could not predict even one cycle
+
+
+@dataclass
+class TransitionRecord:
+    """Bookkeeping for a single transition."""
+
+    index: int
+    leader: Domain
+    start_cycle: int
+    run_ahead_cycles: int = 0
+    committed_cycles: int = 0
+    outcome: TransitionOutcome = TransitionOutcome.SUCCESS
+    failure_position: Optional[int] = None
+    failure_reason: str = ""
+    forced_failure: bool = False
+    roll_forth_cycles: int = 0
+    flush_words: int = 0
+    conservative_lead_in: bool = True
+
+    @property
+    def wasted_leader_cycles(self) -> int:
+        """Leader cycles executed but discarded by the rollback."""
+        if self.outcome is not TransitionOutcome.MISPREDICTION:
+            return 0
+        return max(0, self.run_ahead_cycles - self.committed_cycles)
+
+
+@dataclass
+class TransitionLog:
+    """Aggregated statistics over all transitions of a run."""
+
+    records: List[TransitionRecord] = field(default_factory=list)
+    conservative_cycles: int = 0
+
+    def new_record(self, leader: Domain, start_cycle: int) -> TransitionRecord:
+        record = TransitionRecord(index=len(self.records), leader=leader, start_cycle=start_cycle)
+        self.records.append(record)
+        return record
+
+    def record_conservative_cycle(self, count: int = 1) -> None:
+        self.conservative_cycles += count
+
+    # -- aggregate metrics ---------------------------------------------------------
+    @property
+    def transitions(self) -> int:
+        return len(self.records)
+
+    @property
+    def successful_transitions(self) -> int:
+        return sum(1 for r in self.records if r.outcome is TransitionOutcome.SUCCESS)
+
+    @property
+    def rollbacks(self) -> int:
+        return sum(1 for r in self.records if r.outcome is TransitionOutcome.MISPREDICTION)
+
+    @property
+    def degenerate_transitions(self) -> int:
+        return sum(1 for r in self.records if r.outcome is TransitionOutcome.DEGENERATE)
+
+    @property
+    def total_run_ahead_cycles(self) -> int:
+        return sum(r.run_ahead_cycles for r in self.records)
+
+    @property
+    def total_committed_by_transitions(self) -> int:
+        return sum(r.committed_cycles for r in self.records)
+
+    @property
+    def total_roll_forth_cycles(self) -> int:
+        return sum(r.roll_forth_cycles for r in self.records)
+
+    @property
+    def total_wasted_leader_cycles(self) -> int:
+        return sum(r.wasted_leader_cycles for r in self.records)
+
+    def mean_run_ahead_length(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.total_run_ahead_cycles / len(self.records)
+
+    def mean_committed_per_transition(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.total_committed_by_transitions / len(self.records)
+
+    def leaders_used(self) -> dict:
+        counts: dict = {}
+        for record in self.records:
+            counts[record.leader.value] = counts.get(record.leader.value, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict:
+        return {
+            "transitions": self.transitions,
+            "successful_transitions": self.successful_transitions,
+            "rollbacks": self.rollbacks,
+            "degenerate_transitions": self.degenerate_transitions,
+            "conservative_cycles": self.conservative_cycles,
+            "total_run_ahead_cycles": self.total_run_ahead_cycles,
+            "total_roll_forth_cycles": self.total_roll_forth_cycles,
+            "total_wasted_leader_cycles": self.total_wasted_leader_cycles,
+            "mean_run_ahead_length": self.mean_run_ahead_length(),
+            "mean_committed_per_transition": self.mean_committed_per_transition(),
+            "leaders_used": self.leaders_used(),
+        }

@@ -1,0 +1,77 @@
+"""Cycle-based simulation substrate.
+
+This package provides the simulation kernel the rest of the reproduction is
+built on: clocked components, two-phase signals, discrete events, per-domain
+clocks, state checkpointing (for rollback) and the modelled wall-clock ledger
+used to reproduce the paper's performance figures.
+"""
+
+from .clock import Clock, ClockError
+from .checkpoint import (
+    ACCELERATOR_STATE_COSTS,
+    Checkpoint,
+    CheckpointError,
+    CheckpointManager,
+    CheckpointStats,
+    SIMULATOR_STATE_COSTS,
+    StateCostModel,
+)
+from .component import (
+    AbstractionLevel,
+    ClockedComponent,
+    ComponentGroup,
+    Domain,
+    Port,
+)
+from .events import Event, EventScheduler, EventStats, SimulationError, Timer
+from .kernel import CycleKernel, KernelError, KernelStats
+from .signal import Signal, SignalBundle, SignalError, WatchedValue
+from .time_model import (
+    CATEGORIES,
+    DEFAULT_ACCELERATOR_SPEED,
+    DEFAULT_SIMULATOR_SPEED,
+    DomainSpeed,
+    ExecutionCostModel,
+    LedgerError,
+    SLOW_SIMULATOR_SPEED,
+    WallClockLedger,
+    summarize_ledgers,
+)
+
+__all__ = [
+    "AbstractionLevel",
+    "ACCELERATOR_STATE_COSTS",
+    "CATEGORIES",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointStats",
+    "Clock",
+    "ClockError",
+    "ClockedComponent",
+    "ComponentGroup",
+    "CycleKernel",
+    "DEFAULT_ACCELERATOR_SPEED",
+    "DEFAULT_SIMULATOR_SPEED",
+    "Domain",
+    "DomainSpeed",
+    "Event",
+    "EventScheduler",
+    "EventStats",
+    "ExecutionCostModel",
+    "KernelError",
+    "KernelStats",
+    "LedgerError",
+    "Port",
+    "Signal",
+    "SignalBundle",
+    "SignalError",
+    "SimulationError",
+    "SIMULATOR_STATE_COSTS",
+    "SLOW_SIMULATOR_SPEED",
+    "StateCostModel",
+    "Timer",
+    "WallClockLedger",
+    "WatchedValue",
+    "summarize_ledgers",
+]

@@ -1,0 +1,185 @@
+"""State checkpointing for 'prediction and rollback'.
+
+The optimistic scheme requires the *leader* domain to store its state before
+running ahead (the ``rb_store`` operation, state P-5 of the channel-wrapper
+state machine) and to restore it when a prediction error is detected
+(``rb_restore``, S-6).
+
+Checkpoints are deep copies of each component's ``snapshot_state()`` output.
+The manager also counts rollback variables and charges store/restore time to
+the wall-clock ledger through a :class:`StateCostModel`.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .component import ClockedComponent
+
+
+class CheckpointError(RuntimeError):
+    """Raised when store/restore is used inconsistently."""
+
+
+@dataclass(frozen=True)
+class StateCostModel:
+    """Time cost of storing / restoring one checkpoint.
+
+    The paper charges store/restore proportionally to the number of rollback
+    variables (its experiments assume 1000 variables).  The per-variable
+    costs differ between the two domains: the accelerator stores state in
+    hardware (shadow registers / on-board RAM copy, effectively parallel and
+    very fast) whereas the simulator stores state by copying host memory.
+
+    Default constants are calibrated so the analytical model reproduces the
+    paper's Table 2 and SLA numbers; see EXPERIMENTS.md.
+    """
+
+    store_time_per_variable: float
+    restore_time_per_variable: float
+    fixed_store_overhead: float = 0.0
+    fixed_restore_overhead: float = 0.0
+
+    def store_time(self, n_variables: int) -> float:
+        return self.fixed_store_overhead + n_variables * self.store_time_per_variable
+
+    def restore_time(self, n_variables: int) -> float:
+        return self.fixed_restore_overhead + n_variables * self.restore_time_per_variable
+
+
+#: Cost of checkpointing inside the accelerator (hardware-assisted copy).
+ACCELERATOR_STATE_COSTS = StateCostModel(
+    store_time_per_variable=30e-12,
+    restore_time_per_variable=29e-12,
+)
+
+#: Cost of checkpointing inside the software simulator (host memcpy).
+SIMULATOR_STATE_COSTS = StateCostModel(
+    store_time_per_variable=10e-9,
+    restore_time_per_variable=9.5e-9,
+)
+
+
+@dataclass
+class Checkpoint:
+    """A stored state of a set of components at a particular target cycle."""
+
+    cycle: int
+    states: dict = field(default_factory=dict)
+    n_variables: int = 0
+    label: str = ""
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+@dataclass
+class CheckpointStats:
+    """Counters for checkpoint activity, reported in benchmark output."""
+
+    stores: int = 0
+    restores: int = 0
+    discarded: int = 0
+    variables_stored: int = 0
+    variables_restored: int = 0
+    store_time: float = 0.0
+    restore_time: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "stores": self.stores,
+            "restores": self.restores,
+            "discarded": self.discarded,
+            "variables_stored": self.variables_stored,
+            "variables_restored": self.variables_restored,
+            "store_time": self.store_time,
+            "restore_time": self.restore_time,
+        }
+
+
+class CheckpointManager:
+    """Stores and restores snapshots of a group of components.
+
+    Only a single outstanding checkpoint is required by the protocol (the
+    leader stores at the start of each transition and either discards the
+    checkpoint on success or restores it on a misprediction), but a small
+    stack is supported for experimentation with nested speculation.
+    """
+
+    def __init__(
+        self,
+        components: Iterable[ClockedComponent],
+        cost_model: StateCostModel,
+        rollback_variable_budget: Optional[int] = None,
+    ) -> None:
+        self.components = list(components)
+        self.cost_model = cost_model
+        self.rollback_variable_budget = rollback_variable_budget
+        self.stats = CheckpointStats()
+        self._stack: list[Checkpoint] = []
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def has_checkpoint(self) -> bool:
+        return bool(self._stack)
+
+    def variable_count(self) -> int:
+        """Number of rollback variables a store would capture right now.
+
+        If an explicit budget was supplied (matching the paper's "1,000
+        rollback variables" assumption) the budget wins; otherwise the
+        components are asked to report their actual snapshot size.
+        """
+        if self.rollback_variable_budget is not None:
+            return self.rollback_variable_budget
+        return sum(c.rollback_variable_count() for c in self.components)
+
+    # -- operations --------------------------------------------------------
+    def store(self, cycle: int, label: str = "") -> Checkpoint:
+        """Capture the state of every managed component (``rb_store``)."""
+        states = {c.name: copy.deepcopy(c.snapshot_state()) for c in self.components}
+        n_vars = self.variable_count()
+        checkpoint = Checkpoint(cycle=cycle, states=states, n_variables=n_vars, label=label)
+        self._stack.append(checkpoint)
+        self.stats.stores += 1
+        self.stats.variables_stored += n_vars
+        self.stats.store_time += self.cost_model.store_time(n_vars)
+        return checkpoint
+
+    def restore(self) -> Checkpoint:
+        """Restore the most recent checkpoint (``rb_restore``) and pop it."""
+        if not self._stack:
+            raise CheckpointError("restore requested but no checkpoint is stored")
+        checkpoint = self._stack.pop()
+        for component in self.components:
+            if component.name in checkpoint.states:
+                component.restore_state(copy.deepcopy(checkpoint.states[component.name]))
+        self.stats.restores += 1
+        self.stats.variables_restored += checkpoint.n_variables
+        self.stats.restore_time += self.cost_model.restore_time(checkpoint.n_variables)
+        return checkpoint
+
+    def discard(self) -> Checkpoint:
+        """Drop the most recent checkpoint without restoring it."""
+        if not self._stack:
+            raise CheckpointError("discard requested but no checkpoint is stored")
+        checkpoint = self._stack.pop()
+        self.stats.discarded += 1
+        return checkpoint
+
+    def clear(self) -> None:
+        self._stack.clear()
+
+    def last_store_time(self) -> float:
+        """Time charged for a single store at the current variable count."""
+        return self.cost_model.store_time(self.variable_count())
+
+    def last_restore_time(self) -> float:
+        """Time charged for a single restore at the current variable count."""
+        return self.cost_model.restore_time(self.variable_count())

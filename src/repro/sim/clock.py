@@ -1,0 +1,82 @@
+"""Target clock bookkeeping.
+
+The co-emulated SoC has a single target clock.  The :class:`Clock` object
+tracks the current target cycle for each verification domain independently,
+because in the optimistic scheme the leader domain runs ahead of the lagger
+domain and may be rolled back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ClockError(RuntimeError):
+    """Raised on inconsistent clock manipulation (negative time, bad rollback)."""
+
+
+@dataclass
+class Clock:
+    """A per-domain target-cycle counter with rollback support.
+
+    Attributes:
+        name: descriptive name (usually the domain name).
+        cycle: the index of the next cycle to execute (0-based).
+        total_executed: number of cycles ever executed, including cycles that
+            were later rolled back (used for cost accounting).
+    """
+
+    name: str
+    cycle: int = 0
+    total_executed: int = 0
+    _history: list[int] = field(default_factory=list, repr=False)
+
+    def advance(self, count: int = 1) -> int:
+        """Execute ``count`` cycles; returns the new current cycle."""
+        if count < 0:
+            raise ClockError(f"cannot advance clock by {count}")
+        self.cycle += count
+        self.total_executed += count
+        return self.cycle
+
+    def mark(self) -> int:
+        """Record the current cycle so it can be rolled back to later."""
+        self._history.append(self.cycle)
+        return self.cycle
+
+    def rollback_to(self, cycle: int) -> int:
+        """Rewind the clock to ``cycle`` (must not be in the future).
+
+        The ``total_executed`` counter is *not* rewound: rolled-back cycles
+        were still executed and still cost wall-clock time.
+        """
+        if cycle > self.cycle:
+            raise ClockError(
+                f"cannot roll clock {self.name!r} forward from {self.cycle} to {cycle}"
+            )
+        if cycle < 0:
+            raise ClockError("cannot roll back to a negative cycle")
+        self.cycle = cycle
+        return self.cycle
+
+    def pop_mark(self) -> int:
+        """Discard and return the most recent mark."""
+        if not self._history:
+            raise ClockError("no marks recorded")
+        return self._history.pop()
+
+    @property
+    def wasted_cycles(self) -> int:
+        """Cycles executed beyond the committed cycle (rolled-back work)."""
+        return self.total_executed - self.cycle
+
+    def reset(self) -> None:
+        self.cycle = 0
+        self.total_executed = 0
+        self._history.clear()
+
+    def snapshot(self) -> dict:
+        return {"cycle": self.cycle}
+
+    def restore(self, state: dict) -> None:
+        self.rollback_to(state["cycle"])

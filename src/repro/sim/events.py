@@ -1,0 +1,197 @@
+"""Discrete-event scheduling primitives.
+
+The co-emulation framework is predominantly *cycle based* (see
+:mod:`repro.sim.kernel`), but a small discrete-event layer is useful for
+modelling things that are not tied to the target clock: delayed interrupt
+assertion, timeout watchdogs in the channel wrappers, and workload generators
+that wake up at irregular target times.
+
+The scheduler is deliberately minimal: a priority queue of
+``(time, sequence, Event)`` entries.  The monotonically increasing sequence
+number guarantees FIFO ordering of events scheduled for the same time, which
+keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal simulation-level errors (corrupt queue, bad time)."""
+
+
+@dataclass(order=False)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: absolute target time (in cycles) at which the event fires.
+        callback: callable invoked with ``payload`` when the event fires.
+        payload: arbitrary data handed back to the callback.
+        cancelled: events can be cancelled in place; cancelled events are
+            silently discarded when popped.
+    """
+
+    time: int
+    callback: Callable[[Any], None]
+    payload: Any = None
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will not fire."""
+        self.cancelled = True
+
+
+@dataclass
+class EventStats:
+    """Counters describing scheduler activity."""
+
+    scheduled: int = 0
+    fired: int = 0
+    cancelled: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "scheduled": self.scheduled,
+            "fired": self.fired,
+            "cancelled": self.cancelled,
+        }
+
+
+class EventScheduler:
+    """A deterministic discrete-event scheduler keyed by integer cycle time.
+
+    The scheduler does not own the notion of "now"; the cycle kernel advances
+    time and asks the scheduler to fire everything due at or before the new
+    time.  This keeps the cycle-based and event-based worlds in lock step.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+        self._now = 0
+        self.stats = EventStats()
+
+    @property
+    def now(self) -> int:
+        """Current scheduler time (last time passed to :meth:`fire_until`)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, event in self._queue if not event.cancelled)
+
+    def schedule(
+        self,
+        time: int,
+        callback: Callable[[Any], None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback(payload)`` at absolute ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time}, current time is {self._now}"
+            )
+        event = Event(time=time, callback=callback, payload=payload)
+        heapq.heappush(self._queue, (time, next(self._counter), event))
+        self.stats.scheduled += 1
+        return event
+
+    def schedule_in(
+        self,
+        delay: int,
+        callback: Callable[[Any], None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` cycles from the current time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, callback, payload)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancel()
+            self.stats.cancelled += 1
+
+    def peek_time(self) -> Optional[int]:
+        """Return the time of the next pending (non-cancelled) event."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def fire_until(self, time: int) -> int:
+        """Fire every pending event with ``event.time <= time``.
+
+        Returns the number of events fired.  Events scheduled by callbacks
+        for a time at or before ``time`` are fired in the same call.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot move time backwards: {time} < {self._now}"
+            )
+        fired = 0
+        while self._queue and self._queue[0][0] <= time:
+            event_time, _, event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event_time
+            event.callback(event.payload)
+            self.stats.fired += 1
+            fired += 1
+        self._now = time
+        return fired
+
+    def drain(self) -> Iterator[Event]:
+        """Yield and remove all pending events without firing them."""
+        while self._queue:
+            _, _, event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                yield event
+
+    def reset(self) -> None:
+        """Remove all events and reset time to zero."""
+        self._queue.clear()
+        self._now = 0
+        self.stats = EventStats()
+
+
+@dataclass
+class Timer:
+    """A restartable one-shot timer built on :class:`EventScheduler`.
+
+    Used by channel wrappers to implement synchronisation timeouts.
+    """
+
+    scheduler: EventScheduler
+    callback: Callable[[Any], None]
+    payload: Any = None
+    _event: Optional[Event] = field(default=None, init=False, repr=False)
+
+    def start(self, delay: int) -> None:
+        """(Re)start the timer to fire ``delay`` cycles from now."""
+        self.stop()
+        self._event = self.scheduler.schedule_in(delay, self._fire, self.payload)
+
+    def stop(self) -> None:
+        """Cancel the timer if it is pending."""
+        if self._event is not None and not self._event.cancelled:
+            self.scheduler.cancel(self._event)
+        self._event = None
+
+    @property
+    def pending(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def _fire(self, payload: Any) -> None:
+        self._event = None
+        self.callback(payload)

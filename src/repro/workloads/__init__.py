@@ -1,0 +1,54 @@
+"""Synthetic workloads: traffic generators, SoC configurations and traces."""
+
+from .generators import (
+    AddressWindow,
+    DEFAULT_BURSTS,
+    TrafficProfile,
+    cpu_like_traffic,
+    dma_copy_traffic,
+    generate_traffic,
+    interleaved_issue_cycles,
+    streaming_read_traffic,
+    streaming_write_traffic,
+)
+from .soc import (
+    ACC_BUFFER_WINDOW,
+    ACC_MEMORY_WINDOW,
+    MasterSpec,
+    SIM_BUFFER_WINDOW,
+    SIM_MEMORY_WINDOW,
+    SlaveSpec,
+    SocSpec,
+    als_streaming_soc,
+    mixed_soc,
+    single_master_soc,
+    sla_streaming_soc,
+)
+from .trace import BusTrace, beat_to_dict, traces_equivalent, transaction_to_dict
+
+__all__ = [
+    "ACC_BUFFER_WINDOW",
+    "ACC_MEMORY_WINDOW",
+    "AddressWindow",
+    "BusTrace",
+    "DEFAULT_BURSTS",
+    "MasterSpec",
+    "SIM_BUFFER_WINDOW",
+    "SIM_MEMORY_WINDOW",
+    "SlaveSpec",
+    "SocSpec",
+    "TrafficProfile",
+    "als_streaming_soc",
+    "beat_to_dict",
+    "cpu_like_traffic",
+    "dma_copy_traffic",
+    "generate_traffic",
+    "interleaved_issue_cycles",
+    "mixed_soc",
+    "single_master_soc",
+    "sla_streaming_soc",
+    "streaming_read_traffic",
+    "streaming_write_traffic",
+    "traces_equivalent",
+    "transaction_to_dict",
+]

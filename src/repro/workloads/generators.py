@@ -1,0 +1,267 @@
+"""Synthetic bus traffic generators.
+
+The paper's evaluation does not depend on a specific application: the
+independent variable is the prediction accuracy, and the workload only has to
+produce realistic AHB traffic (bursts of data flowing between building
+blocks, with the arbitration winner changing only occasionally).  These
+generators create such traffic as queues of
+:class:`~repro.ahb.transaction.BusTransaction` objects for
+:class:`~repro.ahb.master.TrafficMaster` instances.
+
+All generators are deterministic given their seed, so the same workload can
+be instantiated twice -- once for the monolithic reference bus and once for
+the split co-emulated bus -- and the two transaction streams compared.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..ahb.signals import HBurst, HSize
+from ..ahb.transaction import BusTransaction
+
+
+#: Fixed-length incrementing bursts, the dominant traffic type in SoCs where
+#: "large amounts of data flow in bursts between building blocks".
+DEFAULT_BURSTS: Sequence[HBurst] = (HBurst.INCR4, HBurst.INCR8, HBurst.INCR16)
+
+
+@dataclass(frozen=True)
+class AddressWindow:
+    """A contiguous, word-aligned address range a generator may target."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("address window size must be positive")
+        if self.base % 4 != 0 or self.size % 4 != 0:
+            raise ValueError("address windows must be word aligned")
+
+    def random_burst_start(self, rng: random.Random, burst: HBurst, hsize: HSize) -> int:
+        """Pick a start address such that the whole burst stays in the window."""
+        beats = burst.beats or 1
+        span = beats * hsize.bytes
+        if span > self.size:
+            raise ValueError(f"window of {self.size} bytes cannot hold a {span}-byte burst")
+        max_offset_words = (self.size - span) // hsize.bytes
+        offset = rng.randint(0, max_offset_words) * hsize.bytes
+        return self.base + offset
+
+
+@dataclass
+class TrafficProfile:
+    """Parameters of a synthetic traffic stream for one master."""
+
+    master_id: int
+    n_transactions: int = 32
+    write_fraction: float = 0.5
+    bursts: Sequence[HBurst] = field(default_factory=lambda: tuple(DEFAULT_BURSTS))
+    read_windows: Sequence[AddressWindow] = field(default_factory=tuple)
+    write_windows: Sequence[AddressWindow] = field(default_factory=tuple)
+    issue_gap: int = 0
+    issue_gap_jitter: int = 0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be within [0, 1]")
+        if self.n_transactions < 0:
+            raise ValueError("n_transactions cannot be negative")
+
+
+def generate_traffic(profile: TrafficProfile) -> List[BusTransaction]:
+    """Generate the transaction queue described by ``profile``."""
+    rng = random.Random(profile.seed)
+    transactions: List[BusTransaction] = []
+    issue_cycle = 0
+    for index in range(profile.n_transactions):
+        is_write = rng.random() < profile.write_fraction
+        windows = profile.write_windows if is_write else profile.read_windows
+        if not windows:
+            # Fall back to the other set so a lopsided profile still works.
+            windows = profile.read_windows or profile.write_windows
+            if not windows:
+                raise ValueError("traffic profile has no address windows")
+            is_write = windows is profile.write_windows
+        window = windows[rng.randrange(len(windows))]
+        burst = profile.bursts[rng.randrange(len(profile.bursts))]
+        hsize = HSize.WORD
+        address = window.random_burst_start(rng, burst, hsize)
+        beats = burst.beats or 1
+        data = (
+            [rng.getrandbits(32) for _ in range(beats)] if is_write else []
+        )
+        transactions.append(
+            BusTransaction(
+                master_id=profile.master_id,
+                address=address,
+                write=is_write,
+                hburst=burst,
+                hsize=hsize,
+                data=data,
+                beats=beats,
+                issue_cycle=issue_cycle,
+            )
+        )
+        gap = profile.issue_gap
+        if profile.issue_gap_jitter:
+            gap += rng.randint(0, profile.issue_gap_jitter)
+        issue_cycle += gap
+    return transactions
+
+
+def dma_copy_traffic(
+    master_id: int,
+    source: AddressWindow,
+    destination: AddressWindow,
+    n_blocks: int = 8,
+    burst: HBurst = HBurst.INCR8,
+    seed: int = 7,
+) -> List[BusTransaction]:
+    """A DMA-engine style workload: alternating read and write bursts.
+
+    Each block is one read burst from ``source`` followed by one write burst
+    to ``destination``.  (The write data is synthetic: the transaction-level
+    master issues the write burst independently of the read's returned data,
+    which keeps the traffic pattern identical across system models.)
+    """
+    rng = random.Random(seed)
+    beats = burst.beats or 1
+    transactions: List[BusTransaction] = []
+    for block in range(n_blocks):
+        src_addr = source.base + (block * beats * 4) % max(source.size - beats * 4 + 4, 4)
+        dst_addr = destination.base + (block * beats * 4) % max(destination.size - beats * 4 + 4, 4)
+        transactions.append(
+            BusTransaction(
+                master_id=master_id,
+                address=src_addr,
+                write=False,
+                hburst=burst,
+                data=[],
+                beats=beats,
+            )
+        )
+        transactions.append(
+            BusTransaction(
+                master_id=master_id,
+                address=dst_addr,
+                write=True,
+                hburst=burst,
+                data=[rng.getrandbits(32) for _ in range(beats)],
+                beats=beats,
+            )
+        )
+    return transactions
+
+
+def streaming_write_traffic(
+    master_id: int,
+    destination: AddressWindow,
+    n_bursts: int = 16,
+    burst: HBurst = HBurst.INCR8,
+    seed: int = 11,
+    issue_gap: int = 0,
+) -> List[BusTransaction]:
+    """A producer streaming data into a destination window (write-only)."""
+    rng = random.Random(seed)
+    beats = burst.beats or 1
+    transactions = []
+    addr = destination.base
+    issue = 0
+    for _ in range(n_bursts):
+        if addr + beats * 4 > destination.base + destination.size:
+            addr = destination.base
+        transactions.append(
+            BusTransaction(
+                master_id=master_id,
+                address=addr,
+                write=True,
+                hburst=burst,
+                data=[rng.getrandbits(32) for _ in range(beats)],
+                beats=beats,
+                issue_cycle=issue,
+            )
+        )
+        addr += beats * 4
+        issue += issue_gap
+    return transactions
+
+
+def streaming_read_traffic(
+    master_id: int,
+    source: AddressWindow,
+    n_bursts: int = 16,
+    burst: HBurst = HBurst.INCR8,
+    issue_gap: int = 0,
+) -> List[BusTransaction]:
+    """A consumer streaming data out of a source window (read-only)."""
+    beats = burst.beats or 1
+    transactions = []
+    addr = source.base
+    issue = 0
+    for _ in range(n_bursts):
+        if addr + beats * 4 > source.base + source.size:
+            addr = source.base
+        transactions.append(
+            BusTransaction(
+                master_id=master_id,
+                address=addr,
+                write=False,
+                hburst=burst,
+                beats=beats,
+                issue_cycle=issue,
+            )
+        )
+        addr += beats * 4
+        issue += issue_gap
+    return transactions
+
+
+def cpu_like_traffic(
+    master_id: int,
+    code_window: AddressWindow,
+    data_window: AddressWindow,
+    n_transactions: int = 64,
+    seed: int = 3,
+) -> List[BusTransaction]:
+    """CPU-ish traffic: mostly instruction-fetch style reads with occasional
+    data reads/writes and short bursts."""
+    profile = TrafficProfile(
+        master_id=master_id,
+        n_transactions=n_transactions,
+        write_fraction=0.25,
+        bursts=(HBurst.INCR4, HBurst.INCR8, HBurst.SINGLE),
+        read_windows=(code_window, data_window),
+        write_windows=(data_window,),
+        issue_gap=2,
+        issue_gap_jitter=3,
+        seed=seed,
+    )
+    return generate_traffic(profile)
+
+
+def interleaved_issue_cycles(
+    transactions: List[BusTransaction], start: int = 0, gap: int = 1
+) -> List[BusTransaction]:
+    """Return the same transactions with evenly spaced issue cycles."""
+    spaced: List[BusTransaction] = []
+    issue = start
+    for txn in transactions:
+        spaced.append(
+            BusTransaction(
+                master_id=txn.master_id,
+                address=txn.address,
+                write=txn.write,
+                hburst=txn.hburst,
+                hsize=txn.hsize,
+                data=list(txn.data),
+                beats=txn.beats,
+                issue_cycle=issue,
+            )
+        )
+        issue += gap
+    return spaced

@@ -1,0 +1,418 @@
+"""SoC configurations for the co-emulation experiments.
+
+An :class:`SocSpec` is a declarative description of a system-on-chip: which
+bus masters and slaves exist, which verification domain each lives in (the
+paper's Figure 2 splits components by abstraction level: transaction-level
+blocks stay in the simulator, RTL blocks go to the accelerator), what the
+memory map looks like, and what traffic each master generates.
+
+The spec can be *instantiated* repeatedly, each time producing fresh
+component objects: once as a monolithic reference bus (the golden functional
+model) and once as a pair of half bus models for the split, co-emulated
+system.  Canned specs matching the paper's scenarios are provided at the end
+of the module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ahb.bus import AhbBus
+from ..ahb.half_bus import HalfBusModel
+from ..ahb.master import TrafficMaster
+from ..ahb.slave import AhbSlave, FifoPeripheralSlave, MemorySlave
+from ..ahb.transaction import BusTransaction
+from ..sim.component import AbstractionLevel, Domain
+from .generators import AddressWindow
+
+
+TransactionFactory = Callable[[], List[BusTransaction]]
+
+
+@dataclass
+class MasterSpec:
+    """Declarative description of one bus master."""
+
+    master_id: int
+    name: str
+    domain: Domain
+    transactions: TransactionFactory
+    level: AbstractionLevel = AbstractionLevel.TL
+
+
+@dataclass
+class SlaveSpec:
+    """Declarative description of one bus slave and its address region."""
+
+    slave_id: int
+    name: str
+    domain: Domain
+    base: int
+    size: int
+    kind: str = "memory"  # "memory" | "fifo"
+    level: AbstractionLevel = AbstractionLevel.TL
+    read_wait_states: int = 0
+    write_wait_states: int = 0
+    fifo_depth: int = 8
+    fifo_produce_period: int = 1
+    fifo_consume_period: int = 1
+
+    @property
+    def window(self) -> AddressWindow:
+        return AddressWindow(base=self.base, size=self.size)
+
+
+@dataclass
+class SocSpec:
+    """A complete SoC description that can be instantiated repeatedly."""
+
+    name: str
+    masters: List[MasterSpec] = field(default_factory=list)
+    slaves: List[SlaveSpec] = field(default_factory=list)
+    description: str = ""
+
+    # -- validation ------------------------------------------------------------
+    def validate(self) -> None:
+        master_ids = [m.master_id for m in self.masters]
+        slave_ids = [s.slave_id for s in self.slaves]
+        if len(set(master_ids)) != len(master_ids):
+            raise ValueError(f"SoC {self.name!r} has duplicate master ids")
+        if len(set(slave_ids)) != len(slave_ids):
+            raise ValueError(f"SoC {self.name!r} has duplicate slave ids")
+        if not self.masters:
+            raise ValueError(f"SoC {self.name!r} has no masters")
+        if not self.slaves:
+            raise ValueError(f"SoC {self.name!r} has no slaves")
+
+    def masters_in(self, domain: Domain) -> List[MasterSpec]:
+        return [m for m in self.masters if m.domain is domain]
+
+    def slaves_in(self, domain: Domain) -> List[SlaveSpec]:
+        return [s for s in self.slaves if s.domain is domain]
+
+    # -- component instantiation -------------------------------------------------
+    def _build_master(self, spec: MasterSpec) -> TrafficMaster:
+        return TrafficMaster(
+            name=spec.name,
+            master_id=spec.master_id,
+            transactions=spec.transactions(),
+            level=spec.level,
+        )
+
+    def _build_slave(self, spec: SlaveSpec) -> AhbSlave:
+        if spec.kind == "memory":
+            return MemorySlave(
+                name=spec.name,
+                slave_id=spec.slave_id,
+                base_address=spec.base,
+                size_bytes=spec.size,
+                read_wait_states=spec.read_wait_states,
+                write_wait_states=spec.write_wait_states,
+                level=spec.level,
+            )
+        if spec.kind == "fifo":
+            return FifoPeripheralSlave(
+                name=spec.name,
+                slave_id=spec.slave_id,
+                depth=spec.fifo_depth,
+                produce_period=spec.fifo_produce_period,
+                consume_period=spec.fifo_consume_period,
+                initial_fill=spec.fifo_depth,
+                level=spec.level,
+            )
+        raise ValueError(f"unknown slave kind {spec.kind!r}")
+
+    def build_reference(self) -> Tuple[AhbBus, Dict[int, TrafficMaster]]:
+        """Instantiate the monolithic golden bus with fresh components."""
+        self.validate()
+        bus = AhbBus(name=f"{self.name}_reference")
+        masters: Dict[int, TrafficMaster] = {}
+        for master_spec in self.masters:
+            master = self._build_master(master_spec)
+            bus.add_master(master)
+            masters[master.master_id] = master
+        for slave_spec in self.slaves:
+            bus.add_slave(self._build_slave(slave_spec), slave_spec.base, slave_spec.size)
+        bus.finalize()
+        return bus, masters
+
+    def build_split(self) -> Tuple[HalfBusModel, HalfBusModel, Dict[int, TrafficMaster]]:
+        """Instantiate the split system: (simulator HBM, accelerator HBM)."""
+        self.validate()
+        sim_hbm = HalfBusModel(name=f"{self.name}_hbms", domain=Domain.SIMULATOR)
+        acc_hbm = HalfBusModel(name=f"{self.name}_hbma", domain=Domain.ACCELERATOR)
+        masters: Dict[int, TrafficMaster] = {}
+        for master_spec in self.masters:
+            master = self._build_master(master_spec)
+            masters[master.master_id] = master
+            if master_spec.domain is Domain.SIMULATOR:
+                sim_hbm.add_local_master(master)
+                acc_hbm.add_remote_master(master.master_id)
+            else:
+                acc_hbm.add_local_master(master)
+                sim_hbm.add_remote_master(master.master_id)
+        for slave_spec in self.slaves:
+            slave = self._build_slave(slave_spec)
+            if slave_spec.domain is Domain.SIMULATOR:
+                sim_hbm.add_local_slave(slave, slave_spec.base, slave_spec.size)
+                acc_hbm.add_remote_slave(
+                    slave.slave_id, slave_spec.base, slave_spec.size, name=slave_spec.name
+                )
+            else:
+                acc_hbm.add_local_slave(slave, slave_spec.base, slave_spec.size)
+                sim_hbm.add_remote_slave(
+                    slave.slave_id, slave_spec.base, slave_spec.size, name=slave_spec.name
+                )
+        sim_hbm.finalize()
+        acc_hbm.finalize()
+        return sim_hbm, acc_hbm, masters
+
+
+# ---------------------------------------------------------------------------
+# Canned SoC configurations.
+# ---------------------------------------------------------------------------
+
+#: Standard memory map used by the canned SoCs.
+ACC_MEMORY_WINDOW = AddressWindow(base=0x0000_0000, size=0x4000)
+SIM_MEMORY_WINDOW = AddressWindow(base=0x1000_0000, size=0x4000)
+SIM_BUFFER_WINDOW = AddressWindow(base=0x2000_0000, size=0x4000)
+ACC_BUFFER_WINDOW = AddressWindow(base=0x3000_0000, size=0x4000)
+
+
+def als_streaming_soc(
+    n_bursts: int = 24,
+    issue_gap: int = 0,
+    seed: int = 13,
+) -> SocSpec:
+    """An ALS-friendly SoC: RTL data sources in the accelerator stream data
+    into transaction-level memories in the simulator.
+
+    The data flow source (the RTL masters) lives in the accelerator, so with
+    the accelerator leading the non-predictable data signals never have to be
+    predicted -- the situation the paper's ALS mode targets.
+    """
+    from .generators import streaming_read_traffic, streaming_write_traffic
+
+    return SocSpec(
+        name="als_streaming",
+        description="RTL masters in the accelerator writing into simulator memories",
+        masters=[
+            MasterSpec(
+                master_id=0,
+                name="rtl_dma0",
+                domain=Domain.ACCELERATOR,
+                level=AbstractionLevel.RTL,
+                transactions=lambda: streaming_write_traffic(
+                    0, SIM_MEMORY_WINDOW, n_bursts=n_bursts, seed=seed, issue_gap=issue_gap
+                ),
+            ),
+            MasterSpec(
+                master_id=1,
+                name="rtl_dma1",
+                domain=Domain.ACCELERATOR,
+                level=AbstractionLevel.RTL,
+                transactions=lambda: streaming_write_traffic(
+                    1,
+                    SIM_BUFFER_WINDOW,
+                    n_bursts=n_bursts,
+                    seed=seed + 1,
+                    issue_gap=issue_gap,
+                ),
+            ),
+            MasterSpec(
+                master_id=2,
+                name="rtl_reader",
+                domain=Domain.ACCELERATOR,
+                level=AbstractionLevel.RTL,
+                transactions=lambda: streaming_read_traffic(
+                    2, ACC_MEMORY_WINDOW, n_bursts=n_bursts, issue_gap=issue_gap
+                ),
+            ),
+        ],
+        slaves=[
+            SlaveSpec(
+                slave_id=0,
+                name="acc_sram",
+                domain=Domain.ACCELERATOR,
+                base=ACC_MEMORY_WINDOW.base,
+                size=ACC_MEMORY_WINDOW.size,
+                level=AbstractionLevel.RTL,
+            ),
+            SlaveSpec(
+                slave_id=1,
+                name="sim_main_memory",
+                domain=Domain.SIMULATOR,
+                base=SIM_MEMORY_WINDOW.base,
+                size=SIM_MEMORY_WINDOW.size,
+            ),
+            SlaveSpec(
+                slave_id=2,
+                name="sim_frame_buffer",
+                domain=Domain.SIMULATOR,
+                base=SIM_BUFFER_WINDOW.base,
+                size=SIM_BUFFER_WINDOW.size,
+            ),
+        ],
+    )
+
+
+def sla_streaming_soc(n_bursts: int = 24, issue_gap: int = 0, seed: int = 17) -> SocSpec:
+    """An SLA-friendly SoC: transaction-level masters in the simulator write
+    into RTL memories modelled by the accelerator."""
+    from .generators import streaming_read_traffic, streaming_write_traffic
+
+    return SocSpec(
+        name="sla_streaming",
+        description="TL masters in the simulator writing into accelerator memories",
+        masters=[
+            MasterSpec(
+                master_id=0,
+                name="tl_cpu",
+                domain=Domain.SIMULATOR,
+                transactions=lambda: streaming_write_traffic(
+                    0, ACC_BUFFER_WINDOW, n_bursts=n_bursts, seed=seed, issue_gap=issue_gap
+                ),
+            ),
+            MasterSpec(
+                master_id=1,
+                name="tl_dma",
+                domain=Domain.SIMULATOR,
+                transactions=lambda: streaming_write_traffic(
+                    1, ACC_MEMORY_WINDOW, n_bursts=n_bursts, seed=seed + 1, issue_gap=issue_gap
+                ),
+            ),
+            MasterSpec(
+                master_id=2,
+                name="tl_reader",
+                domain=Domain.SIMULATOR,
+                transactions=lambda: streaming_read_traffic(
+                    2, SIM_MEMORY_WINDOW, n_bursts=n_bursts, issue_gap=issue_gap
+                ),
+            ),
+        ],
+        slaves=[
+            SlaveSpec(
+                slave_id=0,
+                name="acc_sram",
+                domain=Domain.ACCELERATOR,
+                base=ACC_MEMORY_WINDOW.base,
+                size=ACC_MEMORY_WINDOW.size,
+                level=AbstractionLevel.RTL,
+            ),
+            SlaveSpec(
+                slave_id=1,
+                name="acc_buffer",
+                domain=Domain.ACCELERATOR,
+                base=ACC_BUFFER_WINDOW.base,
+                size=ACC_BUFFER_WINDOW.size,
+                level=AbstractionLevel.RTL,
+            ),
+            SlaveSpec(
+                slave_id=2,
+                name="sim_main_memory",
+                domain=Domain.SIMULATOR,
+                base=SIM_MEMORY_WINDOW.base,
+                size=SIM_MEMORY_WINDOW.size,
+            ),
+        ],
+    )
+
+
+def mixed_soc(n_transactions: int = 48, seed: int = 23) -> SocSpec:
+    """A mixed SoC with traffic in both directions.
+
+    Data flows both ways, so neither static leader can stay optimistic all
+    the time; this spec exercises the dynamic mode decisions (AUTO policy)
+    and the conservative fallback.
+    """
+    from .generators import dma_copy_traffic, streaming_write_traffic
+
+    return SocSpec(
+        name="mixed",
+        description="bidirectional traffic exercising dynamic mode decisions",
+        masters=[
+            MasterSpec(
+                master_id=0,
+                name="rtl_stream",
+                domain=Domain.ACCELERATOR,
+                level=AbstractionLevel.RTL,
+                transactions=lambda: streaming_write_traffic(
+                    0, SIM_MEMORY_WINDOW, n_bursts=n_transactions // 2, seed=seed
+                ),
+            ),
+            MasterSpec(
+                master_id=1,
+                name="tl_dma",
+                domain=Domain.SIMULATOR,
+                transactions=lambda: dma_copy_traffic(
+                    1,
+                    source=SIM_BUFFER_WINDOW,
+                    destination=SIM_MEMORY_WINDOW,
+                    n_blocks=n_transactions // 4,
+                    seed=seed + 1,
+                ),
+            ),
+        ],
+        slaves=[
+            SlaveSpec(
+                slave_id=0,
+                name="acc_sram",
+                domain=Domain.ACCELERATOR,
+                base=ACC_MEMORY_WINDOW.base,
+                size=ACC_MEMORY_WINDOW.size,
+                level=AbstractionLevel.RTL,
+            ),
+            SlaveSpec(
+                slave_id=1,
+                name="sim_main_memory",
+                domain=Domain.SIMULATOR,
+                base=SIM_MEMORY_WINDOW.base,
+                size=SIM_MEMORY_WINDOW.size,
+            ),
+            SlaveSpec(
+                slave_id=2,
+                name="sim_buffer",
+                domain=Domain.SIMULATOR,
+                base=SIM_BUFFER_WINDOW.base,
+                size=SIM_BUFFER_WINDOW.size,
+            ),
+        ],
+    )
+
+
+def single_master_soc(
+    master_domain: Domain = Domain.ACCELERATOR,
+    slave_domain: Domain = Domain.SIMULATOR,
+    n_bursts: int = 16,
+    write: bool = True,
+    seed: int = 29,
+) -> SocSpec:
+    """The smallest interesting SoC: one master, one remote memory.
+
+    Useful for unit tests and for studying the scheme without arbitration
+    effects.
+    """
+    from .generators import streaming_read_traffic, streaming_write_traffic
+
+    window = SIM_MEMORY_WINDOW if slave_domain is Domain.SIMULATOR else ACC_MEMORY_WINDOW
+    if write:
+        factory = lambda: streaming_write_traffic(0, window, n_bursts=n_bursts, seed=seed)
+    else:
+        factory = lambda: streaming_read_traffic(0, window, n_bursts=n_bursts)
+    return SocSpec(
+        name="single_master",
+        description="one master, one memory",
+        masters=[
+            MasterSpec(master_id=0, name="m0", domain=master_domain, transactions=factory)
+        ],
+        slaves=[
+            SlaveSpec(
+                slave_id=0,
+                name="memory",
+                domain=slave_domain,
+                base=window.base,
+                size=window.size,
+            )
+        ],
+    )

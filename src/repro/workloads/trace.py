@@ -1,0 +1,155 @@
+"""Transaction trace capture, comparison and (de)serialisation.
+
+Traces are the functional ground truth of the reproduction: the committed
+beat stream of the monolithic reference bus must match the stream produced by
+the split co-emulated system under every synchronisation scheme and every
+prediction accuracy.  This module turns recorder output into plain
+dictionaries that can be diffed, stored as JSON and loaded back.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..ahb.transaction import CompletedBeat, CompletedTransaction, TransactionRecorder
+
+
+def beat_to_dict(beat: CompletedBeat, include_cycle: bool = False) -> dict:
+    """Convert a completed beat into a JSON-friendly dictionary."""
+    entry = {
+        "master": beat.master_id,
+        "address": beat.address,
+        "write": beat.write,
+        "data": beat.data,
+        "resp": int(beat.hresp),
+        "burst": int(beat.hburst),
+        "size": int(beat.hsize),
+        "first_beat": beat.first_beat,
+    }
+    if include_cycle:
+        entry["cycle"] = beat.cycle
+    return entry
+
+
+def transaction_to_dict(txn: CompletedTransaction) -> dict:
+    return {
+        "master": txn.master_id,
+        "address": txn.address,
+        "write": txn.write,
+        "burst": int(txn.hburst),
+        "size": int(txn.hsize),
+        "data": list(txn.data),
+        "ok": txn.ok,
+    }
+
+
+@dataclass
+class BusTrace:
+    """A captured trace of bus activity."""
+
+    label: str
+    beats: List[dict] = field(default_factory=list)
+    transactions: List[dict] = field(default_factory=list)
+
+    @classmethod
+    def from_recorder(
+        cls, label: str, recorder: TransactionRecorder, include_cycles: bool = False
+    ) -> "BusTrace":
+        return cls(
+            label=label,
+            beats=[beat_to_dict(beat, include_cycles) for beat in recorder.beats],
+            transactions=[transaction_to_dict(txn) for txn in recorder.finalize()],
+        )
+
+    @classmethod
+    def merged(cls, label: str, recorders: Iterable[TransactionRecorder]) -> "BusTrace":
+        """Build a trace from several recorders.
+
+        In the split system both half bus models observe (and record) the
+        complete committed beat stream, so the recorders are redundant; this
+        helper keeps the longest stream, which is convenient when one domain
+        was reset or trimmed.
+        """
+        best: Optional[TransactionRecorder] = None
+        for recorder in recorders:
+            if best is None or len(recorder.beats) > len(best.beats):
+                best = recorder
+        if best is None:
+            return cls(label=label)
+        return cls.from_recorder(label, best)
+
+    # -- comparison ------------------------------------------------------------
+    def per_master_streams(self) -> Dict[int, List[dict]]:
+        streams: Dict[int, List[dict]] = {}
+        for beat in self.beats:
+            streams.setdefault(beat["master"], []).append(beat)
+        return streams
+
+    def matches(self, other: "BusTrace") -> bool:
+        return self.per_master_streams() == other.per_master_streams()
+
+    def diff(self, other: "BusTrace", limit: int = 10) -> List[str]:
+        """Human-readable differences between two traces (first ``limit``)."""
+        problems: List[str] = []
+        mine = self.per_master_streams()
+        theirs = other.per_master_streams()
+        for master in sorted(set(mine) | set(theirs)):
+            a = mine.get(master, [])
+            b = theirs.get(master, [])
+            if len(a) != len(b):
+                problems.append(
+                    f"master {master}: {len(a)} beats in {self.label!r} vs "
+                    f"{len(b)} in {other.label!r}"
+                )
+            for index, (beat_a, beat_b) in enumerate(zip(a, b)):
+                if beat_a != beat_b:
+                    problems.append(
+                        f"master {master} beat {index}: {beat_a} != {beat_b}"
+                    )
+                if len(problems) >= limit:
+                    return problems
+        return problems
+
+    # -- serialisation -------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {"label": self.label, "beats": self.beats, "transactions": self.transactions},
+            indent=2,
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "BusTrace":
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            label=payload["label"],
+            beats=payload["beats"],
+            transactions=payload.get("transactions", []),
+        )
+
+
+def traces_equivalent(
+    reference: TransactionRecorder,
+    candidates: Iterable[TransactionRecorder],
+    label: str = "candidate",
+) -> Optional[str]:
+    """Check that every candidate recorder matches the reference stream.
+
+    Returns None when equivalent, otherwise a description of the first
+    difference.  The comparison is per-master and ignores cycle numbers
+    (the optimistic scheme shifts wall-clock timing, not content).
+    """
+    ref_trace = BusTrace.from_recorder("reference", reference)
+    for index, recorder in enumerate(candidates):
+        trace = BusTrace.from_recorder(f"{label}_{index}", recorder)
+        if not ref_trace.matches(trace):
+            diff = trace.diff(ref_trace, limit=3)
+            return f"trace {label}_{index} differs from reference: {diff}"
+    return None

@@ -1,0 +1,84 @@
+"""Unit tests for the emulated accelerator substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator import (
+    AcceleratorError,
+    AcceleratorSpec,
+    EmulatedAccelerator,
+    RtlBlockRegistry,
+    estimate_gates,
+    estimate_registers,
+)
+from repro.ahb.master import TrafficMaster
+from repro.ahb.slave import FifoPeripheralSlave, MemorySlave
+from repro.sim.component import AbstractionLevel, Domain
+from repro.workloads import als_streaming_soc
+
+
+def test_gate_and_register_estimates_scale_with_component_size():
+    small_mem = MemorySlave("s", 0, 0x0, 0x100)
+    big_mem = MemorySlave("b", 1, 0x0, 0x1000)
+    assert estimate_gates(big_mem) > estimate_gates(small_mem)
+    assert estimate_registers(big_mem) > estimate_registers(small_mem)
+    fifo = FifoPeripheralSlave("f", 2, depth=16)
+    assert estimate_gates(fifo) > 0
+    master = TrafficMaster("m", 0, level=AbstractionLevel.RTL)
+    assert estimate_gates(master) > 0
+    assert estimate_registers(master) > 0
+
+
+def test_registry_registers_only_rtl_components():
+    registry = RtlBlockRegistry()
+    rtl = MemorySlave("rtl_mem", 0, 0x0, 0x100, level=AbstractionLevel.RTL)
+    tl = MemorySlave("tl_mem", 1, 0x0, 0x100, level=AbstractionLevel.TL)
+    registry.register_all([rtl, tl])
+    assert registry.by_name("rtl_mem") is not None
+    assert registry.by_name("tl_mem") is None
+
+
+def test_registry_totals_and_utilisation():
+    registry = RtlBlockRegistry()
+    registry.register(MemorySlave("m", 0, 0x0, 0x400, level=AbstractionLevel.RTL))
+    registry.register(TrafficMaster("t", 0, level=AbstractionLevel.RTL))
+    assert registry.total_gates > 0
+    assert registry.total_registers > 0
+    assert 0 < registry.utilisation(registry.total_gates * 2) < 1
+    registry.tick_all(10)
+    assert all(block.cycles_emulated == 10 for block in registry.blocks)
+    payload = registry.as_dict()
+    assert set(payload) == {"m", "t"}
+
+
+def test_accelerator_maps_accelerator_domain_half_bus():
+    spec = als_streaming_soc(n_bursts=2)
+    _, acc_hbm, _ = spec.build_split()
+    accelerator = EmulatedAccelerator().map_design(acc_hbm)
+    report = accelerator.capacity_report()
+    assert report["used_gates"] > 0
+    assert 0 < report["utilisation"] < 1
+    assert report["rollback_registers"] > 0
+    assert report["cycles_per_second"] == 10_000_000.0
+    assert len(report["blocks"]) >= 3  # three RTL masters
+
+
+def test_accelerator_rejects_simulator_domain_half_bus():
+    spec = als_streaming_soc(n_bursts=2)
+    sim_hbm, _, _ = spec.build_split()
+    with pytest.raises(AcceleratorError):
+        EmulatedAccelerator().map_design(sim_hbm)
+
+
+def test_capacity_overflow_is_detected():
+    spec = als_streaming_soc(n_bursts=2)
+    _, acc_hbm, _ = spec.build_split()
+    tiny = EmulatedAccelerator(spec=AcceleratorSpec(capacity_gates=10))
+    with pytest.raises(AcceleratorError):
+        tiny.map_design(acc_hbm)
+
+
+def test_spec_speed_helper():
+    spec = AcceleratorSpec(cycles_per_second=5_000_000.0)
+    assert spec.speed.cycles_per_second == 5_000_000.0

@@ -1,0 +1,95 @@
+"""Unit tests for bus arbitration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.arbiter import (
+    Arbiter,
+    ArbitrationError,
+    FixedPriorityPolicy,
+    RoundRobinPolicy,
+)
+
+
+def test_fixed_priority_grants_highest_priority_requester():
+    policy = FixedPriorityPolicy([2, 0, 1])  # master 2 has the highest priority
+    assert policy.choose({0: True, 1: True, 2: True}, current_grant=0, default_master=0) == 2
+    assert policy.choose({0: True, 1: True, 2: False}, current_grant=0, default_master=0) == 0
+    assert policy.choose({0: False, 1: True, 2: False}, current_grant=0, default_master=0) == 1
+
+
+def test_fixed_priority_parks_on_default_when_nobody_requests():
+    policy = FixedPriorityPolicy([0, 1])
+    assert policy.choose({0: False, 1: False}, current_grant=1, default_master=0) == 0
+
+
+def test_fixed_priority_rejects_duplicate_ids():
+    with pytest.raises(ArbitrationError):
+        FixedPriorityPolicy([0, 1, 0])
+
+
+def test_round_robin_rotates_after_current_grant():
+    policy = RoundRobinPolicy([0, 1, 2])
+    # current grant 0 -> master 1 has top priority
+    assert policy.choose({0: True, 1: True, 2: True}, current_grant=0, default_master=0) == 1
+    assert policy.choose({0: True, 1: False, 2: True}, current_grant=1, default_master=0) == 2
+    # wraps around
+    assert policy.choose({0: True, 1: False, 2: False}, current_grant=2, default_master=0) == 0
+
+
+def test_round_robin_defaults_when_idle_and_requires_masters():
+    policy = RoundRobinPolicy([3, 4])
+    assert policy.choose({3: False, 4: False}, current_grant=3, default_master=4) == 4
+    with pytest.raises(ArbitrationError):
+        RoundRobinPolicy([])
+
+
+def test_round_robin_handles_unknown_current_grant():
+    policy = RoundRobinPolicy([0, 1])
+    assert policy.choose({0: True, 1: False}, current_grant=99, default_master=1) == 0
+
+
+def test_arbiter_tracks_grant_changes_and_parking():
+    arbiter = Arbiter(policy=FixedPriorityPolicy([0, 1]), default_master=0)
+    assert arbiter.current_grant == 0
+    assert arbiter.arbitrate({0: False, 1: True}) == 1
+    assert arbiter.arbitrate({0: False, 1: True}) == 1
+    assert arbiter.arbitrate({0: False, 1: False}) == 0
+    assert arbiter.stats.decisions == 3
+    assert arbiter.stats.grant_changes == 2  # 0->1 then 1->0
+    assert arbiter.stats.cycles_parked == 1
+
+
+def test_arbiter_snapshot_restore_round_trip():
+    arbiter = Arbiter(policy=FixedPriorityPolicy([0, 1]), default_master=0)
+    arbiter.arbitrate({1: True})
+    state = arbiter.snapshot()
+    arbiter.arbitrate({0: True, 1: False})
+    arbiter.restore(state)
+    assert arbiter.current_grant == 1
+
+
+def test_arbiter_reset_returns_to_default():
+    arbiter = Arbiter(policy=FixedPriorityPolicy([0, 1]), default_master=0)
+    arbiter.arbitrate({1: True})
+    arbiter.reset()
+    assert arbiter.current_grant == 0
+    assert arbiter.stats.decisions == 0
+
+
+def test_two_identical_arbiters_make_identical_decisions():
+    """Both half bus models recompute arbitration locally; the decisions must
+    agree for any request sequence (the paper's justification for not sending
+    the arbitration result over the channel)."""
+    left = Arbiter(policy=FixedPriorityPolicy([0, 1, 2]), default_master=0)
+    right = Arbiter(policy=FixedPriorityPolicy([0, 1, 2]), default_master=0)
+    sequences = [
+        {0: False, 1: True, 2: False},
+        {0: True, 1: True, 2: True},
+        {0: False, 1: False, 2: True},
+        {0: False, 1: False, 2: False},
+        {0: True, 1: False, 2: True},
+    ]
+    for requests in sequences:
+        assert left.arbitrate(requests) == right.arbitrate(requests)

@@ -1,0 +1,93 @@
+"""Unit tests for burst address sequencing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.burst import (
+    BurstTracker,
+    beat_count,
+    burst_addresses,
+    next_beat_address,
+    wrap_boundary,
+)
+from repro.ahb.signals import AhbError, HBurst, HSize
+
+
+def test_beat_count_fixed_and_incr():
+    assert beat_count(HBurst.SINGLE) == 1
+    assert beat_count(HBurst.INCR8) == 8
+    assert beat_count(HBurst.INCR, requested_beats=5) == 5
+    with pytest.raises(AhbError):
+        beat_count(HBurst.INCR)
+
+
+def test_incrementing_burst_addresses():
+    assert burst_addresses(0x100, HBurst.INCR4, HSize.WORD) == [0x100, 0x104, 0x108, 0x10C]
+    assert burst_addresses(0x20, HBurst.INCR, HSize.WORD, beats=3) == [0x20, 0x24, 0x28]
+
+
+def test_wrapping_burst_addresses_wrap_at_boundary():
+    # WRAP4 of words starting at 0x38: window is [0x30, 0x40)
+    assert burst_addresses(0x38, HBurst.WRAP4, HSize.WORD) == [0x38, 0x3C, 0x30, 0x34]
+    # WRAP8 of words starting at 0x10 (already aligned): no wrap occurs
+    assert burst_addresses(0x0, HBurst.WRAP8, HSize.WORD) == [
+        0x0, 0x4, 0x8, 0xC, 0x10, 0x14, 0x18, 0x1C,
+    ]
+
+
+def test_wrap_boundary_window():
+    low, high = wrap_boundary(0x58, HBurst.WRAP4, HSize.WORD)
+    assert (low, high) == (0x50, 0x60)
+    with pytest.raises(AhbError):
+        wrap_boundary(0x58, HBurst.INCR4, HSize.WORD)
+
+
+def test_next_beat_address_matches_sequence():
+    addresses = burst_addresses(0x78, HBurst.WRAP8, HSize.WORD)
+    for current, following in zip(addresses, addresses[1:]):
+        assert next_beat_address(current, HBurst.WRAP8, HSize.WORD, 0x78) == following
+
+
+def test_unaligned_start_rejected():
+    with pytest.raises(AhbError):
+        burst_addresses(0x102, HBurst.INCR4, HSize.WORD)
+
+
+def test_halfword_bursts_step_by_two():
+    assert burst_addresses(0x100, HBurst.INCR4, HSize.HALFWORD) == [0x100, 0x102, 0x104, 0x106]
+
+
+def test_tracker_walks_through_all_beats():
+    tracker = BurstTracker.from_first_beat(0x200, HBurst.INCR4, HSize.WORD)
+    seen = []
+    while not tracker.complete:
+        assert tracker.remaining_beats == 4 - len(seen)
+        seen.append(tracker.accept_beat())
+    assert seen == [0x200, 0x204, 0x208, 0x20C]
+    assert tracker.complete
+    with pytest.raises(AhbError):
+        _ = tracker.current_address
+
+
+def test_tracker_first_beat_flag():
+    tracker = BurstTracker.from_first_beat(0x0, HBurst.INCR4, HSize.WORD)
+    assert tracker.is_first_beat
+    tracker.accept_beat()
+    assert not tracker.is_first_beat
+
+
+def test_tracker_remaining_addresses():
+    tracker = BurstTracker.from_first_beat(0x100, HBurst.INCR8, HSize.WORD)
+    tracker.accept_beat()
+    tracker.accept_beat()
+    assert tracker.remaining_addresses() == [0x108, 0x10C, 0x110, 0x114, 0x118, 0x11C]
+
+
+def test_tracker_snapshot_round_trip():
+    tracker = BurstTracker.from_first_beat(0x40, HBurst.WRAP4, HSize.WORD)
+    tracker.accept_beat()
+    clone = BurstTracker.from_snapshot(tracker.snapshot())
+    assert clone.current_address == tracker.current_address
+    assert clone.remaining_beats == tracker.remaining_beats
+    assert clone.hburst is HBurst.WRAP4

@@ -1,0 +1,193 @@
+"""Integration tests of the monolithic reference bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.bus import AhbBus
+from repro.ahb.master import TrafficMaster
+from repro.ahb.signals import AhbError, HBurst, HResp
+from repro.ahb.slave import FifoPeripheralSlave, MemorySlave
+from repro.ahb.transaction import BusTransaction
+from repro.sim.kernel import CycleKernel
+
+
+def build_bus(masters, slaves):
+    bus = AhbBus()
+    for master in masters:
+        bus.add_master(master)
+    for slave, base, size in slaves:
+        bus.add_slave(slave, base, size)
+    bus.finalize()
+    return bus
+
+
+def run_bus(bus, cycles):
+    kernel = CycleKernel("sys")
+    kernel.add_component(bus)
+    kernel.run(cycles)
+    return kernel
+
+
+def test_write_then_read_burst_round_trips_through_memory():
+    master = TrafficMaster(
+        "m0",
+        0,
+        [
+            BusTransaction(0, 0x100, True, HBurst.INCR4, data=[1, 2, 3, 4]),
+            BusTransaction(0, 0x100, False, HBurst.INCR4),
+        ],
+    )
+    memory = MemorySlave("mem", 1, 0x0, 0x1000)
+    bus = build_bus([master], [(memory, 0x0, 0x1000)])
+    run_bus(bus, 30)
+    assert master.done
+    assert master.completed_transactions[-1].data == [1, 2, 3, 4]
+    assert memory.read_word(0x108) == 3
+    assert bus.monitor.ok, [str(v) for v in bus.monitor.violations]
+
+
+def test_duplicate_master_or_slave_ids_rejected():
+    bus = AhbBus()
+    bus.add_master(TrafficMaster("a", 0))
+    with pytest.raises(AhbError):
+        bus.add_master(TrafficMaster("b", 0))
+    bus.add_slave(MemorySlave("mem", 1, 0x0, 0x100), 0x0, 0x100)
+    with pytest.raises(AhbError):
+        bus.add_slave(MemorySlave("mem2", 1, 0x1000, 0x100), 0x1000, 0x100)
+
+
+def test_bus_without_masters_cannot_finalize():
+    bus = AhbBus()
+    bus.add_slave(MemorySlave("mem", 1, 0x0, 0x100), 0x0, 0x100)
+    with pytest.raises(AhbError):
+        bus.finalize()
+
+
+def test_two_masters_share_the_bus_and_both_complete():
+    m0 = TrafficMaster("m0", 0, [BusTransaction(0, 0x000, True, HBurst.INCR8, data=list(range(8)))])
+    m1 = TrafficMaster("m1", 1, [BusTransaction(1, 0x200, True, HBurst.INCR8, data=list(range(8, 16)))])
+    memory = MemorySlave("mem", 2, 0x0, 0x1000)
+    bus = build_bus([m0, m1], [(memory, 0x0, 0x1000)])
+    run_bus(bus, 60)
+    assert m0.done and m1.done
+    assert memory.read_word(0x000) == 0
+    assert memory.read_word(0x204) == 9
+    assert bus.monitor.ok
+    # both bursts completed without interleaving errors
+    assert len(bus.recorder.finalize()) == 2
+
+
+def test_fixed_priority_prefers_lower_master_id_at_burst_boundaries():
+    # Both masters have traffic from cycle 0; master 0 (higher priority) goes first.
+    m0 = TrafficMaster("m0", 0, [BusTransaction(0, 0x000, True, HBurst.INCR4, data=[1] * 4)])
+    m1 = TrafficMaster("m1", 1, [BusTransaction(1, 0x100, True, HBurst.INCR4, data=[2] * 4)])
+    memory = MemorySlave("mem", 2, 0x0, 0x1000)
+    bus = build_bus([m0, m1], [(memory, 0x0, 0x1000)])
+    run_bus(bus, 40)
+    first_writer = bus.recorder.beats[0].master_id
+    assert first_writer == 0
+
+
+def test_unmapped_access_gets_two_cycle_error_from_default_slave():
+    master = TrafficMaster("m0", 0, [BusTransaction(0, 0x9000_0000, False, HBurst.SINGLE)])
+    memory = MemorySlave("mem", 1, 0x0, 0x1000)
+    bus = build_bus([master], [(memory, 0x0, 0x1000)])
+    run_bus(bus, 20)
+    assert master.done
+    assert master.stats.error_responses == 1
+    assert bus.recorder.beats[-1].hresp is HResp.ERROR
+
+
+def test_wait_state_slave_stretches_transfers_but_preserves_data():
+    master = TrafficMaster(
+        "m0",
+        0,
+        [
+            BusTransaction(0, 0x0, True, HBurst.INCR4, data=[5, 6, 7, 8]),
+            BusTransaction(0, 0x0, False, HBurst.INCR4),
+        ],
+    )
+    slow = MemorySlave("slow", 1, 0x0, 0x1000, read_wait_states=2, write_wait_states=1)
+    bus = build_bus([master], [(slow, 0x0, 0x1000)])
+    run_bus(bus, 80)
+    assert master.done
+    assert master.completed_transactions[-1].data == [5, 6, 7, 8]
+    assert slow.stats.wait_states > 0
+    assert bus.monitor.ok, [str(v) for v in bus.monitor.violations]
+
+
+def test_wrapping_burst_round_trips():
+    master = TrafficMaster(
+        "m0",
+        0,
+        [
+            BusTransaction(0, 0x18, True, HBurst.WRAP4, data=[1, 2, 3, 4]),
+            BusTransaction(0, 0x18, False, HBurst.WRAP4),
+        ],
+    )
+    memory = MemorySlave("mem", 1, 0x0, 0x1000)
+    bus = build_bus([master], [(memory, 0x0, 0x1000)])
+    run_bus(bus, 30)
+    assert master.completed_transactions[-1].data == [1, 2, 3, 4]
+    # the wrap wrote 0x18, 0x1C, then wrapped to 0x10, 0x14
+    assert memory.read_word(0x10) == 3
+    assert memory.read_word(0x14) == 4
+    assert bus.monitor.ok
+
+
+def test_fifo_peripheral_inserts_waits_but_traffic_completes():
+    master = TrafficMaster("m0", 0, [BusTransaction(0, 0x0, False, HBurst.INCR8)])
+    fifo = FifoPeripheralSlave("fifo", 1, depth=2, produce_period=3, initial_fill=0)
+    bus = build_bus([master], [(fifo, 0x0, 0x1000)])
+    run_bus(bus, 120)
+    assert master.done
+    assert fifo.stats.wait_states > 0
+    assert len(master.completed_transactions[0].data) == 8
+    assert bus.monitor.ok
+
+
+def test_bus_records_one_cycle_record_per_cycle():
+    master = TrafficMaster("m0", 0, [BusTransaction(0, 0x0, True, HBurst.SINGLE, data=[1])])
+    memory = MemorySlave("mem", 1, 0x0, 0x100)
+    bus = build_bus([master], [(memory, 0x0, 0x100)])
+    run_bus(bus, 10)
+    assert len(bus.records) == 10
+    assert [record.cycle for record in bus.records] == list(range(10))
+
+
+def test_all_masters_done_reflects_master_state():
+    master = TrafficMaster("m0", 0, [BusTransaction(0, 0x0, True, HBurst.SINGLE, data=[1])])
+    memory = MemorySlave("mem", 1, 0x0, 0x100)
+    bus = build_bus([master], [(memory, 0x0, 0x100)])
+    assert not bus.all_masters_done()
+    run_bus(bus, 10)
+    assert bus.all_masters_done()
+
+
+def test_snapshot_restore_replays_identically():
+    def build():
+        master = TrafficMaster(
+            "m0",
+            0,
+            [
+                BusTransaction(0, 0x10, True, HBurst.INCR4, data=[9, 8, 7, 6]),
+                BusTransaction(0, 0x10, False, HBurst.INCR4),
+            ],
+        )
+        memory = MemorySlave("mem", 1, 0x0, 0x1000)
+        return build_bus([master], [(memory, 0x0, 0x1000)]), master
+
+    bus, master = build()
+    kernel = CycleKernel("sys")
+    kernel.add_component(bus)
+    kernel.run(5)
+    state = bus.snapshot_state()
+    kernel.run(20)
+    final_beats = bus.recorder.beat_keys()
+    bus.restore_state(state)
+    kernel2 = CycleKernel("resume")
+    kernel2.clock.advance(5)
+    kernel2.add_component(bus)
+    kernel2.run(20)
+    assert bus.recorder.beat_keys() == final_beats

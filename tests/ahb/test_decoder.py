@@ -1,0 +1,82 @@
+"""Unit tests for the address decoder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.decoder import AddressDecoder, AddressRegion, DecodeError
+
+
+def test_region_contains_and_end():
+    region = AddressRegion(base=0x1000, size=0x100, slave_id=1)
+    assert region.end == 0x1100
+    assert region.contains(0x1000)
+    assert region.contains(0x10FF)
+    assert not region.contains(0x1100)
+    assert not region.contains(0xFFF)
+
+
+def test_region_rejects_bad_parameters():
+    with pytest.raises(DecodeError):
+        AddressRegion(base=-1, size=0x100, slave_id=0)
+    with pytest.raises(DecodeError):
+        AddressRegion(base=0, size=0, slave_id=0)
+
+
+def test_overlap_detection():
+    a = AddressRegion(base=0x1000, size=0x100, slave_id=0)
+    b = AddressRegion(base=0x10F0, size=0x100, slave_id=1)
+    c = AddressRegion(base=0x1100, size=0x100, slave_id=2)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+
+
+def test_decoder_selects_correct_slave():
+    decoder = AddressDecoder()
+    decoder.add_region(0x0000, 0x1000, slave_id=0, name="rom")
+    decoder.add_region(0x1000, 0x1000, slave_id=1, name="ram")
+    assert decoder.select(0x0800) == 0
+    assert decoder.select(0x1000) == 1
+    assert decoder.select(0x1FFF) == 1
+
+
+def test_decoder_rejects_overlapping_regions():
+    decoder = AddressDecoder()
+    decoder.add_region(0x0, 0x2000, slave_id=0)
+    with pytest.raises(DecodeError):
+        decoder.add_region(0x1000, 0x1000, slave_id=1)
+
+
+def test_unmapped_address_uses_default_slave_or_raises():
+    decoder = AddressDecoder(default_slave_id=-1)
+    decoder.add_region(0x0, 0x100, slave_id=0)
+    assert decoder.select(0x9999_0000) == -1
+    strict = AddressDecoder()
+    strict.add_region(0x0, 0x100, slave_id=0)
+    with pytest.raises(DecodeError):
+        strict.select(0x9999_0000)
+
+
+def test_region_for_returns_region_or_none():
+    decoder = AddressDecoder()
+    region = decoder.add_region(0x2000, 0x800, slave_id=3, name="periph")
+    assert decoder.region_for(0x2400) is region
+    assert decoder.region_for(0x3000) is None
+
+
+def test_slave_ids_lists_mapped_slaves():
+    decoder = AddressDecoder(default_slave_id=-1)
+    decoder.add_region(0x0, 0x100, slave_id=2)
+    decoder.add_region(0x100, 0x100, slave_id=0)
+    decoder.add_region(0x200, 0x100, slave_id=2)
+    assert decoder.slave_ids() == [0, 2]
+
+
+def test_copy_is_independent_but_equivalent():
+    decoder = AddressDecoder(default_slave_id=-1)
+    decoder.add_region(0x0, 0x100, slave_id=0)
+    clone = decoder.copy()
+    assert clone.select(0x10) == 0
+    clone.add_region(0x100, 0x100, slave_id=1)
+    # the original does not see the clone's new region
+    assert decoder.select(0x150) == -1

@@ -1,0 +1,150 @@
+"""Unit tests for bus masters (driven directly, without a bus)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.master import IdleMaster, TrafficMaster
+from repro.ahb.signals import AddressPhase, AhbError, DataPhaseResult, HBurst, HResp, HTrans
+from repro.ahb.transaction import BusTransaction
+
+
+def drive_accept(master, cycle):
+    """Helper: drive the address phase and immediately accept it."""
+    phase = master.drive_address_phase(cycle, granted=True)
+    if phase.is_active:
+        master.on_address_accepted(cycle, phase)
+    return phase
+
+
+def test_idle_master_never_requests():
+    master = IdleMaster("idle", 0)
+    assert not master.drive_hbusreq(0)
+    phase = master.drive_address_phase(0, granted=True)
+    assert not phase.is_active
+
+
+def test_traffic_master_requests_only_when_transaction_ready():
+    master = TrafficMaster(
+        "m", 0, [BusTransaction(0, 0x0, True, HBurst.SINGLE, data=[1], issue_cycle=5)]
+    )
+    assert not master.drive_hbusreq(0)
+    assert master.drive_hbusreq(5)
+    assert master.drive_hbusreq(9)
+
+
+def test_traffic_master_sequences_burst_addresses_and_types():
+    master = TrafficMaster("m", 0, [BusTransaction(0, 0x100, True, HBurst.INCR4, data=[1, 2, 3, 4])])
+    phases = [drive_accept(master, cycle) for cycle in range(4)]
+    assert [p.haddr for p in phases] == [0x100, 0x104, 0x108, 0x10C]
+    assert [p.htrans for p in phases] == [HTrans.NONSEQ, HTrans.SEQ, HTrans.SEQ, HTrans.SEQ]
+    assert all(p.hwrite for p in phases)
+    # after the burst, the master drives idle
+    assert not master.drive_address_phase(4, granted=True).is_active
+
+
+def test_traffic_master_holds_address_until_accepted():
+    master = TrafficMaster("m", 0, [BusTransaction(0, 0x40, False, HBurst.INCR4)])
+    first = master.drive_address_phase(0, granted=True)
+    second = master.drive_address_phase(1, granted=True)  # not accepted yet
+    assert first.haddr == second.haddr == 0x40
+    master.on_address_accepted(1, second)
+    third = master.drive_address_phase(2, granted=True)
+    assert third.haddr == 0x44
+
+
+def test_not_granted_master_drives_idle():
+    master = TrafficMaster("m", 0, [BusTransaction(0, 0x40, False, HBurst.INCR4)])
+    phase = master.drive_address_phase(0, granted=False)
+    assert not phase.is_active
+    # the burst has not started: the first granted cycle still begins at 0x40
+    assert master.drive_address_phase(1, granted=True).haddr == 0x40
+
+
+def test_write_data_follows_accepted_beats():
+    master = TrafficMaster("m", 0, [BusTransaction(0, 0x0, True, HBurst.INCR4, data=[11, 22, 33, 44])])
+    accepted = [drive_accept(master, cycle) for cycle in range(4)]
+    assert [master.drive_hwdata(phase) for phase in accepted] == [11, 22, 33, 44]
+
+
+def test_write_data_for_read_beat_raises():
+    master = TrafficMaster("m", 0, [BusTransaction(0, 0x0, False, HBurst.SINGLE)])
+    phase = drive_accept(master, 0)
+    with pytest.raises(AhbError):
+        master.drive_hwdata(phase)
+
+
+def test_read_data_collection_and_completion():
+    master = TrafficMaster("m", 0, [BusTransaction(0, 0x0, False, HBurst.INCR4)])
+    phases = [drive_accept(master, cycle) for cycle in range(4)]
+    for index, phase in enumerate(phases):
+        master.on_data_phase_done(index + 1, phase, DataPhaseResult.okay(hrdata=100 + index))
+    assert master.done
+    assert len(master.completed_transactions) == 1
+    assert master.completed_transactions[0].data == [100, 101, 102, 103]
+    assert master.stats.beats_completed == 4
+
+
+def test_error_response_marks_transaction_not_ok():
+    master = TrafficMaster("m", 0, [BusTransaction(0, 0x0, True, HBurst.SINGLE, data=[7])])
+    phase = drive_accept(master, 0)
+    master.on_data_phase_done(1, phase, DataPhaseResult(hready=True, hresp=HResp.ERROR))
+    assert master.stats.error_responses == 1
+    assert len(master.completed_transactions) == 1
+    assert not master.completed_transactions[0].ok
+
+
+def test_enqueue_validates_master_id():
+    master = TrafficMaster("m", 0)
+    with pytest.raises(AhbError):
+        master.enqueue(BusTransaction(1, 0x0, True, HBurst.SINGLE, data=[1]))
+    master.enqueue(BusTransaction(0, 0x0, True, HBurst.SINGLE, data=[1]))
+    assert master.drive_hbusreq(0)
+
+
+def test_unexpected_address_accept_raises():
+    master = TrafficMaster("m", 0)
+    phase = AddressPhase(master_id=0, haddr=0x0, htrans=HTrans.NONSEQ)
+    with pytest.raises(AhbError):
+        master.on_address_accepted(0, phase)
+
+
+def test_data_phase_done_without_outstanding_beat_raises():
+    master = TrafficMaster("m", 0)
+    phase = AddressPhase(master_id=0, haddr=0x0, htrans=HTrans.NONSEQ)
+    with pytest.raises(AhbError):
+        master.on_data_phase_done(0, phase, DataPhaseResult.okay())
+
+
+def test_snapshot_restore_rewinds_master_progress():
+    master = TrafficMaster(
+        "m",
+        0,
+        [
+            BusTransaction(0, 0x0, True, HBurst.INCR4, data=[1, 2, 3, 4]),
+            BusTransaction(0, 0x100, False, HBurst.INCR4),
+        ],
+    )
+    # complete the first transaction
+    phases = [drive_accept(master, cycle) for cycle in range(4)]
+    for phase in phases:
+        master.on_data_phase_done(0, phase, DataPhaseResult.okay())
+    state = master.snapshot_state()
+    # progress into the second transaction
+    more = [drive_accept(master, cycle) for cycle in range(4, 8)]
+    for phase in more:
+        master.on_data_phase_done(0, phase, DataPhaseResult.okay(hrdata=5))
+    assert len(master.completed_transactions) == 2
+    master.restore_state(state)
+    assert len(master.completed_transactions) == 1
+    # the second transaction replays identically after the restore
+    replay = [drive_accept(master, cycle) for cycle in range(4, 8)]
+    assert [p.haddr for p in replay] == [p.haddr for p in more]
+
+
+def test_reset_returns_master_to_initial_state():
+    master = TrafficMaster("m", 0, [BusTransaction(0, 0x0, True, HBurst.SINGLE, data=[1])])
+    drive_accept(master, 0)
+    master.reset()
+    assert not master.done
+    assert master.drive_address_phase(0, granted=True).haddr == 0x0

@@ -1,0 +1,127 @@
+"""Unit tests for the AHB protocol monitor."""
+
+from __future__ import annotations
+
+from repro.ahb.monitor import AhbProtocolMonitor
+from repro.ahb.signals import (
+    AddressPhase,
+    BusCycleRecord,
+    DataPhaseResult,
+    HBurst,
+    HResp,
+    HTrans,
+)
+
+
+def record(
+    cycle,
+    granted=0,
+    addr_phase=None,
+    data_phase=None,
+    hwdata=None,
+    hready=True,
+    hresp=HResp.OKAY,
+):
+    return BusCycleRecord(
+        cycle=cycle,
+        granted_master=granted,
+        address_phase=addr_phase,
+        data_phase=data_phase,
+        hwdata=hwdata,
+        response=DataPhaseResult(hready=hready, hresp=hresp),
+        requests={},
+    )
+
+
+def phase(master=0, addr=0x0, trans=HTrans.NONSEQ, write=False, burst=HBurst.INCR4):
+    return AddressPhase(master_id=master, haddr=addr, htrans=trans, hwrite=write, hburst=burst)
+
+
+def test_clean_burst_produces_no_violations():
+    monitor = AhbProtocolMonitor()
+    monitor.check(record(0, addr_phase=phase(addr=0x0, trans=HTrans.NONSEQ)))
+    monitor.check(record(1, addr_phase=phase(addr=0x4, trans=HTrans.SEQ)))
+    monitor.check(record(2, addr_phase=phase(addr=0x8, trans=HTrans.SEQ)))
+    monitor.check(record(3, addr_phase=phase(addr=0xC, trans=HTrans.SEQ)))
+    assert monitor.ok
+
+
+def test_active_transfer_by_non_granted_master_is_flagged():
+    monitor = AhbProtocolMonitor()
+    monitor.check(record(0, granted=1, addr_phase=phase(master=0)))
+    assert not monitor.ok
+    assert monitor.violations[0].rule == "GRANT"
+
+
+def test_seq_with_wrong_address_is_flagged():
+    monitor = AhbProtocolMonitor()
+    monitor.check(record(0, addr_phase=phase(addr=0x0, trans=HTrans.NONSEQ)))
+    monitor.check(record(1, addr_phase=phase(addr=0x10, trans=HTrans.SEQ)))
+    assert any(v.rule == "BURST" for v in monitor.violations)
+
+
+def test_seq_without_nonseq_is_flagged():
+    monitor = AhbProtocolMonitor()
+    monitor.check(record(0, addr_phase=phase(addr=0x4, trans=HTrans.SEQ)))
+    assert any(v.rule == "BURST" for v in monitor.violations)
+
+
+def test_seq_by_different_master_is_flagged():
+    monitor = AhbProtocolMonitor()
+    monitor.check(record(0, granted=0, addr_phase=phase(master=0, addr=0x0, trans=HTrans.NONSEQ)))
+    monitor.check(record(1, granted=1, addr_phase=phase(master=1, addr=0x4, trans=HTrans.SEQ)))
+    assert any(v.rule == "BURST" for v in monitor.violations)
+
+
+def test_control_change_mid_burst_is_flagged():
+    monitor = AhbProtocolMonitor()
+    monitor.check(record(0, addr_phase=phase(addr=0x0, trans=HTrans.NONSEQ, write=False)))
+    monitor.check(record(1, addr_phase=phase(addr=0x4, trans=HTrans.SEQ, write=True)))
+    assert any(v.rule == "BURST" for v in monitor.violations)
+
+
+def test_address_change_during_wait_state_is_flagged():
+    monitor = AhbProtocolMonitor()
+    data = phase(addr=0x100, trans=HTrans.NONSEQ)
+    monitor.check(record(0, addr_phase=phase(addr=0x20), data_phase=data, hready=False))
+    monitor.check(record(1, addr_phase=phase(addr=0x40), data_phase=data, hready=True))
+    assert any(v.rule == "STABLE" for v in monitor.violations)
+
+
+def test_address_held_during_wait_state_is_clean():
+    monitor = AhbProtocolMonitor()
+    data = phase(addr=0x100, trans=HTrans.NONSEQ)
+    held = phase(addr=0x20)
+    monitor.check(record(0, addr_phase=held, data_phase=data, hready=False))
+    monitor.check(record(1, addr_phase=held, data_phase=data, hready=True))
+    assert monitor.ok
+
+
+def test_error_response_with_wait_outside_data_phase_is_flagged():
+    monitor = AhbProtocolMonitor()
+    monitor.check(record(0, hready=False, hresp=HResp.ERROR, data_phase=None))
+    assert any(v.rule == "RESP" for v in monitor.violations)
+
+
+def test_two_cycle_error_inside_data_phase_is_clean():
+    monitor = AhbProtocolMonitor()
+    data = phase(addr=0x100, trans=HTrans.NONSEQ)
+    monitor.check(record(0, data_phase=data, hready=False, hresp=HResp.ERROR))
+    monitor.check(record(1, data_phase=data, hready=True, hresp=HResp.ERROR))
+    assert monitor.ok
+
+
+def test_reset_clears_violations_and_history():
+    monitor = AhbProtocolMonitor()
+    monitor.check(record(0, granted=1, addr_phase=phase(master=0)))
+    assert not monitor.ok
+    monitor.reset()
+    assert monitor.ok
+    assert monitor.violations == []
+
+
+def test_violation_string_rendering():
+    monitor = AhbProtocolMonitor()
+    monitor.check(record(7, granted=1, addr_phase=phase(master=0)))
+    text = str(monitor.violations[0])
+    assert "cycle 7" in text and "GRANT" in text

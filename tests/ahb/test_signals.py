@@ -1,0 +1,99 @@
+"""Unit tests for AHB signal definitions and the MSABS classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.signals import (
+    AddressPhase,
+    AhbError,
+    DataPhaseResult,
+    HBurst,
+    HResp,
+    HSize,
+    HTrans,
+    MSABS_CLASSIFICATION,
+    SignalClass,
+    is_predictable,
+)
+
+
+def test_htrans_active_classification():
+    assert HTrans.NONSEQ.is_active
+    assert HTrans.SEQ.is_active
+    assert not HTrans.IDLE.is_active
+    assert not HTrans.BUSY.is_active
+
+
+def test_hburst_beat_counts():
+    assert HBurst.SINGLE.beats == 1
+    assert HBurst.INCR4.beats == 4
+    assert HBurst.WRAP8.beats == 8
+    assert HBurst.INCR16.beats == 16
+    assert HBurst.INCR.beats is None
+
+
+def test_hburst_wrapping_flag():
+    assert HBurst.WRAP4.is_wrapping
+    assert HBurst.WRAP16.is_wrapping
+    assert not HBurst.INCR8.is_wrapping
+    assert not HBurst.SINGLE.is_wrapping
+
+
+def test_hsize_byte_widths():
+    assert HSize.BYTE.bytes == 1
+    assert HSize.HALFWORD.bytes == 2
+    assert HSize.WORD.bytes == 4
+    assert HSize.DOUBLEWORD.bytes == 8
+
+
+def test_address_phase_requires_alignment():
+    AddressPhase(master_id=0, haddr=0x104, htrans=HTrans.NONSEQ)  # aligned: fine
+    with pytest.raises(AhbError):
+        AddressPhase(master_id=0, haddr=0x102, htrans=HTrans.NONSEQ, hsize=HSize.WORD)
+    # halfword alignment is less strict
+    AddressPhase(master_id=0, haddr=0x102, htrans=HTrans.NONSEQ, hsize=HSize.HALFWORD)
+
+
+def test_address_phase_rejects_negative_address():
+    with pytest.raises(AhbError):
+        AddressPhase(master_id=0, haddr=-4)
+
+
+def test_address_phase_idle_helpers():
+    phase = AddressPhase(master_id=3, haddr=0x200, htrans=HTrans.NONSEQ, hwrite=True)
+    idle = phase.idle()
+    assert idle.htrans is HTrans.IDLE
+    assert idle.haddr == phase.haddr
+    assert not idle.is_active
+    parked = AddressPhase.idle_phase(5)
+    assert parked.master_id == 5
+    assert not parked.is_active
+
+
+def test_data_phase_result_constructors():
+    okay = DataPhaseResult.okay(hrdata=0xABCD)
+    assert okay.hready and okay.hresp is HResp.OKAY and okay.hrdata == 0xABCD
+    wait = DataPhaseResult.wait()
+    assert not wait.hready and wait.hresp is HResp.OKAY
+    err1 = DataPhaseResult.error_first_cycle()
+    err2 = DataPhaseResult.error_second_cycle()
+    assert not err1.hready and err1.hresp is HResp.ERROR
+    assert err2.hready and err2.hresp is HResp.ERROR
+
+
+def test_msabs_classification_matches_paper_figure1():
+    # address / control / responses / arbitration result: predictable
+    for name in ("haddr", "htrans", "hwrite", "hsize", "hburst", "hprot",
+                 "hready", "hresp", "hsplit", "arbitration_result", "interrupt"):
+        assert MSABS_CLASSIFICATION[name] is SignalClass.PREDICTABLE, name
+    # data signals and individual bus requests: non-predictable
+    for name in ("hwdata", "hrdata", "hbusreq"):
+        assert MSABS_CLASSIFICATION[name] is SignalClass.NON_PREDICTABLE, name
+
+
+def test_is_predictable_helper_and_unknown_signal():
+    assert is_predictable("haddr")
+    assert not is_predictable("hrdata")
+    with pytest.raises(AhbError):
+        is_predictable("not_a_signal")

@@ -1,0 +1,149 @@
+"""Unit tests for bus slaves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.slave import DefaultSlave, FifoPeripheralSlave, MemorySlave
+from repro.ahb.signals import AddressPhase, AhbError, HBurst, HResp, HTrans
+
+
+def write_phase(addr, master_id=0):
+    return AddressPhase(master_id=master_id, haddr=addr, htrans=HTrans.NONSEQ, hwrite=True)
+
+
+def read_phase(addr, master_id=0):
+    return AddressPhase(master_id=master_id, haddr=addr, htrans=HTrans.NONSEQ, hwrite=False)
+
+
+class TestMemorySlave:
+    def test_write_then_read_round_trips(self):
+        memory = MemorySlave("mem", 0, base_address=0x1000, size_bytes=0x100)
+        result = memory.data_phase(0, write_phase(0x1010), hwdata=0xDEADBEEF, first_cycle=True)
+        assert result.hready and result.hresp is HResp.OKAY
+        readback = memory.data_phase(1, read_phase(0x1010), hwdata=None, first_cycle=True)
+        assert readback.hrdata == 0xDEADBEEF
+
+    def test_direct_access_helpers(self):
+        memory = MemorySlave("mem", 0, base_address=0x0, size_bytes=0x40)
+        memory.load(0x10, [1, 2, 3])
+        assert memory.read_word(0x14) == 2
+        memory.write_word(0x14, 99)
+        assert memory.read_word(0x14) == 99
+
+    def test_values_are_truncated_to_32_bits(self):
+        memory = MemorySlave("mem", 0, base_address=0x0, size_bytes=0x10)
+        memory.write_word(0x0, 0x1_2345_6789)
+        assert memory.read_word(0x0) == 0x2345_6789
+
+    def test_out_of_range_access_rejected(self):
+        memory = MemorySlave("mem", 0, base_address=0x1000, size_bytes=0x100)
+        with pytest.raises(AhbError):
+            memory.read_word(0x0FFF)
+        with pytest.raises(AhbError):
+            memory.write_word(0x1100, 1)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(AhbError):
+            MemorySlave("mem", 0, base_address=0, size_bytes=6)
+
+    def test_wait_states_delay_completion(self):
+        memory = MemorySlave("mem", 0, 0x0, 0x100, read_wait_states=2)
+        memory.write_word(0x20, 7)
+        first = memory.data_phase(0, read_phase(0x20), None, first_cycle=True)
+        second = memory.data_phase(1, read_phase(0x20), None, first_cycle=False)
+        third = memory.data_phase(2, read_phase(0x20), None, first_cycle=False)
+        assert not first.hready and not second.hready
+        assert third.hready and third.hrdata == 7
+        assert memory.stats.wait_states == 2
+
+    def test_write_without_data_raises(self):
+        memory = MemorySlave("mem", 0, 0x0, 0x100)
+        with pytest.raises(AhbError):
+            memory.data_phase(0, write_phase(0x0), hwdata=None, first_cycle=True)
+
+    def test_snapshot_restore_round_trips_contents(self):
+        memory = MemorySlave("mem", 0, 0x0, 0x100)
+        memory.write_word(0x0, 11)
+        state = memory.snapshot_state()
+        memory.write_word(0x0, 22)
+        memory.write_word(0x4, 33)
+        memory.restore_state(state)
+        assert memory.read_word(0x0) == 11
+        assert memory.read_word(0x4) == 0
+
+    def test_rollback_variable_count_scales_with_size(self):
+        small = MemorySlave("s", 0, 0x0, 0x40)
+        large = MemorySlave("l", 1, 0x0, 0x400)
+        assert large.rollback_variable_count() > small.rollback_variable_count()
+
+    def test_reset_clears_contents(self):
+        memory = MemorySlave("mem", 0, 0x0, 0x40)
+        memory.write_word(0x0, 5)
+        memory.reset()
+        assert memory.read_word(0x0) == 0
+
+
+class TestFifoPeripheralSlave:
+    def test_read_from_empty_fifo_waits_until_produced(self):
+        fifo = FifoPeripheralSlave("fifo", 0, depth=4, produce_period=2, initial_fill=0)
+        first = fifo.data_phase(0, read_phase(0x0), None, first_cycle=True)
+        assert not first.hready
+        # two producer ticks add one element
+        fifo.evaluate(1)
+        fifo.evaluate(2)
+        second = fifo.data_phase(2, read_phase(0x0), None, first_cycle=False)
+        assert second.hready
+
+    def test_reads_return_incrementing_stream(self):
+        fifo = FifoPeripheralSlave("fifo", 0, depth=8, initial_fill=8)
+        values = [
+            fifo.data_phase(i, read_phase(0x0), None, first_cycle=True).hrdata for i in range(3)
+        ]
+        assert values == [0, 1, 2]
+
+    def test_write_to_full_fifo_waits(self):
+        fifo = FifoPeripheralSlave("fifo", 0, depth=2, produce_period=1000, initial_fill=2)
+        result = fifo.data_phase(0, write_phase(0x0), hwdata=1, first_cycle=True)
+        assert not result.hready
+        assert fifo.stats.wait_states == 1
+
+    def test_snapshot_restore_round_trip(self):
+        fifo = FifoPeripheralSlave("fifo", 0, depth=4, initial_fill=4)
+        fifo.data_phase(0, read_phase(0x0), None, first_cycle=True)
+        state = fifo.snapshot_state()
+        fifo.data_phase(1, read_phase(0x0), None, first_cycle=True)
+        fifo.restore_state(state)
+        result = fifo.data_phase(2, read_phase(0x0), None, first_cycle=True)
+        assert result.hrdata == 1  # the second element again
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(AhbError):
+            FifoPeripheralSlave("fifo", 0, depth=0)
+
+
+class TestDefaultSlave:
+    def test_two_cycle_error_response(self):
+        slave = DefaultSlave()
+        first = slave.data_phase(0, read_phase(0x0), None, first_cycle=True)
+        second = slave.data_phase(1, read_phase(0x0), None, first_cycle=False)
+        assert (first.hready, first.hresp) == (False, HResp.ERROR)
+        assert (second.hready, second.hresp) == (True, HResp.ERROR)
+        assert slave.stats.errors == 1
+
+    def test_new_beat_restarts_error_sequence(self):
+        slave = DefaultSlave()
+        slave.data_phase(0, read_phase(0x0), None, first_cycle=True)
+        slave.data_phase(1, read_phase(0x0), None, first_cycle=False)
+        again = slave.data_phase(2, read_phase(0x4), None, first_cycle=True)
+        assert not again.hready
+
+    def test_snapshot_restore(self):
+        slave = DefaultSlave()
+        slave.data_phase(0, read_phase(0x0), None, first_cycle=True)
+        state = slave.snapshot_state()
+        slave.data_phase(1, read_phase(0x0), None, first_cycle=False)
+        slave.restore_state(state)
+        # restored mid-error-sequence: next call completes the response
+        result = slave.data_phase(2, read_phase(0x0), None, first_cycle=False)
+        assert result.hready and result.hresp is HResp.ERROR

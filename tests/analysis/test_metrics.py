@@ -1,0 +1,88 @@
+"""Unit tests for metric helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    ComparisonRow,
+    PaperComparison,
+    crossover_accuracy,
+    geometric_mean,
+    monotonically_non_increasing,
+    relative_error,
+    speedup,
+    summarize_counts,
+    within_factor,
+)
+
+
+def test_speedup_and_zero_baseline():
+    assert speedup(200.0, 100.0) == pytest.approx(2.0)
+    assert math.isinf(speedup(1.0, 0.0))
+
+
+def test_relative_error_cases():
+    assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+    assert relative_error(0.0, 0.0) == 0.0
+    assert math.isinf(relative_error(1.0, 0.0))
+
+
+def test_within_factor():
+    assert within_factor(90.0, 100.0, 1.2)
+    assert within_factor(120.0, 100.0, 1.2)
+    assert not within_factor(200.0, 100.0, 1.5)
+    assert not within_factor(-1.0, 100.0, 1.5)
+    assert not within_factor(100.0, 100.0, 0.5)
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([0.0, -1.0]) == 0.0
+
+
+def test_comparison_row_derived_fields():
+    row = ComparisonRow(name="perf", paper_value=100.0, measured_value=120.0)
+    assert row.ratio == pytest.approx(1.2)
+    assert row.error == pytest.approx(0.2)
+    assert row.as_dict()["name"] == "perf"
+
+
+def test_paper_comparison_from_mappings_and_summaries():
+    comparison = PaperComparison.from_mappings(
+        "t",
+        paper={"a": 10.0, "b": 20.0, "missing": 5.0},
+        measured={"a": 11.0, "b": 30.0},
+    )
+    assert len(comparison.rows) == 2
+    assert comparison.max_error() == pytest.approx(0.5)
+    assert comparison.mean_error() == pytest.approx((0.1 + 0.5) / 2)
+    assert comparison.worst_row().name == "b"
+    assert comparison.all_within(0.6)
+    assert not comparison.all_within(0.2)
+
+
+def test_crossover_accuracy_interpolates():
+    accuracies = [1.0, 0.8, 0.6, 0.4, 0.2]
+    performances = [200.0, 160.0, 120.0, 80.0, 40.0]
+    crossing = crossover_accuracy(accuracies, performances, threshold=100.0)
+    assert crossing == pytest.approx(0.5, abs=0.01)
+
+
+def test_crossover_returns_none_when_never_crossing():
+    assert crossover_accuracy([1.0, 0.5], [10.0, 5.0], threshold=1.0) is None
+    with pytest.raises(ValueError):
+        crossover_accuracy([1.0], [1.0, 2.0], threshold=1.0)
+
+
+def test_monotonically_non_increasing():
+    assert monotonically_non_increasing([5.0, 4.0, 4.0, 1.0])
+    assert not monotonically_non_increasing([1.0, 2.0])
+    assert monotonically_non_increasing([])
+
+
+def test_summarize_counts_sorted_rendering():
+    assert summarize_counts({"b": 2, "a": 1}) == "a=1, b=2"

@@ -1,0 +1,80 @@
+"""Unit tests for report rendering."""
+
+from __future__ import annotations
+
+from repro.analysis.report import (
+    Series,
+    format_quantity,
+    render_ascii_chart,
+    render_comparison,
+    render_table,
+    render_transposed_table,
+)
+
+
+def test_format_quantity_styles():
+    assert format_quantity(0) == "0"
+    assert "e" in format_quantity(1.23e-6)
+    assert format_quantity(123456) == "123,456"
+    assert format_quantity(3.14159) == "3.14"
+
+
+def test_render_table_alignment_and_title():
+    text = render_table(
+        ["name", "value"],
+        [["alpha", 1.0], ["beta", 123456.0]],
+        title="My Table",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "My Table"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "alpha" in text and "123,456" in text
+    # header separator present
+    assert set(lines[2].replace(" ", "")) == {"-"}
+
+
+def test_render_transposed_table_keys_become_columns():
+    text = render_transposed_table(
+        row_labels=["Tsim", "Tacc"],
+        columns={"p=1.0": [1e-6, 1e-7], "p=0.9": [1e-6, 5e-7]},
+        title="Table 2",
+    )
+    assert "p=1.0" in text and "p=0.9" in text
+    assert "Tsim" in text and "Tacc" in text
+
+
+def test_render_ascii_chart_contains_markers_and_legend():
+    series = [
+        Series(label="deep", x=[1.0, 0.5, 0.1], y=[100.0, 50.0, 10.0], marker="D"),
+        Series(label="shallow", x=[1.0, 0.5, 0.1], y=[80.0, 60.0, 30.0], marker="s"),
+    ]
+    chart = render_ascii_chart(
+        series,
+        width=40,
+        height=10,
+        title="Figure 4",
+        x_label="accuracy",
+        y_label="cycles/s",
+        reference_lines={"conventional": 40.0},
+    )
+    assert "Figure 4" in chart
+    assert "D=deep" in chart and "s=shallow" in chart
+    assert "conventional" in chart
+    assert "D" in chart and "s" in chart
+    assert chart.count("\n") >= 12
+
+
+def test_render_ascii_chart_empty_and_flat_series():
+    assert render_ascii_chart([], width=10, height=5) == "(no data)"
+    flat = render_ascii_chart(
+        [Series(label="flat", x=[1.0, 0.5], y=[5.0, 5.0])], width=10, height=5
+    )
+    assert "flat" in flat
+
+
+def test_render_comparison_rows():
+    rows = [
+        {"name": "gain", "paper": 16.75, "measured": 16.5, "ratio": 0.985, "relative_error": 0.015},
+    ]
+    text = render_comparison("Comparison", rows)
+    assert "gain" in text and "0.98x" in text and "1.5%" in text

@@ -1,0 +1,64 @@
+"""Tests for the mechanism-level sweep helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import (
+    accuracy_sweep_mechanism,
+    lob_depth_sweep,
+    mode_comparison,
+    rows_from_points,
+    run_engine,
+)
+from repro.core import CoEmulationConfig, OperatingMode
+from repro.workloads import als_streaming_soc
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return als_streaming_soc(n_bursts=6)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return CoEmulationConfig(mode=OperatingMode.ALS, total_cycles=200)
+
+
+def test_run_engine_dispatches_on_mode(spec, base_config):
+    from dataclasses import replace
+
+    optimistic = run_engine(spec, base_config)
+    conventional = run_engine(spec, replace(base_config, mode=OperatingMode.CONSERVATIVE))
+    assert optimistic.mode is OperatingMode.ALS
+    assert conventional.mode is OperatingMode.CONSERVATIVE
+    assert optimistic.performance_cycles_per_second > conventional.performance_cycles_per_second
+
+
+def test_accuracy_sweep_mechanism_produces_decreasing_performance(spec, base_config):
+    points = accuracy_sweep_mechanism(spec, base_config, [1.0, 0.8, 0.4])
+    perfs = [p.result.performance_cycles_per_second for p in points]
+    assert len(points) == 3
+    assert perfs[0] > perfs[-1]
+    assert points[0].label == "p=1"
+
+
+def test_lob_depth_sweep_reports_configured_depths(spec, base_config):
+    points = lob_depth_sweep(spec, base_config, [8, 64])
+    assert [p.config.lob_depth for p in points] == [8, 64]
+    assert all(p.result.committed_cycles >= 200 for p in points)
+
+
+def test_mode_comparison_runs_all_requested_modes(spec, base_config):
+    results = mode_comparison(
+        spec, base_config, modes=(OperatingMode.CONSERVATIVE, OperatingMode.ALS)
+    )
+    assert set(results) == {OperatingMode.CONSERVATIVE, OperatingMode.ALS}
+
+
+def test_rows_from_points_flatten_results(spec, base_config):
+    points = accuracy_sweep_mechanism(spec, base_config, [1.0])
+    rows = rows_from_points(points)
+    assert rows[0]["label"] == "p=1"
+    assert rows[0]["lob_depth"] == base_config.lob_depth
+    assert "performance" in rows[0]

@@ -1,0 +1,86 @@
+"""Unit tests for the layered channel transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.driver import ChannelError, SimulatorAcceleratorChannel
+from repro.channel.phy import ChannelDirection, ChannelTimingParams, ZERO_OVERHEAD_CHANNEL
+
+
+def test_write_then_read_delivers_message_in_order():
+    channel = SimulatorAcceleratorChannel()
+    channel.write(ChannelDirection.SIM_TO_ACC, [1, 2, 3], purpose="a", target_cycle=0)
+    channel.write(ChannelDirection.SIM_TO_ACC, [4], purpose="b", target_cycle=1)
+    first = channel.read(ChannelDirection.SIM_TO_ACC)
+    second = channel.read(ChannelDirection.SIM_TO_ACC)
+    assert first.words == [1, 2, 3] and first.purpose == "a"
+    assert second.words == [4] and second.purpose == "b"
+
+
+def test_directions_are_independent_queues():
+    channel = SimulatorAcceleratorChannel()
+    channel.write(ChannelDirection.SIM_TO_ACC, [1])
+    assert channel.pending(ChannelDirection.SIM_TO_ACC) == 1
+    assert channel.pending(ChannelDirection.ACC_TO_SIM) == 0
+    with pytest.raises(ChannelError):
+        channel.read(ChannelDirection.ACC_TO_SIM)
+
+
+def test_write_returns_and_accumulates_modelled_time():
+    channel = SimulatorAcceleratorChannel()
+    time = channel.write(ChannelDirection.ACC_TO_SIM, list(range(10)))
+    assert time == pytest.approx(12.2e-6 + 10 * 75.73e-9)
+    assert channel.stats.total_time == pytest.approx(time)
+    assert channel.stats.accesses == 1
+
+
+def test_layer_times_sum_to_startup_overhead_per_access():
+    channel = SimulatorAcceleratorChannel()
+    channel.write(ChannelDirection.SIM_TO_ACC, [1])
+    channel.write(ChannelDirection.SIM_TO_ACC, [2])
+    assert channel.layer_times.total == pytest.approx(2 * 12.2e-6)
+    assert channel.layer_times.api > 0
+    assert channel.layer_times.driver > 0
+    assert channel.layer_times.physical > 0
+
+
+def test_zero_overhead_channel_has_zero_layer_times():
+    channel = SimulatorAcceleratorChannel(params=ZERO_OVERHEAD_CHANNEL)
+    channel.write(ChannelDirection.SIM_TO_ACC, [1, 2])
+    assert channel.layer_times.total == 0.0
+    assert channel.stats.total_time == pytest.approx(2 * 49.95e-9)
+
+
+def test_drain_returns_all_pending_messages():
+    channel = SimulatorAcceleratorChannel()
+    for index in range(3):
+        channel.write(ChannelDirection.ACC_TO_SIM, [index])
+    drained = channel.drain(ChannelDirection.ACC_TO_SIM)
+    assert [m.words for m in drained] == [[0], [1], [2]]
+    assert channel.pending(ChannelDirection.ACC_TO_SIM) == 0
+
+
+def test_reading_does_not_charge_extra_time():
+    channel = SimulatorAcceleratorChannel()
+    channel.write(ChannelDirection.SIM_TO_ACC, [1])
+    before = channel.stats.total_time
+    channel.read(ChannelDirection.SIM_TO_ACC)
+    assert channel.stats.total_time == before
+
+
+def test_reset_clears_queues_and_stats():
+    channel = SimulatorAcceleratorChannel()
+    channel.write(ChannelDirection.SIM_TO_ACC, [1])
+    channel.reset()
+    assert channel.stats.accesses == 0
+    assert channel.pending(ChannelDirection.SIM_TO_ACC) == 0
+
+
+def test_custom_channel_parameters_are_respected():
+    params = ChannelTimingParams(
+        startup_overhead=1e-6, sim_to_acc_word_time=1e-9, acc_to_sim_word_time=2e-9
+    )
+    channel = SimulatorAcceleratorChannel(params=params)
+    time = channel.write(ChannelDirection.SIM_TO_ACC, [0] * 100)
+    assert time == pytest.approx(1e-6 + 100e-9)

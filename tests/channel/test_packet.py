@@ -1,0 +1,107 @@
+"""Unit tests for the boundary packetizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.half_bus import BoundaryDrive
+from repro.ahb.signals import AddressPhase, DataPhaseResult, HBurst, HResp, HSize, HTrans
+from repro.channel.packet import BoundaryPacketizer, PacketError
+
+
+@pytest.fixture
+def packetizer():
+    return BoundaryPacketizer(master_ids=[0, 1, 2], interrupt_names=["irq_dma", "irq_timer"])
+
+
+def sample_phase():
+    return AddressPhase(
+        master_id=2,
+        haddr=0x1234_5678,
+        htrans=HTrans.SEQ,
+        hwrite=True,
+        hsize=HSize.WORD,
+        hburst=HBurst.INCR8,
+        hprot=0x3,
+    )
+
+
+def test_requests_only_packet_is_one_word(packetizer):
+    words = packetizer.encode(requests={0: True, 1: False, 2: True})
+    assert len(words) == 1
+    decoded = packetizer.decode(words)
+    assert decoded.requests == {0: True, 1: False, 2: True}
+    assert decoded.address_phase is None
+    assert decoded.response is None
+
+
+def test_full_cycle_record_round_trips(packetizer):
+    response = DataPhaseResult(hready=True, hresp=HResp.OKAY, hrdata=0xCAFEBABE)
+    words = packetizer.encode(
+        requests={0: True},
+        address_phase=sample_phase(),
+        hwdata=0xDEADBEEF,
+        response=response,
+        interrupts={"irq_dma": True},
+    )
+    decoded = packetizer.decode(words)
+    assert decoded.address_phase == sample_phase()
+    assert decoded.hwdata == 0xDEADBEEF
+    assert decoded.response == response
+    assert decoded.requests[0] is True and decoded.requests[1] is False
+    assert decoded.interrupts == {"irq_dma": True, "irq_timer": False}
+
+
+def test_response_without_read_data_round_trips(packetizer):
+    words = packetizer.encode_response(DataPhaseResult.wait())
+    decoded = packetizer.decode(words)
+    assert decoded.response == DataPhaseResult.wait()
+    assert decoded.response.hrdata is None
+
+
+def test_conventional_cycle_payload_is_at_most_five_words(packetizer):
+    """The paper observes the per-cycle exchange does not exceed five words."""
+    drive_words = packetizer.encode_drive(
+        BoundaryDrive(
+            cycle=0,
+            requests={0: True, 1: False, 2: False},
+            address_phase=sample_phase(),
+            hwdata=0x1111_2222,
+        )
+    )
+    reply_words = packetizer.encode_response(DataPhaseResult.okay(hrdata=0x3333_4444))
+    assert len(drive_words) <= 5
+    assert len(reply_words) <= 5
+
+
+def test_word_count_helpers_match_encoding(packetizer):
+    drive = BoundaryDrive(cycle=0, requests={0: True}, address_phase=sample_phase())
+    assert packetizer.drive_word_count(drive) == len(packetizer.encode_drive(drive))
+    assert packetizer.response_word_count(None) == len(packetizer.encode_response(None))
+
+
+def test_decode_rejects_truncated_packets(packetizer):
+    words = packetizer.encode(requests={}, address_phase=sample_phase())
+    with pytest.raises(PacketError):
+        packetizer.decode(words[:-1])
+    with pytest.raises(PacketError):
+        packetizer.decode([])
+
+
+def test_decode_rejects_trailing_words(packetizer):
+    words = packetizer.encode(requests={0: True})
+    with pytest.raises(PacketError):
+        packetizer.decode(words + [0])
+
+
+def test_too_many_masters_or_interrupts_rejected():
+    with pytest.raises(PacketError):
+        BoundaryPacketizer(master_ids=list(range(9)))
+    with pytest.raises(PacketError):
+        BoundaryPacketizer(master_ids=[0], interrupt_names=[f"irq{i}" for i in range(9)])
+
+
+def test_addresses_are_masked_to_32_bits(packetizer):
+    phase = AddressPhase(master_id=0, haddr=0x1_0000_0004, htrans=HTrans.NONSEQ)
+    decoded = packetizer.decode(packetizer.encode(requests={}, address_phase=phase))
+    assert decoded.address_phase.haddr == 0x4

@@ -1,0 +1,92 @@
+"""Unit tests for the channel timing parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.phy import (
+    ChannelDirection,
+    ChannelLayerBreakdown,
+    ChannelTimingParams,
+    FAST_CHANNEL,
+    IPROVE_PCI_CHANNEL,
+    ZERO_OVERHEAD_CHANNEL,
+)
+
+
+def test_paper_constants_are_the_defaults():
+    params = ChannelTimingParams()
+    assert params.startup_overhead == pytest.approx(12.2e-6)
+    assert params.sim_to_acc_word_time == pytest.approx(49.95e-9)
+    assert params.acc_to_sim_word_time == pytest.approx(75.73e-9)
+    assert IPROVE_PCI_CHANNEL == params
+
+
+def test_access_time_is_startup_plus_payload():
+    params = ChannelTimingParams()
+    time = params.access_time(ChannelDirection.SIM_TO_ACC, 100)
+    assert time == pytest.approx(12.2e-6 + 100 * 49.95e-9)
+    time_back = params.access_time(ChannelDirection.ACC_TO_SIM, 100)
+    assert time_back == pytest.approx(12.2e-6 + 100 * 75.73e-9)
+
+
+def test_zero_word_access_costs_only_startup():
+    params = ChannelTimingParams()
+    assert params.access_time(ChannelDirection.SIM_TO_ACC, 0) == pytest.approx(12.2e-6)
+
+
+def test_negative_word_count_rejected():
+    with pytest.raises(ValueError):
+        ChannelTimingParams().access_time(ChannelDirection.SIM_TO_ACC, -1)
+
+
+def test_negative_parameters_rejected():
+    with pytest.raises(ValueError):
+        ChannelTimingParams(startup_overhead=-1.0)
+    with pytest.raises(ValueError):
+        ChannelTimingParams(sim_to_acc_word_time=-1.0)
+
+
+def test_amortized_word_time_decreases_with_burst_size():
+    """The whole point of packetizing: bigger bursts amortise the startup."""
+    params = ChannelTimingParams()
+    costs = [
+        params.amortized_word_time(ChannelDirection.SIM_TO_ACC, words)
+        for words in (1, 5, 64, 1024)
+    ]
+    assert costs == sorted(costs, reverse=True)
+    assert costs[0] > 100 * costs[-1]
+
+
+def test_amortized_cost_requires_positive_words():
+    with pytest.raises(ValueError):
+        ChannelTimingParams().amortized_word_time(ChannelDirection.SIM_TO_ACC, 0)
+
+
+def test_breakeven_words_is_far_above_per_cycle_payload():
+    """A single cycle's exchange (<= 5 words) is far below the break-even
+    size, which is why the conventional scheme is startup-dominated."""
+    params = ChannelTimingParams()
+    assert params.breakeven_words(ChannelDirection.SIM_TO_ACC) > 200
+    assert params.breakeven_words(ChannelDirection.ACC_TO_SIM) > 100
+
+
+def test_direction_other_flips():
+    assert ChannelDirection.SIM_TO_ACC.other is ChannelDirection.ACC_TO_SIM
+    assert ChannelDirection.ACC_TO_SIM.other is ChannelDirection.SIM_TO_ACC
+
+
+def test_canned_channel_variants_ordering():
+    assert FAST_CHANNEL.startup_overhead < IPROVE_PCI_CHANNEL.startup_overhead
+    assert ZERO_OVERHEAD_CHANNEL.startup_overhead == 0.0
+
+
+def test_layer_breakdown_scaling_preserves_proportions():
+    breakdown = ChannelLayerBreakdown()
+    scaled = breakdown.scaled_to(12.2e-6)
+    assert scaled.total == pytest.approx(12.2e-6)
+    assert scaled.api_overhead / scaled.driver_overhead == pytest.approx(
+        breakdown.api_overhead / breakdown.driver_overhead
+    )
+    with pytest.raises(ValueError):
+        ChannelLayerBreakdown(0.0, 0.0, 0.0).scaled_to(1.0)

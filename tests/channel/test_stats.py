@@ -1,0 +1,85 @@
+"""Unit tests for channel traffic accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.phy import ChannelDirection, ChannelTimingParams
+from repro.channel.stats import ChannelStats, compare_traffic
+
+
+@pytest.fixture
+def stats():
+    return ChannelStats(params=ChannelTimingParams())
+
+
+def test_record_access_accumulates_time_and_counters(stats):
+    time = stats.record_access(ChannelDirection.SIM_TO_ACC, 5, purpose="drive", target_cycle=3)
+    assert time == pytest.approx(12.2e-6 + 5 * 49.95e-9)
+    assert stats.accesses == 1
+    assert stats.words == 5
+    assert stats.total_time == pytest.approx(time)
+    assert stats.per_purpose_accesses == {"drive": 1}
+    assert stats.log[0].target_cycle == 3
+
+
+def test_startup_and_payload_split(stats):
+    stats.record_access(ChannelDirection.SIM_TO_ACC, 10)
+    stats.record_access(ChannelDirection.ACC_TO_SIM, 10)
+    assert stats.startup_time == pytest.approx(2 * 12.2e-6)
+    assert stats.payload_time == pytest.approx(10 * 49.95e-9 + 10 * 75.73e-9)
+
+
+def test_per_direction_counters(stats):
+    stats.record_access(ChannelDirection.SIM_TO_ACC, 1)
+    stats.record_access(ChannelDirection.SIM_TO_ACC, 2)
+    stats.record_access(ChannelDirection.ACC_TO_SIM, 3)
+    assert stats.per_direction_accesses[ChannelDirection.SIM_TO_ACC] == 2
+    assert stats.per_direction_words[ChannelDirection.ACC_TO_SIM] == 3
+
+
+def test_derived_per_cycle_metrics(stats):
+    for _ in range(10):
+        stats.record_access(ChannelDirection.SIM_TO_ACC, 4)
+    assert stats.words_per_access() == pytest.approx(4.0)
+    assert stats.accesses_per_cycle(5) == pytest.approx(2.0)
+    assert stats.time_per_cycle(5) == pytest.approx(stats.total_time / 5)
+    assert stats.accesses_per_cycle(0) == 0.0
+
+
+def test_log_can_be_disabled():
+    stats = ChannelStats(params=ChannelTimingParams(), keep_log=False)
+    stats.record_access(ChannelDirection.SIM_TO_ACC, 1)
+    assert stats.accesses == 1
+    assert stats.log == []
+
+
+def test_reset_clears_everything(stats):
+    stats.record_access(ChannelDirection.SIM_TO_ACC, 1)
+    stats.reset()
+    assert stats.accesses == 0
+    assert stats.total_time == 0.0
+    assert stats.per_purpose_accesses == {}
+
+
+def test_as_dict_summary(stats):
+    stats.record_access(ChannelDirection.ACC_TO_SIM, 7, purpose="flush")
+    payload = stats.as_dict()
+    assert payload["accesses"] == 1
+    assert payload["acc_to_sim_accesses"] == 1
+    assert payload["per_purpose"] == {"flush": 1}
+
+
+def test_compare_traffic_reports_reduction():
+    params = ChannelTimingParams()
+    baseline = ChannelStats(params=params)
+    optimized = ChannelStats(params=params)
+    for _ in range(200):
+        baseline.record_access(ChannelDirection.SIM_TO_ACC, 2)
+    for _ in range(10):
+        optimized.record_access(ChannelDirection.SIM_TO_ACC, 40)
+    comparison = compare_traffic(baseline, optimized, committed_cycles=100)
+    assert comparison["access_reduction"] == pytest.approx(0.95)
+    assert comparison["time_reduction"] > 0.9
+    assert comparison["baseline_accesses_per_cycle"] == pytest.approx(2.0)
+    assert comparison["optimized_words_per_access"] == pytest.approx(40.0)

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb import BusTransaction, HBurst, MemorySlave, TrafficMaster
+from repro.core import CoEmulationConfig, OperatingMode
+from repro.workloads import (
+    AddressWindow,
+    als_streaming_soc,
+    single_master_soc,
+    sla_streaming_soc,
+    mixed_soc,
+)
+
+
+@pytest.fixture
+def small_window() -> AddressWindow:
+    return AddressWindow(base=0x1000, size=0x400)
+
+
+@pytest.fixture
+def simple_write_read_master() -> TrafficMaster:
+    """A master that writes a 4-beat burst then reads it back."""
+    return TrafficMaster(
+        "m0",
+        0,
+        [
+            BusTransaction(0, 0x100, True, HBurst.INCR4, data=[10, 20, 30, 40]),
+            BusTransaction(0, 0x100, False, HBurst.INCR4),
+        ],
+    )
+
+
+@pytest.fixture
+def small_memory() -> MemorySlave:
+    return MemorySlave("mem", 1, base_address=0x0, size_bytes=0x1000)
+
+
+@pytest.fixture
+def als_spec():
+    return als_streaming_soc(n_bursts=8)
+
+
+@pytest.fixture
+def sla_spec():
+    return sla_streaming_soc(n_bursts=8)
+
+
+@pytest.fixture
+def mixed_spec():
+    return mixed_soc(n_transactions=16)
+
+
+@pytest.fixture
+def single_master_spec():
+    return single_master_soc(n_bursts=6)
+
+
+@pytest.fixture
+def short_als_config() -> CoEmulationConfig:
+    return CoEmulationConfig(mode=OperatingMode.ALS, total_cycles=300)
+
+
+@pytest.fixture
+def short_conservative_config() -> CoEmulationConfig:
+    return CoEmulationConfig(mode=OperatingMode.CONSERVATIVE, total_cycles=300)

@@ -1,0 +1,127 @@
+"""Unit tests for domain hosts (execution, checkpointing, cost charging)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.half_bus import BoundaryDrive, HalfBusModel
+from repro.ahb.master import TrafficMaster
+from repro.ahb.signals import DataPhaseResult, HBurst
+from repro.ahb.slave import MemorySlave
+from repro.ahb.transaction import BusTransaction
+from repro.core.domain import DomainHost, DomainHostConfig, DomainHostError, assert_cores_in_sync
+from repro.sim.checkpoint import ACCELERATOR_STATE_COSTS, StateCostModel
+from repro.sim.component import Domain
+from repro.sim.time_model import DomainSpeed, WallClockLedger
+
+
+def build_host(domain=Domain.ACCELERATOR, speed=10_000_000.0, budget=1000):
+    hbm = HalfBusModel("hbm", domain)
+    master = TrafficMaster(
+        "m0", 0, [BusTransaction(0, 0x0, True, HBurst.INCR4, data=[1, 2, 3, 4])]
+    )
+    hbm.add_local_master(master)
+    memory = MemorySlave("mem", 0, 0x0, 0x1000)
+    hbm.add_local_slave(memory, 0x0, 0x1000)
+    hbm.finalize()
+    ledger = WallClockLedger()
+    host = DomainHost(
+        DomainHostConfig(
+            domain=domain,
+            speed=DomainSpeed(speed),
+            state_costs=ACCELERATOR_STATE_COSTS,
+            rollback_variable_budget=budget,
+        ),
+        hbm=hbm,
+        ledger=ledger,
+    )
+    return host, ledger, master, memory
+
+
+def empty_remote(cycle=0):
+    return BoundaryDrive(cycle=cycle, requests={})
+
+
+def test_execute_cycle_advances_clock_and_charges_time():
+    host, ledger, _, _ = build_host()
+    host.execute_cycle(empty_remote(), None)
+    host.execute_cycle(empty_remote(), None)
+    assert host.current_cycle == 2
+    assert ledger.buckets["accelerator"] == pytest.approx(2e-7)
+    assert ledger.buckets["simulator"] == 0.0
+
+
+def test_simulator_host_charges_simulator_bucket():
+    host, ledger, _, _ = build_host(domain=Domain.SIMULATOR, speed=1_000_000.0)
+    host.execute_cycle(empty_remote(), None)
+    assert ledger.buckets["simulator"] == pytest.approx(1e-6)
+
+
+def test_local_traffic_executes_entirely_inside_one_domain():
+    host, _, master, memory = build_host()
+    for _ in range(12):
+        host.execute_cycle(empty_remote(), None)
+    assert master.done
+    assert memory.read_word(0x8) == 3
+
+
+def test_store_restore_checkpoint_rewinds_state_and_clock():
+    host, ledger, master, memory = build_host()
+    for _ in range(2):
+        host.execute_cycle(empty_remote(), None)
+    host.store_checkpoint()
+    for _ in range(10):
+        host.execute_cycle(empty_remote(), None)
+    assert master.done
+    host.restore_checkpoint()
+    assert host.current_cycle == 2
+    assert not master.done
+    assert memory.read_word(0x8) == 0
+    # both store and restore charged time
+    assert ledger.buckets["state_store"] > 0
+    assert ledger.buckets["state_restore"] > 0
+    # wasted work is visible
+    assert host.wasted_cycles == 10
+
+
+def test_discard_checkpoint_keeps_state():
+    host, _, master, _ = build_host()
+    host.store_checkpoint()
+    for _ in range(12):
+        host.execute_cycle(empty_remote(), None)
+    host.discard_checkpoint()
+    assert master.done
+    assert host.checkpoints.depth == 0
+
+
+def test_rollback_variable_budget_is_used_for_costs():
+    host, ledger, _, _ = build_host(budget=1000)
+    host.store_checkpoint()
+    expected = ACCELERATOR_STATE_COSTS.store_time(1000)
+    assert ledger.buckets["state_store"] == pytest.approx(expected)
+    assert host.rollback_variable_count() == 1000
+
+
+def test_phase_level_api_commits_one_cycle():
+    host, ledger, _, _ = build_host()
+    drive = host.drive()
+    merged = host.hbm.merge_drive(drive, empty_remote())
+    response = host.respond(merged).response or DataPhaseResult.okay()
+    host.commit(merged, response)
+    assert host.current_cycle == 1
+    assert ledger.buckets["accelerator"] == pytest.approx(1e-7)
+
+
+def test_assert_cores_in_sync_detects_divergence():
+    sim_host, _, _, _ = build_host(domain=Domain.SIMULATOR)
+    acc_host, _, _, _ = build_host(domain=Domain.ACCELERATOR)
+    assert_cores_in_sync(sim_host, acc_host)  # freshly built: in sync
+    acc_host.execute_cycle(empty_remote(), None)
+    with pytest.raises(DomainHostError):
+        assert_cores_in_sync(sim_host, acc_host)
+
+
+def test_master_and_slave_id_sets():
+    host, _, _, _ = build_host()
+    assert host.local_master_ids() == {0}
+    assert 0 in host.local_slave_ids()

@@ -1,0 +1,96 @@
+"""Unit tests for the Leader Output Buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.half_bus import BoundaryDrive
+from repro.core.lob import LeaderOutputBuffer, LobEntry, LobError
+from repro.core.prediction import PredictionRecord
+
+
+def entry(cycle=0, with_prediction=True):
+    return LobEntry(
+        cycle=cycle,
+        leader_drive=BoundaryDrive(cycle=cycle, requests={0: True}),
+        leader_response=None,
+        prediction=PredictionRecord(cycle=cycle, requests={1: False}) if with_prediction else None,
+    )
+
+
+def test_depth_must_be_positive():
+    with pytest.raises(LobError):
+        LeaderOutputBuffer(0)
+
+
+def test_push_until_full_then_overflow_raises():
+    lob = LeaderOutputBuffer(3)
+    for cycle in range(3):
+        lob.push(entry(cycle))
+    assert lob.full
+    with pytest.raises(LobError):
+        lob.push(entry(3))
+
+
+def test_flush_returns_entries_in_order_and_empties_buffer():
+    lob = LeaderOutputBuffer(8)
+    for cycle in range(5):
+        lob.push(entry(cycle))
+    flushed = lob.flush()
+    assert [e.cycle for e in flushed] == [0, 1, 2, 3, 4]
+    assert lob.empty
+    assert lob.stats.flushes == 1
+    assert lob.stats.entries_flushed == 5
+    assert lob.stats.occupancy_at_flush == [5]
+
+
+def test_invalidate_drops_entries_without_flushing():
+    lob = LeaderOutputBuffer(4)
+    lob.push(entry(0))
+    lob.push(entry(1))
+    dropped = lob.invalidate()
+    assert dropped == 2
+    assert lob.empty
+    assert lob.stats.entries_invalidated == 2
+    assert lob.stats.flushes == 0
+
+
+def test_occupancy_statistics():
+    lob = LeaderOutputBuffer(8)
+    for cycle in range(6):
+        lob.push(entry(cycle))
+    lob.flush()
+    lob.push(entry(10))
+    lob.flush()
+    assert lob.stats.max_occupancy_seen == 6
+    assert lob.stats.mean_flush_occupancy() == pytest.approx(3.5)
+    assert lob.stats.entries_pushed == 7
+
+
+def test_entries_property_returns_copy():
+    lob = LeaderOutputBuffer(4)
+    lob.push(entry(0))
+    entries = lob.entries
+    entries.clear()
+    assert len(lob) == 1
+
+
+def test_last_entry_may_carry_no_prediction():
+    """The paper: the last leader-to-lagger datum carries no prediction, which
+    is how the lagger recognises the end of the burst."""
+    lob = LeaderOutputBuffer(4)
+    lob.push(entry(0, with_prediction=True))
+    lob.push(entry(1, with_prediction=False))
+    flushed = lob.flush()
+    assert flushed[0].has_prediction
+    assert not flushed[-1].has_prediction
+
+
+def test_reset_clears_entries_and_stats():
+    lob = LeaderOutputBuffer(4)
+    lob.push(entry(0))
+    lob.flush()
+    lob.reset()
+    assert lob.empty
+    assert lob.stats.flushes == 0
+    assert lob.stats.entries_pushed == 0

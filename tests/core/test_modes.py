@@ -1,0 +1,84 @@
+"""Unit tests for operating modes and mode policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.half_bus import NeededFields
+from repro.core.modes import (
+    AutoModePolicy,
+    ConservativePolicy,
+    OperatingMode,
+    StaticLeaderPolicy,
+    policy_for_mode,
+)
+from repro.sim.component import Domain
+
+
+def fields():
+    return NeededFields(
+        remote_master_ids=(1,),
+        needs_remote_requests=True,
+        needs_remote_address_phase=False,
+        needs_remote_hwdata=False,
+        needs_remote_response=False,
+        response_is_read=False,
+    )
+
+
+def test_mode_leader_domains():
+    assert OperatingMode.SLA.leader_domain is Domain.SIMULATOR
+    assert OperatingMode.ALS.leader_domain is Domain.ACCELERATOR
+    assert OperatingMode.CONSERVATIVE.leader_domain is None
+    assert OperatingMode.AUTO.leader_domain is None
+
+
+def test_mode_optimism_flag():
+    assert not OperatingMode.CONSERVATIVE.is_optimistic
+    assert OperatingMode.SLA.is_optimistic
+    assert OperatingMode.ALS.is_optimistic
+    assert OperatingMode.AUTO.is_optimistic
+
+
+def test_conservative_policy_never_goes_optimistic():
+    decision = ConservativePolicy().decide(fields(), fields(), True, True)
+    assert not decision.optimistic
+
+
+def test_static_leader_policy_follows_predictability():
+    policy = StaticLeaderPolicy(Domain.ACCELERATOR)
+    assert policy.decide(fields(), fields(), sim_can_predict=False, acc_can_predict=True).optimistic
+    blocked = policy.decide(fields(), fields(), sim_can_predict=True, acc_can_predict=False)
+    assert not blocked.optimistic
+    assert blocked.leader is Domain.ACCELERATOR
+
+
+def test_static_sla_policy_uses_simulator_predictability():
+    policy = StaticLeaderPolicy(Domain.SIMULATOR)
+    decision = policy.decide(fields(), fields(), sim_can_predict=True, acc_can_predict=False)
+    assert decision.optimistic and decision.leader is Domain.SIMULATOR
+
+
+def test_auto_policy_prefers_preferred_domain():
+    policy = AutoModePolicy(prefer=Domain.ACCELERATOR)
+    decision = policy.decide(fields(), fields(), sim_can_predict=True, acc_can_predict=True)
+    assert decision.leader is Domain.ACCELERATOR
+    decision = policy.decide(fields(), fields(), sim_can_predict=True, acc_can_predict=False)
+    assert decision.leader is Domain.SIMULATOR
+    decision = policy.decide(fields(), fields(), sim_can_predict=False, acc_can_predict=False)
+    assert not decision.optimistic
+
+
+def test_auto_policy_can_prefer_simulator():
+    policy = AutoModePolicy(prefer=Domain.SIMULATOR)
+    decision = policy.decide(fields(), fields(), sim_can_predict=True, acc_can_predict=True)
+    assert decision.leader is Domain.SIMULATOR
+
+
+def test_policy_factory_maps_modes_to_policies():
+    assert isinstance(policy_for_mode(OperatingMode.CONSERVATIVE), ConservativePolicy)
+    assert isinstance(policy_for_mode(OperatingMode.SLA), StaticLeaderPolicy)
+    assert isinstance(policy_for_mode(OperatingMode.ALS), StaticLeaderPolicy)
+    assert isinstance(policy_for_mode(OperatingMode.AUTO), AutoModePolicy)
+    assert policy_for_mode(OperatingMode.SLA).leader is Domain.SIMULATOR
+    assert policy_for_mode(OperatingMode.ALS).leader is Domain.ACCELERATOR

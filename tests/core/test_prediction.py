@@ -1,0 +1,233 @@
+"""Unit tests for the lagger-value predictors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.half_bus import BoundaryDrive, NeededFields
+from repro.ahb.signals import AddressPhase, DataPhaseResult, HBurst, HResp, HSize, HTrans
+from repro.core.prediction import (
+    ForcedAccuracyModel,
+    LaggerPredictor,
+    PredictionRecord,
+)
+
+
+def needed(
+    requests=True,
+    address=False,
+    hwdata=False,
+    response=False,
+    read=False,
+    remote_ids=(1, 2),
+):
+    return NeededFields(
+        remote_master_ids=tuple(remote_ids),
+        needs_remote_requests=requests,
+        needs_remote_address_phase=address,
+        needs_remote_hwdata=hwdata,
+        needs_remote_response=response,
+        response_is_read=read,
+    )
+
+
+def drive(requests=None, phase=None, hwdata=None, interrupts=None, cycle=0):
+    return BoundaryDrive(
+        cycle=cycle,
+        requests=requests or {},
+        address_phase=phase,
+        hwdata=hwdata,
+        interrupts=interrupts or {},
+    )
+
+
+def burst_phase(addr, trans=HTrans.NONSEQ, master=1, burst=HBurst.INCR4, write=True):
+    return AddressPhase(
+        master_id=master, haddr=addr, htrans=trans, hwrite=write, hburst=burst, hsize=HSize.WORD
+    )
+
+
+class TestPredictionRecord:
+    def test_matching_request_prediction(self):
+        record = PredictionRecord(cycle=0, requests={1: True, 2: False})
+        ok, reason = record.check(drive(requests={1: True, 2: False}), None)
+        assert ok and reason == ""
+
+    def test_mismatching_request_prediction(self):
+        record = PredictionRecord(cycle=0, requests={1: False})
+        ok, reason = record.check(drive(requests={1: True}), None)
+        assert not ok and "bus request" in reason
+
+    def test_address_phase_prediction_checked_field_by_field(self):
+        predicted = burst_phase(0x104, HTrans.SEQ)
+        record = PredictionRecord(cycle=0, address_phase=predicted)
+        ok, _ = record.check(drive(phase=burst_phase(0x104, HTrans.SEQ)), None)
+        assert ok
+        ok, reason = record.check(drive(phase=burst_phase(0x108, HTrans.SEQ)), None)
+        assert not ok and "address phase" in reason
+        ok, reason = record.check(drive(phase=None), None)
+        assert not ok
+
+    def test_response_prediction_ignores_unpredicted_read_data(self):
+        record = PredictionRecord(cycle=0, response=DataPhaseResult.okay())
+        ok, _ = record.check(drive(), DataPhaseResult.okay(hrdata=0x1234))
+        assert ok
+
+    def test_response_mismatch_on_wait_state(self):
+        record = PredictionRecord(cycle=0, response=DataPhaseResult.okay())
+        ok, reason = record.check(drive(), DataPhaseResult.wait())
+        assert not ok and "slave response" in reason
+
+    def test_missing_actual_response_is_a_mismatch(self):
+        record = PredictionRecord(cycle=0, response=DataPhaseResult.okay())
+        ok, _ = record.check(drive(), None)
+        assert not ok
+
+    def test_forced_failure_always_mismatches(self):
+        record = PredictionRecord(cycle=0, requests={1: True}, forced_failure=True)
+        ok, reason = record.check(drive(requests={1: True}), None)
+        assert not ok and "injected" in reason
+
+    def test_interrupt_prediction(self):
+        record = PredictionRecord(cycle=0, interrupts={"irq": True})
+        ok, _ = record.check(drive(interrupts={"irq": True}), None)
+        assert ok
+        ok, reason = record.check(drive(interrupts={"irq": False}), None)
+        assert not ok and "interrupt" in reason
+
+    def test_write_data_prediction(self):
+        record = PredictionRecord(cycle=0, hwdata=0x55)
+        assert record.check(drive(hwdata=0x55), None)[0]
+        assert not record.check(drive(hwdata=0x66), None)[0]
+
+    def test_as_boundary_values_round_trip(self):
+        record = PredictionRecord(
+            cycle=3,
+            requests={1: True},
+            address_phase=burst_phase(0x100),
+            response=DataPhaseResult.okay(),
+        )
+        remote_drive, remote_response = record.as_boundary_values(3)
+        assert remote_drive.requests == {1: True}
+        assert remote_drive.address_phase == burst_phase(0x100)
+        assert remote_response == DataPhaseResult.okay()
+
+
+class TestForcedAccuracyModel:
+    def test_accuracy_one_never_fails(self):
+        model = ForcedAccuracyModel(1.0)
+        assert not any(model.should_fail() for _ in range(1000))
+
+    def test_accuracy_zero_always_fails(self):
+        model = ForcedAccuracyModel(0.0)
+        assert all(model.should_fail() for _ in range(100))
+
+    def test_failure_rate_tracks_target(self):
+        model = ForcedAccuracyModel(0.8, seed=42)
+        failures = sum(model.should_fail() for _ in range(20_000))
+        assert 0.17 < failures / 20_000 < 0.23
+
+    def test_seeded_model_is_reproducible(self):
+        a = [ForcedAccuracyModel(0.5, seed=7).should_fail() for _ in range(50)]
+        b = [ForcedAccuracyModel(0.5, seed=7).should_fail() for _ in range(50)]
+        assert a == b
+
+    def test_out_of_range_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            ForcedAccuracyModel(1.5)
+
+
+class TestLaggerPredictor:
+    def test_request_prediction_uses_last_observed_value(self):
+        predictor = LaggerPredictor("p", remote_master_ids=[1, 2])
+        predictor.observe(drive(requests={1: True, 2: False}), None)
+        record = predictor.predict(0, needed())
+        assert record.requests == {1: True, 2: False}
+
+    def test_unobserved_requests_default_to_false(self):
+        predictor = LaggerPredictor("p", remote_master_ids=[1])
+        record = predictor.predict(0, needed(remote_ids=(1,)))
+        assert record.requests == {1: False}
+
+    def test_burst_continuation_is_predicted(self):
+        predictor = LaggerPredictor("p", remote_master_ids=[1])
+        predictor.observe(drive(phase=burst_phase(0x100, HTrans.NONSEQ)), None)
+        record = predictor.predict(0, needed(address=True, remote_ids=(1,)))
+        assert record.address_phase.haddr == 0x104
+        assert record.address_phase.htrans is HTrans.SEQ
+        # chaining: observing the prediction extrapolates the next beat
+        predictor.observe(drive(phase=record.address_phase), None)
+        record2 = predictor.predict(1, needed(address=True, remote_ids=(1,)))
+        assert record2.address_phase.haddr == 0x108
+
+    def test_finished_fixed_burst_predicts_idle(self):
+        predictor = LaggerPredictor("p", remote_master_ids=[1])
+        predictor.observe(drive(phase=burst_phase(0x100, HTrans.NONSEQ)), None)
+        for addr in (0x104, 0x108, 0x10C):
+            predictor.observe(drive(phase=burst_phase(addr, HTrans.SEQ)), None)
+        record = predictor.predict(0, needed(address=True, remote_ids=(1,)))
+        assert not record.address_phase.is_active
+
+    def test_idle_remote_master_predicted_to_stay_idle(self):
+        predictor = LaggerPredictor("p", remote_master_ids=[1])
+        predictor.observe(drive(phase=burst_phase(0x100, HTrans.IDLE)), None)
+        record = predictor.predict(0, needed(address=True, remote_ids=(1,)))
+        assert not record.address_phase.is_active
+
+    def test_response_prediction_is_ready_okay(self):
+        predictor = LaggerPredictor("p", remote_master_ids=[1])
+        record = predictor.predict(0, needed(response=True))
+        assert record.response == DataPhaseResult(hready=True, hresp=HResp.OKAY, hrdata=None)
+
+    def test_cannot_predict_remote_data_values(self):
+        predictor = LaggerPredictor("p", remote_master_ids=[1])
+        assert not predictor.can_predict(needed(hwdata=True))
+        assert not predictor.can_predict(needed(response=True, read=True))
+        assert predictor.can_predict(needed(response=True, read=False))
+
+    def test_unknown_remote_burst_predictability_is_configurable(self):
+        conservative = LaggerPredictor("p", remote_master_ids=[1], predict_new_remote_bursts=False)
+        optimistic = LaggerPredictor("q", remote_master_ids=[1], predict_new_remote_bursts=True)
+        fields = needed(address=True, remote_ids=(1,))
+        assert not conservative.can_predict(fields)
+        assert optimistic.can_predict(fields)
+
+    def test_interrupts_predicted_from_last_value(self):
+        predictor = LaggerPredictor("p", remote_master_ids=[1])
+        predictor.observe(drive(interrupts={"irq": True}), None)
+        record = predictor.predict(0, needed())
+        assert record.interrupts == {"irq": True}
+
+    def test_forced_accuracy_marks_predictions(self):
+        predictor = LaggerPredictor(
+            "p", remote_master_ids=[1], forced_accuracy=ForcedAccuracyModel(0.0)
+        )
+        record = predictor.predict(0, needed())
+        assert record.forced_failure
+
+    def test_accuracy_accounting(self):
+        predictor = LaggerPredictor("p", remote_master_ids=[1])
+        predictor.record_check(True, injected=False)
+        predictor.record_check(False, injected=False)
+        predictor.record_check(False, injected=True)
+        predictor.record_unpredictable()
+        stats = predictor.stats
+        assert stats.predictions_checked == 3
+        assert stats.predictions_correct == 1
+        assert stats.real_failures == 1
+        assert stats.injected_failures == 1
+        assert stats.unpredictable_cycles == 1
+        assert stats.accuracy == pytest.approx(1 / 3)
+
+    def test_accuracy_is_one_when_nothing_checked(self):
+        assert LaggerPredictor("p", remote_master_ids=[]).stats.accuracy == 1.0
+
+    def test_snapshot_restore_round_trips_predictor_state(self):
+        predictor = LaggerPredictor("p", remote_master_ids=[1])
+        predictor.observe(drive(requests={1: True}, phase=burst_phase(0x200)), None)
+        state = predictor.snapshot_state()
+        predictor.observe(drive(requests={1: False}, phase=burst_phase(0x300)), None)
+        predictor.restore_state(state)
+        record = predictor.predict(0, needed(address=True, remote_ids=(1,)))
+        assert record.requests == {1: True}
+        assert record.address_phase.haddr == 0x204

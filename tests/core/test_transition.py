@@ -1,0 +1,89 @@
+"""Unit tests for transition bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transition import (
+    TransitionLog,
+    TransitionOutcome,
+    TransitionRecord,
+    TransitionStep,
+)
+from repro.sim.component import Domain
+
+
+def test_transition_steps_match_paper_table1():
+    assert {step.value for step in TransitionStep} == {
+        "run_ahead",
+        "follow_up",
+        "rollback",
+        "roll_forth",
+    }
+
+
+def test_wasted_leader_cycles_only_counted_on_misprediction():
+    success = TransitionRecord(index=0, leader=Domain.ACCELERATOR, start_cycle=0,
+                               run_ahead_cycles=10, committed_cycles=10,
+                               outcome=TransitionOutcome.SUCCESS)
+    assert success.wasted_leader_cycles == 0
+    failed = TransitionRecord(index=1, leader=Domain.ACCELERATOR, start_cycle=10,
+                              run_ahead_cycles=10, committed_cycles=3,
+                              outcome=TransitionOutcome.MISPREDICTION)
+    assert failed.wasted_leader_cycles == 7
+
+
+def test_log_aggregates_counts_and_means():
+    log = TransitionLog()
+    first = log.new_record(Domain.ACCELERATOR, start_cycle=0)
+    first.run_ahead_cycles = 8
+    first.committed_cycles = 8
+    first.outcome = TransitionOutcome.SUCCESS
+    second = log.new_record(Domain.ACCELERATOR, start_cycle=8)
+    second.run_ahead_cycles = 8
+    second.committed_cycles = 2
+    second.roll_forth_cycles = 2
+    second.outcome = TransitionOutcome.MISPREDICTION
+    third = log.new_record(Domain.SIMULATOR, start_cycle=10)
+    third.outcome = TransitionOutcome.DEGENERATE
+    log.record_conservative_cycle(5)
+
+    assert log.transitions == 3
+    assert log.successful_transitions == 1
+    assert log.rollbacks == 1
+    assert log.degenerate_transitions == 1
+    assert log.conservative_cycles == 5
+    assert log.total_run_ahead_cycles == 16
+    assert log.total_roll_forth_cycles == 2
+    assert log.total_wasted_leader_cycles == 6
+    assert log.mean_run_ahead_length() == pytest.approx(16 / 3)
+    assert log.mean_committed_per_transition() == pytest.approx(10 / 3)
+    assert log.leaders_used() == {"accelerator": 2, "simulator": 1}
+
+
+def test_log_as_dict_contains_all_keys():
+    log = TransitionLog()
+    log.new_record(Domain.ACCELERATOR, 0)
+    payload = log.as_dict()
+    for key in (
+        "transitions",
+        "successful_transitions",
+        "rollbacks",
+        "degenerate_transitions",
+        "conservative_cycles",
+        "mean_run_ahead_length",
+        "leaders_used",
+    ):
+        assert key in payload
+
+
+def test_empty_log_means_are_zero():
+    log = TransitionLog()
+    assert log.mean_run_ahead_length() == 0.0
+    assert log.mean_committed_per_transition() == 0.0
+
+
+def test_record_indices_are_sequential():
+    log = TransitionLog()
+    records = [log.new_record(Domain.ACCELERATOR, cycle) for cycle in range(4)]
+    assert [record.index for record in records] == [0, 1, 2, 3]

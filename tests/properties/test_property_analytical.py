@@ -1,0 +1,130 @@
+"""Property-based tests for the analytical performance model."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.analytical import (
+    AnalyticalConfig,
+    conventional_performance,
+    estimate_performance,
+    expected_committed_per_transition,
+    expected_rollforth_per_transition,
+    failure_probability,
+)
+from repro.core.modes import OperatingMode
+
+
+accuracies = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+lob_depths = st.integers(min_value=1, max_value=512)
+modes = st.sampled_from([OperatingMode.ALS, OperatingMode.SLA])
+sim_speeds = st.floats(min_value=1e4, max_value=1e7)
+
+
+@given(accuracy=accuracies, depth=lob_depths)
+@settings(max_examples=300)
+def test_expected_committed_is_within_bounds(accuracy, depth):
+    committed = expected_committed_per_transition(accuracy, depth)
+    assert 0.0 < committed <= depth + 1e-9
+    rollforth = expected_rollforth_per_transition(accuracy, depth)
+    assert -1e-9 <= rollforth <= committed + 1e-9
+    assert 0.0 <= failure_probability(accuracy, depth) <= 1.0
+
+
+@given(accuracy=accuracies, depth=lob_depths)
+@settings(max_examples=200)
+def test_committed_is_monotone_in_accuracy(accuracy, depth):
+    assume(accuracy < 0.999)
+    lower = expected_committed_per_transition(accuracy, depth)
+    higher = expected_committed_per_transition(min(1.0, accuracy + 0.001), depth)
+    assert higher >= lower - 1e-9
+
+
+@given(accuracy=accuracies, depth=lob_depths, mode=modes, sim_speed=sim_speeds)
+@settings(max_examples=300)
+def test_estimate_components_are_nonnegative_and_consistent(accuracy, depth, mode, sim_speed):
+    config = AnalyticalConfig(
+        mode=mode,
+        prediction_accuracy=accuracy,
+        lob_depth=depth,
+        simulator_cycles_per_second=sim_speed,
+    )
+    estimate = estimate_performance(config)
+    for value in (
+        estimate.t_sim,
+        estimate.t_acc,
+        estimate.t_store,
+        estimate.t_restore,
+        estimate.t_channel,
+    ):
+        assert value >= 0.0
+    assert estimate.performance > 0.0
+    assert estimate.total_per_cycle * estimate.performance == pytest_approx_one()
+    # the leader never executes fewer cycles than it commits
+    assert estimate.leader_cycles_per_transition >= estimate.committed_per_transition - 1e-9
+
+
+def pytest_approx_one():
+    import pytest
+
+    return pytest.approx(1.0, rel=1e-9)
+
+
+@given(accuracy=accuracies, depth=lob_depths, mode=modes)
+@settings(max_examples=200)
+def test_performance_never_exceeds_perfect_prediction_case(accuracy, depth, mode):
+    config = AnalyticalConfig(mode=mode, prediction_accuracy=accuracy, lob_depth=depth)
+    perfect = estimate_performance(config.with_accuracy(1.0))
+    actual = estimate_performance(config)
+    assert actual.performance <= perfect.performance + 1e-6
+
+
+@given(accuracy=accuracies, mode=modes)
+@settings(max_examples=200)
+def test_deeper_lob_always_wins_at_perfect_accuracy(accuracy, mode):
+    """At p=1 there are no rollbacks, so a deeper LOB can only help (more
+    startup overhead amortised per flush)."""
+    shallow = estimate_performance(
+        AnalyticalConfig(mode=mode, prediction_accuracy=1.0, lob_depth=8)
+    )
+    deep = estimate_performance(
+        AnalyticalConfig(mode=mode, prediction_accuracy=1.0, lob_depth=64)
+    )
+    assert deep.performance >= shallow.performance
+
+
+@given(sim_speed=sim_speeds)
+@settings(max_examples=100)
+def test_conventional_performance_bounded_by_channel_and_simulator(sim_speed):
+    config = AnalyticalConfig(simulator_cycles_per_second=sim_speed)
+    perf = conventional_performance(config)
+    # can never beat the pure channel bound nor the simulator itself
+    channel_bound = 1.0 / (2 * config.channel.startup_overhead)
+    assert perf < channel_bound
+    assert perf < sim_speed
+
+
+@given(
+    accuracy=st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+    depth=lob_depths,
+)
+@settings(max_examples=100)
+def test_als_ratio_exceeds_sla_ratio_for_equal_settings(accuracy, depth):
+    """The accelerator is the cheaper engine to waste on speculative work, so
+    whenever predictions can fail (accuracy < 1) ALS never does worse than
+    SLA for identical parameters.
+
+    At exactly perfect accuracy the comparison is excluded: there is no
+    speculative waste, the two modes converge, and SLA's marginally cheaper
+    flush payload (sim-to-acc words are faster than acc-to-sim words) can
+    nose ahead of ALS's cheaper state store by a fraction of a percent for
+    very deep buffers.
+    """
+    als = estimate_performance(
+        AnalyticalConfig(mode=OperatingMode.ALS, prediction_accuracy=accuracy, lob_depth=depth)
+    )
+    sla = estimate_performance(
+        AnalyticalConfig(mode=OperatingMode.SLA, prediction_accuracy=accuracy, lob_depth=depth)
+    )
+    assert als.performance >= sla.performance * 0.999

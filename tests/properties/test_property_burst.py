@@ -1,0 +1,89 @@
+"""Property-based tests for burst address generation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ahb.burst import BurstTracker, burst_addresses, wrap_boundary
+from repro.ahb.signals import HBurst, HSize
+
+
+fixed_bursts = st.sampled_from(
+    [HBurst.SINGLE, HBurst.INCR4, HBurst.INCR8, HBurst.INCR16,
+     HBurst.WRAP4, HBurst.WRAP8, HBurst.WRAP16]
+)
+sizes = st.sampled_from([HSize.BYTE, HSize.HALFWORD, HSize.WORD])
+
+
+def aligned_addresses(size: HSize):
+    return st.integers(min_value=0, max_value=0xFFFF).map(lambda n: n * size.bytes)
+
+
+@given(burst=fixed_bursts, size=sizes, data=st.data())
+@settings(max_examples=200)
+def test_burst_has_expected_beat_count_and_alignment(burst, size, data):
+    start = data.draw(aligned_addresses(size))
+    addresses = burst_addresses(start, burst, size)
+    assert len(addresses) == (burst.beats or 1)
+    assert all(address % size.bytes == 0 for address in addresses)
+    assert addresses[0] == start
+
+
+@given(burst=fixed_bursts, size=sizes, data=st.data())
+@settings(max_examples=200)
+def test_burst_addresses_are_unique(burst, size, data):
+    start = data.draw(aligned_addresses(size))
+    addresses = burst_addresses(start, burst, size)
+    assert len(set(addresses)) == len(addresses)
+
+
+@given(
+    burst=st.sampled_from([HBurst.WRAP4, HBurst.WRAP8, HBurst.WRAP16]),
+    size=sizes,
+    data=st.data(),
+)
+@settings(max_examples=200)
+def test_wrapping_bursts_stay_inside_their_window(burst, size, data):
+    start = data.draw(aligned_addresses(size))
+    low, high = wrap_boundary(start, burst, size)
+    addresses = burst_addresses(start, burst, size)
+    assert all(low <= address < high for address in addresses)
+    # the window is exactly covered
+    assert sorted(addresses) == list(range(low, high, size.bytes))
+
+
+@given(
+    burst=st.sampled_from([HBurst.INCR4, HBurst.INCR8, HBurst.INCR16]),
+    size=sizes,
+    data=st.data(),
+)
+@settings(max_examples=200)
+def test_incrementing_bursts_are_strictly_increasing_by_transfer_size(burst, size, data):
+    start = data.draw(aligned_addresses(size))
+    addresses = burst_addresses(start, burst, size)
+    steps = {b - a for a, b in zip(addresses, addresses[1:])}
+    assert steps == {size.bytes}
+
+
+@given(burst=fixed_bursts, size=sizes, data=st.data())
+@settings(max_examples=100)
+def test_tracker_reproduces_burst_addresses(burst, size, data):
+    start = data.draw(aligned_addresses(size))
+    expected = burst_addresses(start, burst, size)
+    tracker = BurstTracker.from_first_beat(start, burst, size)
+    walked = []
+    while not tracker.complete:
+        walked.append(tracker.accept_beat())
+    assert walked == expected
+
+
+@given(burst=fixed_bursts, size=sizes, beats_done=st.integers(0, 16), data=st.data())
+@settings(max_examples=100)
+def test_tracker_snapshot_round_trip_preserves_remaining_sequence(burst, size, beats_done, data):
+    start = data.draw(aligned_addresses(size))
+    tracker = BurstTracker.from_first_beat(start, burst, size)
+    for _ in range(min(beats_done, tracker.total_beats)):
+        tracker.accept_beat()
+    clone = BurstTracker.from_snapshot(tracker.snapshot())
+    assert clone.remaining_addresses() == tracker.remaining_addresses()

@@ -1,0 +1,70 @@
+"""Property-based tests for the memory slave and the checkpoint machinery."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ahb.slave import MemorySlave
+from repro.sim.checkpoint import CheckpointManager, StateCostModel
+
+
+BASE = 0x4000
+SIZE = 0x400  # 256 words
+
+word_values = st.integers(min_value=0, max_value=0xFFFFFFFF)
+offsets = st.integers(min_value=0, max_value=SIZE // 4 - 1)
+
+
+@given(writes=st.lists(st.tuples(offsets, word_values), max_size=64))
+@settings(max_examples=150)
+def test_memory_reads_return_last_written_value(writes):
+    memory = MemorySlave("mem", 0, BASE, SIZE)
+    expected = {}
+    for offset, value in writes:
+        memory.write_word(BASE + 4 * offset, value)
+        expected[offset] = value
+    for offset, value in expected.items():
+        assert memory.read_word(BASE + 4 * offset) == value
+    # untouched words stay zero
+    untouched = set(range(SIZE // 4)) - set(expected)
+    for offset in list(untouched)[:8]:
+        assert memory.read_word(BASE + 4 * offset) == 0
+
+
+@given(
+    before=st.lists(st.tuples(offsets, word_values), max_size=32),
+    after=st.lists(st.tuples(offsets, word_values), max_size=32),
+)
+@settings(max_examples=150)
+def test_checkpoint_restore_discards_exactly_the_post_checkpoint_writes(before, after):
+    memory = MemorySlave("mem", 0, BASE, SIZE)
+    for offset, value in before:
+        memory.write_word(BASE + 4 * offset, value)
+    manager = CheckpointManager([memory], StateCostModel(0.0, 0.0))
+    manager.store(cycle=0)
+    snapshot_view = {offset: memory.read_word(BASE + 4 * offset) for offset in range(SIZE // 4)}
+    for offset, value in after:
+        memory.write_word(BASE + 4 * offset, value)
+    manager.restore()
+    for offset, value in snapshot_view.items():
+        assert memory.read_word(BASE + 4 * offset) == value
+
+
+@given(
+    writes=st.lists(st.tuples(offsets, word_values), min_size=1, max_size=32),
+    checkpoint_at=st.integers(min_value=0, max_value=31),
+)
+@settings(max_examples=100)
+def test_discarded_checkpoint_never_alters_state(writes, checkpoint_at):
+    memory = MemorySlave("mem", 0, BASE, SIZE)
+    manager = CheckpointManager([memory], StateCostModel(0.0, 0.0))
+    for index, (offset, value) in enumerate(writes):
+        if index == min(checkpoint_at, len(writes) - 1):
+            manager.store(cycle=index)
+        memory.write_word(BASE + 4 * offset, value)
+    final = {offset: memory.read_word(BASE + 4 * offset) for offset, _ in writes}
+    if manager.has_checkpoint:
+        manager.discard()
+    for offset, value in final.items():
+        assert memory.read_word(BASE + 4 * offset) == value

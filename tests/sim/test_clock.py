@@ -1,0 +1,78 @@
+"""Unit tests for the per-domain clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import Clock, ClockError
+
+
+def test_advance_moves_cycle_and_total():
+    clock = Clock("c")
+    clock.advance(3)
+    clock.advance()
+    assert clock.cycle == 4
+    assert clock.total_executed == 4
+
+
+def test_negative_advance_rejected():
+    clock = Clock("c")
+    with pytest.raises(ClockError):
+        clock.advance(-1)
+
+
+def test_rollback_keeps_total_executed():
+    clock = Clock("c")
+    clock.advance(10)
+    clock.rollback_to(4)
+    assert clock.cycle == 4
+    assert clock.total_executed == 10
+    assert clock.wasted_cycles == 6
+
+
+def test_rollback_forward_rejected():
+    clock = Clock("c")
+    clock.advance(2)
+    with pytest.raises(ClockError):
+        clock.rollback_to(5)
+
+
+def test_rollback_negative_rejected():
+    clock = Clock("c")
+    with pytest.raises(ClockError):
+        clock.rollback_to(-1)
+
+
+def test_mark_and_pop_mark():
+    clock = Clock("c")
+    clock.advance(7)
+    assert clock.mark() == 7
+    clock.advance(5)
+    assert clock.pop_mark() == 7
+
+
+def test_pop_mark_without_mark_raises():
+    with pytest.raises(ClockError):
+        Clock("c").pop_mark()
+
+
+def test_snapshot_restore_round_trip():
+    clock = Clock("c")
+    clock.advance(6)
+    state = clock.snapshot()
+    clock.advance(4)
+    clock.restore(state)
+    assert clock.cycle == 6
+    # executed work is never forgotten
+    assert clock.total_executed == 10
+
+
+def test_reset_clears_everything():
+    clock = Clock("c")
+    clock.advance(5)
+    clock.mark()
+    clock.reset()
+    assert clock.cycle == 0
+    assert clock.total_executed == 0
+    with pytest.raises(ClockError):
+        clock.pop_mark()

@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import EventScheduler, SimulationError, Timer
+
+
+def test_events_fire_in_time_order():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule(5, lambda p: fired.append(p), "b")
+    scheduler.schedule(2, lambda p: fired.append(p), "a")
+    scheduler.schedule(9, lambda p: fired.append(p), "c")
+    scheduler.fire_until(10)
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    scheduler = EventScheduler()
+    fired = []
+    for index in range(5):
+        scheduler.schedule(3, lambda p: fired.append(p), index)
+    scheduler.fire_until(3)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_fire_until_only_fires_due_events():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule(2, lambda p: fired.append(p), "early")
+    scheduler.schedule(8, lambda p: fired.append(p), "late")
+    count = scheduler.fire_until(5)
+    assert count == 1
+    assert fired == ["early"]
+    assert len(scheduler) == 1
+
+
+def test_scheduling_in_the_past_is_rejected():
+    scheduler = EventScheduler()
+    scheduler.fire_until(10)
+    with pytest.raises(SimulationError):
+        scheduler.schedule(5, lambda p: None)
+
+
+def test_negative_delay_is_rejected():
+    scheduler = EventScheduler()
+    with pytest.raises(SimulationError):
+        scheduler.schedule_in(-1, lambda p: None)
+
+
+def test_time_cannot_move_backwards():
+    scheduler = EventScheduler()
+    scheduler.fire_until(4)
+    with pytest.raises(SimulationError):
+        scheduler.fire_until(3)
+
+
+def test_cancelled_events_do_not_fire():
+    scheduler = EventScheduler()
+    fired = []
+    event = scheduler.schedule(3, lambda p: fired.append("x"))
+    scheduler.cancel(event)
+    scheduler.fire_until(5)
+    assert fired == []
+    assert scheduler.stats.cancelled == 1
+    assert scheduler.stats.fired == 0
+
+
+def test_callback_can_schedule_follow_up_event_in_same_pass():
+    scheduler = EventScheduler()
+    fired = []
+
+    def chain(payload):
+        fired.append(payload)
+        if payload < 3:
+            scheduler.schedule(scheduler.now + 1, chain, payload + 1)
+
+    scheduler.schedule(0, chain, 0)
+    scheduler.fire_until(10)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_schedule_in_is_relative_to_current_time():
+    scheduler = EventScheduler()
+    scheduler.fire_until(7)
+    fired = []
+    scheduler.schedule_in(3, lambda p: fired.append(scheduler.now))
+    scheduler.fire_until(20)
+    assert fired == [10]
+
+
+def test_peek_time_skips_cancelled_events():
+    scheduler = EventScheduler()
+    first = scheduler.schedule(2, lambda p: None)
+    scheduler.schedule(6, lambda p: None)
+    scheduler.cancel(first)
+    assert scheduler.peek_time() == 6
+
+
+def test_drain_returns_pending_events_without_firing():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule(1, lambda p: fired.append(1))
+    scheduler.schedule(2, lambda p: fired.append(2))
+    drained = list(scheduler.drain())
+    assert len(drained) == 2
+    assert fired == []
+
+
+def test_reset_clears_queue_and_time():
+    scheduler = EventScheduler()
+    scheduler.schedule(5, lambda p: None)
+    scheduler.fire_until(3)
+    scheduler.reset()
+    assert scheduler.now == 0
+    assert len(scheduler) == 0
+
+
+def test_timer_restart_and_stop():
+    scheduler = EventScheduler()
+    fired = []
+    timer = Timer(scheduler, callback=lambda p: fired.append(scheduler.now))
+    timer.start(5)
+    timer.start(8)  # restart supersedes the first deadline
+    scheduler.fire_until(20)
+    assert fired == [8]
+    timer.start(3)
+    timer.stop()
+    scheduler.fire_until(40)
+    assert fired == [8]
+    assert not timer.pending

@@ -1,0 +1,108 @@
+"""Unit tests for two-phase signals and signal bundles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.signal import Signal, SignalBundle, SignalError, WatchedValue
+
+
+def test_drive_is_not_visible_until_commit():
+    signal = Signal("s", 0)
+    signal.drive(7)
+    assert signal.value == 0
+    assert signal.next_value == 7
+    assert signal.commit() is True
+    assert signal.value == 7
+
+
+def test_commit_without_drive_keeps_value_and_reports_no_change():
+    signal = Signal("s", 3)
+    assert signal.commit() is False
+    assert signal.value == 3
+
+
+def test_last_drive_wins_within_a_phase():
+    signal = Signal("s", 0)
+    signal.drive(1)
+    signal.drive(2)
+    signal.commit()
+    assert signal.value == 2
+
+
+def test_commit_reports_false_when_driving_same_value():
+    signal = Signal("s", 5)
+    signal.drive(5)
+    assert signal.commit() is False
+
+
+def test_reset_returns_to_reset_value():
+    signal = Signal("s", 9)
+    signal.drive(1)
+    signal.commit()
+    signal.reset()
+    assert signal.value == 9
+    assert signal.next_value == 9
+
+
+def test_signal_snapshot_restore_roundtrip():
+    signal = Signal("s", 0)
+    signal.drive(4)
+    state = signal.snapshot()
+    signal.commit()
+    signal.drive(8)
+    signal.commit()
+    signal.restore(state)
+    assert signal.value == 0
+    assert signal.next_value == 4
+
+
+def test_bundle_rejects_duplicate_names():
+    bundle = SignalBundle("b")
+    bundle.add("x")
+    with pytest.raises(SignalError):
+        bundle.add("x")
+
+
+def test_bundle_commit_counts_changes():
+    bundle = SignalBundle("b")
+    bundle.add("x", 0)
+    bundle.add("y", 0)
+    bundle.add("z", 0)
+    bundle.drive_many({"x": 1, "y": 0})
+    assert bundle.commit() == 1
+    assert bundle.values() == {"x": 1, "y": 0, "z": 0}
+
+
+def test_bundle_snapshot_restore_roundtrip():
+    bundle = SignalBundle("b")
+    bundle.add("x", 0)
+    bundle.add("y", 0)
+    bundle.drive_many({"x": 3, "y": 4})
+    bundle.commit()
+    state = bundle.snapshot()
+    bundle.drive_many({"x": 9, "y": 9})
+    bundle.commit()
+    bundle.restore(state)
+    assert bundle.values() == {"x": 3, "y": 4}
+
+
+def test_bundle_membership_and_iteration():
+    bundle = SignalBundle("b")
+    bundle.add("a")
+    bundle.add("b")
+    assert "a" in bundle
+    assert "missing" not in bundle
+    assert sorted(s.name for s in bundle) == ["b.a", "b.b"]
+    assert sorted(bundle.names()) == ["a", "b"]
+
+
+def test_watched_value_records_changes_and_calls_hook():
+    changes = []
+    watched = WatchedValue("w", 0, on_change=lambda c, old, new: changes.append((c, old, new)))
+    watched.set(1, 0)  # no change
+    watched.set(2, 5)
+    watched.set(3, 5)  # no change
+    watched.set(4, 7)
+    assert watched.changes() == [(2, 5), (4, 7)]
+    assert changes == [(2, 0, 5), (4, 5, 7)]

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+def test_table2_command_prints_paper_comparison(capsys):
+    out = run_cli(capsys, "table2")
+    assert "Table 2" in out
+    assert "1.000" in out and "0.100" in out
+    assert "ratio (paper)" in out
+
+
+def test_figure4_command_prints_chart_with_legend(capsys):
+    out = run_cli(capsys, "figure4")
+    assert "Figure 4" in out
+    assert "LOBdepth=64" in out and "LOBdepth=8" in out
+    assert "conventional" in out
+
+
+def test_sla_command(capsys):
+    out = run_cli(capsys, "sla")
+    assert "SLA" in out
+    assert "break-even" in out
+
+
+def test_conventional_command(capsys):
+    out = run_cli(capsys, "conventional")
+    assert "38.8k" in out or "38.9k" in out
+    assert "28.8k" in out
+
+
+def test_mechanism_command_small_sweep(capsys):
+    out = run_cli(
+        capsys, "mechanism", "--cycles", "120", "--accuracies", "1.0", "0.8"
+    )
+    assert "Mechanism-level" in out
+    assert "conventional" in out
+    assert "p=1" in out and "p=0.8" in out
+
+
+def test_run_command_reports_breakdown(capsys):
+    out = run_cli(capsys, "run", "--cycles", "150", "--mode", "als")
+    assert "performance" in out
+    assert "monitors clean" in out
+    assert "True" in out
+
+
+def test_run_command_conservative_mode(capsys):
+    out = run_cli(capsys, "run", "--cycles", "100", "--mode", "conservative")
+    assert "conservative" in out
+
+
+def test_parser_rejects_unknown_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["not-a-command"])
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,143 @@
+"""Unit tests for the synthetic traffic generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.burst import burst_addresses
+from repro.ahb.signals import HBurst, HSize
+from repro.workloads.generators import (
+    AddressWindow,
+    TrafficProfile,
+    cpu_like_traffic,
+    dma_copy_traffic,
+    generate_traffic,
+    interleaved_issue_cycles,
+    streaming_read_traffic,
+    streaming_write_traffic,
+)
+
+
+WINDOW = AddressWindow(base=0x1000, size=0x1000)
+OTHER = AddressWindow(base=0x8000, size=0x1000)
+
+
+class TestAddressWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressWindow(base=0x2, size=0x100)
+        with pytest.raises(ValueError):
+            AddressWindow(base=0x0, size=0)
+
+    def test_random_burst_start_keeps_burst_inside_window(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(200):
+            start = WINDOW.random_burst_start(rng, HBurst.INCR16, HSize.WORD)
+            addresses = burst_addresses(start, HBurst.INCR16, HSize.WORD)
+            assert all(WINDOW.base <= a < WINDOW.base + WINDOW.size for a in addresses)
+
+    def test_window_too_small_for_burst_rejected(self):
+        import random
+
+        tiny = AddressWindow(base=0x0, size=0x10)
+        with pytest.raises(ValueError):
+            tiny.random_burst_start(random.Random(0), HBurst.INCR16, HSize.WORD)
+
+
+class TestGenerateTraffic:
+    def test_deterministic_for_same_seed(self):
+        profile = TrafficProfile(
+            master_id=0, n_transactions=20, read_windows=(WINDOW,), write_windows=(OTHER,), seed=9
+        )
+        first = generate_traffic(profile)
+        second = generate_traffic(profile)
+        assert [(t.address, t.write, tuple(t.data)) for t in first] == [
+            (t.address, t.write, tuple(t.data)) for t in second
+        ]
+
+    def test_different_seeds_differ(self):
+        base = dict(master_id=0, n_transactions=20, read_windows=(WINDOW,), write_windows=(OTHER,))
+        a = generate_traffic(TrafficProfile(seed=1, **base))
+        b = generate_traffic(TrafficProfile(seed=2, **base))
+        assert [t.address for t in a] != [t.address for t in b]
+
+    def test_write_fraction_respected_roughly(self):
+        profile = TrafficProfile(
+            master_id=0,
+            n_transactions=400,
+            write_fraction=0.25,
+            read_windows=(WINDOW,),
+            write_windows=(OTHER,),
+            seed=3,
+        )
+        transactions = generate_traffic(profile)
+        writes = sum(1 for t in transactions if t.write)
+        assert 0.15 < writes / len(transactions) < 0.35
+
+    def test_write_transactions_carry_data_for_every_beat(self):
+        profile = TrafficProfile(
+            master_id=0, n_transactions=50, write_fraction=1.0, write_windows=(WINDOW,), seed=5
+        )
+        for txn in generate_traffic(profile):
+            assert txn.write
+            assert len(txn.data) == txn.n_beats
+
+    def test_issue_gap_produces_monotone_issue_cycles(self):
+        profile = TrafficProfile(
+            master_id=0,
+            n_transactions=10,
+            read_windows=(WINDOW,),
+            issue_gap=4,
+            issue_gap_jitter=2,
+            seed=1,
+        )
+        cycles = [t.issue_cycle for t in generate_traffic(profile)]
+        assert cycles == sorted(cycles)
+        assert cycles[-1] >= 9 * 4
+
+    def test_profile_without_windows_rejected(self):
+        with pytest.raises(ValueError):
+            generate_traffic(TrafficProfile(master_id=0, n_transactions=1))
+
+    def test_validation_of_profile_parameters(self):
+        with pytest.raises(ValueError):
+            TrafficProfile(master_id=0, write_fraction=1.5)
+        with pytest.raises(ValueError):
+            TrafficProfile(master_id=0, n_transactions=-1)
+
+
+class TestCannedGenerators:
+    def test_dma_copy_alternates_reads_and_writes(self):
+        transactions = dma_copy_traffic(2, source=WINDOW, destination=OTHER, n_blocks=5)
+        assert len(transactions) == 10
+        assert [t.write for t in transactions] == [False, True] * 5
+        for txn in transactions:
+            window = OTHER if txn.write else WINDOW
+            assert window.base <= txn.address < window.base + window.size
+            assert txn.master_id == 2
+
+    def test_streaming_write_addresses_advance_and_wrap(self):
+        transactions = streaming_write_traffic(0, AddressWindow(0x0, 0x80), n_bursts=6, burst=HBurst.INCR8)
+        addresses = [t.address for t in transactions]
+        assert addresses[:4] == [0x0, 0x20, 0x40, 0x60]
+        assert addresses[4] == 0x0  # wrapped
+
+    def test_streaming_read_is_read_only(self):
+        transactions = streaming_read_traffic(1, WINDOW, n_bursts=4)
+        assert all(not t.write for t in transactions)
+        assert all(t.master_id == 1 for t in transactions)
+
+    def test_cpu_like_traffic_is_mostly_reads_with_gaps(self):
+        transactions = cpu_like_traffic(0, WINDOW, OTHER, n_transactions=100)
+        reads = sum(1 for t in transactions if not t.write)
+        assert reads > 50
+        assert transactions[-1].issue_cycle > 0
+
+    def test_interleaved_issue_cycles_respaces_transactions(self):
+        transactions = streaming_write_traffic(0, WINDOW, n_bursts=5)
+        spaced = interleaved_issue_cycles(transactions, start=10, gap=3)
+        assert [t.issue_cycle for t in spaced] == [10, 13, 16, 19, 22]
+        # original content preserved
+        assert [t.address for t in spaced] == [t.address for t in transactions]

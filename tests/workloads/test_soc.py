@@ -1,0 +1,137 @@
+"""Unit tests for SoC specifications and their instantiation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.component import Domain
+from repro.sim.kernel import CycleKernel
+from repro.workloads.soc import (
+    MasterSpec,
+    SlaveSpec,
+    SocSpec,
+    als_streaming_soc,
+    mixed_soc,
+    single_master_soc,
+    sla_streaming_soc,
+)
+
+
+CANNED = {
+    "als": als_streaming_soc,
+    "sla": sla_streaming_soc,
+    "mixed": mixed_soc,
+    "single": single_master_soc,
+}
+
+
+@pytest.mark.parametrize("name", sorted(CANNED))
+def test_canned_specs_validate(name):
+    spec = CANNED[name]()
+    spec.validate()
+    assert spec.masters and spec.slaves
+
+
+def test_duplicate_ids_rejected():
+    spec = als_streaming_soc()
+    spec.masters.append(
+        MasterSpec(master_id=0, name="dup", domain=Domain.SIMULATOR, transactions=list)
+    )
+    with pytest.raises(ValueError):
+        spec.validate()
+
+
+def test_empty_spec_rejected():
+    with pytest.raises(ValueError):
+        SocSpec(name="empty").validate()
+
+
+def test_domain_filters():
+    spec = als_streaming_soc()
+    acc_masters = spec.masters_in(Domain.ACCELERATOR)
+    sim_slaves = spec.slaves_in(Domain.SIMULATOR)
+    assert all(m.domain is Domain.ACCELERATOR for m in acc_masters)
+    assert all(s.domain is Domain.SIMULATOR for s in sim_slaves)
+    assert len(acc_masters) == 3
+    assert len(sim_slaves) == 2
+
+
+def test_build_reference_creates_runnable_monolithic_bus():
+    bus, masters = als_streaming_soc(n_bursts=4).build_reference()
+    kernel = CycleKernel("ref")
+    kernel.add_component(bus)
+    kernel.run(200)
+    assert all(master.done for master in masters.values())
+    assert bus.monitor.ok
+
+
+def test_build_split_places_components_by_domain():
+    spec = als_streaming_soc()
+    sim_hbm, acc_hbm, masters = spec.build_split()
+    for master_spec in spec.masters:
+        if master_spec.domain is Domain.ACCELERATOR:
+            assert master_spec.master_id in acc_hbm.local_masters
+            assert master_spec.master_id in sim_hbm.remote_master_ids
+        else:
+            assert master_spec.master_id in sim_hbm.local_masters
+    for slave_spec in spec.slaves:
+        owner = sim_hbm if slave_spec.domain is Domain.SIMULATOR else acc_hbm
+        other = acc_hbm if owner is sim_hbm else sim_hbm
+        assert slave_spec.slave_id in owner.local_slaves
+        assert slave_spec.slave_id in other.remote_slave_ids
+
+
+def test_build_split_and_reference_use_fresh_component_instances():
+    spec = als_streaming_soc()
+    bus, ref_masters = spec.build_reference()
+    sim_hbm, acc_hbm, split_masters = spec.build_split()
+    assert ref_masters[0] is not split_masters[0]
+    # identical traffic queues despite being distinct objects
+    assert [t.address for t in ref_masters[0].queue] == [
+        t.address for t in split_masters[0].queue
+    ]
+
+
+def test_fifo_slave_kind_is_instantiated():
+    spec = SocSpec(
+        name="fifo_soc",
+        masters=[
+            MasterSpec(
+                master_id=0,
+                name="m",
+                domain=Domain.ACCELERATOR,
+                transactions=lambda: [],
+            )
+        ],
+        slaves=[
+            SlaveSpec(
+                slave_id=0,
+                name="fifo",
+                domain=Domain.ACCELERATOR,
+                base=0x0,
+                size=0x1000,
+                kind="fifo",
+                fifo_depth=4,
+            )
+        ],
+    )
+    _, acc_hbm, _ = spec.build_split()
+    from repro.ahb.slave import FifoPeripheralSlave
+
+    assert isinstance(acc_hbm.local_slaves[0], FifoPeripheralSlave)
+
+
+def test_unknown_slave_kind_rejected():
+    spec = single_master_soc()
+    spec.slaves[0].kind = "mystery"
+    with pytest.raises(ValueError):
+        spec.build_reference()
+
+
+def test_single_master_soc_domains_configurable():
+    spec = single_master_soc(
+        master_domain=Domain.SIMULATOR, slave_domain=Domain.ACCELERATOR, write=False
+    )
+    sim_hbm, acc_hbm, _ = spec.build_split()
+    assert 0 in sim_hbm.local_masters
+    assert 0 in acc_hbm.local_slaves

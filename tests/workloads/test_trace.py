@@ -1,0 +1,93 @@
+"""Unit tests for trace capture, comparison and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ahb.signals import HBurst, HResp, HSize
+from repro.ahb.transaction import CompletedBeat, TransactionRecorder
+from repro.workloads.trace import BusTrace, beat_to_dict, traces_equivalent
+
+
+def make_beat(master=0, addr=0x0, data=1, cycle=0, write=True, first=True):
+    return CompletedBeat(
+        cycle=cycle,
+        master_id=master,
+        address=addr,
+        write=write,
+        data=data,
+        hresp=HResp.OKAY,
+        hburst=HBurst.SINGLE,
+        hsize=HSize.WORD,
+        first_beat=first,
+    )
+
+
+def recorder_with(beats):
+    recorder = TransactionRecorder()
+    for beat in beats:
+        recorder.record_beat(beat)
+    return recorder
+
+
+def test_beat_to_dict_optionally_includes_cycle():
+    beat = make_beat(cycle=42)
+    assert "cycle" not in beat_to_dict(beat)
+    assert beat_to_dict(beat, include_cycle=True)["cycle"] == 42
+
+
+def test_traces_with_same_content_match_even_if_cycles_differ():
+    a = BusTrace.from_recorder("a", recorder_with([make_beat(cycle=1), make_beat(addr=0x4, cycle=2, first=False)]))
+    b = BusTrace.from_recorder("b", recorder_with([make_beat(cycle=100), make_beat(addr=0x4, cycle=350, first=False)]))
+    assert a.matches(b)
+    assert a.diff(b) == []
+
+
+def test_traces_with_different_content_do_not_match():
+    a = BusTrace.from_recorder("a", recorder_with([make_beat(data=1)]))
+    b = BusTrace.from_recorder("b", recorder_with([make_beat(data=2)]))
+    assert not a.matches(b)
+    assert a.diff(b)
+
+
+def test_diff_reports_length_mismatch():
+    a = BusTrace.from_recorder("a", recorder_with([make_beat(), make_beat(addr=0x4)]))
+    b = BusTrace.from_recorder("b", recorder_with([make_beat()]))
+    problems = a.diff(b)
+    assert any("beats" in p for p in problems)
+
+
+def test_per_master_streams_are_separated():
+    trace = BusTrace.from_recorder(
+        "t",
+        recorder_with([make_beat(master=0), make_beat(master=1, addr=0x100), make_beat(master=0, addr=0x4)]),
+    )
+    streams = trace.per_master_streams()
+    assert len(streams[0]) == 2
+    assert len(streams[1]) == 1
+
+
+def test_merged_keeps_the_longest_recorder():
+    short = recorder_with([make_beat()])
+    long = recorder_with([make_beat(), make_beat(addr=0x4)])
+    merged = BusTrace.merged("m", [short, long])
+    assert len(merged.beats) == 2
+    assert BusTrace.merged("empty", []).beats == []
+
+
+def test_json_round_trip(tmp_path):
+    trace = BusTrace.from_recorder("t", recorder_with([make_beat(), make_beat(addr=0x8)]))
+    path = trace.save(tmp_path / "trace.json")
+    loaded = BusTrace.load(path)
+    assert loaded.label == "t"
+    assert loaded.matches(trace)
+    assert loaded.transactions == trace.transactions
+
+
+def test_traces_equivalent_helper():
+    reference = recorder_with([make_beat(), make_beat(addr=0x4)])
+    same = recorder_with([make_beat(cycle=9), make_beat(addr=0x4, cycle=20)])
+    different = recorder_with([make_beat(data=99)])
+    assert traces_equivalent(reference, [same]) is None
+    message = traces_equivalent(reference, [same, different])
+    assert message is not None and "differs" in message
