@@ -1,0 +1,182 @@
+"""Engine-throughput benchmark: committed target cycles per wall-clock second.
+
+Unlike the other benchmarks (which reproduce the paper's *modelled* numbers),
+this harness measures how fast the reproduction's engines themselves execute
+on the host: mechanism-level runs of the conventional, ALS and SLA engines on
+the streaming SoCs, across prediction accuracies and LOB depths.  It is the
+regression guard for hot-path work (snapshot-free checkpointing, cached bus
+phase info, count-based channel charging, ...).
+
+Usage::
+
+    python benchmarks/bench_engine_throughput.py                  # measure, print
+    python benchmarks/bench_engine_throughput.py --emit           # + write BENCH_engine.json
+    python benchmarks/bench_engine_throughput.py --check [PATH]   # fail on >20% regression
+    python benchmarks/bench_engine_throughput.py --quick          # smoke subset (CI)
+
+The emitted ``BENCH_engine.json`` is committed to the repository so future
+PRs can track the throughput trajectory; ``--check`` compares a fresh
+measurement against it and exits non-zero when any scenario regresses by more
+than ``--tolerance`` (default 20%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import (  # noqa: E402
+    CoEmulationConfig,
+    ConventionalCoEmulation,
+    OperatingMode,
+    OptimisticCoEmulation,
+)
+from repro.workloads import als_streaming_soc, sla_streaming_soc  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_engine.json"
+DEFAULT_TOLERANCE = 0.20
+
+
+@dataclass
+class Scenario:
+    """One benchmark configuration."""
+
+    key: str
+    mode: OperatingMode
+    spec_factory: Callable
+    total_cycles: int
+    lob_depth: int = 64
+    forced_accuracy: Optional[float] = None
+    quick: bool = False  # included in the CI smoke subset
+
+
+def _als(n_bursts: int = 400):
+    return als_streaming_soc(n_bursts=n_bursts)
+
+
+def _sla(n_bursts: int = 400):
+    return sla_streaming_soc(n_bursts=n_bursts)
+
+
+SCENARIOS: List[Scenario] = [
+    Scenario("conventional/als_soc", OperatingMode.CONSERVATIVE, _als, 5000, quick=True),
+    Scenario("als/acc=1.0/lob=64", OperatingMode.ALS, _als, 5000, quick=True),
+    Scenario("als/acc=0.95/lob=64", OperatingMode.ALS, _als, 5000, forced_accuracy=0.95),
+    Scenario("als/acc=0.8/lob=64", OperatingMode.ALS, _als, 5000, forced_accuracy=0.8),
+    Scenario("als/acc=1.0/lob=8", OperatingMode.ALS, _als, 5000, lob_depth=8),
+    Scenario("als/acc=1.0/lob=256", OperatingMode.ALS, _als, 5000, lob_depth=256),
+    Scenario("sla/acc=1.0/lob=64", OperatingMode.SLA, _sla, 5000, quick=True),
+    Scenario("sla/acc=0.9/lob=64", OperatingMode.SLA, _sla, 5000, forced_accuracy=0.9),
+]
+
+
+def run_scenario(scenario: Scenario, repeats: int = 3) -> dict:
+    """Measure one scenario; returns the best-of-N throughput record."""
+    best = None
+    for _ in range(repeats):
+        sim_hbm, acc_hbm, _ = scenario.spec_factory().build_split()
+        config = CoEmulationConfig(
+            mode=scenario.mode,
+            total_cycles=scenario.total_cycles,
+            lob_depth=scenario.lob_depth,
+            forced_accuracy=scenario.forced_accuracy,
+        )
+        if scenario.mode is OperatingMode.CONSERVATIVE:
+            engine = ConventionalCoEmulation(sim_hbm, acc_hbm, config)
+        else:
+            engine = OptimisticCoEmulation(sim_hbm, acc_hbm, config)
+        start = time.perf_counter()
+        result = engine.run()
+        elapsed = time.perf_counter() - start
+        throughput = result.committed_cycles / elapsed
+        if best is None or throughput > best["cycles_per_second"]:
+            best = {
+                "cycles_per_second": round(throughput, 1),
+                "wall_seconds": round(elapsed, 4),
+                "committed_cycles": result.committed_cycles,
+                "rollbacks": result.transitions.get("rollbacks", 0),
+                "channel_accesses": result.channel["accesses"],
+            }
+    return best
+
+
+def measure(quick: bool = False, repeats: int = 3) -> dict:
+    scenarios = [s for s in SCENARIOS if s.quick] if quick else SCENARIOS
+    results = {}
+    for scenario in scenarios:
+        record = run_scenario(scenario, repeats=repeats)
+        results[scenario.key] = record
+        print(
+            f"{scenario.key:32s} {record['cycles_per_second']:>12,.0f} cyc/s"
+            f"  ({record['committed_cycles']} cycles in {record['wall_seconds']}s)"
+        )
+    return {
+        "schema": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scenarios": results,
+    }
+
+
+def check(measured: dict, baseline_path: Path, tolerance: float) -> int:
+    """Compare against the committed baseline; returns a process exit code."""
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for key, base in baseline["scenarios"].items():
+        got = measured["scenarios"].get(key)
+        if got is None:
+            continue  # quick runs measure a subset
+        floor = base["cycles_per_second"] * (1.0 - tolerance)
+        status = "ok" if got["cycles_per_second"] >= floor else "REGRESSION"
+        print(
+            f"{key:32s} baseline {base['cycles_per_second']:>12,.0f}"
+            f"  now {got['cycles_per_second']:>12,.0f}  floor {floor:>12,.0f}  {status}"
+        )
+        if status != "ok":
+            failures.append(key)
+    if failures:
+        print(f"\nFAIL: {len(failures)} scenario(s) regressed >"
+              f"{tolerance:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"\nOK: no scenario regressed more than {tolerance:.0%}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--emit", action="store_true",
+                        help="write the measurement to the baseline file")
+    parser.add_argument("--check", nargs="?", const=str(DEFAULT_BASELINE), default=None,
+                        metavar="BASELINE",
+                        help="compare against a committed baseline; exit 1 on regression")
+    parser.add_argument("--output", default=str(DEFAULT_BASELINE),
+                        help="baseline path used by --emit (default: BENCH_engine.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run the CI smoke subset only")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per scenario (best-of)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional slowdown for --check (default 0.20)")
+    args = parser.parse_args(argv)
+
+    measured = measure(quick=args.quick, repeats=args.repeats)
+    if args.emit:
+        Path(args.output).write_text(json.dumps(measured, indent=1, sort_keys=True) + "\n")
+        print(f"\nwrote {args.output}")
+    if args.check is not None:
+        return check(measured, Path(args.check), args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

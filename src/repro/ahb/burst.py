@@ -10,7 +10,7 @@ a burst from its first beat) and by the protocol monitor (to check SEQ beats).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, List
 
 from .signals import AhbError, HBurst, HSize
@@ -112,6 +112,9 @@ class BurstTracker:
     hsize: HSize
     total_beats: int
     beats_done: int = 0
+    #: Memoized address of the next beat (derived from the fields above;
+    #: ``None`` forces recomputation, e.g. after ``from_snapshot``).
+    _next_addr_cache: int | None = field(default=None, repr=False, compare=False)
 
     @classmethod
     def from_first_beat(
@@ -141,10 +144,12 @@ class BurstTracker:
         """Address of the next beat to be issued."""
         if self.complete:
             raise AhbError("burst already complete")
-        addr = self.start_addr
-        for _ in range(self.beats_done):
-            addr = next_beat_address(addr, self.hburst, self.hsize, self.start_addr)
-        return addr
+        if self._next_addr_cache is None:
+            addr = self.start_addr
+            for _ in range(self.beats_done):
+                addr = next_beat_address(addr, self.hburst, self.hsize, self.start_addr)
+            self._next_addr_cache = addr
+        return self._next_addr_cache
 
     @property
     def is_first_beat(self) -> bool:
@@ -157,6 +162,11 @@ class BurstTracker:
         """
         addr = self.current_address
         self.beats_done += 1
+        self._next_addr_cache = (
+            next_beat_address(addr, self.hburst, self.hsize, self.start_addr)
+            if not self.complete
+            else None
+        )
         return addr
 
     def remaining_addresses(self) -> List[int]:

@@ -50,7 +50,7 @@ from .slave import AhbSlave, DefaultSlave
 from .transaction import CompletedBeat, TransactionRecorder
 
 
-@dataclass
+@dataclass(slots=True)
 class DriveValues:
     """Everything driven onto the bus before the slave responds."""
 
@@ -60,7 +60,7 @@ class DriveValues:
     interrupts: Dict[str, bool] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataPhaseInfo:
     """Static facts about the current cycle's data phase, derived from
     registered state at the start of the cycle."""
@@ -71,6 +71,18 @@ class DataPhaseInfo:
     is_write: bool
     first_cycle: bool
     address_phase: Optional[AddressPhase]
+
+
+#: Shared instance for cycles with no active data phase (the most common
+#: shape); ``DataPhaseInfo`` is frozen so reuse is safe.
+_INACTIVE_DATA_PHASE_INFO = DataPhaseInfo(
+    active=False,
+    owner_master_id=None,
+    slave_id=None,
+    is_write=False,
+    first_cycle=True,
+    address_phase=None,
+)
 
 
 class AhbBusCore:
@@ -89,6 +101,7 @@ class AhbBusCore:
         self.data_phase_first_cycle = True
         self.latched_requests: Dict[int, bool] = {mid: False for mid in master_ids}
         self._burst_beats_done = 0
+        self._info_cache: Optional[DataPhaseInfo] = None
 
     # -- introspection at the start of a cycle --------------------------------
     @property
@@ -96,31 +109,38 @@ class AhbBusCore:
         return self.arbiter.current_grant
 
     def data_phase_info(self) -> DataPhaseInfo:
-        """Describe the data phase that will be serviced this cycle."""
+        """Describe the data phase that will be serviced this cycle.
+
+        The result only depends on registered state, so it is computed once
+        per cycle and memoized; :meth:`commit_cycle` (and any state mutation:
+        reset / restore) invalidates the cache.
+        """
+        info = self._info_cache
+        if info is not None:
+            return info
         phase = self.data_phase
         if phase is None or not phase.is_active:
-            return DataPhaseInfo(
-                active=False,
-                owner_master_id=None,
-                slave_id=None,
-                is_write=False,
-                first_cycle=True,
-                address_phase=None,
+            info = _INACTIVE_DATA_PHASE_INFO
+        else:
+            info = DataPhaseInfo(
+                active=True,
+                owner_master_id=phase.master_id,
+                slave_id=self.decoder.select(phase.haddr),
+                is_write=phase.hwrite,
+                first_cycle=self.data_phase_first_cycle,
+                address_phase=phase,
             )
-        return DataPhaseInfo(
-            active=True,
-            owner_master_id=phase.master_id,
-            slave_id=self.decoder.select(phase.haddr),
-            is_write=phase.hwrite,
-            first_cycle=self.data_phase_first_cycle,
-            address_phase=phase,
-        )
+        self._info_cache = info
+        return info
 
     # -- state update at the end of a cycle ------------------------------------
     def commit_cycle(
         self, cycle: int, drive: DriveValues, response: DataPhaseResult
     ) -> BusCycleRecord:
         """Advance registered state; returns the cycle record."""
+        # One defensive copy of the request vector serves both the record and
+        # the latched-request register; neither is mutated afterwards.
+        requests_copy = dict(drive.requests)
         record = BusCycleRecord(
             cycle=cycle,
             granted_master=self.granted_master,
@@ -128,7 +148,7 @@ class AhbBusCore:
             data_phase=self.data_phase,
             hwdata=drive.hwdata,
             response=response,
-            requests=dict(drive.requests),
+            requests=requests_copy,
         )
         if response.hready:
             accepted = drive.address_phase
@@ -142,7 +162,8 @@ class AhbBusCore:
                 self.arbiter.arbitrate(drive.requests)
         else:
             self.data_phase_first_cycle = False
-        self.latched_requests = dict(drive.requests)
+        self.latched_requests = requests_copy
+        self._info_cache = None
         return record
 
     def _track_burst(self, accepted: AddressPhase) -> None:
@@ -173,50 +194,32 @@ class AhbBusCore:
         self.data_phase_first_cycle = True
         self.latched_requests = {mid: False for mid in self.master_ids}
         self._burst_beats_done = 0
+        self._info_cache = None
 
     def snapshot(self) -> dict:
-        phase = self.data_phase
+        """Owned payload (fast-copy protocol): the ``AddressPhase`` is frozen
+        and stored by reference; the request dict is a fresh copy."""
         return {
             "arbiter": self.arbiter.snapshot(),
-            "data_phase": None
-            if phase is None
-            else {
-                "master_id": phase.master_id,
-                "haddr": phase.haddr,
-                "htrans": int(phase.htrans),
-                "hwrite": phase.hwrite,
-                "hsize": int(phase.hsize),
-                "hburst": int(phase.hburst),
-            },
+            "data_phase": self.data_phase,
             "data_phase_first_cycle": self.data_phase_first_cycle,
             "latched_requests": dict(self.latched_requests),
             "burst_beats_done": self._burst_beats_done,
         }
 
     def restore(self, state: dict) -> None:
-        from .signals import HSize  # local import to keep module top tidy
-
         self.arbiter.restore(state["arbiter"])
-        phase = state["data_phase"]
-        self.data_phase = (
-            None
-            if phase is None
-            else AddressPhase(
-                master_id=phase["master_id"],
-                haddr=phase["haddr"],
-                htrans=HTrans(phase["htrans"]),
-                hwrite=phase["hwrite"],
-                hsize=HSize(phase["hsize"]),
-                hburst=HBurst(phase["hburst"]),
-            )
-        )
+        self.data_phase = state["data_phase"]
         self.data_phase_first_cycle = state["data_phase_first_cycle"]
         self.latched_requests = dict(state["latched_requests"])
         self._burst_beats_done = state["burst_beats_done"]
+        self._info_cache = None
 
 
 class AhbBus(ClockedComponent):
     """The monolithic reference bus: all masters and slaves are local."""
+
+    snapshot_copy_free = True
 
     def __init__(
         self,
@@ -238,6 +241,7 @@ class AhbBus(ClockedComponent):
         self.recorder = TransactionRecorder()
         self.records: List[BusCycleRecord] = []
         self.monitor = AhbProtocolMonitor() if enable_monitor else None
+        self._tick_order: List[ClockedComponent] = []
 
     # -- construction -------------------------------------------------------------
     def add_master(self, master: AhbMaster) -> AhbMaster:
@@ -266,6 +270,7 @@ class AhbBus(ClockedComponent):
         policy = self._policy or FixedPriorityPolicy(master_ids)
         arbiter = Arbiter(policy=policy, default_master=default_master)
         self.core = AhbBusCore(arbiter=arbiter, decoder=self.decoder, master_ids=master_ids)
+        self._tick_order = list(self.masters.values()) + list(self.slaves.values())
 
     # -- per-cycle protocol ----------------------------------------------------------
     def evaluate(self, cycle: int) -> None:
@@ -274,7 +279,7 @@ class AhbBus(ClockedComponent):
         assert self.core is not None
         core = self.core
 
-        for component in list(self.masters.values()) + list(self.slaves.values()):
+        for component in self._tick_order:
             component.tick(cycle)
 
         info = core.data_phase_info()

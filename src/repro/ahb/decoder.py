@@ -56,6 +56,10 @@ class AddressDecoder:
     def __init__(self, default_slave_id: Optional[int] = None) -> None:
         self.regions: List[AddressRegion] = []
         self.default_slave_id = default_slave_id
+        # Flat (base, end, slave_id) tuples mirroring ``regions``: the decode
+        # happens several times per target cycle, so ``select`` scans plain
+        # ints instead of calling methods on region objects.
+        self._spans: List[tuple[int, int, int]] = []
 
     def add_region(self, base: int, size: int, slave_id: int, name: str = "") -> AddressRegion:
         """Register a region; overlapping regions are rejected."""
@@ -67,6 +71,7 @@ class AddressDecoder:
                     f"{existing.name or hex(existing.base)}"
                 )
         self.regions.append(region)
+        self._spans.append((region.base, region.end, region.slave_id))
         return region
 
     def region_for(self, address: int) -> Optional[AddressRegion]:
@@ -78,9 +83,9 @@ class AddressDecoder:
 
     def select(self, address: int) -> int:
         """Return the slave id selected by ``address``."""
-        region = self.region_for(address)
-        if region is not None:
-            return region.slave_id
+        for base, end, slave_id in self._spans:
+            if base <= address < end:
+                return slave_id
         if self.default_slave_id is not None:
             return self.default_slave_id
         raise DecodeError(f"address {address:#x} hits no region and no default slave is set")
@@ -93,4 +98,5 @@ class AddressDecoder:
         """An independent decoder with the same map (for the second HBM)."""
         clone = AddressDecoder(default_slave_id=self.default_slave_id)
         clone.regions = list(self.regions)
+        clone._spans = list(self._spans)
         return clone

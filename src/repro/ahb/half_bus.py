@@ -23,8 +23,9 @@ situation rollback repairs.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from ..sim.component import ClockedComponent, Domain
 from .arbiter import Arbiter, ArbitrationPolicy, FixedPriorityPolicy
@@ -43,7 +44,7 @@ from .slave import AhbSlave, DefaultSlave
 from .transaction import CompletedBeat, TransactionRecorder
 
 
-@dataclass
+@dataclass(slots=True)
 class BoundaryDrive:
     """One domain's contribution to the drive step of a target cycle.
 
@@ -61,7 +62,7 @@ class BoundaryDrive:
     interrupts: Dict[str, bool] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class BoundaryResponse:
     """One domain's contribution to the respond step of a target cycle."""
 
@@ -69,7 +70,7 @@ class BoundaryResponse:
     response: Optional[DataPhaseResult] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NeededFields:
     """What a domain must obtain from the remote domain for one cycle."""
 
@@ -87,8 +88,17 @@ class NeededFields:
         return self.needs_remote_hwdata or (self.needs_remote_response and self.response_is_read)
 
 
+#: How many recent cycle records a half bus retains.  Must exceed the
+#: deepest speculative window (LOB depth + 1) so a rollback can trim
+#: exactly the speculative records; generous enough for every depth the
+#: experiments sweep while keeping 10M-cycle runs at constant memory.
+RECORD_HISTORY = 8192
+
+
 class HalfBusModel(ClockedComponent):
     """One domain's half of the split target bus."""
+
+    snapshot_copy_free = True
 
     def __init__(
         self,
@@ -112,9 +122,20 @@ class HalfBusModel(ClockedComponent):
         self._default_master_id = default_master_id
         self.core: Optional[AhbBusCore] = None
         self.recorder = TransactionRecorder()
-        self.records: List[BusCycleRecord] = []
+        # Recent cycle records only: long engine runs must hold constant
+        # memory, and rollback never reaches further back than the LOB depth.
+        # The monotone counter keeps snapshot/restore trimming exact even
+        # though old records age out of the deque.
+        self.records: Deque[BusCycleRecord] = deque(maxlen=RECORD_HISTORY)
+        self._records_committed = 0
         self.monitor = AhbProtocolMonitor() if enable_monitor else None
         self.interrupt_outputs: Dict[str, bool] = {}
+        # Preallocated hot-path structures, built by finalize().
+        self._tick_order: List[ClockedComponent] = []
+        self._request_template: Dict[int, bool] = {}
+        self._remote_master_tuple: tuple = ()
+        self._remote_master_set: frozenset = frozenset()
+        self._remote_slave_set: frozenset = frozenset()
 
     # -- construction --------------------------------------------------------------
     def add_local_master(self, master: AhbMaster) -> AhbMaster:
@@ -156,6 +177,13 @@ class HalfBusModel(ClockedComponent):
         policy = self._policy or FixedPriorityPolicy(master_ids)
         arbiter = Arbiter(policy=policy, default_master=default_master)
         self.core = AhbBusCore(arbiter=arbiter, decoder=self.decoder, master_ids=master_ids)
+        # The component map is fixed from here on: precompute the structures
+        # the per-cycle phase methods would otherwise rebuild every cycle.
+        self._tick_order = list(self.local_masters.values()) + list(self.local_slaves.values())
+        self._request_template = dict.fromkeys(master_ids, False)
+        self._remote_master_tuple = tuple(self.remote_master_ids)
+        self._remote_master_set = frozenset(self.remote_master_ids)
+        self._remote_slave_set = frozenset(self.remote_slave_ids)
 
     # -- ClockedComponent --------------------------------------------------------------
     def evaluate(self, cycle: int) -> None:
@@ -168,14 +196,14 @@ class HalfBusModel(ClockedComponent):
         assert self.core is not None, "finalize() must be called first"
         info = self.core.data_phase_info()
         granted = self.core.granted_master
-        needs_addr = granted in self.remote_master_ids
+        needs_addr = granted in self._remote_master_set
         needs_wdata = (
-            info.active and info.is_write and info.owner_master_id in self.remote_master_ids
+            info.active and info.is_write and info.owner_master_id in self._remote_master_set
         )
-        needs_response = info.active and info.slave_id in self.remote_slave_ids
+        needs_response = info.active and info.slave_id in self._remote_slave_set
         return NeededFields(
-            remote_master_ids=tuple(self.remote_master_ids),
-            needs_remote_requests=bool(self.remote_master_ids),
+            remote_master_ids=self._remote_master_tuple,
+            needs_remote_requests=bool(self._remote_master_tuple),
             needs_remote_address_phase=needs_addr,
             needs_remote_hwdata=needs_wdata,
             needs_remote_response=needs_response,
@@ -187,7 +215,7 @@ class HalfBusModel(ClockedComponent):
         """Evaluate local components and return this domain's drive contribution."""
         assert self.core is not None, "finalize() must be called first"
         core = self.core
-        for component in list(self.local_masters.values()) + list(self.local_slaves.values()):
+        for component in self._tick_order:
             component.tick(cycle)
         info = core.data_phase_info()
         requests = {
@@ -195,11 +223,12 @@ class HalfBusModel(ClockedComponent):
         }
         granted = core.granted_master
         address_phase = None
-        if granted in self.local_masters:
-            address_phase = self.local_masters[granted].drive_address_phase(cycle, granted=True)
+        local_masters = self.local_masters
+        if granted in local_masters:
+            address_phase = local_masters[granted].drive_address_phase(cycle, granted=True)
         hwdata = None
-        if info.active and info.is_write and info.owner_master_id in self.local_masters:
-            hwdata = self.local_masters[info.owner_master_id].drive_hwdata(info.address_phase)
+        if info.active and info.is_write and info.owner_master_id in local_masters:
+            hwdata = local_masters[info.owner_master_id].drive_hwdata(info.address_phase)
         return BoundaryDrive(
             cycle=cycle,
             requests=requests,
@@ -211,7 +240,7 @@ class HalfBusModel(ClockedComponent):
     def merge_drive(self, local: BoundaryDrive, remote: BoundaryDrive) -> DriveValues:
         """Combine the local and remote contributions into full drive values."""
         assert self.core is not None
-        requests = {mid: False for mid in self.core.master_ids}
+        requests = self._request_template.copy()
         requests.update(local.requests)
         requests.update(remote.requests)
         address_phase = local.address_phase or remote.address_phase
@@ -257,6 +286,7 @@ class HalfBusModel(ClockedComponent):
                 self.local_masters[accepted.master_id].on_address_accepted(cycle, accepted)
         record = core.commit_cycle(cycle, drive, response)
         self.records.append(record)
+        self._records_committed += 1
         if self.monitor is not None:
             self.monitor.check(record)
         self._record_completed_beat(cycle, info, drive, response)
@@ -324,6 +354,7 @@ class HalfBusModel(ClockedComponent):
             self.core.reset()
         self.recorder = TransactionRecorder()
         self.records.clear()
+        self._records_committed = 0
         if self.monitor is not None:
             self.monitor.reset()
         self.interrupt_outputs.clear()
@@ -335,7 +366,7 @@ class HalfBusModel(ClockedComponent):
             "masters": {mid: m.snapshot_state() for mid, m in self.local_masters.items()},
             "slaves": {sid: s.snapshot_state() for sid, s in self.local_slaves.items()},
             "recorder": self.recorder.snapshot(),
-            "n_records": len(self.records),
+            "n_records": self._records_committed,
             "interrupts": dict(self.interrupt_outputs),
             "monitor": None if self.monitor is None else self.monitor.snapshot(),
         }
@@ -348,7 +379,12 @@ class HalfBusModel(ClockedComponent):
         for sid, s_state in state["slaves"].items():
             self.local_slaves[sid].restore_state(s_state)
         self.recorder.restore(state["recorder"])
-        del self.records[state["n_records"]:]
+        # Drop the speculative records from the right; records that aged out
+        # of the bounded history were committed long ago and stay dropped.
+        while self._records_committed > state["n_records"] and self.records:
+            self.records.pop()
+            self._records_committed -= 1
+        self._records_committed = state["n_records"]
         self.interrupt_outputs = dict(state["interrupts"])
         if self.monitor is not None and state.get("monitor") is not None:
             self.monitor.restore(state["monitor"])

@@ -36,6 +36,12 @@ class AhbMaster(ClockedComponent):
        was accepted (HREADY high).
     5. :meth:`on_data_phase_done` -- a data phase owned by this master
        finished (HREADY high), carrying the slave response / read data.
+
+    Note on checkpointing: ``snapshot_copy_free`` is deliberately *not* set
+    on this base class.  Each concrete master opts in individually once its
+    payload has been audited against the fast-copy ownership contract; a new
+    subclass written in the legacy aliasing style stays on the safe
+    deep-copy path by default.
     """
 
     def __init__(self, name: str, master_id: int, level: AbstractionLevel = AbstractionLevel.TL) -> None:
@@ -79,6 +85,8 @@ class IdleMaster(AhbMaster):
     contain no local masters.
     """
 
+    snapshot_copy_free = True  # stateless: the empty payload owns itself
+
     def drive_hbusreq(self, cycle: int) -> bool:
         return False
 
@@ -86,7 +94,7 @@ class IdleMaster(AhbMaster):
         return AddressPhase.idle_phase(self.master_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class _OutstandingBeat:
     """A beat whose address phase was accepted and whose data phase is pending."""
 
@@ -117,6 +125,10 @@ class MasterStats:
 
 class TrafficMaster(AhbMaster):
     """Executes a queue of :class:`BusTransaction` objects beat by beat."""
+
+    #: Fast-copy snapshot protocol: payloads are owned (fresh containers +
+    #: frozen ``AddressPhase`` references), never aliases of live state.
+    snapshot_copy_free = True
 
     def __init__(
         self,
@@ -252,6 +264,10 @@ class TrafficMaster(AhbMaster):
     def _finish_txn(self, cycle: int, txn_index: int) -> None:
         txn = self.queue[txn_index]
         data = list(txn.data) if txn.write else list(self._read_data.get(txn_index, []))
+        # The read buffer is only needed while the transaction is in flight;
+        # dropping it here keeps snapshot size proportional to outstanding
+        # work instead of to the total transactions ever issued.
+        self._read_data.pop(txn_index, None)
         self._completed.append(
             CompletedTransaction(
                 master_id=self.master_id,
@@ -288,23 +304,14 @@ class TrafficMaster(AhbMaster):
 
     # -- rollback support -------------------------------------------------------
     def snapshot_state(self) -> dict:
+        """Owned payload: ``AddressPhase`` objects are frozen and stored by
+        reference, everything else lives in freshly built containers."""
         return {
             "next_txn_index": self._next_txn_index,
             "active_txn_index": self._active_txn_index,
             "tracker": None if self._tracker is None else self._tracker.snapshot(),
             "outstanding": [
-                {
-                    "address_phase": {
-                        "master_id": b.address_phase.master_id,
-                        "haddr": b.address_phase.haddr,
-                        "htrans": int(b.address_phase.htrans),
-                        "hwrite": b.address_phase.hwrite,
-                        "hsize": int(b.address_phase.hsize),
-                        "hburst": int(b.address_phase.hburst),
-                    },
-                    "beat_index": b.beat_index,
-                    "transaction_index": b.transaction_index,
-                }
+                (b.address_phase, b.beat_index, b.transaction_index)
                 for b in self._outstanding
             ],
             "read_data": {k: list(v) for k, v in self._read_data.items()},
@@ -314,8 +321,6 @@ class TrafficMaster(AhbMaster):
         }
 
     def restore_state(self, state: dict) -> None:
-        from .signals import HBurst, HSize  # local import to avoid cycle noise
-
         self._next_txn_index = state["next_txn_index"]
         self._active_txn_index = state["active_txn_index"]
         self._tracker = (
@@ -323,18 +328,11 @@ class TrafficMaster(AhbMaster):
         )
         self._outstanding = [
             _OutstandingBeat(
-                address_phase=AddressPhase(
-                    master_id=b["address_phase"]["master_id"],
-                    haddr=b["address_phase"]["haddr"],
-                    htrans=HTrans(b["address_phase"]["htrans"]),
-                    hwrite=b["address_phase"]["hwrite"],
-                    hsize=HSize(b["address_phase"]["hsize"]),
-                    hburst=HBurst(b["address_phase"]["hburst"]),
-                ),
-                beat_index=b["beat_index"],
-                transaction_index=b["transaction_index"],
+                address_phase=phase,
+                beat_index=beat_index,
+                transaction_index=txn_index,
             )
-            for b in state["outstanding"]
+            for phase, beat_index, txn_index in state["outstanding"]
         ]
         self._read_data = {k: list(v) for k, v in state["read_data"].items()}
         del self._completed[state["n_completed"]:]

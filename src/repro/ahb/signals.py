@@ -49,7 +49,7 @@ class HTrans(IntEnum):
     @property
     def is_active(self) -> bool:
         """True for transfer types that address a slave (NONSEQ / SEQ)."""
-        return self in (HTrans.NONSEQ, HTrans.SEQ)
+        return self._value_ >= 2
 
 
 class HBurst(IntEnum):
@@ -150,9 +150,16 @@ def is_predictable(signal_name: str) -> bool:
         raise AhbError(f"unknown MSABS signal {signal_name!r}") from exc
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AddressPhase:
-    """The address/control signals driven by the active master for one beat."""
+    """The address/control signals driven by the active master for one beat.
+
+    The object is created on the engine's per-cycle hot path, so it carries
+    ``__slots__`` and precomputes the ``is_active`` flag once at construction
+    instead of re-deriving it from ``htrans`` on every read.  Being frozen,
+    instances are safely shared by reference across LOB entries, checkpoint
+    payloads and predictor state.
+    """
 
     master_id: int
     haddr: int = 0
@@ -161,6 +168,8 @@ class AddressPhase:
     hsize: HSize = HSize.WORD
     hburst: HBurst = HBurst.SINGLE
     hprot: int = 0
+    #: Precomputed ``htrans.is_active`` (derived; excluded from eq/repr).
+    is_active: bool = field(init=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.haddr < 0:
@@ -169,10 +178,7 @@ class AddressPhase:
             raise AhbError(
                 f"address {self.haddr:#x} is not aligned to HSIZE={self.hsize.name}"
             )
-
-    @property
-    def is_active(self) -> bool:
-        return self.htrans.is_active
+        object.__setattr__(self, "is_active", self.htrans._value_ >= 2)
 
     def idle(self) -> "AddressPhase":
         """A copy of this phase with the transfer type forced to IDLE."""
@@ -183,7 +189,7 @@ class AddressPhase:
         return AddressPhase(master_id=master_id, htrans=HTrans.IDLE)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataPhaseResult:
     """The response of the active slave for one data-phase cycle."""
 
@@ -193,25 +199,36 @@ class DataPhaseResult:
 
     @staticmethod
     def okay(hrdata: Optional[int] = None) -> "DataPhaseResult":
+        if hrdata is None:
+            return _OKAY_RESULT
         return DataPhaseResult(hready=True, hresp=HResp.OKAY, hrdata=hrdata)
 
     @staticmethod
     def wait() -> "DataPhaseResult":
         """One wait state: HREADY low, response must be OKAY."""
-        return DataPhaseResult(hready=False, hresp=HResp.OKAY, hrdata=None)
+        return _WAIT_RESULT
 
     @staticmethod
     def error_first_cycle() -> "DataPhaseResult":
         """First cycle of a two-cycle ERROR response (HREADY low)."""
-        return DataPhaseResult(hready=False, hresp=HResp.ERROR, hrdata=None)
+        return _ERROR_FIRST_RESULT
 
     @staticmethod
     def error_second_cycle() -> "DataPhaseResult":
         """Second cycle of a two-cycle ERROR response (HREADY high)."""
-        return DataPhaseResult(hready=True, hresp=HResp.ERROR, hrdata=None)
+        return _ERROR_SECOND_RESULT
 
 
-@dataclass(frozen=True)
+#: Interned instances of the parameterless responses.  ``DataPhaseResult`` is
+#: frozen, so sharing one object per shape is safe and keeps the idle-cycle
+#: fast path allocation-free.
+_OKAY_RESULT = DataPhaseResult(hready=True, hresp=HResp.OKAY, hrdata=None)
+_WAIT_RESULT = DataPhaseResult(hready=False, hresp=HResp.OKAY, hrdata=None)
+_ERROR_FIRST_RESULT = DataPhaseResult(hready=False, hresp=HResp.ERROR, hrdata=None)
+_ERROR_SECOND_RESULT = DataPhaseResult(hready=True, hresp=HResp.ERROR, hrdata=None)
+
+
+@dataclass(frozen=True, slots=True)
 class MasterRequest:
     """Arbitration request signals driven by one master (HBUSREQx, HLOCKx)."""
 
@@ -220,12 +237,14 @@ class MasterRequest:
     hlock: bool = False
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class BusCycleRecord:
     """Everything that happened on the bus in one target clock cycle.
 
     Used by the protocol monitor, the transaction recorder and the golden
-    equivalence tests between the monolithic and split bus models.
+    equivalence tests between the monolithic and split bus models.  Frozen:
+    records are committed history, shared by reference between the record
+    deque, the protocol monitor and checkpoint payloads.
     """
 
     cycle: int

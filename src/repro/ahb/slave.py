@@ -30,7 +30,12 @@ from .signals import AddressPhase, AhbError, DataPhaseResult, HResp
 
 
 class AhbSlave(ClockedComponent):
-    """Interface every bus slave implements."""
+    """Interface every bus slave implements.
+
+    ``snapshot_copy_free`` is deliberately *not* set here: each concrete
+    slave opts into the fast-copy checkpoint protocol individually once its
+    payload is audited; unaudited subclasses keep the safe deep-copy path.
+    """
 
     def __init__(self, name: str, slave_id: int, level: AbstractionLevel = AbstractionLevel.TL) -> None:
         super().__init__(name)
@@ -81,6 +86,10 @@ class MemorySlave(AhbSlave):
     are accepted but are performed at word granularity (adequate for the
     word-oriented traffic the workloads generate).
     """
+
+    #: Fast-copy snapshot protocol: the words array is freshly copied on
+    #: store and treated as read-only on restore.
+    snapshot_copy_free = True
 
     def __init__(
         self,
@@ -182,6 +191,8 @@ class FifoPeripheralSlave(AhbSlave):
     behaviour the paper's producer-consumer response predictor targets.
     """
 
+    snapshot_copy_free = True  # payload is scalars + a fresh stats dict
+
     def __init__(
         self,
         name: str,
@@ -277,6 +288,8 @@ class DefaultSlave(AhbSlave):
     AHB requires a two-cycle ERROR response (first cycle HREADY low with
     HRESP=ERROR, second cycle HREADY high with HRESP=ERROR).
     """
+
+    snapshot_copy_free = True  # payload is a scalar + a fresh stats dict
 
     def __init__(self, name: str = "default_slave", slave_id: int = -1) -> None:
         super().__init__(name, slave_id, AbstractionLevel.TL)

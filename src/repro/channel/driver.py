@@ -77,13 +77,44 @@ class SimulatorAcceleratorChannel:
         purpose: str = "",
         target_cycle: int = -1,
     ) -> float:
-        """Send ``words`` in ``direction``; returns the modelled access time."""
-        message = ChannelMessage(
-            direction=direction, words=list(words), purpose=purpose, target_cycle=target_cycle
-        )
-        self._queues[direction].append(message)
+        """Send ``words`` in ``direction``; returns the modelled access time.
+
+        With ``keep_log=False`` the channel runs in fire-and-forget
+        accounting mode: the access time is charged from the word *count*
+        and the words are neither copied nor retained, so arbitrarily long
+        runs hold constant memory.  Messages are queued (and readable via
+        :meth:`read` / :meth:`drain`) only when ``keep_log=True``.
+        """
+        if self.stats.keep_log:
+            message = ChannelMessage(
+                direction=direction,
+                words=list(words),
+                purpose=purpose,
+                target_cycle=target_cycle,
+            )
+            self._queues[direction].append(message)
+        return self._charge(direction, len(words), purpose, target_cycle)
+
+    def charge(
+        self,
+        direction: ChannelDirection,
+        n_words: int,
+        purpose: str = "",
+        target_cycle: int = -1,
+    ) -> float:
+        """Account one access of ``n_words`` words without materialising it.
+
+        This is the engines' hot path: they already hand the boundary values
+        across in-process, so only the modelled cost of the access matters.
+        Nothing is enqueued regardless of ``keep_log``.
+        """
+        return self._charge(direction, n_words, purpose, target_cycle)
+
+    def _charge(
+        self, direction: ChannelDirection, n_words: int, purpose: str, target_cycle: int
+    ) -> float:
         access_time = self.stats.record_access(
-            direction, len(words), purpose=purpose, target_cycle=target_cycle
+            direction, n_words, purpose=purpose, target_cycle=target_cycle
         )
         self.layer_times.api += self.layers.api_overhead
         self.layer_times.driver += self.layers.driver_overhead

@@ -211,8 +211,31 @@ class BoundaryPacketizer:
         )
 
     # -- sizing helpers -------------------------------------------------------------
+    # These compute len(encode(...)) arithmetically, without building the
+    # word list.  The engines charge channel time per cycle from these
+    # counts, so they must stay exactly consistent with the encoder layout
+    # (a property test asserts this).
+
+    @staticmethod
+    def cycle_word_count(
+        address_phase: Optional[AddressPhase] = None,
+        hwdata: Optional[int] = None,
+        response: Optional[DataPhaseResult] = None,
+    ) -> int:
+        """Number of words :meth:`encode` would emit for these values."""
+        words = 1  # header
+        if address_phase is not None:
+            words += 2
+        if hwdata is not None:
+            words += 1
+        if response is not None:
+            words += 1
+            if response.hrdata is not None:
+                words += 1
+        return words
+
     def drive_word_count(self, drive: BoundaryDrive) -> int:
-        return len(self.encode_drive(drive))
+        return self.cycle_word_count(drive.address_phase, drive.hwdata, None)
 
     def response_word_count(self, response: Optional[DataPhaseResult]) -> int:
-        return len(self.encode_response(response))
+        return self.cycle_word_count(None, None, response)

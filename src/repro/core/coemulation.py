@@ -223,11 +223,16 @@ class CoEmulationEngineBase:
         )
 
     def _charge_channel(
-        self, source: DomainHost, words: List[int], purpose: str, cycle: int
+        self, source: DomainHost, n_words: int, purpose: str, cycle: int
     ) -> float:
-        """Send one message over the channel and charge its time."""
-        access_time = self.channel.write(
-            self._direction(source), words, purpose=purpose, target_cycle=cycle
+        """Account one channel access of ``n_words`` words and charge its time.
+
+        The boundary values themselves are handed across in-process; only the
+        modelled access cost matters, so no message is materialised or
+        retained (constant memory regardless of run length).
+        """
+        access_time = self.channel.charge(
+            self._direction(source), n_words, purpose=purpose, target_cycle=cycle
         )
         self.ledger.charge("channel", access_time)
         return access_time
@@ -257,7 +262,7 @@ class CoEmulationEngineBase:
         first_drive = first.drive()
         self._charge_channel(
             first,
-            self.packetizer.encode_drive(first_drive),
+            self.packetizer.drive_word_count(first_drive),
             purpose="conservative_drive",
             cycle=cycle,
         )
@@ -266,8 +271,8 @@ class CoEmulationEngineBase:
         response = second.respond(merged_second).response or DataPhaseResult.okay()
         second.commit(merged_second, response)
 
-        reply_words = self.packetizer.encode_drive(second_drive)
-        reply_words += self.packetizer.encode_response(response)
+        reply_words = self.packetizer.drive_word_count(second_drive)
+        reply_words += self.packetizer.response_word_count(response)
         self._charge_channel(second, reply_words, purpose="conservative_reply", cycle=cycle)
 
         merged_first = first.hbm.merge_drive(first_drive, second_drive)

@@ -230,24 +230,24 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
     def _flush_lob(
         self, leader: DomainHost, entries: List[LobEntry], record: TransitionRecord
     ) -> int:
-        words: List[int] = []
+        # The flush is charged from the exact word counts the packetizer
+        # would produce; the burst itself is never materialised (the lagger
+        # consumes the LOB entries in-process).
+        packetizer = self.packetizer
+        n_words = 0
         for entry in entries:
-            words.extend(self.packetizer.encode_drive(entry.leader_drive))
+            n_words += packetizer.drive_word_count(entry.leader_drive)
             if entry.leader_response is not None:
-                words.extend(self.packetizer.encode_response(entry.leader_response))
+                n_words += packetizer.response_word_count(entry.leader_response)
             if entry.prediction is not None:
-                words.extend(
-                    self.packetizer.encode(
-                        requests=entry.prediction.requests or {},
-                        address_phase=entry.prediction.address_phase,
-                        hwdata=entry.prediction.hwdata,
-                        response=entry.prediction.response,
-                        interrupts=entry.prediction.interrupts,
-                    )
+                n_words += packetizer.cycle_word_count(
+                    address_phase=entry.prediction.address_phase,
+                    hwdata=entry.prediction.hwdata,
+                    response=entry.prediction.response,
                 )
         self.trace.record(leader.domain, leader.current_cycle, CwPath.SYNCHRONIZATION)
-        self._charge_channel(leader, words, purpose="lob_flush", cycle=entries[0].cycle)
-        return len(words)
+        self._charge_channel(leader, n_words, purpose="lob_flush", cycle=entries[0].cycle)
+        return n_words
 
     # -- FU step (L-path / R-path, lagger side) ---------------------------------------------------------
     def _follow_up(self, lagger: DomainHost, predictor, entries: List[LobEntry]):
@@ -286,7 +286,7 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
         # R-path: the lagger reports success (one channel access).  The reply
         # carries the lagger's current boundary outputs, mirroring the
         # conventional read the leader skipped on its final run-ahead cycle.
-        report_words = self.packetizer.encode(requests={})
+        report_words = self.packetizer.cycle_word_count()
         self.trace.record(lagger.domain, lagger.current_cycle, CwPath.REPORT)
         self._charge_channel(lagger, report_words, purpose="followup_success", cycle=lagger.current_cycle)
         leader.discard_checkpoint()
@@ -311,8 +311,8 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
         assert predictor is not None
         # L-5 / L-6: the lagger reports the prediction failure together with
         # its actual values for the failed cycle (one channel access).
-        report_words = self.packetizer.encode_drive(actual_drive)
-        report_words += self.packetizer.encode_response(actual_response)
+        report_words = self.packetizer.drive_word_count(actual_drive)
+        report_words += self.packetizer.response_word_count(actual_response)
         self._charge_channel(
             lagger, report_words, purpose="followup_failure", cycle=lagger.current_cycle
         )

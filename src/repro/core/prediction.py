@@ -205,6 +205,10 @@ class LaggerPredictor(ClockedComponent):
     domain and is captured / restored along with the leader's checkpoint.
     """
 
+    #: Fast-copy snapshot protocol: owned payload (fresh dicts, scalars and a
+    #: frozen ``AddressPhase`` reference).
+    snapshot_copy_free = True
+
     def __init__(
         self,
         name: str,
@@ -359,45 +363,21 @@ class LaggerPredictor(ClockedComponent):
 
     # -- rollback support -------------------------------------------------------------------
     def snapshot_state(self) -> dict:
-        phase = self._last_remote_phase
+        """Owned payload: the last observed ``AddressPhase`` is frozen and
+        stored by reference, the dicts are fresh copies."""
         return {
             "last_requests": dict(self._last_requests),
             "last_interrupts": dict(self._last_interrupts),
-            "last_remote_phase": None
-            if phase is None
-            else {
-                "master_id": phase.master_id,
-                "haddr": phase.haddr,
-                "htrans": int(phase.htrans),
-                "hwrite": phase.hwrite,
-                "hsize": int(phase.hsize),
-                "hburst": int(phase.hburst),
-                "hprot": phase.hprot,
-            },
+            "last_remote_phase": self._last_remote_phase,
             "burst_start_addr": self._burst_start_addr,
             "slave_wait_states": dict(self._slave_wait_states),
             "current_wait_run": self._current_wait_run,
         }
 
     def restore_state(self, state: dict) -> None:
-        from ..ahb.signals import HBurst, HSize  # local import, avoids cycles
-
         self._last_requests = dict(state["last_requests"])
         self._last_interrupts = dict(state["last_interrupts"])
-        phase = state["last_remote_phase"]
-        self._last_remote_phase = (
-            None
-            if phase is None
-            else AddressPhase(
-                master_id=phase["master_id"],
-                haddr=phase["haddr"],
-                htrans=HTrans(phase["htrans"]),
-                hwrite=phase["hwrite"],
-                hsize=HSize(phase["hsize"]),
-                hburst=HBurst(phase["hburst"]),
-                hprot=phase["hprot"],
-            )
-        )
+        self._last_remote_phase = state["last_remote_phase"]
         self._burst_start_addr = state["burst_start_addr"]
         self._slave_wait_states = dict(state["slave_wait_states"])
         self._current_wait_run = state["current_wait_run"]

@@ -5,7 +5,16 @@ running ahead (the ``rb_store`` operation, state P-5 of the channel-wrapper
 state machine) and to restore it when a prediction error is detected
 (``rb_restore``, S-6).
 
-Checkpoints are deep copies of each component's ``snapshot_state()`` output.
+Checkpointing uses a *fast-copy protocol*: a component that sets
+``snapshot_copy_free = True`` (see
+:attr:`~repro.sim.component.ClockedComponent.snapshot_copy_free`) promises
+that every ``snapshot_state()`` payload is owned by the checkpoint -- built
+from freshly allocated containers, immutable values and frozen dataclasses --
+and that ``restore_state()`` treats the payload as read-only.  Such payloads
+are stored and restored by reference, with no ``copy.deepcopy`` anywhere on
+the path; this is what keeps ``rb_store`` off the engine's per-cycle hot
+path.  Components that do not opt in keep the legacy deep-copy semantics.
+
 The manager also counts rollback variables and charges store/restore time to
 the wall-clock ledger through a :class:`StateCostModel`.
 """
@@ -142,8 +151,18 @@ class CheckpointManager:
 
     # -- operations --------------------------------------------------------
     def store(self, cycle: int, label: str = "") -> Checkpoint:
-        """Capture the state of every managed component (``rb_store``)."""
-        states = {c.name: copy.deepcopy(c.snapshot_state()) for c in self.components}
+        """Capture the state of every managed component (``rb_store``).
+
+        Components that follow the fast-copy protocol hand over an owned
+        payload which is stored by reference; legacy components get the
+        defensive ``deepcopy`` they were written against.
+        """
+        states = {}
+        for c in self.components:
+            payload = c.snapshot_state()
+            if not getattr(c, "snapshot_copy_free", False):
+                payload = copy.deepcopy(payload)
+            states[c.name] = payload
         n_vars = self.variable_count()
         checkpoint = Checkpoint(cycle=cycle, states=states, n_variables=n_vars, label=label)
         self._stack.append(checkpoint)
@@ -159,7 +178,10 @@ class CheckpointManager:
         checkpoint = self._stack.pop()
         for component in self.components:
             if component.name in checkpoint.states:
-                component.restore_state(copy.deepcopy(checkpoint.states[component.name]))
+                payload = checkpoint.states[component.name]
+                if not getattr(component, "snapshot_copy_free", False):
+                    payload = copy.deepcopy(payload)
+                component.restore_state(payload)
         self.stats.restores += 1
         self.stats.variables_restored += checkpoint.n_variables
         self.stats.restore_time += self.cost_model.restore_time(checkpoint.n_variables)

@@ -45,6 +45,16 @@ class ClockedComponent(ABC):
     :meth:`snapshot_state` and :meth:`restore_state`.
     """
 
+    #: Fast-copy snapshot protocol opt-in.  A component may set this to True
+    #: to promise that (a) every :meth:`snapshot_state` payload is *owned* by
+    #: the caller -- freshly allocated containers, immutable scalars and
+    #: frozen dataclasses only, never aliases of live mutable state -- and
+    #: (b) :meth:`restore_state` treats the payload as read-only, copying
+    #: anything it intends to mutate.  The checkpoint manager then stores and
+    #: restores the payload by reference instead of deep-copying it, which
+    #: removes ``copy.deepcopy`` from the rollback hot path entirely.
+    snapshot_copy_free: bool = False
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.cycle_count = 0
@@ -147,6 +157,13 @@ class ComponentGroup(ClockedComponent):
     def __init__(self, name: str, components: Optional[Iterable[ClockedComponent]] = None) -> None:
         super().__init__(name)
         self.components: list[ClockedComponent] = list(components or [])
+
+    @property
+    def snapshot_copy_free(self) -> bool:  # type: ignore[override]
+        """A group is copy-free only when every member is."""
+        return all(
+            getattr(component, "snapshot_copy_free", False) for component in self.components
+        )
 
     def add(self, component: ClockedComponent) -> ClockedComponent:
         self.components.append(component)

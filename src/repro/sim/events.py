@@ -34,16 +34,26 @@ class Event:
         payload: arbitrary data handed back to the callback.
         cancelled: events can be cancelled in place; cancelled events are
             silently discarded when popped.
+        fired: set once the event has fired (or been drained, or the owning
+            scheduler was reset); cancelling such an event is a no-op.
     """
 
     time: int
     callback: Callable[[Any], None]
     payload: Any = None
     cancelled: bool = False
+    fired: bool = False
+    #: Back-reference set by the scheduler so in-place ``cancel()`` keeps the
+    #: scheduler's O(1) live-event counter consistent.
+    _scheduler: Any = field(default=None, repr=False, compare=False)
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will not fire."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._note_cancel(self)
 
 
 @dataclass
@@ -74,6 +84,7 @@ class EventScheduler:
         self._queue: list[tuple[int, int, Event]] = []
         self._counter = itertools.count()
         self._now = 0
+        self._live = 0  # non-cancelled events still in the queue
         self.stats = EventStats()
 
     @property
@@ -82,7 +93,8 @@ class EventScheduler:
         return self._now
 
     def __len__(self) -> int:
-        return sum(1 for _, _, event in self._queue if not event.cancelled)
+        """Number of pending (non-cancelled) events; O(1)."""
+        return self._live
 
     def schedule(
         self,
@@ -99,10 +111,21 @@ class EventScheduler:
             raise SimulationError(
                 f"cannot schedule event at {time}, current time is {self._now}"
             )
-        event = Event(time=time, callback=callback, payload=payload)
+        # Lazily compact the heap when cancelled entries outnumber live ones:
+        # cancellation only marks events, so heavy cancel/reschedule patterns
+        # (restartable timers) would otherwise grow the queue without bound.
+        if len(self._queue) - self._live > self._live:
+            self._purge_cancelled()
+        event = Event(time=time, callback=callback, payload=payload, _scheduler=self)
         heapq.heappush(self._queue, (time, next(self._counter), event))
+        self._live += 1
         self.stats.scheduled += 1
         return event
+
+    def _purge_cancelled(self) -> None:
+        """Drop cancelled entries and re-heapify (preserves entry order keys)."""
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
 
     def schedule_in(
         self,
@@ -117,9 +140,13 @@ class EventScheduler:
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
-        if not event.cancelled:
-            event.cancel()
-            self.stats.cancelled += 1
+        event.cancel()
+
+    def _note_cancel(self, event: Event) -> None:
+        """Bookkeeping hook invoked exactly once per cancelled event."""
+        if not event.fired:
+            self._live -= 1
+        self.stats.cancelled += 1
 
     def peek_time(self) -> Optional[int]:
         """Return the time of the next pending (non-cancelled) event."""
@@ -144,6 +171,8 @@ class EventScheduler:
             event_time, _, event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            event.fired = True
+            self._live -= 1
             self._now = event_time
             event.callback(event.payload)
             self.stats.fired += 1
@@ -156,12 +185,17 @@ class EventScheduler:
         while self._queue:
             _, _, event = heapq.heappop(self._queue)
             if not event.cancelled:
+                event.fired = True
+                self._live -= 1
                 yield event
 
     def reset(self) -> None:
         """Remove all events and reset time to zero."""
+        for _, _, event in self._queue:
+            event.fired = True  # detach: a later cancel() must not count
         self._queue.clear()
         self._now = 0
+        self._live = 0
         self.stats = EventStats()
 
 

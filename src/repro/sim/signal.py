@@ -70,13 +70,17 @@ class Signal(Generic[T]):
         self._next = self.reset_value
         self._driven = False
 
-    def snapshot(self) -> dict:
-        return {"current": self._current, "next": self._next, "driven": self._driven}
+    def snapshot(self) -> tuple:
+        """An immutable ``(current, next, driven)`` payload.
 
-    def restore(self, state: dict) -> None:
-        self._current = state["current"]
-        self._next = state["next"]
-        self._driven = state["driven"]
+        Signal values are expected to be immutable scalars (ints, bools,
+        enums), so the tuple is safe to store by reference -- this is what
+        lets checkpoint stores skip ``deepcopy`` (fast-copy protocol).
+        """
+        return (self._current, self._next, self._driven)
+
+    def restore(self, state: tuple) -> None:
+        self._current, self._next, self._driven = state
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Signal({self.name}={self._current!r})"
@@ -130,6 +134,7 @@ class SignalBundle:
             sig.reset()
 
     def snapshot(self) -> dict:
+        """A fresh dict of per-signal tuples (owned payload, fast-copy safe)."""
         return {name: sig.snapshot() for name, sig in self._signals.items()}
 
     def restore(self, state: dict) -> None:

@@ -1,0 +1,1 @@
+"""Test package (enables relative imports across test modules)."""

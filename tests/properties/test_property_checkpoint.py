@@ -1,0 +1,194 @@
+"""Checkpoint fast-copy protocol equivalence.
+
+The snapshot-free checkpoint path stores component payloads by reference
+(no ``copy.deepcopy``).  These tests assert that for every component type in
+the library, store -> mutate -> restore round-trips identically under both
+semantics -- the legacy deep-copy path (forced by clearing the
+``snapshot_copy_free`` flag on the instance) and the fast-copy path --
+including nested checkpoint stacks, and that the engine's checkpoint hot
+path performs zero ``copy.deepcopy`` calls.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ahb.master import TrafficMaster
+from repro.ahb.signals import HBurst
+from repro.ahb.slave import DefaultSlave, FifoPeripheralSlave, MemorySlave
+from repro.ahb.transaction import BusTransaction
+from repro.core import CoEmulationConfig, OperatingMode, OptimisticCoEmulation
+from repro.core.prediction import LaggerPredictor
+from repro.sim.checkpoint import CheckpointManager, StateCostModel
+from repro.sim.kernel import CycleKernel
+from repro.workloads import als_streaming_soc
+
+ZERO_COST = StateCostModel(0.0, 0.0)
+
+BASE = 0x1000_0000
+
+
+def write_traffic(master_id: int, n: int, seed: int):
+    import random
+
+    rng = random.Random(seed)
+    txns = []
+    addr = BASE
+    for _ in range(n):
+        burst = rng.choice([HBurst.SINGLE, HBurst.INCR4, HBurst.INCR8, HBurst.WRAP4])
+        beats = burst.beats or 1
+        txns.append(
+            BusTransaction(
+                master_id=master_id,
+                address=addr,
+                write=True,
+                hburst=burst,
+                data=[rng.randrange(1 << 32) for _ in range(beats)],
+            )
+        )
+        addr += 4 * beats
+    return txns
+
+
+def build_system(seed: int):
+    """A monolithic kernel-driven bus exercising every component type."""
+    from repro.ahb.bus import AhbBus
+
+    bus = AhbBus(name="prop_bus")
+    bus.add_master(TrafficMaster("m0", 0, transactions=write_traffic(0, 6, seed)))
+    bus.add_master(TrafficMaster("m1", 1, transactions=write_traffic(1, 6, seed + 1)))
+    bus.add_slave(MemorySlave("mem", 0, BASE, 0x4000), BASE, 0x4000)
+    bus.add_slave(FifoPeripheralSlave("fifo", 1, depth=4, initial_fill=4), 0x2000_0000, 0x1000)
+    bus.finalize()
+    kernel = CycleKernel("prop")
+    kernel.add_component(bus)
+    return bus, kernel
+
+
+def force_legacy(component):
+    """Force the legacy deep-copy semantics on one component instance."""
+    try:
+        component.snapshot_copy_free = False
+    except AttributeError:
+        # properties (e.g. ComponentGroup) cannot be overridden per instance
+        pytest.skip("component derives its protocol flag")
+    return component
+
+
+@given(warmup=st.integers(5, 60), extra=st.integers(1, 60), seed=st.integers(0, 999))
+@settings(max_examples=25, deadline=None)
+def test_fast_copy_and_deepcopy_semantics_round_trip_identically(warmup, extra, seed):
+    """Running the same workload through a fast-copy and a forced-deepcopy
+    manager must produce byte-identical restored states."""
+    results = []
+    for legacy in (False, True):
+        bus, kernel = build_system(seed)
+        if legacy:
+            force_legacy(bus)
+        manager = CheckpointManager([bus], cost_model=ZERO_COST)
+        kernel.run(warmup)
+        reference = copy.deepcopy(bus.snapshot_state())
+        manager.store(cycle=warmup)
+        kernel.run(extra)
+        manager.restore()
+        restored = bus.snapshot_state()
+        assert _states_equal(restored, reference), (
+            f"restore mismatch (legacy={legacy})"
+        )
+        results.append(restored)
+    assert _states_equal(results[0], results[1])
+
+
+@given(
+    depths=st.lists(st.integers(1, 25), min_size=2, max_size=4),
+    seed=st.integers(0, 999),
+)
+@settings(max_examples=15, deadline=None)
+def test_nested_checkpoint_stack_restores_in_lifo_order(depths, seed):
+    bus, kernel = build_system(seed)
+    manager = CheckpointManager([bus], cost_model=ZERO_COST)
+    references = []
+    cycle = 0
+    for extra in depths:
+        kernel.run(extra)
+        cycle += extra
+        references.append(copy.deepcopy(bus.snapshot_state()))
+        manager.store(cycle=cycle)
+    kernel.run(7)
+    while references:
+        manager.restore()
+        assert _states_equal(bus.snapshot_state(), references.pop())
+
+
+def test_every_component_type_round_trips_under_both_semantics():
+    """Explicit (non-hypothesis) sweep over the individual component types."""
+    components = {
+        "master": lambda: TrafficMaster("m", 0, transactions=write_traffic(0, 4, 3)),
+        "memory": lambda: MemorySlave("mem", 0, BASE, 0x1000),
+        "fifo": lambda: FifoPeripheralSlave("fifo", 1, depth=4, initial_fill=2),
+        "default_slave": lambda: DefaultSlave(),
+        "predictor": lambda: LaggerPredictor("pred", remote_master_ids=[0, 1]),
+    }
+    mutators = {
+        "master": lambda c: (
+            c.drive_hbusreq(0),
+            c.drive_address_phase(0, granted=True),
+        ),
+        "memory": lambda c: c.write_word(BASE + 8, 0xDEAD_BEEF),
+        "fifo": lambda c: c.evaluate(0),
+        "default_slave": lambda c: setattr(c, "_in_second_cycle", True),
+        "predictor": lambda c: c.observe(
+            __import__("repro.ahb.half_bus", fromlist=["BoundaryDrive"]).BoundaryDrive(
+                cycle=0, requests={0: True}
+            ),
+            None,
+        ),
+    }
+    for name, factory in components.items():
+        for legacy in (False, True):
+            component = factory()
+            if legacy:
+                component.snapshot_copy_free = False
+            manager = CheckpointManager([component], cost_model=ZERO_COST)
+            reference = copy.deepcopy(component.snapshot_state())
+            manager.store(cycle=0)
+            mutators[name](component)
+            manager.restore()
+            assert _states_equal(component.snapshot_state(), reference), (
+                f"{name} (legacy={legacy})"
+            )
+
+
+def test_engine_checkpoint_path_never_calls_deepcopy(monkeypatch):
+    """The acceptance criterion: zero ``copy.deepcopy`` anywhere in an
+    optimistic engine run (store and restore both exercised)."""
+
+    def boom(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("copy.deepcopy reached the engine hot path")
+
+    sim_hbm, acc_hbm, _ = als_streaming_soc(n_bursts=10).build_split()
+    config = CoEmulationConfig(
+        mode=OperatingMode.ALS, total_cycles=400, forced_accuracy=0.8
+    )
+    engine = OptimisticCoEmulation(sim_hbm, acc_hbm, config)
+    monkeypatch.setattr(copy, "deepcopy", boom)
+    result = engine.run()
+    assert result.committed_cycles == 400
+    assert result.transitions["rollbacks"] > 0  # restores really happened
+
+
+def _states_equal(a, b) -> bool:
+    """Structural comparison that treats numpy arrays elementwise."""
+    import numpy as np
+
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_states_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_states_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return bool(np.array_equal(a, b))
+    return a == b

@@ -85,3 +85,26 @@ def test_packet_word_count_is_bounded(requests, phase, hwdata, response):
     )
     assert 1 <= len(words) <= 6
     assert all(0 <= word <= 0xFFFFFFFF for word in words)
+
+
+@given(
+    requests=request_maps,
+    phase=st.one_of(st.none(), address_phases()),
+    hwdata=st.one_of(st.none(), st.integers(0, 0xFFFFFFFF)),
+    response=st.one_of(st.none(), responses()),
+    interrupts=interrupt_maps,
+)
+@settings(max_examples=300)
+def test_arithmetic_word_count_matches_encoder(requests, phase, hwdata, response, interrupts):
+    """The engines charge channel time from ``cycle_word_count`` without
+    building the word list; the count must equal ``len(encode(...))``
+    exactly, or the modelled channel times would drift from the packets."""
+    packetizer = BoundaryPacketizer(MASTER_IDS, IRQS)
+    words = packetizer.encode(
+        requests=requests,
+        address_phase=phase,
+        hwdata=hwdata,
+        response=response,
+        interrupts=interrupts,
+    )
+    assert packetizer.cycle_word_count(phase, hwdata, response) == len(words)

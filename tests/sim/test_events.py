@@ -131,3 +131,41 @@ def test_timer_restart_and_stop():
     scheduler.fire_until(40)
     assert fired == [8]
     assert not timer.pending
+
+
+def test_len_stays_consistent_through_schedule_cancel_fire():
+    scheduler = EventScheduler()
+    events = [scheduler.schedule(i + 1, lambda p: None) for i in range(10)]
+    assert len(scheduler) == 10
+    for event in events[:4]:
+        scheduler.cancel(event)
+    assert len(scheduler) == 6
+    scheduler.cancel(events[0])  # double-cancel is a no-op for the count
+    assert len(scheduler) == 6
+    scheduler.fire_until(5)  # fires events 5 (indices 4..) due at <= 5
+    assert len(scheduler) == 5
+    scheduler.fire_until(100)
+    assert len(scheduler) == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_len():
+    scheduler = EventScheduler()
+    early = scheduler.schedule(1, lambda p: None)
+    scheduler.schedule(10, lambda p: None)
+    scheduler.fire_until(5)
+    scheduler.cancel(early)  # already fired: must not decrement the count
+    assert len(scheduler) == 1
+
+
+def test_cancelled_events_are_purged_lazily_from_the_heap():
+    scheduler = EventScheduler()
+    for round_index in range(200):
+        event = scheduler.schedule(1000 + round_index, lambda p: None)
+        scheduler.cancel(event)
+    live = scheduler.schedule(2000, lambda p: None)
+    # the heap must not have accumulated all 200 cancelled entries
+    assert len(scheduler._queue) < 100
+    assert len(scheduler) == 1
+    fired = scheduler.fire_until(3000)
+    assert fired == 1
+    assert not live.cancelled
