@@ -8,7 +8,7 @@ and with the mechanism-level lock-step engine.
 from __future__ import annotations
 
 from repro.analysis.report import render_comparison
-from repro.core import CoEmulationConfig, ConventionalCoEmulation, OperatingMode
+from repro.core import CoEmulationConfig, OperatingMode, create_engine
 from repro.core.analytical import (
     AnalyticalConfig,
     PAPER_CONVENTIONAL_100K,
@@ -57,11 +57,11 @@ def test_bench_conventional_mechanism(benchmark, report):
         spec = als_streaming_soc(n_bursts=8)
         sim_hbm, acc_hbm, _ = spec.build_split()
         config = CoEmulationConfig(
-            mode=OperatingMode.CONSERVATIVE,
+            mode=OperatingMode("conservative"),
             total_cycles=300,
             simulator_speed=DomainSpeed(sim_speed),
         )
-        return ConventionalCoEmulation(sim_hbm, acc_hbm, config).run()
+        return create_engine(config, sim_hbm, acc_hbm).run()
 
     def compute():
         return {speed: run(speed) for speed in (1_000_000.0, 100_000.0)}

@@ -29,19 +29,15 @@ import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core import (  # noqa: E402
-    CoEmulationConfig,
-    ConventionalCoEmulation,
-    OperatingMode,
-    OptimisticCoEmulation,
-)
-from repro.workloads import als_streaming_soc, sla_streaming_soc  # noqa: E402
+from repro.core import create_engine  # noqa: E402
+from repro.orchestration import RunRequest  # noqa: E402
+from repro.workloads.catalog import build_scenario  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_engine.json"
 DEFAULT_TOLERANCE = 0.20
@@ -49,52 +45,49 @@ DEFAULT_TOLERANCE = 0.20
 
 @dataclass
 class Scenario:
-    """One benchmark configuration."""
+    """One benchmark configuration: a run request plus its baseline key."""
 
     key: str
-    mode: OperatingMode
-    spec_factory: Callable
-    total_cycles: int
-    lob_depth: int = 64
-    forced_accuracy: Optional[float] = None
+    request: RunRequest
     quick: bool = False  # included in the CI smoke subset
 
 
-def _als(n_bursts: int = 400):
-    return als_streaming_soc(n_bursts=n_bursts)
-
-
-def _sla(n_bursts: int = 400):
-    return sla_streaming_soc(n_bursts=n_bursts)
+def _request(scenario: str, mode: str, **kwargs) -> RunRequest:
+    return RunRequest(
+        scenario=scenario,
+        mode=mode,
+        cycles=5000,
+        scenario_params={"n_bursts": 400},
+        **kwargs,
+    )
 
 
 SCENARIOS: List[Scenario] = [
-    Scenario("conventional/als_soc", OperatingMode.CONSERVATIVE, _als, 5000, quick=True),
-    Scenario("als/acc=1.0/lob=64", OperatingMode.ALS, _als, 5000, quick=True),
-    Scenario("als/acc=0.95/lob=64", OperatingMode.ALS, _als, 5000, forced_accuracy=0.95),
-    Scenario("als/acc=0.8/lob=64", OperatingMode.ALS, _als, 5000, forced_accuracy=0.8),
-    Scenario("als/acc=1.0/lob=8", OperatingMode.ALS, _als, 5000, lob_depth=8),
-    Scenario("als/acc=1.0/lob=256", OperatingMode.ALS, _als, 5000, lob_depth=256),
-    Scenario("sla/acc=1.0/lob=64", OperatingMode.SLA, _sla, 5000, quick=True),
-    Scenario("sla/acc=0.9/lob=64", OperatingMode.SLA, _sla, 5000, forced_accuracy=0.9),
+    Scenario("conventional/als_soc", _request("als_streaming", "conservative"), quick=True),
+    Scenario("als/acc=1.0/lob=64", _request("als_streaming", "als"), quick=True),
+    Scenario("als/acc=0.95/lob=64", _request("als_streaming", "als", accuracy=0.95)),
+    Scenario("als/acc=0.8/lob=64", _request("als_streaming", "als", accuracy=0.8)),
+    Scenario("als/acc=1.0/lob=8", _request("als_streaming", "als", lob_depth=8)),
+    Scenario("als/acc=1.0/lob=256", _request("als_streaming", "als", lob_depth=256)),
+    Scenario("sla/acc=1.0/lob=64", _request("sla_streaming", "sla"), quick=True),
+    Scenario("sla/acc=0.9/lob=64", _request("sla_streaming", "sla", accuracy=0.9)),
 ]
 
 
 def run_scenario(scenario: Scenario, repeats: int = 3) -> dict:
-    """Measure one scenario; returns the best-of-N throughput record."""
+    """Measure one scenario; returns the best-of-N throughput record.
+
+    The engine run itself is timed in-process (the orchestrator's
+    :func:`~repro.orchestration.execute_request` deliberately records no
+    wall-clock data), so the request is unpacked here instead of going
+    through the batch runner.
+    """
+    request = scenario.request
     best = None
     for _ in range(repeats):
-        sim_hbm, acc_hbm, _ = scenario.spec_factory().build_split()
-        config = CoEmulationConfig(
-            mode=scenario.mode,
-            total_cycles=scenario.total_cycles,
-            lob_depth=scenario.lob_depth,
-            forced_accuracy=scenario.forced_accuracy,
-        )
-        if scenario.mode is OperatingMode.CONSERVATIVE:
-            engine = ConventionalCoEmulation(sim_hbm, acc_hbm, config)
-        else:
-            engine = OptimisticCoEmulation(sim_hbm, acc_hbm, config)
+        spec = build_scenario(request.scenario, **dict(request.scenario_params))
+        sim_hbm, acc_hbm, _ = spec.build_split()
+        engine = create_engine(request.build_config(), sim_hbm, acc_hbm)
         start = time.perf_counter()
         result = engine.run()
         elapsed = time.perf_counter() - start

@@ -6,50 +6,70 @@ prediction and rollback) over a synthetic SoC, sweeping the injected
 prediction accuracy, and checks that the mechanism shows the same trends:
 large gain at high accuracy, monotone degradation, and channel-access
 reduction as the source of the gain.
+
+The grid itself runs through the batch orchestrator
+(:class:`~repro.orchestration.BatchRunner`), the same machinery behind
+``python -m repro sweep``; functional equivalence across the sweep is
+checked via the records' committed-traffic digests.
 """
 
 from __future__ import annotations
 
 from repro.analysis.report import render_table
-from repro.analysis.sweep import accuracy_sweep_mechanism, run_engine
-from repro.core import CoEmulationConfig, OperatingMode
-from repro.workloads import als_streaming_soc
-
+from repro.orchestration import BatchRunner, RunRequest
 
 ACCURACIES = (1.0, 0.99, 0.9, 0.8, 0.6, 0.3)
 CYCLES = 400
+SOC_PARAMS = {"n_bursts": 10}
+
+
+def _requests():
+    conventional = RunRequest(
+        scenario="als_streaming",
+        mode="conservative",
+        cycles=CYCLES,
+        scenario_params=SOC_PARAMS,
+        label="conventional",
+    )
+    points = [
+        RunRequest(
+            scenario="als_streaming",
+            mode="als",
+            cycles=CYCLES,
+            accuracy=accuracy,
+            scenario_params=SOC_PARAMS,
+            label=f"p={accuracy:g}",
+        )
+        for accuracy in ACCURACIES
+    ]
+    return conventional, points
 
 
 def test_bench_mechanism_accuracy_sweep(benchmark, report):
-    spec = als_streaming_soc(n_bursts=10)
-    base = CoEmulationConfig(mode=OperatingMode.ALS, total_cycles=CYCLES)
+    conventional_request, point_requests = _requests()
 
     def compute():
-        conventional = run_engine(
-            spec, CoEmulationConfig(mode=OperatingMode.CONSERVATIVE, total_cycles=CYCLES)
-        )
-        points = accuracy_sweep_mechanism(spec, base, ACCURACIES)
-        return conventional, points
+        records = BatchRunner(jobs=1).run([conventional_request, *point_requests])
+        return records[0], records[1:]
 
     conventional, points = benchmark.pedantic(compute, rounds=1, iterations=1)
 
     rows = []
-    for point in points:
-        result = point.result
+    for record in points:
         rows.append(
             [
-                point.label,
-                f"{result.performance_cycles_per_second / 1000:.1f}k",
-                f"{result.speedup_over(conventional):.2f}",
-                str(result.channel["accesses"]),
-                str(result.transitions["rollbacks"]),
-                f"{result.prediction['accuracy']:.3f}",
+                record.label,
+                f"{record.performance / 1000:.1f}k",
+                f"{record.performance / conventional.performance:.2f}",
+                str(record.channel["accesses"]),
+                str(record.transitions["rollbacks"]),
+                f"{record.prediction['accuracy']:.3f}",
             ]
         )
     rows.append(
         [
             "conventional",
-            f"{conventional.performance_cycles_per_second / 1000:.1f}k",
+            f"{conventional.performance / 1000:.1f}k",
             "1.00",
             str(conventional.channel["accesses"]),
             "0",
@@ -64,31 +84,39 @@ def test_bench_mechanism_accuracy_sweep(benchmark, report):
         )
     )
 
-    performances = [p.result.performance_cycles_per_second for p in points]
+    performances = [record.performance for record in points]
     assert performances == sorted(performances, reverse=True)
-    assert points[0].result.speedup_over(conventional) > 5.0
-    assert points[0].result.channel["accesses"] < conventional.channel["accesses"] / 10
+    assert points[0].performance / conventional.performance > 5.0
+    assert points[0].channel["accesses"] < conventional.channel["accesses"] / 10
     # rollbacks appear as soon as failures are injected
-    assert points[2].result.transitions["rollbacks"] > 0
+    assert points[2].transitions["rollbacks"] > 0
     # functional equivalence across the whole sweep
-    reference_keys = conventional.sim_beat_keys
-    for point in points:
-        assert point.result.sim_beat_keys == reference_keys
+    for record in points:
+        assert record.beat_digest == conventional.beat_digest
 
 
 def test_bench_mechanism_traffic_reduction(benchmark, report):
     """Channel traffic accounting: the optimistic scheme replaces thousands of
     tiny transfers with a few large ones."""
-    spec = als_streaming_soc(n_bursts=10)
 
     def compute():
-        conventional = run_engine(
-            spec, CoEmulationConfig(mode=OperatingMode.CONSERVATIVE, total_cycles=CYCLES)
+        records = BatchRunner(jobs=1).run(
+            [
+                RunRequest(
+                    scenario="als_streaming",
+                    mode="conservative",
+                    cycles=CYCLES,
+                    scenario_params=SOC_PARAMS,
+                ),
+                RunRequest(
+                    scenario="als_streaming",
+                    mode="als",
+                    cycles=CYCLES,
+                    scenario_params=SOC_PARAMS,
+                ),
+            ]
         )
-        optimistic = run_engine(
-            spec, CoEmulationConfig(mode=OperatingMode.ALS, total_cycles=CYCLES)
-        )
-        return conventional, optimistic
+        return records[0], records[1]
 
     conventional, optimistic = benchmark.pedantic(compute, rounds=1, iterations=1)
     from repro.analysis.report import format_quantity
@@ -99,14 +127,14 @@ def test_bench_mechanism_traffic_reduction(benchmark, report):
             str(conventional.channel["accesses"]),
             f"{conventional.channel['words_per_access']:.1f}",
             format_quantity(conventional.channel["startup_time"]),
-            format_quantity(conventional.tchannel),
+            format_quantity(conventional.per_cycle_times["channel"]),
         ],
         [
             "optimistic (ALS)",
             str(optimistic.channel["accesses"]),
             f"{optimistic.channel['words_per_access']:.1f}",
             format_quantity(optimistic.channel["startup_time"]),
-            format_quantity(optimistic.tchannel),
+            format_quantity(optimistic.per_cycle_times["channel"]),
         ],
     ]
     report(
@@ -118,4 +146,7 @@ def test_bench_mechanism_traffic_reduction(benchmark, report):
     )
     assert optimistic.channel["accesses"] < conventional.channel["accesses"] / 10
     assert optimistic.channel["words_per_access"] > 10 * conventional.channel["words_per_access"]
-    assert optimistic.tchannel < conventional.tchannel / 5
+    assert (
+        optimistic.per_cycle_times["channel"]
+        < conventional.per_cycle_times["channel"] / 5
+    )

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.accelerator import AcceleratorSpec, EmulatedAccelerator
 from repro.analysis.report import render_table
-from repro.core import CoEmulationConfig, OperatingMode, OptimisticCoEmulation
+from repro.core import CoEmulationConfig, OperatingMode, create_engine
 from repro.workloads import als_streaming_soc
 
 
@@ -52,7 +52,7 @@ def main() -> None:
         rollback_variables=report["rollback_registers"],
     )
     sim_hbm2, acc_hbm2, _ = als_streaming_soc(n_bursts=12).build_split()
-    result = OptimisticCoEmulation(sim_hbm2, acc_hbm2, config).run()
+    result = create_engine(config, sim_hbm2, acc_hbm2).run()
     print(
         f"\nCo-emulation with that rollback budget: "
         f"{result.performance_cycles_per_second / 1000:.1f} kcycles/s, "

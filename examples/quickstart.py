@@ -14,36 +14,24 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    CoEmulationConfig,
-    ConventionalCoEmulation,
-    OperatingMode,
-    OptimisticCoEmulation,
-    als_streaming_soc,
-)
+from repro import CoEmulationConfig, OperatingMode, als_streaming_soc
 from repro.analysis.report import render_table
+from repro.core import create_engine
 
 
 TOTAL_CYCLES = 600
 
 
-def run_conventional() -> "CoEmulationResult":
+def run_mode(mode: OperatingMode) -> "CoEmulationResult":
     spec = als_streaming_soc(n_bursts=16)
     sim_hbm, acc_hbm, _ = spec.build_split()
-    config = CoEmulationConfig(mode=OperatingMode.CONSERVATIVE, total_cycles=TOTAL_CYCLES)
-    return ConventionalCoEmulation(sim_hbm, acc_hbm, config).run()
-
-
-def run_optimistic() -> "CoEmulationResult":
-    spec = als_streaming_soc(n_bursts=16)
-    sim_hbm, acc_hbm, _ = spec.build_split()
-    config = CoEmulationConfig(mode=OperatingMode.ALS, total_cycles=TOTAL_CYCLES)
-    return OptimisticCoEmulation(sim_hbm, acc_hbm, config).run()
+    config = CoEmulationConfig(mode=mode, total_cycles=TOTAL_CYCLES)
+    return create_engine(config, sim_hbm, acc_hbm).run()
 
 
 def main() -> None:
-    conventional = run_conventional()
-    optimistic = run_optimistic()
+    conventional = run_mode(OperatingMode.CONSERVATIVE)
+    optimistic = run_mode(OperatingMode.ALS)
 
     rows = []
     for label, result in (("conventional", conventional), ("prediction packetizing (ALS)", optimistic)):

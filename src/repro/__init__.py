@@ -16,16 +16,17 @@ The package is organised as:
 
 Quick start::
 
-    from repro import (
-        CoEmulationConfig, OperatingMode, OptimisticCoEmulation,
-        ConventionalCoEmulation, als_streaming_soc,
-    )
+    from repro import CoEmulationConfig, OperatingMode, build_scenario, create_engine
 
-    spec = als_streaming_soc()
+    spec = build_scenario("als_streaming")
     sim_hbm, acc_hbm, _ = spec.build_split()
     config = CoEmulationConfig(mode=OperatingMode.ALS, total_cycles=2000)
-    result = OptimisticCoEmulation(sim_hbm, acc_hbm, config).run()
+    result = create_engine(config, sim_hbm, acc_hbm).run()
     print(result.performance_cycles_per_second)
+
+Experiment grids run through :mod:`repro.orchestration` (declarative
+:class:`RunRequest` + parallel ``BatchRunner``), also exposed on the command
+line as ``python -m repro sweep --jobs N``.
 """
 
 from .core import (
@@ -36,35 +37,57 @@ from .core import (
     OperatingMode,
     OptimisticCoEmulation,
     PerformanceEstimate,
+    available_engines,
     conventional_performance,
+    create_engine,
     estimate_performance,
     figure4,
+    register_engine,
     sla_summary,
     table2,
 )
+from .orchestration import BatchRunner, RunRecord, RunRequest, RunStore, grid_requests
+from .version import package_version
 from .workloads import (
     als_streaming_soc,
+    build_scenario,
+    list_scenarios,
     mixed_soc,
+    register_scenario,
+    scenario_names,
     single_master_soc,
     sla_streaming_soc,
 )
 
-__version__ = "1.0.0"
+__version__ = package_version()
 
 __all__ = [
     "AnalyticalConfig",
+    "BatchRunner",
     "CoEmulationConfig",
     "CoEmulationResult",
     "ConventionalCoEmulation",
     "OperatingMode",
     "OptimisticCoEmulation",
     "PerformanceEstimate",
+    "RunRecord",
+    "RunRequest",
+    "RunStore",
     "__version__",
     "als_streaming_soc",
+    "available_engines",
+    "build_scenario",
     "conventional_performance",
+    "create_engine",
     "estimate_performance",
     "figure4",
+    "grid_requests",
+    "list_scenarios",
     "mixed_soc",
+    "package_version",
+    "register_engine",
+    "register_scenario",
+    "scenario_names",
     "single_master_soc",
     "sla_streaming_soc",
     "sla_summary",

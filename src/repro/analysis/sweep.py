@@ -13,9 +13,8 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..core.coemulation import CoEmulationConfig, CoEmulationResult
-from ..core.conventional import ConventionalCoEmulation
+from ..core.engine import create_engine
 from ..core.modes import OperatingMode
-from ..core.optimistic import OptimisticCoEmulation
 from ..workloads.soc import SocSpec
 
 
@@ -36,14 +35,22 @@ class SweepPoint:
         return row
 
 
-def run_engine(spec: SocSpec, config: CoEmulationConfig) -> CoEmulationResult:
-    """Instantiate the SoC and run the engine selected by ``config.mode``."""
+def run_engine(
+    spec: SocSpec, config: CoEmulationConfig, *, engine: Optional[str] = None
+) -> CoEmulationResult:
+    """Instantiate the SoC and run the engine registered for ``config.mode``.
+
+    A *fresh* pair of half bus models is built for every run on purpose: the
+    engines mutate component state in place (master queues drain, memories
+    and FIFOs fill, monitors and recorders accumulate), so a run on reused
+    models would start from the previous run's final state.  What the sweep
+    helpers *do* hoist out of the per-point loop is the spec's generated
+    traffic (:meth:`~repro.workloads.soc.SocSpec.cache_traffic`): the
+    generators run once per spec and each build receives copies, so per point
+    only the half bus models are rebuilt.
+    """
     sim_hbm, acc_hbm, _ = spec.build_split()
-    if config.mode is OperatingMode.CONSERVATIVE:
-        engine = ConventionalCoEmulation(sim_hbm, acc_hbm, config)
-    else:
-        engine = OptimisticCoEmulation(sim_hbm, acc_hbm, config)
-    return engine.run()
+    return create_engine(config, sim_hbm, acc_hbm, engine=engine).run()
 
 
 def accuracy_sweep_mechanism(
@@ -52,6 +59,7 @@ def accuracy_sweep_mechanism(
     accuracies: Iterable[float],
 ) -> List[SweepPoint]:
     """Run the optimistic engine across forced prediction accuracies."""
+    spec.cache_traffic()
     points = []
     for accuracy in accuracies:
         config = replace(base_config, forced_accuracy=accuracy)
@@ -66,6 +74,7 @@ def lob_depth_sweep(
     depths: Iterable[int],
 ) -> List[SweepPoint]:
     """Run the optimistic engine across LOB depths."""
+    spec.cache_traffic()
     points = []
     for depth in depths:
         config = replace(base_config, lob_depth=depth)
@@ -77,14 +86,10 @@ def lob_depth_sweep(
 def mode_comparison(
     spec: SocSpec,
     base_config: CoEmulationConfig,
-    modes: Iterable[OperatingMode] = (
-        OperatingMode.CONSERVATIVE,
-        OperatingMode.ALS,
-        OperatingMode.SLA,
-        OperatingMode.AUTO,
-    ),
+    modes: Iterable[OperatingMode] = tuple(OperatingMode),
 ) -> Dict[OperatingMode, CoEmulationResult]:
     """Run the same SoC under several operating modes."""
+    spec.cache_traffic()
     results: Dict[OperatingMode, CoEmulationResult] = {}
     for mode in modes:
         config = replace(base_config, mode=mode)
@@ -98,6 +103,7 @@ def generic_sweep(
     variations: Dict[str, Callable[[CoEmulationConfig], CoEmulationConfig]],
 ) -> List[SweepPoint]:
     """Run arbitrary config variations, keyed by label."""
+    spec.cache_traffic()
     points = []
     for label, mutate in variations.items():
         config = mutate(base_config)

@@ -6,21 +6,27 @@ Exposes the reproduction's experiments without writing any Python::
     python -m repro figure4                 # Figure 4 (analytical, ASCII chart)
     python -m repro sla                     # SLA summary
     python -m repro conventional            # conventional baselines
+    python -m repro scenarios               # the workload catalog
     python -m repro mechanism --cycles 400  # protocol-level accuracy sweep
     python -m repro run --mode als --cycles 1000 --accuracy 0.9
+    python -m repro sweep --scenarios als_streaming mixed --jobs 4
 
 Every sub-command prints a plain-text table (and, where applicable, the
-paper's published values next to the reproduced ones).
+paper's published values next to the reproduced ones).  Engine selection goes
+through the engine registry and workloads through the scenario catalog, so
+plugins registered by downstream code appear here automatically.  A failing
+sub-command exits non-zero with the error on stderr, so the CLI is scriptable
+in CI.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
 from .analysis.report import Series, render_ascii_chart, render_table
-from .analysis.sweep import accuracy_sweep_mechanism, run_engine
-from .core import CoEmulationConfig, OperatingMode
+from .version import package_version
 from .core.analytical import (
     AnalyticalConfig,
     PAPER_CONVENTIONAL_100K,
@@ -31,7 +37,9 @@ from .core.analytical import (
     sla_summary,
     table2,
 )
-from .workloads import als_streaming_soc, mixed_soc, sla_streaming_soc
+from .core.modes import OperatingMode
+from .orchestration import BatchRunner, RunRequest, RunStore, execute_request, grid_requests
+from .workloads.catalog import build_scenario, list_scenarios, scenario_names
 
 
 def _cmd_table2(args: argparse.Namespace) -> str:
@@ -115,34 +123,62 @@ def _cmd_conventional(args: argparse.Namespace) -> str:
     )
 
 
-_SOC_FACTORIES = {
-    "als_streaming": als_streaming_soc,
-    "sla_streaming": sla_streaming_soc,
-    "mixed": mixed_soc,
-}
+def _cmd_scenarios(args: argparse.Namespace) -> str:
+    infos = list_scenarios(tag=args.tag)
+    rows = []
+    for info in infos:
+        spec = info.builder()
+        rows.append(
+            [
+                info.name,
+                ", ".join(info.tags) or "-",
+                str(len(spec.masters)),
+                str(len(spec.slaves)),
+                info.description,
+            ]
+        )
+    suffix = f" tagged {args.tag!r}" if args.tag else ""
+    return render_table(
+        ["scenario", "tags", "masters", "slaves", "description"],
+        rows,
+        title=f"Scenario catalog: {len(infos)} registered SoC configuration(s){suffix}",
+    )
 
 
 def _cmd_mechanism(args: argparse.Namespace) -> str:
-    spec = _SOC_FACTORIES[args.soc]()
-    base = CoEmulationConfig(mode=OperatingMode.ALS, total_cycles=args.cycles)
-    conventional = run_engine(
-        spec, CoEmulationConfig(mode=OperatingMode.CONSERVATIVE, total_cycles=args.cycles)
-    )
-    points = accuracy_sweep_mechanism(spec, base, args.accuracies)
+    requests = [
+        RunRequest(
+            scenario=args.soc,
+            mode="conservative",
+            cycles=args.cycles,
+            label="conventional",
+        )
+    ] + [
+        RunRequest(
+            scenario=args.soc,
+            mode="als",
+            cycles=args.cycles,
+            accuracy=accuracy,
+            label=f"p={accuracy:g}",
+        )
+        for accuracy in args.accuracies
+    ]
+    records = BatchRunner(jobs=args.jobs).run(requests)
+    conventional, points = records[0], records[1:]
     rows = [
         [
-            point.label,
-            f"{point.result.performance_cycles_per_second / 1000:.1f}k",
-            f"{point.result.speedup_over(conventional):.2f}",
-            str(point.result.transitions["rollbacks"]),
-            str(point.result.channel["accesses"]),
+            record.label,
+            f"{record.performance / 1000:.1f}k",
+            f"{record.performance / conventional.performance:.2f}",
+            str(record.transitions["rollbacks"]),
+            str(record.channel["accesses"]),
         ]
-        for point in points
+        for record in points
     ]
     rows.append(
         [
             "conventional",
-            f"{conventional.performance_cycles_per_second / 1000:.1f}k",
+            f"{conventional.performance / 1000:.1f}k",
             "1.00",
             "0",
             str(conventional.channel["accesses"]),
@@ -156,33 +192,88 @@ def _cmd_mechanism(args: argparse.Namespace) -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
-    spec = _SOC_FACTORIES[args.soc]()
-    config = CoEmulationConfig(
-        mode=OperatingMode(args.mode),
-        total_cycles=args.cycles,
-        lob_depth=args.lob_depth,
-        forced_accuracy=args.accuracy,
+    record = execute_request(
+        RunRequest(
+            scenario=args.soc,
+            mode=args.mode,
+            cycles=args.cycles,
+            lob_depth=args.lob_depth,
+            accuracy=args.accuracy,
+            engine=args.engine,
+        )
     )
-    result = run_engine(spec, config)
+    times = record.per_cycle_times
     rows = [
-        ["mode", result.mode.value],
-        ["committed cycles", str(result.committed_cycles)],
-        ["performance", f"{result.performance_cycles_per_second / 1000:.1f} kcycles/s"],
-        ["Tsim / Tacc", f"{result.tsim:.2e} / {result.tacc:.2e}"],
-        ["Tstore / Trestore", f"{result.tstore:.2e} / {result.trestore:.2e}"],
-        ["Tch", f"{result.tchannel:.2e}"],
-        ["channel accesses", str(result.channel["accesses"])],
-        ["prediction accuracy", f"{result.prediction.get('accuracy', 1.0):.3f}"],
-        ["rollbacks", str(result.transitions.get("rollbacks", 0))],
-        ["monitors clean", str(result.monitors_ok)],
+        ["mode", record.mode],
+        ["engine", record.engine],
+        ["committed cycles", str(record.committed_cycles)],
+        ["performance", f"{record.performance / 1000:.1f} kcycles/s"],
+        ["Tsim / Tacc", f"{times['simulator']:.2e} / {times['accelerator']:.2e}"],
+        ["Tstore / Trestore", f"{times['state_store']:.2e} / {times['state_restore']:.2e}"],
+        ["Tch", f"{times['channel']:.2e}"],
+        ["channel accesses", str(record.channel.get("accesses", 0))],
+        ["prediction accuracy", f"{record.prediction.get('accuracy', 1.0):.3f}"],
+        ["rollbacks", str(record.transitions.get("rollbacks", 0))],
+        ["monitors clean", str(record.monitors_ok)],
     ]
     return render_table(["quantity", "value"], rows, title=f"Co-emulation run on '{args.soc}'")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    if args.tag and args.scenarios is not None:
+        raise ValueError("--scenarios and --tag are mutually exclusive")
+    if args.tag:
+        scenarios = scenario_names(tag=args.tag)
+        if not scenarios:
+            raise ValueError(f"no scenarios tagged {args.tag!r}")
+    else:
+        scenarios = args.scenarios if args.scenarios is not None else ["als_streaming"]
+    accuracies: List[Optional[float]] = args.accuracies if args.accuracies else [None]
+    requests = grid_requests(
+        scenarios=scenarios,
+        modes=args.modes,
+        accuracies=accuracies,
+        lob_depths=args.lob_depths,
+        cycles=args.cycles,
+        base_seed=args.seed,
+        engine=args.engine,
+    )
+    records = BatchRunner(jobs=args.jobs).run(requests)
+    if args.output:
+        RunStore(args.output).write(records)
+    rows = [
+        [
+            record.scenario,
+            record.mode,
+            "-" if record.accuracy is None else f"{record.accuracy:g}",
+            str(record.lob_depth),
+            str(record.committed_cycles),
+            f"{record.performance / 1000:.1f}k",
+            str(record.channel.get("accesses", 0)),
+            str(record.transitions.get("rollbacks", 0)),
+            record.digest,
+        ]
+        for record in records
+    ]
+    if args.output:
+        # Status goes to stderr so stdout stays a deterministic artefact
+        # (byte-identical across --jobs and across output paths).
+        print(f"wrote {len(records)} record(s) to {args.output}", file=sys.stderr)
+    return render_table(
+        ["scenario", "mode", "accuracy", "lob", "cycles", "performance",
+         "channel accesses", "rollbacks", "digest"],
+        rows,
+        title=f"Sweep grid: {len(records)} run(s) over {len(scenarios)} scenario(s)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of the DATE 2005 prediction packetizing scheme",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -193,15 +284,20 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_conventional
     )
 
+    scenarios = sub.add_parser("scenarios", help="list the workload catalog")
+    scenarios.add_argument("--tag", default=None, help="only scenarios with this tag")
+    scenarios.set_defaults(func=_cmd_scenarios)
+
     mechanism = sub.add_parser("mechanism", help="protocol-level accuracy sweep")
     mechanism.add_argument("--cycles", type=int, default=400)
-    mechanism.add_argument("--soc", choices=sorted(_SOC_FACTORIES), default="als_streaming")
+    mechanism.add_argument("--soc", choices=scenario_names(), default="als_streaming")
     mechanism.add_argument(
         "--accuracies",
         type=float,
         nargs="+",
         default=[1.0, 0.99, 0.9, 0.6],
     )
+    mechanism.add_argument("--jobs", type=int, default=1, help="worker processes")
     mechanism.set_defaults(func=_cmd_mechanism)
 
     run = sub.add_parser("run", help="one co-emulation run")
@@ -209,15 +305,57 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cycles", type=int, default=1000)
     run.add_argument("--lob-depth", type=int, default=64)
     run.add_argument("--accuracy", type=float, default=None)
-    run.add_argument("--soc", choices=sorted(_SOC_FACTORIES), default="als_streaming")
+    run.add_argument("--soc", choices=scenario_names(), default="als_streaming")
+    run.add_argument(
+        "--engine",
+        default=None,
+        help="force a registered engine (e.g. 'analytical') instead of the mode default",
+    )
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a scenario x mode x accuracy x LOB grid (parallelisable)"
+    )
+    sweep.add_argument(
+        "--scenarios", nargs="+", default=None, metavar="NAME",
+        help="catalog scenarios to sweep (default als_streaming; see 'scenarios')",
+    )
+    sweep.add_argument("--tag", default=None,
+                       help="sweep every scenario with this tag (excludes --scenarios)")
+    sweep.add_argument(
+        "--modes", nargs="+", default=["conservative", "als"],
+        choices=[m.value for m in OperatingMode], metavar="MODE",
+    )
+    sweep.add_argument(
+        "--accuracies", type=float, nargs="*", default=[],
+        help="forced prediction accuracies (default: the real predictor)",
+    )
+    sweep.add_argument("--lob-depths", type=int, nargs="+", default=[64])
+    sweep.add_argument("--cycles", type=int, default=300)
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep.add_argument("--seed", type=int, default=2005, help="base seed for the grid")
+    sweep.add_argument(
+        "--engine", default=None,
+        help="force a registered engine for every run (e.g. 'analytical')",
+    )
+    sweep.add_argument("--output", default=None, metavar="PATH",
+                       help="write records to a JSON-lines run store")
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    print(args.func(args))
+    try:
+        print(args.func(args))
+    except BrokenPipeError:  # output piped into a closed reader (e.g. head)
+        return 0
+    except SystemExit:
+        raise
+    except Exception as exc:  # scriptability: non-zero exit, error on stderr
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

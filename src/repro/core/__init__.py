@@ -42,8 +42,18 @@ from .coemulation import (
     DEFAULT_LOB_DEPTH,
     DEFAULT_ROLLBACK_VARIABLES,
 )
+from .analytical_engine import AnalyticalPseudoEngine
 from .conventional import ConventionalCoEmulation
 from .domain import DomainHost, DomainHostConfig, DomainHostError, assert_cores_in_sync
+from .engine import (
+    Engine,
+    EngineInfo,
+    EngineRegistryError,
+    available_engines,
+    create_engine,
+    engine_for_mode,
+    register_engine,
+)
 from .lob import LeaderOutputBuffer, LobEntry, LobError, LobStats
 from .modes import (
     AutoModePolicy,
@@ -70,6 +80,7 @@ from .transition import (
 
 __all__ = [
     "AnalyticalConfig",
+    "AnalyticalPseudoEngine",
     "AutoModePolicy",
     "CoEmulationConfig",
     "CoEmulationEngineBase",
@@ -82,6 +93,9 @@ __all__ = [
     "DomainHost",
     "DomainHostConfig",
     "DomainHostError",
+    "Engine",
+    "EngineInfo",
+    "EngineRegistryError",
     "FIGURE4_ACCURACIES",
     "ForcedAccuracyModel",
     "LaggerPredictor",
@@ -114,14 +128,18 @@ __all__ = [
     "TransitionStep",
     "accuracy_sweep",
     "assert_cores_in_sync",
+    "available_engines",
     "breakeven_accuracy",
     "conventional_performance",
+    "create_engine",
+    "engine_for_mode",
     "estimate_performance",
     "expected_committed_per_transition",
     "expected_rollforth_per_transition",
     "failure_probability",
     "figure4",
     "policy_for_mode",
+    "register_engine",
     "sla_summary",
     "table2",
 ]

@@ -13,10 +13,16 @@ from __future__ import annotations
 
 from ..ahb.half_bus import HalfBusModel
 from .coemulation import CoEmulationConfig, CoEmulationEngineBase, CoEmulationResult
+from .engine import register_engine
 from .modes import OperatingMode
 from .prediction import PredictionStats
 
 
+@register_engine(
+    "conventional",
+    modes=(OperatingMode.CONSERVATIVE,),
+    description="lock-step cycle-by-cycle synchronisation (the paper's baseline)",
+)
 class ConventionalCoEmulation(CoEmulationEngineBase):
     """Lock-step, cycle-by-cycle synchronisation of the two domains."""
 

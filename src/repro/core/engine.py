@@ -1,0 +1,176 @@
+"""Engine registry: the paper's family of synchronisation schemes as plugins.
+
+The paper's contribution is not one engine but a *family* of them --
+conservative lock-step, the two optimistic leaders (SLA / ALS), a dynamic
+policy choosing among them, and the closed-form analytical model used for the
+published numbers.  This module turns that family into a registry so callers
+never branch on :class:`~repro.core.modes.OperatingMode` themselves:
+
+* :class:`Engine` -- the protocol every engine implements (construct from two
+  half bus models and a :class:`~repro.core.coemulation.CoEmulationConfig`,
+  then ``run()``).
+* :func:`register_engine` -- class decorator through which engines register
+  themselves, optionally claiming the operating modes they implement.
+* :func:`create_engine` -- the single factory replacing all mode if/else
+  dispatch in the CLI, sweeps, benchmarks and examples.
+
+Engines register themselves when their module is imported;
+:func:`create_engine` imports the built-in engine modules lazily so the
+registry is always populated without creating import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+from ..ahb.half_bus import HalfBusModel
+from .coemulation import CoEmulationConfig, CoEmulationResult
+from .modes import OperatingMode
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """A co-emulation engine: built over a split system, run to a result."""
+
+    config: CoEmulationConfig
+
+    def run(self) -> CoEmulationResult:
+        """Execute the run described by ``config`` and package the result."""
+        ...
+
+
+#: An engine constructor.  ``sim_hbm`` / ``acc_hbm`` may be ``None`` for
+#: pseudo-engines (e.g. the analytical model) that never touch the mechanism.
+EngineFactory = Callable[
+    [Optional[HalfBusModel], Optional[HalfBusModel], CoEmulationConfig], Engine
+]
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """One registry entry."""
+
+    name: str
+    factory: EngineFactory
+    modes: Tuple[OperatingMode, ...]
+    description: str
+    requires_split: bool = True
+
+
+_REGISTRY: Dict[str, EngineInfo] = {}
+_MODE_INDEX: Dict[OperatingMode, str] = {}
+_BUILTINS_LOADED = False
+
+
+class EngineRegistryError(LookupError):
+    """Unknown engine name / mode, or conflicting registration."""
+
+
+def _first_docstring_line(obj) -> str:
+    lines = (getattr(obj, "__doc__", None) or "").strip().splitlines()
+    return lines[0] if lines else ""
+
+
+def register_engine(
+    name: str,
+    *,
+    modes: Tuple[OperatingMode, ...] = (),
+    description: str = "",
+    requires_split: bool = True,
+):
+    """Class decorator registering an engine under ``name``.
+
+    ``modes`` lists the operating modes this engine is the default
+    implementation for; :func:`create_engine` resolves ``config.mode``
+    through that index.  Engines registered with no modes (pseudo-engines)
+    are only reachable via the explicit ``engine=`` override.
+    """
+
+    def decorate(cls):
+        if name in _REGISTRY:
+            raise EngineRegistryError(f"engine {name!r} is already registered")
+        for mode in modes:
+            if mode in _MODE_INDEX:
+                raise EngineRegistryError(
+                    f"mode {mode.value!r} already handled by engine "
+                    f"{_MODE_INDEX[mode]!r}"
+                )
+        _REGISTRY[name] = EngineInfo(
+            name=name,
+            factory=cls,
+            modes=tuple(modes),
+            description=description or _first_docstring_line(cls),
+            requires_split=requires_split,
+        )
+        for mode in modes:
+            _MODE_INDEX[mode] = name
+        return cls
+
+    return decorate
+
+
+def _ensure_builtin_engines() -> None:
+    """Import the modules whose engines self-register (idempotent)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    from . import analytical_engine, conventional, optimistic  # noqa: F401
+
+    _BUILTINS_LOADED = True
+
+
+def available_engines() -> Dict[str, EngineInfo]:
+    """Name -> info for every registered engine."""
+    _ensure_builtin_engines()
+    return dict(_REGISTRY)
+
+
+def engine_for_mode(mode: OperatingMode) -> str:
+    """The name of the engine that implements ``mode``."""
+    _ensure_builtin_engines()
+    try:
+        return _MODE_INDEX[mode]
+    except KeyError:
+        raise EngineRegistryError(
+            f"no engine registered for operating mode {mode.value!r}"
+        ) from None
+
+
+def get_engine_info(name: str) -> EngineInfo:
+    """The registration for ``name``; raises the canonical unknown-engine error."""
+    _ensure_builtin_engines()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise EngineRegistryError(
+            f"unknown engine {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def create_engine(
+    config: CoEmulationConfig,
+    sim_hbm: Optional[HalfBusModel] = None,
+    acc_hbm: Optional[HalfBusModel] = None,
+    *,
+    engine: Optional[str] = None,
+) -> Engine:
+    """Build the engine for ``config`` over a split system.
+
+    Selection is by ``config.mode`` through the registry; pass ``engine=`` to
+    force a specific registration (e.g. ``"analytical"`` for the closed-form
+    pseudo-engine, which ignores the half bus models).
+    """
+    _ensure_builtin_engines()
+    name = engine if engine is not None else _MODE_INDEX.get(config.mode)
+    if name is None:
+        raise EngineRegistryError(
+            f"no engine registered for operating mode {config.mode.value!r}"
+        )
+    info = get_engine_info(name)
+    if info.requires_split and (sim_hbm is None or acc_hbm is None):
+        raise EngineRegistryError(
+            f"engine {info.name!r} needs both half bus models; "
+            "build them with SocSpec.build_split()"
+        )
+    return info.factory(sim_hbm, acc_hbm, config)

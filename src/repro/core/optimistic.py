@@ -39,6 +39,7 @@ from ..ahb.half_bus import HalfBusModel
 from ..sim.component import Domain
 from .coemulation import CoEmulationConfig, CoEmulationEngineBase, CoEmulationResult
 from .domain import DomainHost
+from .engine import register_engine
 from .lob import LeaderOutputBuffer, LobEntry
 from .modes import ModeDecision, OperatingMode, policy_for_mode
 from .prediction import PredictionStats
@@ -80,6 +81,11 @@ class OptimisticRunTrace:
         return [entry.path for entry in self.entries if entry.domain is domain]
 
 
+@register_engine(
+    "optimistic",
+    modes=(OperatingMode.SLA, OperatingMode.ALS, OperatingMode.AUTO),
+    description="prediction-and-rollback engine (SLA / ALS / AUTO leaders)",
+)
 class OptimisticCoEmulation(CoEmulationEngineBase):
     """Prediction-and-rollback synchronisation between the two domains."""
 

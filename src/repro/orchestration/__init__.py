@@ -1,0 +1,37 @@
+"""Batch-run orchestration: declarative requests, parallel fan-out, storage.
+
+The experiment surface of the reproduction is a grid -- scenario x operating
+mode x prediction accuracy x LOB depth -- and the paper's evaluation walks
+such grids.  This package runs them at scale:
+
+* :class:`RunRequest` -- a declarative, picklable description of one run
+  (scenario name, engine mode, config overrides, seed).
+* :func:`execute_request` / :class:`RunRecord` -- execute one request through
+  the engine registry and package a deterministic, JSON-serialisable record
+  (no wall-clock fields, so re-runs are byte-identical).
+* :func:`grid_requests` -- expand a parameter grid into requests with
+  deterministic per-request seeds.
+* :class:`BatchRunner` -- fan requests across worker processes; results are
+  identical to a serial run, independent of ``jobs``.
+* :class:`RunStore` -- JSON-lines persistence for records.
+"""
+
+from .request import (
+    RunRecord,
+    RunRequest,
+    derive_seed,
+    execute_request,
+    grid_requests,
+)
+from .runner import BatchRunner
+from .store import RunStore
+
+__all__ = [
+    "BatchRunner",
+    "RunRecord",
+    "RunRequest",
+    "RunStore",
+    "derive_seed",
+    "execute_request",
+    "grid_requests",
+]

@@ -1,0 +1,259 @@
+"""Declarative run requests and their execution.
+
+A :class:`RunRequest` is everything needed to reproduce one co-emulation run:
+the scenario name (resolved through the workload catalog), the operating mode
+(resolved through the engine registry), configuration overrides and the
+random seed.  Requests are plain picklable data so they can cross process
+boundaries; :func:`execute_request` is the single worker entry point used by
+both the serial and the multiprocessing paths of the
+:class:`~repro.orchestration.runner.BatchRunner`.
+
+Records are deliberately free of wall-clock measurements: everything in a
+:class:`RunRecord` is a deterministic function of its request, which is what
+makes ``sweep --jobs N`` byte-identical to the serial run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.coemulation import CoEmulationConfig, CoEmulationResult, DEFAULT_LOB_DEPTH
+from ..core.engine import create_engine, engine_for_mode, get_engine_info
+from ..core.modes import OperatingMode
+from ..workloads.catalog import build_scenario
+
+
+def canonical_json(payload: Any) -> str:
+    """Stable JSON encoding used for ids, digests and the run store."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def derive_seed(base_seed: int, *coordinates: Any) -> int:
+    """Derive a deterministic per-request seed from grid coordinates.
+
+    Hashing (rather than ``base_seed + index``) keeps seeds stable when the
+    grid is filtered or re-ordered: the same (scenario, mode, accuracy, ...)
+    point always receives the same seed for the same ``base_seed``.
+    """
+    digest = _sha256(canonical_json([base_seed, *[str(c) for c in coordinates]]))
+    return int(digest[:12], 16)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One run of the grid, as declarative data.
+
+    Attributes:
+        scenario: catalog name of the SoC configuration.
+        mode: operating mode value (``"conservative"`` / ``"sla"`` /
+            ``"als"`` / ``"auto"``).
+        cycles: target cycles to commit.
+        lob_depth: Leader Output Buffer depth.
+        accuracy: forced prediction accuracy (``None`` = real predictor).
+        seed: seed for the forced-accuracy failure injector.
+        engine: explicit engine registration to use (``None`` = resolve from
+            ``mode``; ``"analytical"`` selects the closed-form pseudo-engine).
+        scenario_params: keyword arguments for the scenario builder.
+        config_overrides: extra :class:`CoEmulationConfig` fields by name.
+        label: free-form display label.
+    """
+
+    scenario: str
+    mode: str = "als"
+    cycles: int = 400
+    lob_depth: int = DEFAULT_LOB_DEPTH
+    accuracy: Optional[float] = None
+    seed: int = 2005
+    engine: Optional[str] = None
+    scenario_params: Mapping[str, Any] = field(default_factory=dict)
+    config_overrides: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    @property
+    def request_id(self) -> str:
+        """Stable short id derived from the request's full payload."""
+        return _sha256(canonical_json(self.as_dict()))[:12]
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["scenario_params"] = dict(self.scenario_params)
+        payload["config_overrides"] = dict(self.config_overrides)
+        return payload
+
+    def operating_mode(self) -> OperatingMode:
+        return OperatingMode(self.mode)
+
+    def engine_name(self) -> str:
+        if self.engine is not None:
+            return self.engine
+        return engine_for_mode(self.operating_mode())
+
+    def build_config(self) -> CoEmulationConfig:
+        kwargs: Dict[str, Any] = {
+            "mode": self.operating_mode(),
+            "total_cycles": self.cycles,
+            "lob_depth": self.lob_depth,
+            "forced_accuracy": self.accuracy,
+            "forced_accuracy_seed": self.seed,
+        }
+        kwargs.update(self.config_overrides)
+        return CoEmulationConfig(**kwargs)
+
+    def display_label(self) -> str:
+        if self.label:
+            return self.label
+        accuracy = "-" if self.accuracy is None else f"{self.accuracy:g}"
+        return f"{self.scenario}/{self.mode}/p={accuracy}/lob={self.lob_depth}"
+
+
+@dataclass
+class RunRecord:
+    """The deterministic outcome of one executed request."""
+
+    request_id: str
+    label: str
+    scenario: str
+    mode: str
+    engine: str
+    seed: int
+    cycles: int
+    lob_depth: int
+    accuracy: Optional[float]
+    committed_cycles: int
+    performance: float
+    per_cycle_times: Dict[str, float]
+    channel: dict
+    transitions: dict
+    prediction: dict
+    lob: dict
+    monitors_ok: bool
+    wasted_leader_cycles: int
+    beat_digest: str
+    digest: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.digest:
+            self.digest = self.compute_digest()
+
+    def compute_digest(self) -> str:
+        payload = self.as_dict()
+        payload.pop("digest", None)
+        return _sha256(canonical_json(payload))[:16]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunRecord":
+        return cls(**payload)
+
+    def row(self) -> Dict[str, Any]:
+        """Flat summary row for tabular reports."""
+        return {
+            "label": self.label,
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "engine": self.engine,
+            "accuracy": self.accuracy,
+            "lob_depth": self.lob_depth,
+            "cycles": self.committed_cycles,
+            "performance": self.performance,
+            "channel_accesses": self.channel.get("accesses", 0),
+            "rollbacks": self.transitions.get("rollbacks", 0),
+            "digest": self.digest,
+        }
+
+
+def _beat_digest(result: CoEmulationResult) -> str:
+    """Digest of the committed bus traffic (the functional fingerprint)."""
+    return _sha256(repr((result.sim_beat_keys, result.acc_beat_keys)))[:16]
+
+
+def execute_request(request: RunRequest) -> RunRecord:
+    """Execute one request through the catalog and the engine registry.
+
+    This is the worker entry point of the batch runner: it must stay
+    importable at module level (``multiprocessing`` resolves it by qualified
+    name when spawning) and side-effect free apart from the run itself.
+    """
+    config = request.build_config()
+    engine_name = request.engine_name()
+    info = get_engine_info(engine_name)
+    # Building the spec on both paths keeps failure behaviour identical:
+    # scenario-name and builder-parameter typos are rejected whether or not
+    # the engine ends up touching the mechanism.
+    spec = build_scenario(request.scenario, **dict(request.scenario_params))
+    if info.requires_split:
+        sim_hbm, acc_hbm, _ = spec.build_split()
+    else:
+        sim_hbm = acc_hbm = None
+    result = create_engine(config, sim_hbm, acc_hbm, engine=engine_name).run()
+    return RunRecord(
+        request_id=request.request_id,
+        label=request.display_label(),
+        scenario=request.scenario,
+        mode=request.mode,
+        engine=engine_name,
+        seed=request.seed,
+        cycles=request.cycles,
+        lob_depth=request.lob_depth,
+        accuracy=request.accuracy,
+        committed_cycles=result.committed_cycles,
+        performance=result.performance_cycles_per_second,
+        per_cycle_times=dict(result.per_cycle_times),
+        channel=dict(result.channel),
+        transitions=dict(result.transitions),
+        prediction=dict(result.prediction),
+        lob=dict(result.lob),
+        monitors_ok=result.monitors_ok,
+        wasted_leader_cycles=result.wasted_leader_cycles,
+        beat_digest=_beat_digest(result),
+    )
+
+
+def grid_requests(
+    scenarios: Sequence[str],
+    modes: Sequence[str],
+    accuracies: Sequence[Optional[float]] = (None,),
+    lob_depths: Sequence[int] = (DEFAULT_LOB_DEPTH,),
+    cycles: int = 400,
+    base_seed: int = 2005,
+    engine: Optional[str] = None,
+    scenario_params: Optional[Mapping[str, Any]] = None,
+    config_overrides: Optional[Mapping[str, Any]] = None,
+) -> List[RunRequest]:
+    """Expand a parameter grid into an ordered request list.
+
+    Order is the nested product (scenario, mode, accuracy, lob depth) --
+    deterministic, so serial and parallel runs agree on row order.  Each
+    request receives a seed derived from its coordinates via
+    :func:`derive_seed`.
+    """
+    requests: List[RunRequest] = []
+    for scenario in scenarios:
+        for mode in modes:
+            for accuracy in accuracies:
+                for lob_depth in lob_depths:
+                    requests.append(
+                        RunRequest(
+                            scenario=scenario,
+                            mode=mode,
+                            cycles=cycles,
+                            lob_depth=lob_depth,
+                            accuracy=accuracy,
+                            seed=derive_seed(
+                                base_seed, scenario, mode, accuracy, lob_depth
+                            ),
+                            engine=engine,
+                            scenario_params=dict(scenario_params or {}),
+                            config_overrides=dict(config_overrides or {}),
+                        )
+                    )
+    return requests

@@ -1,0 +1,68 @@
+"""JSON-lines persistence for run records.
+
+One record per line, canonical encoding (sorted keys, no whitespace), no
+timestamps: writing the same records always produces the same bytes, so a
+store file doubles as a regression artefact -- diff two files to diff two
+experiment runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from .request import RunRecord, canonical_json
+
+
+def canonical_line(record: RunRecord) -> str:
+    """The canonical single-line JSON encoding of one record.
+
+    Delegates to the same encoder that computes request ids and record
+    digests, so the store's bytes and the digests can never drift apart.
+    """
+    return canonical_json(record.as_dict())
+
+
+class RunStore:
+    """Append-oriented JSON-lines storage for :class:`RunRecord`."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def write(self, records: Iterable[RunRecord]) -> int:
+        """Replace the store's contents with ``records``; returns the count."""
+        lines = [canonical_line(record) for record in records]
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("".join(line + "\n" for line in lines))
+        return len(lines)
+
+    def append(self, records: Iterable[RunRecord]) -> int:
+        """Append ``records`` to the store; returns the count appended."""
+        lines = [canonical_line(record) for record in records]
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        return len(lines)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        if not self.path.exists():
+            return
+        with self.path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield RunRecord.from_dict(json.loads(line))
+
+    def load(self) -> List[RunRecord]:
+        return list(self)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def digest(self) -> str:
+        """SHA-256 of the store file's bytes (empty-file digest if missing)."""
+        data = self.path.read_bytes() if self.path.exists() else b""
+        return hashlib.sha256(data).hexdigest()

@@ -1,0 +1,38 @@
+"""Single source of the package version.
+
+Resolution order: installed distribution metadata, then the source
+checkout's ``pyproject.toml`` (via :mod:`tomllib` where available, a regex on
+Python 3.10), then a recognisable fallback.  Keeping this in one place means
+``python -m repro --version``, ``repro.__version__`` and packaging always
+agree.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+_FALLBACK = "0+unknown"
+
+
+def package_version() -> str:
+    """The package version, from installed metadata or pyproject.toml."""
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro-coemulation")
+    except Exception:
+        pass
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        text = pyproject.read_text()
+    except OSError:
+        return _FALLBACK
+    try:
+        import tomllib
+
+        version = tomllib.loads(text).get("project", {}).get("version")
+    except ModuleNotFoundError:  # python 3.10: no tomllib
+        match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+        version = match.group(1) if match else None
+    return version or _FALLBACK

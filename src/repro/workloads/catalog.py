@@ -1,0 +1,552 @@
+"""Scenario catalog: named, tagged SoC configurations.
+
+The paper evaluates its synchronisation schemes over SoC traffic shapes, not
+over one fixed design; the catalog makes that axis first-class.  A *scenario*
+is a registered builder producing a fresh :class:`~repro.workloads.soc.
+SocSpec`; callers look scenarios up by name (CLI, batch orchestrator, tests)
+or filter them by tag::
+
+    from repro.workloads.catalog import build_scenario, scenario_names
+
+    spec = build_scenario("dma_burst_storm")
+    spec = build_scenario("als_streaming", n_bursts=8)   # builder kwargs
+    scenario_names(tag="paper")                          # the original three
+
+The three specs of the paper-era reproduction register here unchanged, plus
+a set of new traffic shapes (multi-master contention, DMA burst storms,
+interrupt-heavy control traffic, sparse periodic telemetry, read-modify-write
+against FIFO peripherals) that exercise arbitration, the AUTO policy and the
+FIFO response predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ahb.signals import HBurst
+from ..sim.component import AbstractionLevel, Domain
+from .generators import (
+    AddressWindow,
+    TrafficProfile,
+    cpu_like_traffic,
+    dma_copy_traffic,
+    generate_traffic,
+    streaming_read_traffic,
+    streaming_write_traffic,
+)
+from .soc import (
+    ACC_BUFFER_WINDOW,
+    ACC_MEMORY_WINDOW,
+    MasterSpec,
+    SIM_BUFFER_WINDOW,
+    SIM_MEMORY_WINDOW,
+    SlaveSpec,
+    SocSpec,
+    als_streaming_soc,
+    mixed_soc,
+    single_master_soc,
+    sla_streaming_soc,
+)
+
+ScenarioBuilder = Callable[..., SocSpec]
+
+
+@dataclass(frozen=True)
+class ScenarioInfo:
+    """One catalog entry."""
+
+    name: str
+    builder: ScenarioBuilder
+    tags: Tuple[str, ...]
+    description: str
+
+
+_CATALOG: Dict[str, ScenarioInfo] = {}
+
+
+class ScenarioCatalogError(LookupError):
+    """Unknown scenario name or conflicting registration."""
+
+
+def register_scenario(
+    name: str, *, tags: Tuple[str, ...] = (), description: str = ""
+):
+    """Decorator registering a :class:`SocSpec` builder under ``name``.
+
+    Also usable as a plain function call for builders defined elsewhere:
+    ``register_scenario("mixed", tags=("paper",))(mixed_soc)``.
+    """
+
+    def decorate(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if name in _CATALOG:
+            raise ScenarioCatalogError(f"scenario {name!r} is already registered")
+        doc_lines = (builder.__doc__ or "").strip().splitlines()
+        _CATALOG[name] = ScenarioInfo(
+            name=name,
+            builder=builder,
+            tags=tuple(tags),
+            description=description or (doc_lines[0] if doc_lines else ""),
+        )
+        return builder
+
+    return decorate
+
+
+def get_scenario(name: str) -> ScenarioInfo:
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        raise ScenarioCatalogError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(_CATALOG))}"
+        ) from None
+
+
+def build_scenario(name: str, **params) -> SocSpec:
+    """Build a fresh :class:`SocSpec` for the named scenario."""
+    return get_scenario(name).builder(**params)
+
+
+def scenario_names(tag: Optional[str] = None) -> List[str]:
+    return [info.name for info in list_scenarios(tag)]
+
+
+def list_scenarios(tag: Optional[str] = None) -> List[ScenarioInfo]:
+    """All registered scenarios (optionally filtered by tag), sorted by name."""
+    infos = sorted(_CATALOG.values(), key=lambda info: info.name)
+    if tag is None:
+        return infos
+    return [info for info in infos if tag in info.tags]
+
+
+# ---------------------------------------------------------------------------
+# The paper-era specs.
+# ---------------------------------------------------------------------------
+
+register_scenario(
+    "als_streaming",
+    tags=("paper", "streaming", "als-friendly"),
+    description="RTL masters in the accelerator writing into simulator memories",
+)(als_streaming_soc)
+
+register_scenario(
+    "sla_streaming",
+    tags=("paper", "streaming", "sla-friendly"),
+    description="TL masters in the simulator writing into accelerator memories",
+)(sla_streaming_soc)
+
+register_scenario(
+    "mixed",
+    tags=("paper", "bidirectional", "auto"),
+    description="bidirectional traffic exercising dynamic mode decisions",
+)(mixed_soc)
+
+register_scenario(
+    "single_master",
+    tags=("minimal",),
+    description="one master, one remote memory (no arbitration effects)",
+)(single_master_soc)
+
+
+# ---------------------------------------------------------------------------
+# New traffic shapes.
+# ---------------------------------------------------------------------------
+
+#: Small control-register window for the interrupt/control scenarios.
+ACC_CONTROL_WINDOW = AddressWindow(base=0x4000_0000, size=0x400)
+#: FIFO peripheral window for the read-modify-write scenario.
+ACC_FIFO_WINDOW = AddressWindow(base=0x5000_0000, size=0x100)
+
+
+@register_scenario(
+    "multi_master_contention",
+    tags=("contention", "arbitration", "als-friendly"),
+)
+def multi_master_contention_soc(n_bursts: int = 12, seed: int = 31) -> SocSpec:
+    """Four masters in both domains fighting over one simulator memory.
+
+    Two RTL streams plus two TL masters all target the same window, so the
+    arbiter changes winners constantly and every domain's drive contributes
+    request lines each cycle -- the worst case for per-cycle boundary
+    traffic and a stress test for the LOB's arbitration predictions.
+    """
+    masters = [
+        MasterSpec(
+            master_id=0,
+            name="rtl_stream0",
+            domain=Domain.ACCELERATOR,
+            level=AbstractionLevel.RTL,
+            transactions=lambda: streaming_write_traffic(
+                0, SIM_MEMORY_WINDOW, n_bursts=n_bursts, seed=seed
+            ),
+        ),
+        MasterSpec(
+            master_id=1,
+            name="rtl_stream1",
+            domain=Domain.ACCELERATOR,
+            level=AbstractionLevel.RTL,
+            transactions=lambda: streaming_write_traffic(
+                1, SIM_MEMORY_WINDOW, n_bursts=n_bursts, seed=seed + 1
+            ),
+        ),
+        MasterSpec(
+            master_id=2,
+            name="tl_cpu",
+            domain=Domain.SIMULATOR,
+            transactions=lambda: cpu_like_traffic(
+                2,
+                code_window=SIM_BUFFER_WINDOW,
+                data_window=SIM_MEMORY_WINDOW,
+                n_transactions=n_bursts * 2,
+                seed=seed + 2,
+            ),
+        ),
+        MasterSpec(
+            master_id=3,
+            name="tl_dma",
+            domain=Domain.SIMULATOR,
+            transactions=lambda: dma_copy_traffic(
+                3,
+                source=SIM_BUFFER_WINDOW,
+                destination=SIM_MEMORY_WINDOW,
+                n_blocks=n_bursts // 2,
+                seed=seed + 3,
+            ),
+        ),
+    ]
+    slaves = [
+        SlaveSpec(
+            slave_id=0,
+            name="sim_shared_memory",
+            domain=Domain.SIMULATOR,
+            base=SIM_MEMORY_WINDOW.base,
+            size=SIM_MEMORY_WINDOW.size,
+        ),
+        SlaveSpec(
+            slave_id=1,
+            name="sim_code_memory",
+            domain=Domain.SIMULATOR,
+            base=SIM_BUFFER_WINDOW.base,
+            size=SIM_BUFFER_WINDOW.size,
+        ),
+        SlaveSpec(
+            slave_id=2,
+            name="acc_sram",
+            domain=Domain.ACCELERATOR,
+            base=ACC_MEMORY_WINDOW.base,
+            size=ACC_MEMORY_WINDOW.size,
+            level=AbstractionLevel.RTL,
+        ),
+    ]
+    return SocSpec(
+        name="multi_master_contention",
+        description="four masters in both domains contending for one memory",
+        masters=masters,
+        slaves=slaves,
+    )
+
+
+@register_scenario(
+    "dma_burst_storm",
+    tags=("dma", "burst", "als-friendly", "throughput"),
+)
+def dma_burst_storm_soc(n_blocks: int = 10, seed: int = 37) -> SocSpec:
+    """Back-to-back INCR16 DMA bursts saturating the bus from the accelerator.
+
+    Three RTL DMA engines issue maximum-length bursts with zero issue gap:
+    the bus is busy every cycle, the LOB fills fast, and the channel sees the
+    largest possible flush payloads.
+    """
+
+    def storm(master_id: int, window: AddressWindow, seed_offset: int):
+        return lambda: streaming_write_traffic(
+            master_id,
+            window,
+            n_bursts=n_blocks,
+            burst=HBurst.INCR16,
+            seed=seed + seed_offset,
+            issue_gap=0,
+        )
+
+    masters = [
+        MasterSpec(
+            master_id=0,
+            name="rtl_dma_a",
+            domain=Domain.ACCELERATOR,
+            level=AbstractionLevel.RTL,
+            transactions=storm(0, SIM_MEMORY_WINDOW, 0),
+        ),
+        MasterSpec(
+            master_id=1,
+            name="rtl_dma_b",
+            domain=Domain.ACCELERATOR,
+            level=AbstractionLevel.RTL,
+            transactions=storm(1, SIM_BUFFER_WINDOW, 1),
+        ),
+        MasterSpec(
+            master_id=2,
+            name="rtl_dma_c",
+            domain=Domain.ACCELERATOR,
+            level=AbstractionLevel.RTL,
+            transactions=lambda: dma_copy_traffic(
+                2,
+                source=ACC_MEMORY_WINDOW,
+                destination=SIM_MEMORY_WINDOW,
+                n_blocks=n_blocks,
+                burst=HBurst.INCR16,
+                seed=seed + 2,
+            ),
+        ),
+    ]
+    slaves = [
+        SlaveSpec(
+            slave_id=0,
+            name="acc_sram",
+            domain=Domain.ACCELERATOR,
+            base=ACC_MEMORY_WINDOW.base,
+            size=ACC_MEMORY_WINDOW.size,
+            level=AbstractionLevel.RTL,
+        ),
+        SlaveSpec(
+            slave_id=1,
+            name="sim_main_memory",
+            domain=Domain.SIMULATOR,
+            base=SIM_MEMORY_WINDOW.base,
+            size=SIM_MEMORY_WINDOW.size,
+        ),
+        SlaveSpec(
+            slave_id=2,
+            name="sim_frame_buffer",
+            domain=Domain.SIMULATOR,
+            base=SIM_BUFFER_WINDOW.base,
+            size=SIM_BUFFER_WINDOW.size,
+        ),
+    ]
+    return SocSpec(
+        name="dma_burst_storm",
+        description="back-to-back INCR16 DMA bursts saturating the bus",
+        masters=masters,
+        slaves=slaves,
+    )
+
+
+@register_scenario(
+    "interrupt_control",
+    tags=("control", "interrupt", "sla-friendly", "latency"),
+)
+def interrupt_control_soc(n_events: int = 40, seed: int = 41) -> SocSpec:
+    """Interrupt-heavy control traffic: single-beat register pokes.
+
+    A simulator-side CPU services interrupt events by reading a status
+    register and writing an acknowledge, all SINGLE transfers into a small
+    accelerator control block with read wait states.  No bursts at all --
+    the opposite of the streaming scenarios, and the regime where per-access
+    channel startup overhead dominates.
+    """
+
+    def control_traffic():
+        profile = TrafficProfile(
+            master_id=0,
+            n_transactions=n_events,
+            write_fraction=0.5,
+            bursts=(HBurst.SINGLE,),
+            read_windows=(ACC_CONTROL_WINDOW,),
+            write_windows=(ACC_CONTROL_WINDOW,),
+            issue_gap=3,
+            issue_gap_jitter=4,
+            seed=seed,
+        )
+        return generate_traffic(profile)
+
+    masters = [
+        MasterSpec(
+            master_id=0,
+            name="tl_cpu",
+            domain=Domain.SIMULATOR,
+            transactions=control_traffic,
+        ),
+        MasterSpec(
+            master_id=1,
+            name="tl_logger",
+            domain=Domain.SIMULATOR,
+            transactions=lambda: streaming_write_traffic(
+                1,
+                SIM_MEMORY_WINDOW,
+                n_bursts=max(1, n_events // 8),
+                burst=HBurst.INCR4,
+                seed=seed + 1,
+                issue_gap=6,
+            ),
+        ),
+    ]
+    slaves = [
+        SlaveSpec(
+            slave_id=0,
+            name="acc_irq_controller",
+            domain=Domain.ACCELERATOR,
+            base=ACC_CONTROL_WINDOW.base,
+            size=ACC_CONTROL_WINDOW.size,
+            level=AbstractionLevel.RTL,
+            read_wait_states=1,
+        ),
+        SlaveSpec(
+            slave_id=1,
+            name="sim_log_memory",
+            domain=Domain.SIMULATOR,
+            base=SIM_MEMORY_WINDOW.base,
+            size=SIM_MEMORY_WINDOW.size,
+        ),
+    ]
+    return SocSpec(
+        name="interrupt_control",
+        description="interrupt-style single-beat control accesses to RTL registers",
+        masters=masters,
+        slaves=slaves,
+    )
+
+
+@register_scenario(
+    "sparse_telemetry",
+    tags=("sparse", "idle", "periodic", "als-friendly"),
+)
+def sparse_telemetry_soc(n_samples: int = 12, period: int = 24, seed: int = 43) -> SocSpec:
+    """Sparse periodic telemetry: mostly-idle bus with short bursts.
+
+    An RTL sensor block wakes up every ``period`` cycles and pushes a short
+    INCR4 sample into simulator memory; a slow reader drains it.  Long idle
+    stretches mean most boundary cycles carry nothing -- the regime where an
+    optimistic leader commits whole LOB windows without any misprediction
+    risk, and where the conventional scheme wastes two channel accesses per
+    idle cycle.
+    """
+    masters = [
+        MasterSpec(
+            master_id=0,
+            name="rtl_sensor",
+            domain=Domain.ACCELERATOR,
+            level=AbstractionLevel.RTL,
+            transactions=lambda: streaming_write_traffic(
+                0,
+                SIM_MEMORY_WINDOW,
+                n_bursts=n_samples,
+                burst=HBurst.INCR4,
+                seed=seed,
+                issue_gap=period,
+            ),
+        ),
+        MasterSpec(
+            master_id=1,
+            name="rtl_housekeeper",
+            domain=Domain.ACCELERATOR,
+            level=AbstractionLevel.RTL,
+            transactions=lambda: streaming_read_traffic(
+                1,
+                ACC_MEMORY_WINDOW,
+                n_bursts=max(1, n_samples // 3),
+                burst=HBurst.INCR4,
+                issue_gap=period * 3,
+            ),
+        ),
+    ]
+    slaves = [
+        SlaveSpec(
+            slave_id=0,
+            name="acc_sram",
+            domain=Domain.ACCELERATOR,
+            base=ACC_MEMORY_WINDOW.base,
+            size=ACC_MEMORY_WINDOW.size,
+            level=AbstractionLevel.RTL,
+        ),
+        SlaveSpec(
+            slave_id=1,
+            name="sim_telemetry_buffer",
+            domain=Domain.SIMULATOR,
+            base=SIM_MEMORY_WINDOW.base,
+            size=SIM_MEMORY_WINDOW.size,
+        ),
+    ]
+    return SocSpec(
+        name="sparse_telemetry",
+        description="mostly-idle bus with short periodic telemetry bursts",
+        masters=masters,
+        slaves=slaves,
+    )
+
+
+@register_scenario(
+    "rmw_fifo",
+    tags=("fifo", "read-modify-write", "bidirectional", "auto"),
+)
+def rmw_fifo_soc(n_blocks: int = 8, seed: int = 47) -> SocSpec:
+    """Read-modify-write loops against a FIFO peripheral.
+
+    A simulator DMA alternates read and write bursts (the read-modify-write
+    shape) between simulator memory and an accelerator-side FIFO peripheral
+    whose produce/consume pacing inserts data-dependent wait states, while an
+    RTL master streams the other way.  Responses depend on FIFO fill level,
+    so prediction quality -- and the AUTO policy's leader choice -- actually
+    matters.
+    """
+    masters = [
+        MasterSpec(
+            master_id=0,
+            name="tl_rmw_dma",
+            domain=Domain.SIMULATOR,
+            transactions=lambda: dma_copy_traffic(
+                0,
+                source=SIM_MEMORY_WINDOW,
+                destination=ACC_FIFO_WINDOW,
+                n_blocks=n_blocks,
+                burst=HBurst.INCR4,
+                seed=seed,
+            ),
+        ),
+        MasterSpec(
+            master_id=1,
+            name="rtl_producer",
+            domain=Domain.ACCELERATOR,
+            level=AbstractionLevel.RTL,
+            transactions=lambda: streaming_write_traffic(
+                1,
+                SIM_BUFFER_WINDOW,
+                n_bursts=n_blocks,
+                burst=HBurst.INCR4,
+                seed=seed + 1,
+                issue_gap=2,
+            ),
+        ),
+    ]
+    slaves = [
+        SlaveSpec(
+            slave_id=0,
+            name="acc_fifo",
+            domain=Domain.ACCELERATOR,
+            base=ACC_FIFO_WINDOW.base,
+            size=ACC_FIFO_WINDOW.size,
+            kind="fifo",
+            level=AbstractionLevel.RTL,
+            fifo_depth=8,
+            fifo_produce_period=2,
+            fifo_consume_period=2,
+        ),
+        SlaveSpec(
+            slave_id=1,
+            name="sim_main_memory",
+            domain=Domain.SIMULATOR,
+            base=SIM_MEMORY_WINDOW.base,
+            size=SIM_MEMORY_WINDOW.size,
+        ),
+        SlaveSpec(
+            slave_id=2,
+            name="sim_scratch",
+            domain=Domain.SIMULATOR,
+            base=SIM_BUFFER_WINDOW.base,
+            size=SIM_BUFFER_WINDOW.size,
+        ),
+    ]
+    return SocSpec(
+        name="rmw_fifo",
+        description="read-modify-write bursts against an accelerator FIFO peripheral",
+        masters=masters,
+        slaves=slaves,
+    )

@@ -15,7 +15,7 @@ of the module.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ahb.bus import AhbBus
@@ -71,6 +71,12 @@ class SocSpec:
     masters: List[MasterSpec] = field(default_factory=list)
     slaves: List[SlaveSpec] = field(default_factory=list)
     description: str = ""
+    #: Memoized master traffic (master_id -> generated transactions); enabled
+    #: by :meth:`cache_traffic` so sweeps do not re-run the generators for
+    #: every sweep point.
+    _traffic_cache: Optional[Dict[int, List[BusTransaction]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- validation ------------------------------------------------------------
     def validate(self) -> None:
@@ -92,11 +98,37 @@ class SocSpec:
         return [s for s in self.slaves if s.domain is domain]
 
     # -- component instantiation -------------------------------------------------
+    def cache_traffic(self) -> "SocSpec":
+        """Memoize the generated traffic across repeated instantiations.
+
+        The transaction generators are deterministic, so every
+        :meth:`build_split` / :meth:`build_reference` of the same spec
+        produces the same streams; with the cache enabled the generators run
+        once and later builds receive fresh per-transaction copies of the
+        memoized queues.  Sweeps enable this so only the accuracy/LOB knobs
+        vary between points, not the (re-)generation cost.  Returns ``self``
+        for chaining.
+        """
+        if self._traffic_cache is None:
+            self._traffic_cache = {}
+        return self
+
+    def _master_transactions(self, spec: MasterSpec) -> List[BusTransaction]:
+        if self._traffic_cache is None:
+            return spec.transactions()
+        cached = self._traffic_cache.get(spec.master_id)
+        if cached is None:
+            cached = spec.transactions()
+            self._traffic_cache[spec.master_id] = cached
+        # Hand out fresh transaction objects so a run can never alias state
+        # into the cache (data lists are copied too).
+        return [replace(txn, data=list(txn.data)) for txn in cached]
+
     def _build_master(self, spec: MasterSpec) -> TrafficMaster:
         return TrafficMaster(
             name=spec.name,
             master_id=spec.master_id,
-            transactions=spec.transactions(),
+            transactions=self._master_transactions(spec),
             level=spec.level,
         )
 

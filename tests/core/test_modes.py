@@ -75,6 +75,72 @@ def test_auto_policy_can_prefer_simulator():
     assert decision.leader is Domain.SIMULATOR
 
 
+def test_auto_policy_data_flow_source_leads():
+    """The paper's rule: lead with the domain holding the data-flow source.
+
+    The predictors encode it as predictability -- the domain hosting the
+    non-predictable data source is exactly the one whose *lagger* traffic is
+    predictable -- so whichever single domain can predict must be chosen,
+    regardless of preference order.
+    """
+    for prefer in (Domain.ACCELERATOR, Domain.SIMULATOR):
+        policy = AutoModePolicy(prefer=prefer)
+        # data-flow source in the accelerator: only the accelerator can lead
+        decision = policy.decide(fields(), fields(), sim_can_predict=False, acc_can_predict=True)
+        assert decision.optimistic and decision.leader is Domain.ACCELERATOR
+        # data-flow source in the simulator: only the simulator can lead
+        decision = policy.decide(fields(), fields(), sim_can_predict=True, acc_can_predict=False)
+        assert decision.optimistic and decision.leader is Domain.SIMULATOR
+
+
+def test_auto_policy_conservative_fallback_reason():
+    decision = AutoModePolicy().decide(
+        fields(), fields(), sim_can_predict=False, acc_can_predict=False
+    )
+    assert not decision.optimistic
+    assert decision.leader is None
+    assert "neither" in decision.reason
+
+
+def test_auto_mode_engine_leads_with_the_data_flow_source():
+    """Cycle-by-cycle AUTO decisions on real SoCs: the engine must lead with
+    the accelerator on the ALS-friendly SoC and with the simulator on the
+    SLA-friendly one, matching the statically configured optimum."""
+    from repro.analysis.sweep import run_engine
+    from repro.core import CoEmulationConfig
+    from repro.workloads import als_streaming_soc, sla_streaming_soc
+
+    for spec, expected_leader in (
+        (als_streaming_soc(n_bursts=6), Domain.ACCELERATOR),
+        (sla_streaming_soc(n_bursts=6), Domain.SIMULATOR),
+    ):
+        result = run_engine(spec, CoEmulationConfig(mode=OperatingMode.AUTO, total_cycles=200))
+        leaders = result.transitions["leaders_used"]
+        assert leaders, f"AUTO never went optimistic on {spec.name}"
+        dominant = max(leaders, key=leaders.get)
+        assert dominant == expected_leader.value, (spec.name, leaders)
+
+
+def test_auto_mode_engine_falls_back_to_conservative_cycles():
+    """On the bidirectional SoC the AUTO policy cannot always predict; the
+    engine must degrade to conservative cycles instead of mispredicting, and
+    still commit identical bus traffic."""
+    from repro.analysis.sweep import run_engine
+    from repro.core import CoEmulationConfig
+    from repro.workloads import mixed_soc
+
+    auto = run_engine(
+        mixed_soc(n_transactions=16),
+        CoEmulationConfig(mode=OperatingMode.AUTO, total_cycles=200),
+    )
+    conservative = run_engine(
+        mixed_soc(n_transactions=16),
+        CoEmulationConfig(mode=OperatingMode.CONSERVATIVE, total_cycles=200),
+    )
+    assert auto.transitions["conservative_cycles"] > 0
+    assert auto.sim_beat_keys == conservative.sim_beat_keys
+
+
 def test_policy_factory_maps_modes_to_policies():
     assert isinstance(policy_for_mode(OperatingMode.CONSERVATIVE), ConservativePolicy)
     assert isinstance(policy_for_mode(OperatingMode.SLA), StaticLeaderPolicy)

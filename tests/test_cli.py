@@ -61,6 +61,102 @@ def test_run_command_conservative_mode(capsys):
     assert "conservative" in out
 
 
+def test_scenarios_command_lists_catalog(capsys):
+    out = run_cli(capsys, "scenarios")
+    assert "Scenario catalog" in out
+    for name in (
+        "als_streaming",
+        "sla_streaming",
+        "mixed",
+        "multi_master_contention",
+        "dma_burst_storm",
+        "interrupt_control",
+        "sparse_telemetry",
+        "rmw_fifo",
+    ):
+        assert name in out
+    # at least 8 scenarios registered
+    from repro.workloads import scenario_names
+
+    assert len(scenario_names()) >= 8
+
+
+def test_scenarios_command_tag_filter(capsys):
+    out = run_cli(capsys, "scenarios", "--tag", "paper")
+    assert "als_streaming" in out
+    assert "dma_burst_storm" not in out
+
+
+def test_sweep_command_runs_grid(capsys):
+    out = run_cli(
+        capsys,
+        "sweep",
+        "--scenarios", "single_master",
+        "--modes", "conservative", "als",
+        "--cycles", "80",
+    )
+    assert "Sweep grid: 2 run(s)" in out
+    assert "conservative" in out and "als" in out
+    assert "digest" in out
+
+
+def test_sweep_command_parallel_output_identical_to_serial(capsys):
+    argv = [
+        "sweep",
+        "--scenarios", "single_master", "mixed",
+        "--modes", "conservative", "als",
+        "--cycles", "80",
+    ]
+    serial = run_cli(capsys, *argv, "--jobs", "1")
+    parallel = run_cli(capsys, *argv, "--jobs", "2")
+    assert serial == parallel
+
+
+def test_sweep_command_writes_run_store(capsys, tmp_path):
+    path = tmp_path / "runs.jsonl"
+    code = main(
+        [
+            "sweep",
+            "--scenarios", "single_master",
+            "--modes", "als",
+            "--cycles", "60",
+            "--output", str(path),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    # the status line goes to stderr; stdout stays a deterministic artefact
+    assert f"wrote 1 record(s) to {path}" in captured.err
+    assert "Sweep grid" in captured.out
+    from repro.orchestration import RunStore
+
+    assert len(RunStore(path)) == 1
+
+
+def test_run_command_analytical_engine(capsys):
+    out = run_cli(capsys, "run", "--engine", "analytical", "--cycles", "100")
+    assert "analytical" in out
+
+
+def test_version_flag_reports_pyproject_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    from repro.version import package_version
+
+    assert package_version() in out
+    assert package_version() != "0+unknown"
+
+
+def test_failing_subcommand_exits_nonzero(capsys):
+    code = main(["sweep", "--scenarios", "single_master", "--engine", "bogus"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "error" in captured.err
+    assert "bogus" in captured.err
+
+
 def test_parser_rejects_unknown_command():
     parser = build_parser()
     with pytest.raises(SystemExit):

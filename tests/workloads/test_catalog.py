@@ -1,0 +1,83 @@
+"""Tests for the scenario catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CoEmulationConfig, OperatingMode, create_engine
+from repro.workloads import SocSpec, als_streaming_soc
+from repro.workloads.catalog import (
+    ScenarioCatalogError,
+    build_scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+)
+
+
+def test_catalog_has_at_least_eight_scenarios():
+    names = scenario_names()
+    assert len(names) >= 8
+    assert len(set(names)) == len(names)
+    # the paper-era trio is preserved
+    assert {"als_streaming", "sla_streaming", "mixed"} <= set(names)
+    # the new traffic shapes exist
+    assert {
+        "multi_master_contention",
+        "dma_burst_storm",
+        "interrupt_control",
+        "sparse_telemetry",
+        "rmw_fifo",
+    } <= set(names)
+
+
+def test_every_scenario_builds_a_valid_spec():
+    for info in list_scenarios():
+        spec = info.builder()
+        assert isinstance(spec, SocSpec)
+        spec.validate()
+        assert spec.description
+
+
+def test_scenarios_are_sorted_and_tag_filtered():
+    names = scenario_names()
+    assert names == sorted(names)
+    streaming = scenario_names(tag="paper")
+    assert set(streaming) == {"als_streaming", "sla_streaming", "mixed"}
+    assert scenario_names(tag="no-such-tag") == []
+
+
+def test_build_scenario_forwards_builder_kwargs():
+    small = build_scenario("als_streaming", n_bursts=2)
+    big = build_scenario("als_streaming", n_bursts=20)
+    assert len(small.masters[0].transactions()) < len(big.masters[0].transactions())
+
+
+def test_registered_builder_matches_original():
+    assert get_scenario("als_streaming").builder is als_streaming_soc
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(ScenarioCatalogError, match="unknown scenario"):
+        build_scenario("not-a-scenario")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ScenarioCatalogError, match="already registered"):
+        register_scenario("mixed")(als_streaming_soc)
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_new_scenarios_keep_functional_equivalence(name):
+    """Every catalog scenario must produce identical committed traffic under
+    the conservative and the optimistic schemes."""
+    results = {}
+    for mode in (OperatingMode.CONSERVATIVE, OperatingMode.ALS):
+        sim_hbm, acc_hbm, _ = build_scenario(name).build_split()
+        config = CoEmulationConfig(mode=mode, total_cycles=120)
+        results[mode] = create_engine(config, sim_hbm, acc_hbm).run()
+    conservative, optimistic = results[OperatingMode.CONSERVATIVE], results[OperatingMode.ALS]
+    assert optimistic.sim_beat_keys == conservative.sim_beat_keys
+    assert optimistic.acc_beat_keys == conservative.acc_beat_keys
+    assert conservative.monitors_ok and optimistic.monitors_ok
