@@ -1,21 +1,25 @@
-"""Figure 4 -- ALS performance curves.
+"""Figure 4 -- ALS performance curves, reproduced through the artifact pipeline.
 
 Regenerates the paper's Figure 4: simulation performance versus prediction
 accuracy for four configurations (simulator 100 k / 1,000 kcycles/s crossed
 with LOB depth 8 / 64), with the two conventional-method reference lines.
+
+Since the artifact-pipeline overhaul this benchmark drives the same
+``figure4`` artifact spec that ``repro report`` emits: the full series grid
+(including the conventional baselines) runs through the batch orchestrator
+and the chart is rendered from the artifact's rows.
 """
 
 from __future__ import annotations
 
+from repro.analysis.artifacts import run_pipeline
 from repro.analysis.metrics import monotonically_non_increasing
 from repro.analysis.report import Series, render_ascii_chart, render_table
 from repro.core.analytical import (
     FIGURE4_ACCURACIES,
     PAPER_CONVENTIONAL_100K,
     PAPER_CONVENTIONAL_1000K,
-    figure4,
 )
-
 
 MARKERS = {
     "Sim=100k, LOBdepth=64": "a",
@@ -25,21 +29,31 @@ MARKERS = {
 }
 
 
+def _series_rows(artifact):
+    """Group artifact rows by series label, as dicts keyed by header."""
+    series = {}
+    for row in artifact.rows:
+        cells = dict(zip(artifact.headers, row))
+        series.setdefault(cells["series"], []).append(cells)
+    return series
+
+
 def test_bench_figure4_reproduction(benchmark, report):
-    series_estimates = benchmark(figure4)
+    result = benchmark(lambda: run_pipeline(names=["figure4"]))
+    artifact = result.artifacts[0]
+    series_rows = _series_rows(artifact)
 
     table_rows = []
     chart_series = []
-    for label, estimates in series_estimates.items():
+    for label, rows in series_rows.items():
         table_rows.append(
-            [label]
-            + [f"{estimate.performance / 1000:.1f}k" for estimate in estimates]
+            [label] + [f"{cells['performance'] / 1000:.1f}k" for cells in rows]
         )
         chart_series.append(
             Series(
                 label=label,
-                x=[e.prediction_accuracy for e in estimates],
-                y=[e.performance for e in estimates],
+                x=[cells["accuracy"] for cells in rows],
+                y=[cells["performance"] for cells in rows],
                 marker=MARKERS[label],
             )
         )
@@ -48,7 +62,8 @@ def test_bench_figure4_reproduction(benchmark, report):
         render_table(
             header,
             table_rows,
-            title="Figure 4 (reproduced): simulation performance (cycles/s) vs prediction accuracy",
+            title="Figure 4 (reproduced via the artifact pipeline): "
+            "simulation performance (cycles/s) vs prediction accuracy",
         )
     )
     report(
@@ -65,17 +80,18 @@ def test_bench_figure4_reproduction(benchmark, report):
     )
 
     # Shape assertions matching the paper's reading of the figure.
-    for label, estimates in series_estimates.items():
-        performances = [e.performance for e in estimates]
-        assert monotonically_non_increasing(performances), label
-    deep_fast = series_estimates["Sim=1000k, LOBdepth=64"]
-    shallow_fast = series_estimates["Sim=1000k, LOBdepth=8"]
-    deep_slow = series_estimates["Sim=100k, LOBdepth=64"]
+    for label, rows in series_rows.items():
+        assert monotonically_non_increasing(
+            [cells["performance"] for cells in rows]
+        ), label
+    deep_fast = series_rows["Sim=1000k, LOBdepth=64"]
+    shallow_fast = series_rows["Sim=1000k, LOBdepth=8"]
+    deep_slow = series_rows["Sim=100k, LOBdepth=64"]
     # deeper LOB helps at p = 1 and hurts at p = 0.1
-    assert deep_fast[0].performance > shallow_fast[0].performance
-    assert deep_fast[-1].performance < shallow_fast[-1].performance
+    assert deep_fast[0]["performance"] > shallow_fast[0]["performance"]
+    assert deep_fast[-1]["performance"] < shallow_fast[-1]["performance"]
     # the faster simulator gets the larger relative gain
-    assert deep_fast[0].ratio > deep_slow[0].ratio
+    assert deep_fast[0]["gain"] > deep_slow[0]["gain"]
     # at p = 1 every configuration beats its conventional reference line
-    for estimates in series_estimates.values():
-        assert estimates[0].performance > estimates[0].conventional_performance
+    for rows in series_rows.values():
+        assert rows[0]["performance"] > rows[0]["conventional_performance"]

@@ -16,7 +16,6 @@ from repro.core.analytical import (
     PAPER_SLA_MAX_GAIN_100K,
     PAPER_SLA_MAX_GAIN_1000K,
     accuracy_sweep,
-    estimate_performance,
     sla_summary,
 )
 from repro.core.modes import OperatingMode

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..ahb.master import AhbMaster
-from ..ahb.slave import AhbSlave, FifoPeripheralSlave, MemorySlave
+from ..ahb.slave import FifoPeripheralSlave, MemorySlave
 from ..sim.component import AbstractionLevel, ClockedComponent
 
 

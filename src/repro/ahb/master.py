@@ -13,7 +13,7 @@ fully snapshotable so it can live in the leader domain and be rolled back.
 from __future__ import annotations
 
 from abc import abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..sim.component import AbstractionLevel, ClockedComponent

@@ -26,7 +26,7 @@ from typing import Optional
 import numpy as np
 
 from ..sim.component import AbstractionLevel, ClockedComponent
-from .signals import AddressPhase, AhbError, DataPhaseResult, HResp
+from .signals import AddressPhase, AhbError, DataPhaseResult
 
 
 class AhbSlave(ClockedComponent):

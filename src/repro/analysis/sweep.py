@@ -9,7 +9,7 @@ the report renderers and benchmarks consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..core.coemulation import CoEmulationConfig, CoEmulationResult

@@ -16,7 +16,7 @@ machine (Read input data / Get response states).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, List, Optional
 
 from .phy import ChannelDirection, ChannelLayerBreakdown, ChannelTimingParams

@@ -10,6 +10,8 @@ Exposes the reproduction's experiments without writing any Python::
     python -m repro mechanism --cycles 400  # protocol-level accuracy sweep
     python -m repro run --mode als --cycles 1000 --accuracy 0.9
     python -m repro sweep --scenarios als_streaming mixed --jobs 4
+    python -m repro sweep --cache .repro-cache --output runs.jsonl --resume
+    python -m repro report --quick --cache .repro-cache --out artifacts
 
 Every sub-command prints a plain-text table (and, where applicable, the
 paper's published values next to the reproduced ones).  Engine selection goes
@@ -25,6 +27,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .analysis.artifacts import run_pipeline, write_artifacts
 from .analysis.report import Series, render_ascii_chart, render_table
 from .version import package_version
 from .core.analytical import (
@@ -38,8 +41,16 @@ from .core.analytical import (
     table2,
 )
 from .core.modes import OperatingMode
-from .orchestration import BatchRunner, RunRequest, RunStore, execute_request, grid_requests
-from .workloads.catalog import build_scenario, list_scenarios, scenario_names
+from .orchestration import (
+    BatchRunner,
+    ResultCache,
+    RunRequest,
+    RunStore,
+    execute_request,
+    grid_requests,
+    plan_resume,
+)
+from .workloads.catalog import list_scenarios, scenario_names
 
 
 def _cmd_table2(args: argparse.Namespace) -> str:
@@ -238,9 +249,27 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         base_seed=args.seed,
         engine=args.engine,
     )
-    records = BatchRunner(jobs=args.jobs).run(requests)
-    if args.output:
-        RunStore(args.output).write(records)
+    cache = ResultCache(args.cache) if args.cache else None
+    store = RunStore(args.output) if args.output else None
+    runner = BatchRunner(jobs=args.jobs)
+    if args.resume:
+        if store is None:
+            raise ValueError("--resume requires --output (the store to resume)")
+        plan = plan_resume(requests, store)
+        executed = runner.run(plan.missing, cache=cache)
+        by_id = dict(plan.reusable)
+        for record in executed:
+            by_id[record.request_id] = record
+        # Rewriting the whole store in grid order makes a resumed store
+        # byte-identical to one produced by an uninterrupted sweep.
+        records = [by_id[request.request_id] for request in requests]
+        print(f"resume: {plan.summary()}", file=sys.stderr)
+    else:
+        records = runner.run(requests, cache=cache)
+    if cache is not None:
+        print(f"cache: {cache.stats.summary()}", file=sys.stderr)
+    if store is not None:
+        store.write(records)
     rows = [
         [
             record.scenario,
@@ -264,6 +293,36 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
          "channel accesses", "rollbacks", "digest"],
         rows,
         title=f"Sweep grid: {len(records)} run(s) over {len(scenarios)} scenario(s)",
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    cache = ResultCache(args.cache) if args.cache else None
+    result = run_pipeline(
+        quick=args.quick, jobs=args.jobs, cache=cache, names=args.artifacts
+    )
+    manifest = write_artifacts(result.artifacts, args.out)
+    # Execution statistics go to stderr: they differ between cold and warm
+    # caches, while stdout (like the artifact files) must not.
+    print(f"report: {result.summary()}", file=sys.stderr)
+    print(
+        f"wrote {len(manifest)} artifact file(s) + MANIFEST.json to {args.out}",
+        file=sys.stderr,
+    )
+    rows = [
+        [
+            artifact.name,
+            str(len(artifact.rows)),
+            manifest[artifact.name + ".csv"][:12],
+            artifact.title,
+        ]
+        for artifact in result.artifacts
+    ]
+    return render_table(
+        ["artifact", "rows", "csv sha256", "title"],
+        rows,
+        title=f"Paper-artifact pipeline: {len(result.artifacts)} artifact(s)"
+        f"{' (quick grid)' if args.quick else ''}",
     )
 
 
@@ -340,7 +399,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--output", default=None, metavar="PATH",
                        help="write records to a JSON-lines run store")
+    sweep.add_argument("--cache", default=None, metavar="DIR",
+                       help="content-addressed result cache; hits skip execution")
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="reuse intact records already in --output and execute only the "
+             "grid points that are missing (tolerates a torn/partial store); "
+             "the store is rewritten to exactly this grid",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    report = sub.add_parser(
+        "report",
+        help="reproduce the paper artifacts (Table 2, Figure 4, mechanism "
+             "tables) through the orchestrator into canonical CSV/JSON files",
+    )
+    report.add_argument("--quick", action="store_true",
+                        help="cut-down grids (CI smoke / fast local check)")
+    report.add_argument("--jobs", type=int, default=1, help="worker processes")
+    report.add_argument("--cache", default=None, metavar="DIR",
+                        help="content-addressed result cache; hits skip execution")
+    report.add_argument("--out", default="artifacts", metavar="DIR",
+                        help="artifact output directory (default: artifacts/)")
+    report.add_argument(
+        "--artifacts", nargs="+", default=None, metavar="NAME",
+        help="only these artifacts (e.g. table2 figure4 mechanism_mixed)",
+    )
+    report.set_defaults(func=_cmd_report)
     return parser
 
 

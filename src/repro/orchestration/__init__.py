@@ -13,9 +13,14 @@ such grids.  This package runs them at scale:
   deterministic per-request seeds.
 * :class:`BatchRunner` -- fan requests across worker processes; results are
   identical to a serial run, independent of ``jobs``.
-* :class:`RunStore` -- JSON-lines persistence for records.
+* :class:`RunStore` -- JSON-lines persistence for records (atomic writes).
+* :class:`ResultCache` -- content-addressed memoization of records keyed by
+  ``request_id``; attached to a runner, hits skip execution entirely.
+* :func:`plan_resume` -- reconcile a partial store against a request grid so
+  an interrupted sweep re-runs only its missing points.
 """
 
+from .cache import CacheStats, ResultCache, ResumePlan, plan_resume
 from .request import (
     RunRecord,
     RunRequest,
@@ -28,10 +33,14 @@ from .store import RunStore
 
 __all__ = [
     "BatchRunner",
+    "CacheStats",
+    "ResultCache",
+    "ResumePlan",
     "RunRecord",
     "RunRequest",
     "RunStore",
     "derive_seed",
     "execute_request",
     "grid_requests",
+    "plan_resume",
 ]

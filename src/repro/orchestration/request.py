@@ -18,12 +18,22 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..core.coemulation import CoEmulationConfig, CoEmulationResult, DEFAULT_LOB_DEPTH
 from ..core.engine import create_engine, engine_for_mode, get_engine_info
 from ..core.modes import OperatingMode
+from ..sim.time_model import DomainSpeed
 from ..workloads.catalog import build_scenario
+
+#: Scalar spellings of config fields whose natural type is not
+#: JSON-serialisable.  Requests must stay canonical-JSON-encodable (their
+#: ``request_id`` is a hash of that encoding), so ``config_overrides`` carries
+#: plain numbers and :meth:`RunRequest.build_config` rehydrates them.
+_SCALAR_CONFIG_OVERRIDES = {
+    "simulator_cycles_per_second": "simulator_speed",
+    "accelerator_cycles_per_second": "accelerator_speed",
+}
 
 
 def canonical_json(payload: Any) -> str:
@@ -103,7 +113,13 @@ class RunRequest:
             "forced_accuracy": self.accuracy,
             "forced_accuracy_seed": self.seed,
         }
-        kwargs.update(self.config_overrides)
+        overrides = dict(self.config_overrides)
+        for scalar_key, field_name in _SCALAR_CONFIG_OVERRIDES.items():
+            if scalar_key in overrides:
+                overrides[field_name] = DomainSpeed(
+                    cycles_per_second=float(overrides.pop(scalar_key))
+                )
+        kwargs.update(overrides)
         return CoEmulationConfig(**kwargs)
 
     def display_label(self) -> str:

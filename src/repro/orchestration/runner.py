@@ -5,6 +5,13 @@ worker *processes*.  Every run is deterministic given its request (seeds are
 baked in, records carry no wall-clock fields), which gives the runner its
 core guarantee: ``BatchRunner(jobs=N).run(grid)`` returns exactly the same
 records in exactly the same order as ``jobs=1``, for any ``N``.
+
+The same determinism powers the memoization path: with a
+:class:`~repro.orchestration.cache.ResultCache` attached, cache hits are
+returned verbatim and only the misses fan out to workers -- and because a
+cached record is byte-identical to a fresh one, the returned list (and any
+store written from it) is byte-identical whether the cache was cold, warm,
+or absent.
 """
 
 from __future__ import annotations
@@ -12,9 +19,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from .cache import ResultCache
 from .request import RunRecord, RunRequest, execute_request
+
+ProgressCallback = Callable[[int, int, RunRecord], None]
 
 
 def default_jobs() -> int:
@@ -45,7 +55,8 @@ class BatchRunner:
     def run(
         self,
         requests: Iterable[RunRequest],
-        progress: Optional[Callable[[int, int, RunRecord], None]] = None,
+        progress: Optional[ProgressCallback] = None,
+        cache: Optional[ResultCache] = None,
     ) -> List[RunRecord]:
         """Execute all requests, preserving input order in the result list.
 
@@ -53,24 +64,73 @@ class BatchRunner:
         ``progress(done_count, total, record)`` after each record arrives;
         with ``jobs > 1`` records complete out of order but the returned
         list is always in request order.
+
+        ``cache`` (if given) is probed for every request first: hits are
+        returned without touching an engine, only misses are executed, and
+        freshly executed records are written back.  Hit/miss/store counts
+        accumulate on ``cache.stats``.
         """
         request_list = list(requests)
         total = len(request_list)
-        if self.jobs <= 1 or total <= 1:
+        if cache is None:
+            return self._execute(request_list, progress, total, 0)
+
+        hits: Dict[int, RunRecord] = {}
+        misses: List[Tuple[int, RunRequest]] = []
+        for index, request in enumerate(request_list):
+            record = cache.get(request)
+            if record is None:
+                misses.append((index, request))
+            else:
+                hits[index] = record
+        # Hits are "done" immediately; report them first so the done-count
+        # is monotone regardless of worker completion order.
+        if progress is not None:
+            for done, index in enumerate(sorted(hits), start=1):
+                progress(done, total, hits[index])
+        executed = self._execute(
+            [request for _, request in misses],
+            progress,
+            total,
+            len(hits),
+        )
+        cache.put_many(executed)
+        results: List[Optional[RunRecord]] = [None] * total
+        for index, record in hits.items():
+            results[index] = record
+        for (index, _), record in zip(misses, executed):
+            results[index] = record
+        return [record for record in results if record is not None]
+
+    def _execute(
+        self,
+        request_list: List[RunRequest],
+        progress: Optional[ProgressCallback],
+        total: int,
+        done_offset: int,
+    ) -> List[RunRecord]:
+        """Run ``request_list`` serially or across a pool, in input order.
+
+        ``total`` and ``done_offset`` only shape the progress callback: when
+        the runner executes the miss-subset of a cached batch, progress still
+        counts against the full batch.
+        """
+        count = len(request_list)
+        if self.jobs <= 1 or count <= 1:
             records = []
             for index, request in enumerate(request_list):
                 record = execute_request(request)
                 records.append(record)
                 if progress is not None:
-                    progress(index + 1, total, record)
+                    progress(done_offset + index + 1, total, record)
             return records
 
         context = multiprocessing.get_context(self.mp_context)
-        workers = min(self.jobs, total)
+        workers = min(self.jobs, count)
         with context.Pool(processes=workers) as pool:
             if progress is None:
                 return pool.map(execute_request, request_list, chunksize=self.chunksize)
-            results: List[Optional[RunRecord]] = [None] * total
+            results: List[Optional[RunRecord]] = [None] * count
             done = 0
             # imap preserves input order, so `record` pairs with its index.
             for index, record in enumerate(
@@ -78,5 +138,5 @@ class BatchRunner:
             ):
                 results[index] = record
                 done += 1
-                progress(done, total, record)
+                progress(done_offset + done, total, record)
             return [record for record in results if record is not None]

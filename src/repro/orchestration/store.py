@@ -4,14 +4,23 @@ One record per line, canonical encoding (sorted keys, no whitespace), no
 timestamps: writing the same records always produces the same bytes, so a
 store file doubles as a regression artefact -- diff two files to diff two
 experiment runs.
+
+All mutations go through an atomic temp-file-plus-rename, so a store on disk
+is always a whole number of complete lines: an interrupted sweep can leave a
+*shorter* store than intended, never a torn one.  :meth:`RunStore.load_valid`
+additionally tolerates stores written by older, non-atomic writers (or damaged
+out-of-band) by skipping unparseable or digest-mismatched lines, which is what
+``sweep --resume`` uses to reconcile a partial store against its grid.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Tuple, Union
 
 from .request import RunRecord, canonical_json
 
@@ -25,6 +34,54 @@ def canonical_line(record: RunRecord) -> str:
     return canonical_json(record.as_dict())
 
 
+def atomic_write_text(path: Path, data: str) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + rename).
+
+    The temp file lives in the destination directory so the final
+    :func:`os.replace` stays on one filesystem and is atomic; a crash at any
+    point leaves either the old content or the new content, never a prefix.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def parse_record_line(line: str) -> RunRecord:
+    """Parse one canonical store line, verifying the embedded digest.
+
+    Raises ``ValueError`` on torn/garbled JSON, on payloads that do not fit
+    the :class:`RunRecord` schema and on records whose content no longer
+    matches their digest (an edited or bit-rotted line).
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"unparseable store line: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValueError("store line is not a JSON object")
+    try:
+        record = RunRecord.from_dict(payload)
+    except TypeError as exc:
+        raise ValueError(f"store line does not fit the record schema: {exc}") from None
+    if record.digest != record.compute_digest():
+        raise ValueError(f"record {record.request_id} fails its digest check")
+    return record
+
+
 class RunStore:
     """Append-oriented JSON-lines storage for :class:`RunRecord`."""
 
@@ -34,17 +91,25 @@ class RunStore:
     def write(self, records: Iterable[RunRecord]) -> int:
         """Replace the store's contents with ``records``; returns the count."""
         lines = [canonical_line(record) for record in records]
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text("".join(line + "\n" for line in lines))
+        atomic_write_text(self.path, "".join(line + "\n" for line in lines))
         return len(lines)
 
     def append(self, records: Iterable[RunRecord]) -> int:
-        """Append ``records`` to the store; returns the count appended."""
+        """Append ``records`` to the store; returns the count appended.
+
+        Implemented as read-existing + atomic rewrite rather than ``open("a")``
+        so an interruption mid-append can never leave a torn final line.  A
+        pre-existing torn tail (from a non-atomic writer) is sealed with a
+        newline so it stays an isolated invalid line instead of merging with
+        the first appended record.
+        """
         lines = [canonical_line(record) for record in records]
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as handle:
-            for line in lines:
-                handle.write(line + "\n")
+        existing = self.path.read_text() if self.path.exists() else ""
+        if existing and not existing.endswith("\n"):
+            existing += "\n"
+        atomic_write_text(
+            self.path, existing + "".join(line + "\n" for line in lines)
+        )
         return len(lines)
 
     def __iter__(self) -> Iterator[RunRecord]:
@@ -58,6 +123,29 @@ class RunStore:
 
     def load(self) -> List[RunRecord]:
         return list(self)
+
+    def load_valid(self) -> Tuple[List[RunRecord], int]:
+        """Load every intact record, skipping damaged lines.
+
+        Returns ``(records, skipped)`` where ``skipped`` counts lines that
+        failed to parse or whose digest check failed.  This is the tolerant
+        reader behind ``sweep --resume``: a partial or damaged store yields
+        whatever whole records it still holds.
+        """
+        records: List[RunRecord] = []
+        skipped = 0
+        if not self.path.exists():
+            return records, skipped
+        with self.path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(parse_record_line(line))
+                except ValueError:
+                    skipped += 1
+        return records, skipped
 
     def __len__(self) -> int:
         return sum(1 for _ in self)

@@ -16,8 +16,8 @@ A cycle consists of:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterable
 
 from .clock import Clock
 from .component import ClockedComponent

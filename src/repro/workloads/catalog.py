@@ -36,7 +36,6 @@ from .generators import (
     streaming_write_traffic,
 )
 from .soc import (
-    ACC_BUFFER_WINDOW,
     ACC_MEMORY_WINDOW,
     MasterSpec,
     SIM_BUFFER_WINDOW,
@@ -53,6 +52,30 @@ ScenarioBuilder = Callable[..., SocSpec]
 
 
 @dataclass(frozen=True)
+class MechanismArtifactSpec:
+    """Declarative mechanism-accuracy artifact parameters for one scenario.
+
+    Scenarios that register one of these appear in the ``repro report``
+    artifact pipeline: the pipeline runs the scenario conventionally and
+    under ALS at each forced accuracy, through the orchestrator, and emits
+    the gain/rollback/traffic table as a canonical artifact.  The ``quick_*``
+    fields are the cut-down grid used by ``repro report --quick`` (and the
+    CI smoke job).
+    """
+
+    cycles: int = 400
+    accuracies: Tuple[float, ...] = (1.0, 0.99, 0.9, 0.6)
+    quick_cycles: int = 120
+    quick_accuracies: Tuple[float, ...] = (1.0, 0.9)
+
+    def grid(self, quick: bool = False) -> Tuple[int, Tuple[float, ...]]:
+        """The ``(cycles, accuracies)`` grid for full or quick mode."""
+        if quick:
+            return self.quick_cycles, self.quick_accuracies
+        return self.cycles, self.accuracies
+
+
+@dataclass(frozen=True)
 class ScenarioInfo:
     """One catalog entry."""
 
@@ -60,6 +83,7 @@ class ScenarioInfo:
     builder: ScenarioBuilder
     tags: Tuple[str, ...]
     description: str
+    artifact: Optional[MechanismArtifactSpec] = None
 
 
 _CATALOG: Dict[str, ScenarioInfo] = {}
@@ -70,12 +94,18 @@ class ScenarioCatalogError(LookupError):
 
 
 def register_scenario(
-    name: str, *, tags: Tuple[str, ...] = (), description: str = ""
+    name: str,
+    *,
+    tags: Tuple[str, ...] = (),
+    description: str = "",
+    artifact: Optional[MechanismArtifactSpec] = None,
 ):
     """Decorator registering a :class:`SocSpec` builder under ``name``.
 
     Also usable as a plain function call for builders defined elsewhere:
-    ``register_scenario("mixed", tags=("paper",))(mixed_soc)``.
+    ``register_scenario("mixed", tags=("paper",))(mixed_soc)``.  Passing an
+    ``artifact`` spec opts the scenario into the ``repro report`` pipeline's
+    mechanism-accuracy artifacts.
     """
 
     def decorate(builder: ScenarioBuilder) -> ScenarioBuilder:
@@ -87,6 +117,7 @@ def register_scenario(
             builder=builder,
             tags=tuple(tags),
             description=description or (doc_lines[0] if doc_lines else ""),
+            artifact=artifact,
         )
         return builder
 
@@ -119,6 +150,11 @@ def list_scenarios(tag: Optional[str] = None) -> List[ScenarioInfo]:
     return [info for info in infos if tag in info.tags]
 
 
+def artifact_scenarios() -> List[ScenarioInfo]:
+    """Scenarios that declare a mechanism artifact spec, sorted by name."""
+    return [info for info in list_scenarios() if info.artifact is not None]
+
+
 # ---------------------------------------------------------------------------
 # The paper-era specs.
 # ---------------------------------------------------------------------------
@@ -127,24 +163,28 @@ register_scenario(
     "als_streaming",
     tags=("paper", "streaming", "als-friendly"),
     description="RTL masters in the accelerator writing into simulator memories",
+    artifact=MechanismArtifactSpec(),
 )(als_streaming_soc)
 
 register_scenario(
     "sla_streaming",
     tags=("paper", "streaming", "sla-friendly"),
     description="TL masters in the simulator writing into accelerator memories",
+    artifact=MechanismArtifactSpec(),
 )(sla_streaming_soc)
 
 register_scenario(
     "mixed",
     tags=("paper", "bidirectional", "auto"),
     description="bidirectional traffic exercising dynamic mode decisions",
+    artifact=MechanismArtifactSpec(),
 )(mixed_soc)
 
 register_scenario(
     "single_master",
     tags=("minimal",),
     description="one master, one remote memory (no arbitration effects)",
+    artifact=MechanismArtifactSpec(cycles=240, quick_cycles=80),
 )(single_master_soc)
 
 

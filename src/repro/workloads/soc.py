@@ -16,7 +16,7 @@ of the module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ahb.bus import AhbBus
 from ..ahb.half_bus import HalfBusModel
@@ -428,10 +428,10 @@ def single_master_soc(
     from .generators import streaming_read_traffic, streaming_write_traffic
 
     window = SIM_MEMORY_WINDOW if slave_domain is Domain.SIMULATOR else ACC_MEMORY_WINDOW
-    if write:
-        factory = lambda: streaming_write_traffic(0, window, n_bursts=n_bursts, seed=seed)
-    else:
-        factory = lambda: streaming_read_traffic(0, window, n_bursts=n_bursts)
+    def factory():
+        if write:
+            return streaming_write_traffic(0, window, n_bursts=n_bursts, seed=seed)
+        return streaming_read_traffic(0, window, n_bursts=n_bursts)
     return SocSpec(
         name="single_master",
         description="one master, one memory",

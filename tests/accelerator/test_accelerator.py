@@ -14,7 +14,7 @@ from repro.accelerator import (
 )
 from repro.ahb.master import TrafficMaster
 from repro.ahb.slave import FifoPeripheralSlave, MemorySlave
-from repro.sim.component import AbstractionLevel, Domain
+from repro.sim.component import AbstractionLevel
 from repro.workloads import als_streaming_soc
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.ahb.slave import DefaultSlave, FifoPeripheralSlave, MemorySlave
-from repro.ahb.signals import AddressPhase, AhbError, HBurst, HResp, HTrans
+from repro.ahb.signals import AddressPhase, AhbError, HResp, HTrans
 
 
 def write_phase(addr, master_id=0):

@@ -1,0 +1,180 @@
+"""Tests for the paper-artifact pipeline (specs, determinism, file output)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.artifacts import (
+    canonical_cell,
+    default_specs,
+    figure4_spec,
+    mechanism_spec,
+    render_csv,
+    render_json,
+    run_pipeline,
+    table2_spec,
+    write_artifacts,
+)
+from repro.core.analytical import PAPER_ALS_MAX_GAIN_1000K
+from repro.orchestration import ResultCache
+
+#: The cheap artifact subset used by most tests: two analytical grids plus
+#: the smallest mechanism scenario.
+FAST = ("table2", "figure4", "mechanism_single_master")
+
+
+@pytest.fixture(scope="module")
+def fast_result():
+    return run_pipeline(quick=True, names=FAST)
+
+
+# ---------------------------------------------------------------------------
+# Specs.
+# ---------------------------------------------------------------------------
+
+def test_default_specs_cover_paper_artifacts_and_catalog_scenarios():
+    names = [spec.name for spec in default_specs(quick=True)]
+    assert names[:2] == ["table2", "figure4"]
+    assert "mechanism_als_streaming" in names
+    assert "mechanism_mixed" in names
+    assert "mechanism_single_master" in names
+
+
+def test_quick_grids_are_subsets_of_full_grids():
+    for factory in (table2_spec, figure4_spec):
+        quick_ids = {r.request_id for r in factory(True).requests}
+        full_ids = {r.request_id for r in factory(False).requests}
+        assert quick_ids < full_ids
+    # mechanism quick grids use fewer cycles, so they are disjoint on purpose
+    assert len(mechanism_spec("single_master", True).requests) < len(
+        mechanism_spec("single_master", False).requests
+    )
+
+
+def test_mechanism_spec_rejects_scenarios_without_artifact():
+    with pytest.raises(LookupError):
+        mechanism_spec("dma_burst_storm")
+
+
+def test_run_pipeline_rejects_unknown_artifact_names():
+    with pytest.raises(LookupError, match="bogus"):
+        run_pipeline(quick=True, names=["table2", "bogus"])
+
+
+# ---------------------------------------------------------------------------
+# Pipeline results.
+# ---------------------------------------------------------------------------
+
+def test_table2_artifact_reproduces_the_headline_gain(fast_result):
+    table2 = fast_result.artifacts[0]
+    assert table2.name == "table2"
+    by_accuracy = {row[0]: row for row in table2.rows}
+    ratio = by_accuracy[1.0][table2.headers.index("ratio")]
+    assert abs(ratio - PAPER_ALS_MAX_GAIN_1000K) / PAPER_ALS_MAX_GAIN_1000K < 0.05
+    performances = [row[table2.headers.index("performance")] for row in table2.rows]
+    assert performances == sorted(performances, reverse=True)
+
+
+def test_figure4_artifact_series_shapes(fast_result):
+    figure4 = fast_result.artifacts[1]
+    series = {}
+    for row in figure4.rows:
+        series.setdefault(row[0], []).append(row)
+    assert len(series) == 4
+    for rows in series.values():
+        performances = [row[figure4.headers.index("performance")] for row in rows]
+        assert performances == sorted(performances, reverse=True)
+    # deeper LOB wins at p=1, loses at the lowest accuracy (paper Figure 4)
+    deep = series["Sim=1000k, LOBdepth=64"]
+    shallow = series["Sim=1000k, LOBdepth=8"]
+    perf = figure4.headers.index("performance")
+    assert deep[0][perf] > shallow[0][perf]
+    assert deep[-1][perf] < shallow[-1][perf]
+
+
+def test_mechanism_artifact_has_conventional_baseline_row(fast_result):
+    mechanism = fast_result.artifacts[2]
+    assert mechanism.rows[0][0] == "conservative"
+    gain = mechanism.headers.index("gain")
+    assert mechanism.rows[0][gain] == 1.0
+    assert all(row[mechanism.headers.index("monitors_ok")] for row in mechanism.rows)
+
+
+def test_pipeline_is_deterministic_across_jobs(fast_result):
+    again = run_pipeline(quick=True, names=FAST, jobs=2)
+    assert [a.name for a in again.artifacts] == [a.name for a in fast_result.artifacts]
+    for left, right in zip(fast_result.artifacts, again.artifacts):
+        assert render_csv(left) == render_csv(right)
+        assert render_json(left) == render_json(right)
+
+
+def test_pipeline_warm_cache_executes_nothing(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_pipeline(quick=True, names=FAST, cache=cache)
+    assert cold.executed == cold.total_requests
+    assert cold.cache_hits == 0
+
+    def explode(request):
+        raise AssertionError("engine executed on a warm cache")
+
+    monkeypatch.setattr("repro.orchestration.runner.execute_request", explode)
+    warm = run_pipeline(quick=True, names=FAST, cache=cache)
+    assert warm.executed == 0
+    assert warm.cache_hits == warm.total_requests == cold.total_requests
+    for left, right in zip(cold.artifacts, warm.artifacts):
+        assert render_csv(left) == render_csv(right)
+
+
+def test_shared_requests_are_deduplicated():
+    # table2 and figure4 share the analytical conventional baseline at the
+    # default simulator speed; the pipeline must run it once, not twice.
+    result = run_pipeline(quick=True, names=["table2", "figure4"])
+    table2_ids = {r.request_id for r in table2_spec(True).requests}
+    figure4_ids = {r.request_id for r in figure4_spec(True).requests}
+    assert result.total_requests == len(table2_ids | figure4_ids)
+    assert result.total_requests < len(table2_ids) + len(figure4_ids)
+
+
+# ---------------------------------------------------------------------------
+# Canonical rendering and file output.
+# ---------------------------------------------------------------------------
+
+def test_canonical_cell_formats():
+    assert canonical_cell(1.5) == "1.5"
+    assert canonical_cell(2.0) == "2.0"
+    assert canonical_cell(None) == ""
+    assert canonical_cell("label") == "label"
+    assert canonical_cell(7) == "7"
+    assert canonical_cell(True) == "True"
+
+
+def test_write_artifacts_emits_csv_json_and_manifest(tmp_path, fast_result):
+    out = tmp_path / "artifacts"
+    manifest = write_artifacts(fast_result.artifacts, out)
+    names = sorted(p.name for p in out.iterdir())
+    assert "MANIFEST.json" in names
+    for artifact in fast_result.artifacts:
+        assert (out / f"{artifact.name}.csv").read_text() == render_csv(artifact)
+        assert (out / f"{artifact.name}.json").read_text() == render_json(artifact)
+        assert f"{artifact.name}.csv" in manifest
+    written = json.loads((out / "MANIFEST.json").read_text())
+    assert written == manifest
+
+
+def test_write_artifacts_twice_is_byte_identical(tmp_path, fast_result):
+    first = tmp_path / "first"
+    second = tmp_path / "second"
+    write_artifacts(fast_result.artifacts, first)
+    write_artifacts(fast_result.artifacts, second)
+    for path in sorted(first.iterdir()):
+        assert path.read_bytes() == (second / path.name).read_bytes()
+
+
+def test_artifact_json_round_trips(fast_result):
+    for artifact in fast_result.artifacts:
+        payload = json.loads(render_json(artifact))
+        assert payload["name"] == artifact.name
+        assert payload["headers"] == list(artifact.headers)
+        assert payload["rows"] == [list(row) for row in artifact.rows]

@@ -11,7 +11,6 @@ from repro.core import (
     conventional_performance,
 )
 from repro.core.analytical import AnalyticalConfig
-from repro.workloads import als_streaming_soc, single_master_soc, sla_streaming_soc
 
 
 def run_conventional(spec, cycles=200, **kwargs):

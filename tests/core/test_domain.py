@@ -10,7 +10,7 @@ from repro.ahb.signals import DataPhaseResult, HBurst
 from repro.ahb.slave import MemorySlave
 from repro.ahb.transaction import BusTransaction
 from repro.core.domain import DomainHost, DomainHostConfig, DomainHostError, assert_cores_in_sync
-from repro.sim.checkpoint import ACCELERATOR_STATE_COSTS, StateCostModel
+from repro.sim.checkpoint import ACCELERATOR_STATE_COSTS
 from repro.sim.component import Domain
 from repro.sim.time_model import DomainSpeed, WallClockLedger
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.ahb.half_bus import NeededFields
 from repro.core.modes import (
     AutoModePolicy,

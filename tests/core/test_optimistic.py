@@ -12,7 +12,7 @@ from repro.core import (
 )
 from repro.core.optimistic import CwPath
 from repro.sim.component import Domain
-from repro.workloads import als_streaming_soc, single_master_soc, sla_streaming_soc, mixed_soc
+from repro.workloads import single_master_soc
 
 
 def run_optimistic(spec, mode=OperatingMode.ALS, cycles=300, trace=False, **kwargs):

@@ -1,0 +1,143 @@
+"""Tests for atomic store writes, tolerant loading and sweep resume."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestration import (
+    BatchRunner,
+    RunRequest,
+    RunStore,
+    execute_request,
+    grid_requests,
+    plan_resume,
+)
+from repro.orchestration.store import (
+    atomic_write_text,
+    canonical_line,
+    parse_record_line,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_requests(
+        scenarios=["single_master", "mixed"],
+        modes=["conservative", "als"],
+        cycles=80,
+    )
+
+
+@pytest.fixture(scope="module")
+def grid_records(grid):
+    return BatchRunner(jobs=1).run(grid)
+
+
+# ---------------------------------------------------------------------------
+# Atomic writes.
+# ---------------------------------------------------------------------------
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "nested" / "store.jsonl"
+    atomic_write_text(path, "hello\n")
+    assert path.read_text() == "hello\n"
+    assert [p.name for p in path.parent.iterdir()] == ["store.jsonl"]
+
+
+def test_write_replaces_and_append_extends_without_tmp_leftovers(
+    tmp_path, grid_records
+):
+    store = RunStore(tmp_path / "runs.jsonl")
+    store.write(grid_records[:2])
+    store.append(grid_records[2:])
+    assert len(store) == len(grid_records)
+    assert [p.name for p in tmp_path.iterdir()] == ["runs.jsonl"]
+    assert [r.as_dict() for r in store] == [r.as_dict() for r in grid_records]
+
+
+def test_append_seals_a_pre_existing_torn_tail(tmp_path, grid_records):
+    path = tmp_path / "runs.jsonl"
+    torn = canonical_line(grid_records[0])[:40]
+    path.write_text(torn)  # no trailing newline: a torn non-atomic write
+    store = RunStore(path)
+    store.append([grid_records[1]])
+    records, skipped = store.load_valid()
+    assert skipped == 1
+    assert [r.as_dict() for r in records] == [grid_records[1].as_dict()]
+
+
+def test_load_valid_skips_torn_and_tampered_lines(tmp_path, grid_records):
+    path = tmp_path / "runs.jsonl"
+    good = canonical_line(grid_records[0])
+    tampered = canonical_line(grid_records[1]).replace(
+        '"monitors_ok":true', '"monitors_ok":false'
+    )
+    path.write_text(good + "\n" + tampered + "\n" + good[: len(good) // 3] + "\n")
+    records, skipped = RunStore(path).load_valid()
+    assert skipped == 2
+    assert [r.as_dict() for r in records] == [grid_records[0].as_dict()]
+
+
+def test_parse_record_line_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_record_line("{torn")
+    with pytest.raises(ValueError):
+        parse_record_line('"a string, not an object"')
+    with pytest.raises(ValueError):
+        parse_record_line('{"unexpected":"shape"}')
+
+
+# ---------------------------------------------------------------------------
+# plan_resume: reconcile a partial store against the grid.
+# ---------------------------------------------------------------------------
+
+def test_plan_resume_empty_store_runs_everything(tmp_path, grid):
+    plan = plan_resume(grid, RunStore(tmp_path / "missing.jsonl"))
+    assert plan.reusable == {}
+    assert [r.request_id for r in plan.missing] == [r.request_id for r in grid]
+
+
+def test_plan_resume_partial_store(tmp_path, grid, grid_records):
+    store = RunStore(tmp_path / "runs.jsonl")
+    store.write(grid_records[:2])
+    plan = plan_resume(grid, store)
+    assert set(plan.reusable) == {r.request_id for r in grid_records[:2]}
+    assert [r.request_id for r in plan.missing] == [
+        r.request_id for r in grid[2:]
+    ]
+    assert plan.extra == 0 and plan.skipped == 0
+
+
+def test_plan_resume_ignores_unrelated_records(tmp_path, grid, grid_records):
+    extra = execute_request(
+        RunRequest(scenario="single_master", mode="conservative", cycles=33)
+    )
+    store = RunStore(tmp_path / "runs.jsonl")
+    store.write([extra] + grid_records[:1])
+    plan = plan_resume(grid, store)
+    assert set(plan.reusable) == {grid_records[0].request_id}
+    assert plan.extra == 1
+
+
+def test_resumed_store_is_byte_identical_to_uninterrupted(
+    tmp_path, grid, grid_records
+):
+    full = RunStore(tmp_path / "full.jsonl")
+    full.write(grid_records)
+    # interrupt after 2 records, with the 3rd torn mid-line
+    partial_path = tmp_path / "partial.jsonl"
+    lines = [canonical_line(r) for r in grid_records]
+    partial_path.write_text(
+        lines[0] + "\n" + lines[1] + "\n" + lines[2][: len(lines[2]) // 2]
+    )
+    partial = RunStore(partial_path)
+    plan = plan_resume(grid, partial)
+    assert len(plan.reusable) == 2
+    assert len(plan.missing) == 2
+    assert plan.skipped == 1
+    executed = BatchRunner(jobs=1).run(plan.missing)
+    by_id = dict(plan.reusable)
+    for record in executed:
+        by_id[record.request_id] = record
+    partial.write([by_id[request.request_id] for request in grid])
+    assert partial.digest() == full.digest()

@@ -133,6 +133,85 @@ def test_sweep_command_writes_run_store(capsys, tmp_path):
     assert len(RunStore(path)) == 1
 
 
+def test_sweep_command_cache_warm_run_is_all_hits(capsys, tmp_path):
+    argv = [
+        "sweep",
+        "--scenarios", "single_master",
+        "--modes", "conservative", "als",
+        "--cycles", "60",
+        "--cache", str(tmp_path / "cache"),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr()
+    assert "0 hit(s), 2 miss(es), 2 store(s)" in cold.err
+    assert main(argv) == 0
+    warm = capsys.readouterr()
+    assert "2 hit(s), 0 miss(es), 0 store(s)" in warm.err
+    assert cold.out == warm.out
+
+
+def test_sweep_command_resume_completes_a_torn_store(capsys, tmp_path):
+    full = tmp_path / "full.jsonl"
+    partial = tmp_path / "partial.jsonl"
+    argv = [
+        "sweep",
+        "--scenarios", "single_master", "mixed",
+        "--modes", "conservative", "als",
+        "--cycles", "60",
+    ]
+    assert main(argv + ["--output", str(full)]) == 0
+    full_out = capsys.readouterr().out
+    # interrupted mid-grid: two whole records, the third torn mid-line
+    lines = full.read_text().splitlines()
+    partial.write_text(lines[0] + "\n" + lines[1] + "\n" + lines[2][:50])
+    assert main(argv + ["--output", str(partial), "--resume"]) == 0
+    resumed = capsys.readouterr()
+    assert "resume: 2 reusable, 2 to execute, 1 damaged line(s) dropped" in resumed.err
+    assert resumed.out == full_out
+    assert partial.read_bytes() == full.read_bytes()
+
+
+def test_sweep_command_resume_requires_output(capsys):
+    code = main(["sweep", "--scenarios", "single_master", "--resume"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "--resume requires --output" in captured.err
+
+
+def test_report_command_quick_twice_is_cached_and_byte_identical(capsys, tmp_path):
+    argv = [
+        "report",
+        "--quick",
+        "--artifacts", "table2", "mechanism_single_master",
+        "--cache", str(tmp_path / "cache"),
+    ]
+    assert main(argv + ["--out", str(tmp_path / "cold")]) == 0
+    cold = capsys.readouterr()
+    assert "cache hit(s)" in cold.err
+    assert "0 executed" not in cold.err
+    assert "table2" in cold.out and "mechanism_single_master" in cold.out
+    assert main(argv + ["--out", str(tmp_path / "warm")]) == 0
+    warm = capsys.readouterr()
+    assert "0 executed" in warm.err
+    assert cold.out == warm.out
+    cold_files = sorted((tmp_path / "cold").iterdir())
+    assert [p.name for p in cold_files] == sorted(
+        ["MANIFEST.json", "table2.csv", "table2.json",
+         "mechanism_single_master.csv", "mechanism_single_master.json"]
+    )
+    for path in cold_files:
+        assert path.read_bytes() == (tmp_path / "warm" / path.name).read_bytes()
+
+
+def test_report_command_unknown_artifact_exits_nonzero(capsys, tmp_path):
+    code = main(
+        ["report", "--quick", "--artifacts", "bogus", "--out", str(tmp_path / "a")]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "bogus" in captured.err
+
+
 def test_run_command_analytical_engine(capsys):
     out = run_cli(capsys, "run", "--engine", "analytical", "--cycles", "100")
     assert "analytical" in out

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.ahb.signals import HBurst, HResp, HSize
 from repro.ahb.transaction import CompletedBeat, TransactionRecorder
 from repro.workloads.trace import BusTrace, beat_to_dict, traces_equivalent
