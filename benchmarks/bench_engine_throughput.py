@@ -86,8 +86,8 @@ def run_scenario(scenario: Scenario, repeats: int = 3) -> dict:
     best = None
     for _ in range(repeats):
         spec = build_scenario(request.scenario, **dict(request.scenario_params))
-        sim_hbm, acc_hbm, _ = spec.build_split()
-        engine = create_engine(request.build_config(), sim_hbm, acc_hbm)
+        config, partition = spec.prepare_run(request.build_config())
+        engine = create_engine(config, partition=partition)
         start = time.perf_counter()
         result = engine.run()
         elapsed = time.perf_counter() - start
@@ -164,7 +164,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     measured = measure(quick=args.quick, repeats=args.repeats)
     if args.emit:
-        Path(args.output).write_text(json.dumps(measured, indent=1, sort_keys=True) + "\n")
+        output = Path(args.output)
+        if output.exists():
+            # Preserve sections owned by other benchmarks (e.g. "multidomain").
+            merged = json.loads(output.read_text())
+            merged.update(measured)
+            measured = merged
+        output.write_text(json.dumps(measured, indent=1, sort_keys=True) + "\n")
         print(f"\nwrote {args.output}")
     if args.check is not None:
         return check(measured, Path(args.check), args.tolerance)

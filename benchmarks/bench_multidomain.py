@@ -1,0 +1,176 @@
+"""Multi-domain throughput benchmark: engine speed vs domain count.
+
+The topology layer generalises the engines from the hard-wired two-domain
+pair to N-domain co-emulation; this harness measures what that costs on the
+host.  For each domain count it runs the ``accelerator_farm_4x`` scenario
+(one simulation host plus 1..4 accelerators) and the single-domain
+``sim_only_baseline`` under both the conventional lock-step engine (whose
+modelled channel traffic grows with the number of ordered domain pairs) and
+the ALS engine (whose optimistic windows amortise it).
+
+Usage::
+
+    python benchmarks/bench_multidomain.py                  # measure, print
+    python benchmarks/bench_multidomain.py --emit           # update BENCH_engine.json
+    python benchmarks/bench_multidomain.py --check [PATH]   # fail on >30% regression
+    python benchmarks/bench_multidomain.py --quick          # smoke subset
+
+The results live under the ``multidomain`` key of ``BENCH_engine.json``,
+next to (and preserved by) the two-domain engine-throughput baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import create_engine  # noqa: E402
+from repro.orchestration import RunRequest  # noqa: E402
+from repro.workloads.catalog import build_scenario  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_engine.json"
+DEFAULT_TOLERANCE = 0.30
+BENCH_CYCLES = 2000
+
+
+def bench_points(quick: bool = False) -> List[dict]:
+    """(key, request) pairs: domain counts x {conventional, als}."""
+    points = []
+    for mode in ("conservative", "als"):
+        points.append(
+            {
+                "key": f"{mode}/domains=1",
+                "request": RunRequest(
+                    scenario="sim_only_baseline",
+                    mode=mode,
+                    cycles=BENCH_CYCLES,
+                    scenario_params={"n_bursts": 40},
+                ),
+                "domains": 1,
+                "quick": True,
+            }
+        )
+        for n_accelerators in (1, 2, 4):
+            points.append(
+                {
+                    "key": f"{mode}/domains={1 + n_accelerators}",
+                    "request": RunRequest(
+                        scenario="accelerator_farm_4x",
+                        mode=mode,
+                        cycles=BENCH_CYCLES,
+                        scenario_params={"n_accelerators": n_accelerators, "n_bursts": 40},
+                    ),
+                    "domains": 1 + n_accelerators,
+                    "quick": n_accelerators in (1, 4),
+                }
+            )
+    if quick:
+        points = [point for point in points if point["quick"]]
+    return points
+
+
+def run_point(point: dict, repeats: int = 3) -> dict:
+    """Best-of-N wall-clock throughput for one (mode, domain-count) point."""
+    request = point["request"]
+    best = None
+    for _ in range(repeats):
+        spec = build_scenario(request.scenario, **dict(request.scenario_params))
+        config, partition = spec.prepare_run(request.build_config())
+        engine = create_engine(config, partition=partition)
+        start = time.perf_counter()
+        result = engine.run()
+        elapsed = time.perf_counter() - start
+        throughput = result.committed_cycles / elapsed
+        if best is None or throughput > best["cycles_per_second"]:
+            best = {
+                "cycles_per_second": round(throughput, 1),
+                "wall_seconds": round(elapsed, 4),
+                "committed_cycles": result.committed_cycles,
+                "domains": point["domains"],
+                "channel_accesses": result.channel["accesses"],
+                "rollbacks": result.transitions.get("rollbacks", 0),
+            }
+    return best
+
+
+def measure(quick: bool = False, repeats: int = 3) -> Dict[str, dict]:
+    results: Dict[str, dict] = {}
+    for point in bench_points(quick):
+        record = run_point(point, repeats=repeats)
+        results[point["key"]] = record
+        print(
+            f"{point['key']:28s} {record['cycles_per_second']:>12,.0f} cyc/s"
+            f"  ({record['domains']} domain(s), "
+            f"{record['channel_accesses']} channel accesses)"
+        )
+    return results
+
+
+def check(measured: Dict[str, dict], baseline_path: Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text()).get("multidomain", {})
+    if not baseline:
+        print(f"no 'multidomain' baseline in {baseline_path}; run --emit first")
+        return 1
+    failures = []
+    for key, base in baseline.items():
+        got = measured.get(key)
+        if got is None:
+            continue  # quick runs measure a subset
+        floor = base["cycles_per_second"] * (1.0 - tolerance)
+        status = "ok" if got["cycles_per_second"] >= floor else "REGRESSION"
+        print(
+            f"{key:28s} baseline {base['cycles_per_second']:>12,.0f}"
+            f"  now {got['cycles_per_second']:>12,.0f}  floor {floor:>12,.0f}  {status}"
+        )
+        if status != "ok":
+            failures.append(key)
+    if failures:
+        print(f"\nFAIL: {len(failures)} point(s) regressed >"
+              f"{tolerance:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"\nOK: no multi-domain point regressed more than {tolerance:.0%}")
+    return 0
+
+
+def emit(measured: Dict[str, dict], output: Path) -> None:
+    payload = json.loads(output.read_text()) if output.exists() else {"schema": 1}
+    payload["multidomain"] = measured
+    output.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"\nwrote {output}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--emit", action="store_true",
+                        help="write the measurement into the baseline file")
+    parser.add_argument("--check", nargs="?", const=str(DEFAULT_BASELINE), default=None,
+                        metavar="BASELINE",
+                        help="compare against the committed baseline; exit 1 on regression")
+    parser.add_argument("--output", default=str(DEFAULT_BASELINE),
+                        help="baseline path used by --emit (default: BENCH_engine.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run the smoke subset only")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per point (best-of)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional slowdown for --check (default 0.30)")
+    args = parser.parse_args(argv)
+
+    measured = measure(quick=args.quick, repeats=args.repeats)
+    if args.emit:
+        emit(measured, Path(args.output))
+    if args.check is not None:
+        return check(measured, Path(args.check), args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

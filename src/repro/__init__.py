@@ -19,10 +19,18 @@ Quick start::
     from repro import CoEmulationConfig, OperatingMode, build_scenario, create_engine
 
     spec = build_scenario("als_streaming")
-    sim_hbm, acc_hbm, _ = spec.build_split()
     config = CoEmulationConfig(mode=OperatingMode.ALS, total_cycles=2000)
-    result = create_engine(config, sim_hbm, acc_hbm).run()
+    result = create_engine(config, partition=spec.build_partition()).run()
     print(result.performance_cycles_per_second)
+
+Multi-domain topologies (several accelerators, simulator-only, ...) are
+declared per scenario (``repro scenarios`` shows each one's domains) or
+passed explicitly::
+
+    spec = build_scenario("dual_accelerator_pipeline")   # simulator+acc0+acc1
+    config = CoEmulationConfig(mode=OperatingMode.ALS, total_cycles=2000,
+                               topology=spec.topology)
+    result = create_engine(config, partition=spec.build_partition()).run()
 
 Experiment grids run through :mod:`repro.orchestration` (declarative
 :class:`RunRequest` + parallel ``BatchRunner``), also exposed on the command
@@ -34,9 +42,13 @@ from .core import (
     CoEmulationConfig,
     CoEmulationResult,
     ConventionalCoEmulation,
+    DomainKind,
+    DomainSpec,
     OperatingMode,
     OptimisticCoEmulation,
     PerformanceEstimate,
+    SyncChannel,
+    Topology,
     available_engines,
     conventional_performance,
     create_engine,
@@ -46,6 +58,7 @@ from .core import (
     sla_summary,
     table2,
 )
+from .sim.component import Domain
 from .orchestration import BatchRunner, RunRecord, RunRequest, RunStore, grid_requests
 from .version import package_version
 from .workloads import (
@@ -67,12 +80,17 @@ __all__ = [
     "CoEmulationConfig",
     "CoEmulationResult",
     "ConventionalCoEmulation",
+    "Domain",
+    "DomainKind",
+    "DomainSpec",
     "OperatingMode",
     "OptimisticCoEmulation",
     "PerformanceEstimate",
     "RunRecord",
     "RunRequest",
     "RunStore",
+    "SyncChannel",
+    "Topology",
     "__version__",
     "als_streaming_soc",
     "available_engines",

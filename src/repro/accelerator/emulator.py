@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..ahb.half_bus import HalfBusModel
+from ..core.topology import DomainKind, Topology
 from ..sim.checkpoint import ACCELERATOR_STATE_COSTS, StateCostModel
 from ..sim.component import Domain
 from ..sim.time_model import DEFAULT_ACCELERATOR_SPEED, DomainSpeed
@@ -59,12 +60,37 @@ class EmulatedAccelerator:
     hbm: Optional[HalfBusModel] = None
     blocks: RtlBlockRegistry = field(default_factory=RtlBlockRegistry)
 
-    def map_design(self, hbm: HalfBusModel) -> "EmulatedAccelerator":
-        """Map the accelerator-domain half bus (and its RTL blocks) onto the
-        emulator, checking capacity."""
-        if hbm.domain is not Domain.ACCELERATOR:
+    def map_design(
+        self,
+        hbm: HalfBusModel,
+        domain: Optional[Domain] = None,
+        topology: Optional[Topology] = None,
+    ) -> "EmulatedAccelerator":
+        """Map an accelerator-domain half bus (and its RTL blocks) onto the
+        emulator, checking capacity.
+
+        ``domain`` pins this emulator to one accelerator domain of a
+        multi-domain topology (one :class:`EmulatedAccelerator` instance per
+        farm member).  Pass the ``topology`` to have the domain's declared
+        *kind* checked too -- the half bus alone only carries the id, so
+        without it the guard can only reject the canonical simulator domain.
+        """
+        if domain is not None and hbm.domain != Domain(domain):
             raise AcceleratorError(
-                "only the accelerator-domain half bus can be mapped onto the accelerator"
+                f"this accelerator emulates domain {Domain(domain).value!r} but the "
+                f"half bus belongs to {hbm.domain.value!r}"
+            )
+        if topology is not None and (
+            topology.spec_for(hbm.domain).kind is not DomainKind.ACCELERATOR
+        ):
+            raise AcceleratorError(
+                f"domain {hbm.domain.value!r} is declared kind="
+                f"{topology.spec_for(hbm.domain).kind.value!r}; only accelerator-kind "
+                "domains can be mapped onto the accelerator"
+            )
+        if hbm.domain is Domain.SIMULATOR:
+            raise AcceleratorError(
+                "only an accelerator-domain half bus can be mapped onto the accelerator"
             )
         self.hbm = hbm
         self.blocks = RtlBlockRegistry()

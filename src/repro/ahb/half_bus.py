@@ -88,6 +88,39 @@ class NeededFields:
         return self.needs_remote_hwdata or (self.needs_remote_response and self.response_is_read)
 
 
+def merge_boundary_drives(drives: List[BoundaryDrive]) -> BoundaryDrive:
+    """Fold several remote domains' drive contributions into one.
+
+    In an N-domain topology a host sees N-1 remote contributions per cycle;
+    master/slave ownership is disjoint across domains, so requests and
+    interrupts union cleanly and at most one contribution carries an active
+    address phase or write data.  With a single remote drive the input is
+    returned unchanged, which keeps the two-domain path byte-identical.
+    """
+    if len(drives) == 1:
+        return drives[0]
+    if not drives:
+        raise AhbError("cannot merge an empty set of boundary drives")
+    requests: Dict[int, bool] = {}
+    interrupts: Dict[str, bool] = {}
+    address_phase = None
+    hwdata = None
+    for drive in drives:
+        requests.update(drive.requests)
+        interrupts.update(drive.interrupts)
+        if address_phase is None:
+            address_phase = drive.address_phase
+        if hwdata is None:
+            hwdata = drive.hwdata
+    return BoundaryDrive(
+        cycle=drives[0].cycle,
+        requests=requests,
+        address_phase=address_phase,
+        hwdata=hwdata,
+        interrupts=interrupts,
+    )
+
+
 #: How many recent cycle records a half bus retains.  Must exceed the
 #: deepest speculative window (LOB depth + 1) so a rollback can trim
 #: exactly the speculative records; generous enough for every depth the
@@ -255,6 +288,10 @@ class HalfBusModel(ClockedComponent):
             hwdata=hwdata,
             interrupts=interrupts,
         )
+
+    def merge_drives(self, local: BoundaryDrive, remotes: List[BoundaryDrive]) -> DriveValues:
+        """Combine the local contribution with any number of remote ones."""
+        return self.merge_drive(local, merge_boundary_drives(remotes))
 
     def response_phase(self, cycle: int, drive: DriveValues) -> BoundaryResponse:
         """Compute the data-phase response if the active slave is local."""

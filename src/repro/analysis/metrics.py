@@ -138,3 +138,37 @@ def monotonically_non_increasing(values: List[float], tolerance: float = 1e-9) -
 def summarize_counts(counts: Dict[str, int]) -> str:
     """Compact 'k=v' rendering of a counter dict, sorted by key."""
     return ", ".join(f"{key}={counts[key]}" for key in sorted(counts))
+
+
+#: Ledger categories that are bookkeeping, not domain execution time.
+NON_DOMAIN_CATEGORIES = frozenset({"state_store", "state_restore", "channel", "other"})
+
+
+def domain_time_shares(per_cycle_times: Mapping[str, float]) -> Dict[str, float]:
+    """Per-domain execution time per committed cycle, in ledger order.
+
+    Every ledger category that is not synchronisation bookkeeping is a
+    domain execution bucket (``simulator`` / ``accelerator`` for the
+    canonical pair, one entry per domain id for multi-domain topologies).
+    """
+    return {
+        category: seconds
+        for category, seconds in per_cycle_times.items()
+        if category not in NON_DOMAIN_CATEGORIES
+    }
+
+
+def per_domain_utilisation(per_cycle_times: Mapping[str, float]) -> Dict[str, float]:
+    """Fraction of total modelled time each domain spends executing.
+
+    The residual (1 - sum of the returned values) is synchronisation
+    overhead: channel accesses plus state store/restore.  Zero-total inputs
+    yield all-zero utilisations.
+    """
+    total = sum(per_cycle_times.values())
+    if total <= 0:
+        return {domain: 0.0 for domain in domain_time_shares(per_cycle_times)}
+    return {
+        domain: seconds / total
+        for domain, seconds in domain_time_shares(per_cycle_times).items()
+    }

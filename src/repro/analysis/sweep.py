@@ -40,17 +40,17 @@ def run_engine(
 ) -> CoEmulationResult:
     """Instantiate the SoC and run the engine registered for ``config.mode``.
 
-    A *fresh* pair of half bus models is built for every run on purpose: the
-    engines mutate component state in place (master queues drain, memories
-    and FIFOs fill, monitors and recorders accumulate), so a run on reused
-    models would start from the previous run's final state.  What the sweep
-    helpers *do* hoist out of the per-point loop is the spec's generated
-    traffic (:meth:`~repro.workloads.soc.SocSpec.cache_traffic`): the
-    generators run once per spec and each build receives copies, so per point
-    only the half bus models are rebuilt.
+    A *fresh* partition of half bus models is built for every run on
+    purpose: the engines mutate component state in place (master queues
+    drain, memories and FIFOs fill, monitors and recorders accumulate), so a
+    run on reused models would start from the previous run's final state.
+    What the sweep helpers *do* hoist out of the per-point loop is the
+    spec's generated traffic (:meth:`~repro.workloads.soc.SocSpec.
+    cache_traffic`): the generators run once per spec and each build
+    receives copies, so per point only the half bus models are rebuilt.
     """
-    sim_hbm, acc_hbm, _ = spec.build_split()
-    return create_engine(config, sim_hbm, acc_hbm, engine=engine).run()
+    config, partition = spec.prepare_run(config)
+    return create_engine(config, partition=partition, engine=engine).run()
 
 
 def accuracy_sweep_mechanism(

@@ -24,11 +24,15 @@ in CI.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional
 
 from .analysis.artifacts import run_pipeline, write_artifacts
+from .analysis.metrics import per_domain_utilisation
 from .analysis.report import Series, render_ascii_chart, render_table
+from .core.topology import Topology
 from .version import package_version
 from .core.analytical import (
     AnalyticalConfig,
@@ -50,7 +54,28 @@ from .orchestration import (
     grid_requests,
     plan_resume,
 )
-from .workloads.catalog import list_scenarios, scenario_names
+from .workloads.catalog import build_scenario, list_scenarios, scenario_names
+
+
+def _parse_topology(text: Optional[str]) -> Optional[Dict[str, Any]]:
+    """Parse a ``--topology`` argument: inline JSON or a path to a JSON file.
+
+    Returns the serialised-topology dict (validated by round-tripping it
+    through :meth:`Topology.from_dict`) or ``None`` when no override given.
+    """
+    if text is None:
+        return None
+    stripped = text.strip()
+    if stripped.startswith("{"):
+        payload = json.loads(stripped)
+    else:
+        payload = json.loads(Path(text).read_text())
+    return Topology.from_dict(payload).as_dict()
+
+
+def _scenario_domains(name: str) -> str:
+    """The ``a+b+c`` topology rendering of a catalog scenario."""
+    return build_scenario(name).resolved_topology().describe()
 
 
 def _cmd_table2(args: argparse.Namespace) -> str:
@@ -142,6 +167,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> str:
         rows.append(
             [
                 info.name,
+                spec.resolved_topology().describe(),
                 ", ".join(info.tags) or "-",
                 str(len(spec.masters)),
                 str(len(spec.slaves)),
@@ -150,7 +176,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> str:
         )
     suffix = f" tagged {args.tag!r}" if args.tag else ""
     return render_table(
-        ["scenario", "tags", "masters", "slaves", "description"],
+        ["scenario", "domains", "tags", "masters", "slaves", "description"],
         rows,
         title=f"Scenario catalog: {len(infos)} registered SoC configuration(s){suffix}",
     )
@@ -203,6 +229,7 @@ def _cmd_mechanism(args: argparse.Namespace) -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
+    topology = _parse_topology(args.topology)
     record = execute_request(
         RunRequest(
             scenario=args.soc,
@@ -211,15 +238,24 @@ def _cmd_run(args: argparse.Namespace) -> str:
             lob_depth=args.lob_depth,
             accuracy=args.accuracy,
             engine=args.engine,
+            topology=topology,
         )
     )
     times = record.per_cycle_times
+    if topology is not None:
+        domains = Topology.from_dict(topology).describe()
+    else:
+        domains = _scenario_domains(args.soc)
     rows = [
         ["mode", record.mode],
         ["engine", record.engine],
+        ["domains", domains],
         ["committed cycles", str(record.committed_cycles)],
         ["performance", f"{record.performance / 1000:.1f} kcycles/s"],
-        ["Tsim / Tacc", f"{times['simulator']:.2e} / {times['accelerator']:.2e}"],
+        [
+            "Tsim / Tacc",
+            f"{times.get('simulator', 0.0):.2e} / {times.get('accelerator', 0.0):.2e}",
+        ],
         ["Tstore / Trestore", f"{times['state_store']:.2e} / {times['state_restore']:.2e}"],
         ["Tch", f"{times['channel']:.2e}"],
         ["channel accesses", str(record.channel.get("accesses", 0))],
@@ -227,6 +263,8 @@ def _cmd_run(args: argparse.Namespace) -> str:
         ["rollbacks", str(record.transitions.get("rollbacks", 0))],
         ["monitors clean", str(record.monitors_ok)],
     ]
+    for domain, share in per_domain_utilisation(times).items():
+        rows.append([f"utilisation[{domain}]", f"{share:.1%}"])
     return render_table(["quantity", "value"], rows, title=f"Co-emulation run on '{args.soc}'")
 
 
@@ -240,6 +278,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     else:
         scenarios = args.scenarios if args.scenarios is not None else ["als_streaming"]
     accuracies: List[Optional[float]] = args.accuracies if args.accuracies else [None]
+    topology = _parse_topology(args.topology)
     requests = grid_requests(
         scenarios=scenarios,
         modes=args.modes,
@@ -248,6 +287,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         cycles=args.cycles,
         base_seed=args.seed,
         engine=args.engine,
+        topology=topology,
     )
     cache = ResultCache(args.cache) if args.cache else None
     store = RunStore(args.output) if args.output else None
@@ -270,9 +310,15 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         print(f"cache: {cache.stats.summary()}", file=sys.stderr)
     if store is not None:
         store.write(records)
+    if topology is not None:
+        override_domains = Topology.from_dict(topology).describe()
+        domains_by_scenario = {name: override_domains for name in scenarios}
+    else:
+        domains_by_scenario = {name: _scenario_domains(name) for name in scenarios}
     rows = [
         [
             record.scenario,
+            domains_by_scenario.get(record.scenario, "-"),
             record.mode,
             "-" if record.accuracy is None else f"{record.accuracy:g}",
             str(record.lob_depth),
@@ -289,7 +335,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         # (byte-identical across --jobs and across output paths).
         print(f"wrote {len(records)} record(s) to {args.output}", file=sys.stderr)
     return render_table(
-        ["scenario", "mode", "accuracy", "lob", "cycles", "performance",
+        ["scenario", "domains", "mode", "accuracy", "lob", "cycles", "performance",
          "channel accesses", "rollbacks", "digest"],
         rows,
         title=f"Sweep grid: {len(records)} run(s) over {len(scenarios)} scenario(s)",
@@ -309,17 +355,23 @@ def _cmd_report(args: argparse.Namespace) -> str:
         f"wrote {len(manifest)} artifact file(s) + MANIFEST.json to {args.out}",
         file=sys.stderr,
     )
-    rows = [
-        [
-            artifact.name,
-            str(len(artifact.rows)),
-            manifest[artifact.name + ".csv"][:12],
-            artifact.title,
-        ]
-        for artifact in result.artifacts
-    ]
+    rows = []
+    for artifact in result.artifacts:
+        if artifact.name.startswith("mechanism_"):
+            domains = _scenario_domains(artifact.name[len("mechanism_"):])
+        else:
+            domains = "-"  # analytical artifacts never build the mechanism
+        rows.append(
+            [
+                artifact.name,
+                domains,
+                str(len(artifact.rows)),
+                manifest[artifact.name + ".csv"][:12],
+                artifact.title,
+            ]
+        )
     return render_table(
-        ["artifact", "rows", "csv sha256", "title"],
+        ["artifact", "domains", "rows", "csv sha256", "title"],
         rows,
         title=f"Paper-artifact pipeline: {len(result.artifacts)} artifact(s)"
         f"{' (quick grid)' if args.quick else ''}",
@@ -370,6 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="force a registered engine (e.g. 'analytical') instead of the mode default",
     )
+    run.add_argument(
+        "--topology", default=None, metavar="JSON|PATH",
+        help="topology override: inline JSON or a path to a Topology.as_dict() "
+             "JSON file (default: the scenario's own topology)",
+    )
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser(
@@ -396,6 +453,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--engine", default=None,
         help="force a registered engine for every run (e.g. 'analytical')",
+    )
+    sweep.add_argument(
+        "--topology", default=None, metavar="JSON|PATH",
+        help="topology override applied to every grid point (inline JSON or "
+             "a path to a Topology.as_dict() JSON file)",
     )
     sweep.add_argument("--output", default=None, metavar="PATH",
                        help="write records to a JSON-lines run store")

@@ -65,6 +65,14 @@ from .modes import (
     policy_for_mode,
 )
 from .optimistic import CwPath, OptimisticCoEmulation, OptimisticRunTrace, PathTraceEntry
+from .topology import (
+    DomainId,
+    DomainKind,
+    DomainSpec,
+    SyncChannel,
+    Topology,
+    TopologyError,
+)
 from .prediction import (
     ForcedAccuracyModel,
     LaggerPredictor,
@@ -93,6 +101,9 @@ __all__ = [
     "DomainHost",
     "DomainHostConfig",
     "DomainHostError",
+    "DomainId",
+    "DomainKind",
+    "DomainSpec",
     "Engine",
     "EngineInfo",
     "EngineRegistryError",
@@ -121,7 +132,10 @@ __all__ = [
     "PredictionRecord",
     "PredictionStats",
     "StaticLeaderPolicy",
+    "SyncChannel",
     "TABLE2_ACCURACIES",
+    "Topology",
+    "TopologyError",
     "TransitionLog",
     "TransitionOutcome",
     "TransitionRecord",

@@ -21,13 +21,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..ahb.half_bus import HalfBusModel
 from ..sim.time_model import WallClockLedger
 from .analytical import AnalyticalConfig, conventional_performance, estimate_performance
 from .coemulation import (
     CoEmulationConfig,
     CoEmulationResult,
     DEFAULT_ROLLBACK_VARIABLES,
+    resolve_engine_args,
 )
 from .engine import register_engine
 from .modes import OperatingMode
@@ -44,13 +44,14 @@ class AnalyticalPseudoEngine:
 
     def __init__(
         self,
-        sim_hbm: Optional[HalfBusModel],
-        acc_hbm: Optional[HalfBusModel],
-        config: CoEmulationConfig,
+        partition=None,
+        acc_hbm=None,
+        config: Optional[CoEmulationConfig] = None,
     ) -> None:
-        # The half bus models are accepted for factory uniformity but never
-        # touched: the analytical model only sees speeds, costs and depths.
-        self.config = config
+        # The partition (or legacy half-bus pair) is accepted for factory
+        # uniformity but never touched: the analytical model only sees
+        # speeds, costs and depths.
+        _, self.config = resolve_engine_args(partition, acc_hbm, config)
 
     def _analytical_config(self, mode: Optional[OperatingMode] = None) -> AnalyticalConfig:
         config = self.config

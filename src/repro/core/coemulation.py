@@ -2,22 +2,28 @@
 
 The two synchronisation engines (:class:`~repro.core.conventional.
 ConventionalCoEmulation` and :class:`~repro.core.optimistic.
-OptimisticCoEmulation`) share the split-system plumbing implemented here:
-building the domain hosts from two half bus models, routing boundary values
-through the channel, charging modelled time to the shared ledger and
-packaging results.
+OptimisticCoEmulation`) share the partitioned-system plumbing implemented
+here: building one domain host per topology domain from a partition of half
+bus models, routing boundary values through the per-pair sync channels,
+charging modelled time to the shared ledger and packaging results.
+
+Engines consume a *partition mapping* (``{DomainId: HalfBusModel}``) plus a
+:class:`~repro.core.topology.Topology`; the legacy two-positional
+``(sim_hbm, acc_hbm, config)`` constructor form is still accepted and is
+interpreted as the canonical simulator/accelerator pair.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from ..ahb.half_bus import BoundaryDrive, HalfBusModel
+from ..ahb.half_bus import BoundaryDrive, HalfBusModel, merge_boundary_drives
 from ..ahb.signals import DataPhaseResult
 from ..channel.driver import SimulatorAcceleratorChannel
 from ..channel.packet import BoundaryPacketizer
 from ..channel.phy import ChannelDirection, ChannelTimingParams
+from ..channel.stats import ChannelStats
 from ..sim.checkpoint import (
     ACCELERATOR_STATE_COSTS,
     SIMULATOR_STATE_COSTS,
@@ -33,6 +39,7 @@ from ..sim.time_model import (
 from .domain import DomainHost, DomainHostConfig
 from .modes import OperatingMode
 from .prediction import ForcedAccuracyModel, LaggerPredictor, PredictionStats
+from .topology import DomainKind, DomainSpec, Topology, TopologyError
 from .transition import TransitionLog
 
 
@@ -67,6 +74,9 @@ class CoEmulationConfig:
     interrupt_names: List[str] = field(default_factory=list)
     keep_channel_log: bool = False
     stop_when_workload_done: bool = False
+    #: Multi-domain layout; ``None`` means the paper's canonical
+    #: simulator/accelerator pair built from the per-kind fields above.
+    topology: Optional[Topology] = None
 
     def __post_init__(self) -> None:
         if self.total_cycles <= 0:
@@ -75,6 +85,26 @@ class CoEmulationConfig:
             raise ValueError("lob_depth must be at least 1")
         if self.forced_accuracy is not None and not 0.0 <= self.forced_accuracy <= 1.0:
             raise ValueError("forced_accuracy must be within [0, 1]")
+
+    # -- topology resolution ------------------------------------------------
+    def resolve_topology(self) -> Topology:
+        return self.topology if self.topology is not None else Topology.canonical_pair()
+
+    def domain_speed(self, spec: DomainSpec) -> DomainSpeed:
+        """Per-domain execution speed, falling back to the per-kind default."""
+        if spec.speed is not None:
+            return spec.speed
+        if spec.kind is DomainKind.SIMULATOR:
+            return self.simulator_speed
+        return self.accelerator_speed
+
+    def domain_state_costs(self, spec: DomainSpec) -> StateCostModel:
+        """Per-domain checkpoint cost policy, falling back to the kind default."""
+        if spec.state_costs is not None:
+            return spec.state_costs
+        if spec.kind is DomainKind.SIMULATOR:
+            return self.simulator_state_costs
+        return self.accelerator_state_costs
 
 
 @dataclass
@@ -95,16 +125,19 @@ class CoEmulationResult:
     monitors_ok: bool
     wasted_leader_cycles: int
     ledger: WallClockLedger
+    #: Committed beat streams per domain id (covers every topology domain;
+    #: ``sim_beat_keys`` / ``acc_beat_keys`` remain the canonical-pair views).
+    domain_beat_keys: Dict[str, List[tuple]] = field(default_factory=dict)
 
     @property
     def tsim(self) -> float:
         """Average simulator time per committed target cycle (Tsim.)."""
-        return self.per_cycle_times["simulator"]
+        return self.per_cycle_times.get("simulator", 0.0)
 
     @property
     def tacc(self) -> float:
         """Average accelerator time per committed target cycle (Tacc.)."""
-        return self.per_cycle_times["accelerator"]
+        return self.per_cycle_times.get("accelerator", 0.0)
 
     @property
     def tstore(self) -> float:
@@ -141,29 +174,91 @@ class CoEmulationResult:
         }
 
 
+def resolve_engine_args(
+    arg1,
+    arg2=None,
+    config: Optional[CoEmulationConfig] = None,
+) -> Tuple[Optional[Mapping[Domain, HalfBusModel]], CoEmulationConfig]:
+    """Normalise the two accepted engine constructor forms.
+
+    * New form: ``Engine(partition, config)`` where ``partition`` maps domain
+      ids to half bus models (``None`` for pseudo-engines).
+    * Legacy form: ``Engine(sim_hbm, acc_hbm, config)`` -- interpreted as the
+      canonical simulator/accelerator pair.
+    """
+    if isinstance(arg2, CoEmulationConfig):
+        return arg1, arg2
+    if config is None:
+        raise TypeError("engine constructors need a CoEmulationConfig")
+    if isinstance(arg1, HalfBusModel) or isinstance(arg2, HalfBusModel):
+        return {Domain.SIMULATOR: arg1, Domain.ACCELERATOR: arg2}, config
+    return arg1, config
+
+
 class CoEmulationEngineBase:
     """Shared plumbing of the conventional and optimistic engines."""
 
     def __init__(
         self,
-        sim_hbm: HalfBusModel,
-        acc_hbm: HalfBusModel,
-        config: CoEmulationConfig,
+        partition,
+        acc_hbm=None,
+        config: Optional[CoEmulationConfig] = None,
     ) -> None:
-        if sim_hbm.domain is not Domain.SIMULATOR or acc_hbm.domain is not Domain.ACCELERATOR:
+        partition, config = resolve_engine_args(partition, acc_hbm, config)
+        if not partition:
+            raise ValueError("co-emulation engines need a non-empty domain partition")
+        partition = {Domain(domain): hbm for domain, hbm in partition.items()}
+        self.topology = config.resolve_topology()
+        if set(partition) != set(self.topology.domain_ids):
             raise ValueError(
-                "sim_hbm must be the simulator-domain half bus and acc_hbm the "
-                "accelerator-domain half bus"
+                f"partition domains {sorted(d.value for d in partition)} do not match "
+                f"the topology's domains {sorted(d.value for d in self.topology.domain_ids)}"
             )
-        sim_hbm.finalize()
-        acc_hbm.finalize()
+        for domain, hbm in partition.items():
+            if hbm is None or hbm.domain != domain:
+                raise ValueError(
+                    "sim_hbm must be the simulator-domain half bus and acc_hbm the "
+                    "accelerator-domain half bus"
+                    if self.topology.is_canonical_pair
+                    else f"partition entry {domain.value!r} holds a half bus built for "
+                    f"domain {getattr(hbm, 'domain', None)!r}"
+                )
         self.config = config
         self.ledger = WallClockLedger()
-        self.channel = SimulatorAcceleratorChannel(
-            params=config.channel_params, keep_log=config.keep_channel_log
-        )
+
+        # Per-pair sync channels (one SimulatorAcceleratorChannel each).  The
+        # ordered (source, dest) index resolves both the channel object and
+        # the direction to charge; orientation follows topology domain order,
+        # so the canonical pair keeps sim->acc == SIM_TO_ACC.
+        self._channels: Dict[Tuple[Domain, Domain], Tuple[SimulatorAcceleratorChannel, ChannelDirection]] = {}
+        self._channel_list: List[SimulatorAcceleratorChannel] = []
+        for sync in self.topology.channels:
+            channel = SimulatorAcceleratorChannel(
+                params=sync.params or config.channel_params,
+                keep_log=config.keep_channel_log,
+            )
+            first, second = self.topology.oriented_pair(sync)
+            self._channels[(first, second)] = (channel, ChannelDirection.SIM_TO_ACC)
+            self._channels[(second, first)] = (channel, ChannelDirection.ACC_TO_SIM)
+            self._channel_list.append(channel)
+        # Domain pairs without a direct sync channel (e.g. leaf-to-leaf in a
+        # Topology.star farm) relay through the first domain connected to
+        # both endpoints, paying one access per hop.
+        self._relay_routes: Dict[Tuple[Domain, Domain], Tuple[Tuple[Domain, Domain], ...]] = {}
+        ids = self.topology.domain_ids
+        for src in ids:
+            for dst in ids:
+                if src == dst or (src, dst) in self._channels:
+                    continue
+                for via in ids:
+                    if (src, via) in self._channels and (via, dst) in self._channels:
+                        self._relay_routes[(src, dst)] = ((src, via), (via, dst))
+                        break
+        #: Legacy single-channel view (the canonical pair's only channel).
+        self.channel = self._channel_list[0] if len(self._channel_list) == 1 else None
+
         all_master_ids = sorted(
-            set(sim_hbm.local_masters) | set(acc_hbm.local_masters)
+            {mid for hbm in partition.values() for mid in hbm.local_masters}
         )
         self.packetizer = BoundaryPacketizer(all_master_ids, config.interrupt_names)
 
@@ -172,114 +267,187 @@ class CoEmulationEngineBase:
             if config.forced_accuracy is None
             else ForcedAccuracyModel(config.forced_accuracy, seed=config.forced_accuracy_seed)
         )
-        sim_predictor = LaggerPredictor(
-            "sim_side_predictor",
-            remote_master_ids=sorted(acc_hbm.local_masters),
-            forced_accuracy=forced,
-            predict_new_remote_bursts=config.predict_new_remote_bursts,
-        )
-        acc_predictor = LaggerPredictor(
-            "acc_side_predictor",
-            remote_master_ids=sorted(sim_hbm.local_masters),
-            forced_accuracy=forced,
-            predict_new_remote_bursts=config.predict_new_remote_bursts,
-        )
-        self.sim_host = DomainHost(
-            DomainHostConfig(
-                domain=Domain.SIMULATOR,
-                speed=config.simulator_speed,
-                state_costs=config.simulator_state_costs,
-                rollback_variable_budget=config.rollback_variables,
-            ),
-            hbm=sim_hbm,
-            ledger=self.ledger,
-            predictor=sim_predictor,
-        )
-        self.acc_host = DomainHost(
-            DomainHostConfig(
-                domain=Domain.ACCELERATOR,
-                speed=config.accelerator_speed,
-                state_costs=config.accelerator_state_costs,
-                rollback_variable_budget=config.rollback_variables,
-            ),
-            hbm=acc_hbm,
-            ledger=self.ledger,
-            predictor=acc_predictor,
-        )
+        self.hosts: Dict[Domain, DomainHost] = {}
+        for spec in self.topology.domains:
+            hbm = partition[spec.domain]
+            hbm.finalize()
+            remote_ids = sorted(set(all_master_ids) - set(hbm.local_masters))
+            predictor = LaggerPredictor(
+                _predictor_name(spec.domain),
+                remote_master_ids=remote_ids,
+                forced_accuracy=forced,
+                predict_new_remote_bursts=config.predict_new_remote_bursts,
+            )
+            self.hosts[spec.domain] = DomainHost(
+                DomainHostConfig(
+                    domain=spec.domain,
+                    speed=config.domain_speed(spec),
+                    state_costs=config.domain_state_costs(spec),
+                    rollback_variable_budget=config.rollback_variables,
+                ),
+                hbm=hbm,
+                ledger=self.ledger,
+                predictor=predictor,
+            )
+        self._host_list: List[DomainHost] = list(self.hosts.values())
+        #: Canonical-pair aliases (``None`` when the topology lacks that id).
+        self.sim_host = self.hosts.get(Domain.SIMULATOR)
+        self.acc_host = self.hosts.get(Domain.ACCELERATOR)
         self.transitions = TransitionLog()
 
     # -- host helpers -----------------------------------------------------------
     def host_for(self, domain: Domain) -> DomainHost:
-        return self.sim_host if domain is Domain.SIMULATOR else self.acc_host
+        return self.hosts[Domain(domain)]
 
     def other_host(self, host: DomainHost) -> DomainHost:
-        return self.acc_host if host is self.sim_host else self.sim_host
+        """The single peer of ``host`` (two-domain topologies only)."""
+        others = [h for h in self._host_list if h is not host]
+        if len(others) != 1:
+            raise TopologyError(
+                "other_host() is only defined for two-domain topologies; "
+                "enumerate engine.hosts instead"
+            )
+        return others[0]
 
-    def _direction(self, source: DomainHost) -> ChannelDirection:
-        return (
-            ChannelDirection.SIM_TO_ACC
-            if source.domain is Domain.SIMULATOR
-            else ChannelDirection.ACC_TO_SIM
-        )
+    def peer_hosts(self, host: DomainHost) -> List[DomainHost]:
+        """Every other host, in topology order."""
+        return [h for h in self._host_list if h is not host]
 
     def _charge_channel(
-        self, source: DomainHost, n_words: int, purpose: str, cycle: int
+        self, source: DomainHost, dest: DomainHost, n_words: int, purpose: str, cycle: int
     ) -> float:
-        """Account one channel access of ``n_words`` words and charge its time.
+        """Account one access of ``n_words`` words on the (source, dest) link.
 
         The boundary values themselves are handed across in-process; only the
         modelled access cost matters, so no message is materialised or
-        retained (constant memory regardless of run length).
+        retained (constant memory regardless of run length).  Pairs without a
+        direct channel (restricted topologies such as hub-and-spoke stars)
+        relay through an intermediate domain, paying one access per hop.
         """
-        access_time = self.channel.charge(
-            self._direction(source), n_words, purpose=purpose, target_cycle=cycle
-        )
+        try:
+            channel, direction = self._channels[(source.domain, dest.domain)]
+        except KeyError:
+            return self._charge_relayed(source, dest, n_words, purpose, cycle)
+        access_time = channel.charge(direction, n_words, purpose=purpose, target_cycle=cycle)
         self.ledger.charge("channel", access_time)
         return access_time
 
+    def _charge_relayed(
+        self, source: DomainHost, dest: DomainHost, n_words: int, purpose: str, cycle: int
+    ) -> float:
+        route = self._relay_routes.get((source.domain, dest.domain))
+        if route is None:
+            raise TopologyError(
+                f"topology has no sync channel (or relay route) between "
+                f"{source.domain.value!r} and {dest.domain.value!r}"
+            )
+        total = 0.0
+        for hop_src, hop_dst in route:
+            channel, direction = self._channels[(hop_src, hop_dst)]
+            total += channel.charge(direction, n_words, purpose=purpose, target_cycle=cycle)
+        self.ledger.charge("channel", total)
+        return total
+
     # -- conservative (lock-step) cycle ---------------------------------------------
     def _slave_side_host(self) -> DomainHost:
-        """The domain hosting the data-phase slave (simulator when idle/tied)."""
-        info = self.sim_host.hbm.core.data_phase_info()  # both cores agree
-        if info.active and info.slave_id in self.acc_host.local_slave_ids() and (
-            info.slave_id not in self.sim_host.local_slave_ids()
-        ):
-            return self.acc_host
-        return self.sim_host
+        """The domain hosting the data-phase slave (first domain when idle/tied)."""
+        info = self._host_list[0].hbm.core.data_phase_info()  # all cores agree
+        if info.active:
+            for host in self._host_list:
+                if info.slave_id in host.local_slave_ids():
+                    return host
+        return self._host_list[0]
 
     def run_conservative_cycle(self) -> None:
-        """One conventionally synchronised target cycle (two channel accesses).
+        """One conventionally synchronised target cycle.
 
-        The domain that does *not* host the active data-phase slave runs its
-        drive step first and ships its contribution across the channel; the
+        Every domain that does *not* host the active data-phase slave runs
+        its drive step first and ships its contribution to each peer; the
         slave-side domain then completes the cycle and ships back its own
-        contribution plus the response.
+        contribution plus the response.  With two domains this is the
+        paper's two-accesses-per-cycle exchange; with N domains each ordered
+        pair pays one access per cycle; with one domain no channel is
+        touched at all.
         """
-        second = self._slave_side_host()
-        first = self.other_host(second)
-        cycle = first.current_cycle
+        if len(self._host_list) == 2:
+            # Hot path: the canonical pair keeps the straight-line exchange
+            # (no per-cycle container churn), byte-identical to the general
+            # loop below for two domains.
+            second = self._slave_side_host()
+            first = self.other_host(second)
+            cycle = first.current_cycle
 
-        first_drive = first.drive()
-        self._charge_channel(
-            first,
-            self.packetizer.drive_word_count(first_drive),
-            purpose="conservative_drive",
-            cycle=cycle,
+            first_drive = first.drive()
+            self._charge_channel(
+                first,
+                second,
+                self.packetizer.drive_word_count(first_drive),
+                purpose="conservative_drive",
+                cycle=cycle,
+            )
+            second_drive = second.drive()
+            merged_second = second.hbm.merge_drive(second_drive, first_drive)
+            response = second.respond(merged_second).response or DataPhaseResult.okay()
+            second.commit(merged_second, response)
+
+            reply_words = self.packetizer.drive_word_count(second_drive)
+            reply_words += self.packetizer.response_word_count(response)
+            self._charge_channel(
+                second, first, reply_words, purpose="conservative_reply", cycle=cycle
+            )
+
+            merged_first = first.hbm.merge_drive(first_drive, second_drive)
+            first.commit(merged_first, response)
+
+            self._observe_actuals(first, second_drive, response)
+            self._observe_actuals(second, first_drive, response)
+            self.ledger.commit_cycles(1)
+            self.transitions.record_conservative_cycle()
+            return
+
+        responder = self._slave_side_host()
+        others = [host for host in self._host_list if host is not responder]
+        cycle = self._host_list[0].current_cycle
+
+        drives: Dict[Domain, BoundaryDrive] = {}
+        for host in others:
+            drive = host.drive()
+            drives[host.domain] = drive
+            drive_words = self.packetizer.drive_word_count(drive)
+            for dest in self._host_list:
+                if dest is not host:
+                    self._charge_channel(
+                        host, dest, drive_words, purpose="conservative_drive", cycle=cycle
+                    )
+
+        responder_drive = responder.drive()
+        drives[responder.domain] = responder_drive
+        merged_responder = responder.hbm.merge_drives(
+            responder_drive, [drives[host.domain] for host in others]
+        ) if others else responder.hbm.merge_drive(
+            responder_drive, BoundaryDrive(cycle=cycle)
         )
-        second_drive = second.drive()
-        merged_second = second.hbm.merge_drive(second_drive, first_drive)
-        response = second.respond(merged_second).response or DataPhaseResult.okay()
-        second.commit(merged_second, response)
+        response = responder.respond(merged_responder).response or DataPhaseResult.okay()
+        responder.commit(merged_responder, response)
 
-        reply_words = self.packetizer.drive_word_count(second_drive)
+        reply_words = self.packetizer.drive_word_count(responder_drive)
         reply_words += self.packetizer.response_word_count(response)
-        self._charge_channel(second, reply_words, purpose="conservative_reply", cycle=cycle)
+        for dest in others:
+            self._charge_channel(
+                responder, dest, reply_words, purpose="conservative_reply", cycle=cycle
+            )
 
-        merged_first = first.hbm.merge_drive(first_drive, second_drive)
-        first.commit(merged_first, response)
+        for host in others:
+            merged = host.hbm.merge_drives(
+                drives[host.domain],
+                [drives[peer.domain] for peer in self._host_list if peer is not host],
+            )
+            host.commit(merged, response)
 
-        self._observe_actuals(first, second_drive, response)
-        self._observe_actuals(second, first_drive, response)
+        for host in self._host_list:
+            remote = [drives[peer.domain] for peer in self._host_list if peer is not host]
+            if remote:
+                self._observe_actuals(host, merge_boundary_drives(remote), response)
         self.ledger.commit_cycles(1)
         self.transitions.record_conservative_cycle()
 
@@ -306,29 +474,75 @@ class CoEmulationEngineBase:
 
     # -- result packaging ------------------------------------------------------------
     def _workload_done(self) -> bool:
-        return (
-            self.sim_host.hbm.all_local_masters_done()
-            and self.acc_host.hbm.all_local_masters_done()
+        return all(host.hbm.all_local_masters_done() for host in self._host_list)
+
+    def _channel_stats_dict(self) -> dict:
+        """Channel traffic totals: single-channel dict, or a mesh aggregate."""
+        if len(self._channel_list) == 1:
+            return self._channel_list[0].stats.as_dict()
+        if not self._channel_list:
+            return ChannelStats(params=self.config.channel_params, keep_log=False).as_dict()
+        aggregate = {
+            "accesses": 0,
+            "words": 0,
+            "total_time": 0.0,
+            "startup_time": 0.0,
+            "payload_time": 0.0,
+            "per_purpose": {},
+            "per_channel": {},
+        }
+        per_purpose: Dict[str, int] = aggregate["per_purpose"]
+        for sync in self.topology.channels:
+            first, second = self.topology.oriented_pair(sync)
+            channel, _ = self._channels[(first, second)]
+            stats = channel.stats.as_dict()
+            aggregate["accesses"] += stats["accesses"]
+            aggregate["words"] += stats["words"]
+            aggregate["total_time"] += stats["total_time"]
+            aggregate["startup_time"] += stats["startup_time"]
+            aggregate["payload_time"] += stats["payload_time"]
+            for purpose, count in stats["per_purpose"].items():
+                per_purpose[purpose] = per_purpose.get(purpose, 0) + count
+            aggregate["per_channel"][f"{first.value}<->{second.value}"] = {
+                "accesses": stats["accesses"],
+                "words": stats["words"],
+                "total_time": stats["total_time"],
+            }
+        aggregate["words_per_access"] = (
+            aggregate["words"] / aggregate["accesses"] if aggregate["accesses"] else 0.0
         )
+        return aggregate
 
     def _build_result(self, mode: OperatingMode, prediction: PredictionStats, lob: dict) -> CoEmulationResult:
         monitors_ok = True
-        for hbm in (self.sim_host.hbm, self.acc_host.hbm):
-            if hbm.monitor is not None and not hbm.monitor.ok:
+        for host in self._host_list:
+            if host.hbm.monitor is not None and not host.hbm.monitor.ok:
                 monitors_ok = False
+        domain_beat_keys = {
+            host.domain.value: host.hbm.recorder.beat_keys() for host in self._host_list
+        }
         return CoEmulationResult(
             mode=mode,
             committed_cycles=self.ledger.committed_cycles,
             per_cycle_times=self.ledger.per_cycle_breakdown(),
             total_modelled_time=self.ledger.total_seconds,
             performance_cycles_per_second=self.ledger.performance_cycles_per_second,
-            channel=self.channel.stats.as_dict(),
+            channel=self._channel_stats_dict(),
             transitions=self.transitions.as_dict(),
             prediction=prediction.as_dict(),
             lob=lob,
-            sim_beat_keys=self.sim_host.hbm.recorder.beat_keys(),
-            acc_beat_keys=self.acc_host.hbm.recorder.beat_keys(),
+            sim_beat_keys=domain_beat_keys.get(Domain.SIMULATOR.value, []),
+            acc_beat_keys=domain_beat_keys.get(Domain.ACCELERATOR.value, []),
             monitors_ok=monitors_ok,
-            wasted_leader_cycles=self.sim_host.wasted_cycles + self.acc_host.wasted_cycles,
+            wasted_leader_cycles=sum(host.wasted_cycles for host in self._host_list),
             ledger=self.ledger,
+            domain_beat_keys=domain_beat_keys,
         )
+
+
+def _predictor_name(domain: Domain) -> str:
+    if domain is Domain.SIMULATOR:
+        return "sim_side_predictor"
+    if domain is Domain.ACCELERATOR:
+        return "acc_side_predictor"
+    return f"{domain.value}_side_predictor"

@@ -11,7 +11,8 @@ mechanism-level models here reproduce those numbers.
 
 from __future__ import annotations
 
-from ..ahb.half_bus import HalfBusModel
+from typing import Optional
+
 from .coemulation import CoEmulationConfig, CoEmulationEngineBase, CoEmulationResult
 from .engine import register_engine
 from .modes import OperatingMode
@@ -24,15 +25,15 @@ from .prediction import PredictionStats
     description="lock-step cycle-by-cycle synchronisation (the paper's baseline)",
 )
 class ConventionalCoEmulation(CoEmulationEngineBase):
-    """Lock-step, cycle-by-cycle synchronisation of the two domains."""
+    """Lock-step, cycle-by-cycle synchronisation of all topology domains."""
 
     def __init__(
         self,
-        sim_hbm: HalfBusModel,
-        acc_hbm: HalfBusModel,
-        config: CoEmulationConfig,
+        partition,
+        acc_hbm=None,
+        config: Optional[CoEmulationConfig] = None,
     ) -> None:
-        super().__init__(sim_hbm, acc_hbm, config)
+        super().__init__(partition, acc_hbm, config)
 
     def run(self) -> CoEmulationResult:
         """Run ``config.total_cycles`` target cycles in lock step."""

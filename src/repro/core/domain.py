@@ -28,20 +28,20 @@ class DomainHostError(RuntimeError):
     """Raised on inconsistent domain-host usage."""
 
 
-_LEDGER_CATEGORY = {
-    Domain.SIMULATOR: "simulator",
-    Domain.ACCELERATOR: "accelerator",
-}
-
-
 @dataclass
 class DomainHostConfig:
-    """Static configuration of one domain host."""
+    """Static configuration of one domain host.
+
+    ``ledger_category`` defaults to the domain id itself, which for the
+    canonical pair reproduces the paper's ``simulator`` / ``accelerator``
+    Table 2 columns; additional domains get one execution bucket each.
+    """
 
     domain: Domain
     speed: DomainSpeed
     state_costs: StateCostModel
     rollback_variable_budget: Optional[int] = None
+    ledger_category: Optional[str] = None
 
 
 class DomainHost:
@@ -59,9 +59,11 @@ class DomainHost:
         self.ledger = ledger
         self.predictor = predictor
         self.clock = Clock(config.domain.value)
+        category = config.ledger_category or config.domain.value
+        ledger.ensure_category(category)
         self.execution = ExecutionCostModel(
             ledger=ledger,
-            category=_LEDGER_CATEGORY[config.domain],
+            category=category,
             speed=config.speed,
         )
         checkpoint_components = [hbm]

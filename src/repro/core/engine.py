@@ -22,16 +22,17 @@ registry is always populated without creating import cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+from typing import Callable, Dict, Mapping, Optional, Protocol, Tuple, runtime_checkable
 
 from ..ahb.half_bus import HalfBusModel
+from ..sim.component import Domain
 from .coemulation import CoEmulationConfig, CoEmulationResult
 from .modes import OperatingMode
 
 
 @runtime_checkable
 class Engine(Protocol):
-    """A co-emulation engine: built over a split system, run to a result."""
+    """A co-emulation engine: built over a partitioned system, run to a result."""
 
     config: CoEmulationConfig
 
@@ -40,10 +41,11 @@ class Engine(Protocol):
         ...
 
 
-#: An engine constructor.  ``sim_hbm`` / ``acc_hbm`` may be ``None`` for
-#: pseudo-engines (e.g. the analytical model) that never touch the mechanism.
+#: An engine constructor: ``factory(partition, config)``.  ``partition`` maps
+#: domain ids to half bus models and may be ``None`` for pseudo-engines
+#: (e.g. the analytical model) that never touch the mechanism.
 EngineFactory = Callable[
-    [Optional[HalfBusModel], Optional[HalfBusModel], CoEmulationConfig], Engine
+    [Optional[Mapping[Domain, HalfBusModel]], CoEmulationConfig], Engine
 ]
 
 
@@ -126,15 +128,30 @@ def available_engines() -> Dict[str, EngineInfo]:
     return dict(_REGISTRY)
 
 
+def _registry_summary() -> str:
+    """One-line rendering of every registration and the modes it claims."""
+    parts = []
+    for name in sorted(_REGISTRY):
+        info = _REGISTRY[name]
+        modes = ", ".join(mode.value for mode in info.modes) or "no modes; engine= only"
+        parts.append(f"{name} ({modes})")
+    return "; ".join(parts)
+
+
+def _unknown_mode_error(mode: OperatingMode) -> "EngineRegistryError":
+    return EngineRegistryError(
+        f"no engine registered for operating mode {mode.value!r}; "
+        f"registered engines: {_registry_summary()}"
+    )
+
+
 def engine_for_mode(mode: OperatingMode) -> str:
     """The name of the engine that implements ``mode``."""
     _ensure_builtin_engines()
     try:
         return _MODE_INDEX[mode]
     except KeyError:
-        raise EngineRegistryError(
-            f"no engine registered for operating mode {mode.value!r}"
-        ) from None
+        raise _unknown_mode_error(mode) from None
 
 
 def get_engine_info(name: str) -> EngineInfo:
@@ -153,24 +170,29 @@ def create_engine(
     sim_hbm: Optional[HalfBusModel] = None,
     acc_hbm: Optional[HalfBusModel] = None,
     *,
+    partition: Optional[Mapping[Domain, HalfBusModel]] = None,
     engine: Optional[str] = None,
 ) -> Engine:
-    """Build the engine for ``config`` over a split system.
+    """Build the engine for ``config`` over a partitioned system.
 
-    Selection is by ``config.mode`` through the registry; pass ``engine=`` to
-    force a specific registration (e.g. ``"analytical"`` for the closed-form
-    pseudo-engine, which ignores the half bus models).
+    The partition is a ``{DomainId: HalfBusModel}`` mapping matching
+    ``config``'s topology (build it with ``SocSpec.build_partition``); the
+    legacy ``(sim_hbm, acc_hbm)`` positional pair is still accepted for the
+    canonical two-domain topology.  Selection is by ``config.mode`` through
+    the registry; pass ``engine=`` to force a specific registration (e.g.
+    ``"analytical"`` for the closed-form pseudo-engine, which ignores the
+    partition).
     """
     _ensure_builtin_engines()
     name = engine if engine is not None else _MODE_INDEX.get(config.mode)
     if name is None:
-        raise EngineRegistryError(
-            f"no engine registered for operating mode {config.mode.value!r}"
-        )
+        raise _unknown_mode_error(config.mode)
     info = get_engine_info(name)
-    if info.requires_split and (sim_hbm is None or acc_hbm is None):
+    if partition is None and (sim_hbm is not None or acc_hbm is not None):
+        partition = {Domain.SIMULATOR: sim_hbm, Domain.ACCELERATOR: acc_hbm}
+    if info.requires_split and not partition:
         raise EngineRegistryError(
-            f"engine {info.name!r} needs both half bus models; "
-            "build them with SocSpec.build_split()"
+            f"engine {info.name!r} needs the half bus models of every topology "
+            "domain; build them with SocSpec.build_partition()"
         )
-    return info.factory(sim_hbm, acc_hbm, config)
+    return info.factory(partition, config)

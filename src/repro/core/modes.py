@@ -22,10 +22,10 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Mapping, Optional
 
-from ..ahb.half_bus import NeededFields
 from ..sim.component import Domain
+from .topology import DomainKind, Topology
 
 
 class OperatingMode(str, Enum):
@@ -60,43 +60,45 @@ class ModeDecision:
 
 
 class ModePolicy(ABC):
-    """Decides, before each transition, whether/who should lead."""
+    """Decides, before each transition, whether/who should lead.
+
+    ``candidates`` maps every topology domain (in topology order) to whether
+    its predictor can currently predict *all* of its remote values -- the
+    generalisation of the old ``(sim_can_predict, acc_can_predict)`` pair to
+    N-domain topologies.
+    """
 
     @abstractmethod
-    def decide(
-        self,
-        sim_needed: NeededFields,
-        acc_needed: NeededFields,
-        sim_can_predict: bool,
-        acc_can_predict: bool,
-    ) -> ModeDecision:
-        """Choose the operating mode for the next transition attempt.
-
-        Args:
-            sim_needed: remote fields the simulator domain would need if it led.
-            acc_needed: remote fields the accelerator domain would need if it led.
-            sim_can_predict: whether the simulator-side predictor can predict
-                everything in ``sim_needed``.
-            acc_can_predict: same for the accelerator-side predictor.
-        """
+    def decide(self, candidates: Mapping[Domain, bool]) -> ModeDecision:
+        """Choose the operating mode for the next transition attempt."""
 
 
 class ConservativePolicy(ModePolicy):
     """Never go optimistic (the conventional baseline)."""
 
-    def decide(self, sim_needed, acc_needed, sim_can_predict, acc_can_predict) -> ModeDecision:
+    def decide(self, candidates: Mapping[Domain, bool]) -> ModeDecision:
         return ModeDecision(optimistic=False, reason="conservative mode configured")
 
 
 class StaticLeaderPolicy(ModePolicy):
-    """Always attempt to lead with a fixed domain (SLA or ALS)."""
+    """Always attempt to lead with a fixed domain (SLA or ALS).
+
+    When the configured leader is not part of the running topology (e.g. ALS
+    on a simulator-only partition) the policy degrades to conservative
+    operation rather than electing an arbitrary stand-in.
+    """
 
     def __init__(self, leader: Domain) -> None:
-        self.leader = leader
+        self.leader = Domain(leader)
 
-    def decide(self, sim_needed, acc_needed, sim_can_predict, acc_can_predict) -> ModeDecision:
-        can_predict = sim_can_predict if self.leader is Domain.SIMULATOR else acc_can_predict
-        if can_predict:
+    def decide(self, candidates: Mapping[Domain, bool]) -> ModeDecision:
+        if self.leader not in candidates:
+            return ModeDecision(
+                optimistic=False,
+                leader=self.leader,
+                reason="static leader domain is not part of this topology",
+            )
+        if candidates[self.leader]:
             return ModeDecision(optimistic=True, leader=self.leader, reason="static leader")
         return ModeDecision(
             optimistic=False,
@@ -106,37 +108,51 @@ class StaticLeaderPolicy(ModePolicy):
 
 
 class AutoModePolicy(ModePolicy):
-    """Pick whichever domain can currently predict its lagger.
+    """Pick a domain that can currently predict all of its laggers.
 
     Preference order: the preferred domain (accelerator by default, since it
     is the faster engine and therefore the cheaper one to burn on wasted
-    run-ahead work), then the other domain, then conservative.
+    run-ahead work), then the remaining domains in topology order, then
+    conservative.
     """
 
     def __init__(self, prefer: Domain = Domain.ACCELERATOR) -> None:
-        self.prefer = prefer
+        self.prefer = Domain(prefer)
 
-    def decide(self, sim_needed, acc_needed, sim_can_predict, acc_can_predict) -> ModeDecision:
-        ordered = (
-            (self.prefer, acc_can_predict if self.prefer is Domain.ACCELERATOR else sim_can_predict),
-            (self.prefer.other, sim_can_predict if self.prefer is Domain.ACCELERATOR else acc_can_predict),
-        )
-        for domain, can_predict in ordered:
-            if can_predict:
+    def decide(self, candidates: Mapping[Domain, bool]) -> ModeDecision:
+        ordered = [self.prefer] if self.prefer in candidates else []
+        ordered.extend(domain for domain in candidates if domain not in ordered)
+        for domain in ordered:
+            if candidates[domain]:
                 return ModeDecision(
                     optimistic=True, leader=domain, reason=f"auto: {domain.value} can predict"
                 )
         return ModeDecision(optimistic=False, reason="auto: neither domain can predict")
 
 
-def policy_for_mode(mode: OperatingMode, prefer: Domain = Domain.ACCELERATOR) -> ModePolicy:
-    """Build the :class:`ModePolicy` implementing ``mode``."""
+def policy_for_mode(
+    mode: OperatingMode,
+    prefer: Optional[Domain] = None,
+    topology: Optional[Topology] = None,
+) -> ModePolicy:
+    """Build the :class:`ModePolicy` implementing ``mode``.
+
+    With a topology, the SLA / ALS leader resolves to the first domain of
+    the matching *kind* (so ``als`` on a multi-accelerator farm leads with
+    the first accelerator); without one, the canonical pair is assumed.
+    """
     if mode is OperatingMode.CONSERVATIVE:
         return ConservativePolicy()
     if mode is OperatingMode.SLA:
-        return StaticLeaderPolicy(Domain.SIMULATOR)
+        leader = topology.first_of_kind(DomainKind.SIMULATOR) if topology else None
+        return StaticLeaderPolicy(leader if leader is not None else Domain.SIMULATOR)
     if mode is OperatingMode.ALS:
-        return StaticLeaderPolicy(Domain.ACCELERATOR)
+        leader = topology.first_of_kind(DomainKind.ACCELERATOR) if topology else None
+        return StaticLeaderPolicy(leader if leader is not None else Domain.ACCELERATOR)
     if mode is OperatingMode.AUTO:
+        if prefer is None:
+            prefer = (
+                topology.first_of_kind(DomainKind.ACCELERATOR) if topology else None
+            ) or Domain.ACCELERATOR
         return AutoModePolicy(prefer=prefer)
     raise ValueError(f"unknown operating mode {mode!r}")

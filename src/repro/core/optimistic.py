@@ -33,9 +33,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from ..ahb.half_bus import HalfBusModel
+from ..ahb.half_bus import merge_boundary_drives
+from ..ahb.signals import DataPhaseResult
 from ..sim.component import Domain
 from .coemulation import CoEmulationConfig, CoEmulationEngineBase, CoEmulationResult
 from .domain import DomainHost
@@ -87,22 +88,29 @@ class OptimisticRunTrace:
     description="prediction-and-rollback engine (SLA / ALS / AUTO leaders)",
 )
 class OptimisticCoEmulation(CoEmulationEngineBase):
-    """Prediction-and-rollback synchronisation between the two domains."""
+    """Prediction-and-rollback synchronisation between the topology domains.
+
+    One domain leads; every other domain is a lagger.  With two domains this
+    is exactly the paper's scheme; with N domains the leader predicts the
+    merged boundary values of all laggers, flushes the LOB to each of them,
+    and the laggers replay the buffered cycles in lock step among themselves.
+    """
 
     def __init__(
         self,
-        sim_hbm: HalfBusModel,
-        acc_hbm: HalfBusModel,
-        config: CoEmulationConfig,
+        partition,
+        acc_hbm=None,
+        config: Optional[CoEmulationConfig] = None,
         trace_paths: bool = False,
     ) -> None:
-        super().__init__(sim_hbm, acc_hbm, config)
+        super().__init__(partition, acc_hbm, config)
+        config = self.config
         if config.mode is OperatingMode.CONSERVATIVE:
             raise ValueError(
                 "OptimisticCoEmulation requires an optimistic mode (SLA / ALS / AUTO); "
                 "use ConventionalCoEmulation for the conservative baseline"
             )
-        self.policy = policy_for_mode(config.mode)
+        self.policy = policy_for_mode(config.mode, topology=self.topology)
         self.lob = LeaderOutputBuffer(config.lob_depth)
         self.trace = OptimisticRunTrace(enabled=trace_paths)
 
@@ -124,29 +132,31 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
 
     # -- mode decision -----------------------------------------------------------------
     def _decide_mode(self) -> ModeDecision:
-        sim_needed = self.sim_host.needed_fields()
-        acc_needed = self.acc_host.needed_fields()
-        sim_can = (
-            self.sim_host.predictor.can_predict(sim_needed)
-            if self.sim_host.predictor is not None
-            else False
-        )
-        acc_can = (
-            self.acc_host.predictor.can_predict(acc_needed)
-            if self.acc_host.predictor is not None
-            else False
-        )
-        return self.policy.decide(sim_needed, acc_needed, sim_can, acc_can)
+        if len(self._host_list) == 1:
+            # No laggers, no channel: optimism could only add checkpoint
+            # overhead, so a single-domain topology always runs conservative.
+            return ModeDecision(
+                optimistic=False,
+                reason="single-domain topology has no remote values to predict",
+            )
+        candidates: Dict[Domain, bool] = {}
+        for domain, host in self.hosts.items():
+            candidates[domain] = (
+                host.predictor.can_predict(host.needed_fields())
+                if host.predictor is not None
+                else False
+            )
+        return self.policy.decide(candidates)
 
     def _traced_conservative_cycle(self) -> None:
-        cycle = self.sim_host.current_cycle
-        self.trace.record(Domain.SIMULATOR, cycle, CwPath.CONSERVATIVE)
-        self.trace.record(Domain.ACCELERATOR, cycle, CwPath.CONSERVATIVE)
+        cycle = self._host_list[0].current_cycle
+        for host in self._host_list:
+            self.trace.record(host.domain, cycle, CwPath.CONSERVATIVE)
         self.run_conservative_cycle()
 
     # -- one transition ------------------------------------------------------------------
     def _run_transition(self, leader: DomainHost, remaining: int) -> TransitionRecord:
-        lagger = self.other_host(leader)
+        laggers = self.peer_hosts(leader)
         predictor = leader.predictor
         assert predictor is not None
         record = self.transitions.new_record(leader.domain, leader.current_cycle)
@@ -155,12 +165,13 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
         # (paper states P-5 / P-6).  The stored state is the leader state
         # *after* this cycle completes.
         self.trace.record(leader.domain, leader.current_cycle, CwPath.PREDICTION)
-        self.trace.record(lagger.domain, lagger.current_cycle, CwPath.CONSERVATIVE)
+        for lagger in laggers:
+            self.trace.record(lagger.domain, lagger.current_cycle, CwPath.CONSERVATIVE)
         self.run_conservative_cycle()
         remaining -= 1
         leader.store_checkpoint(label=f"transition_{record.index}")
 
-        # Run-Ahead step: leader proceeds, predicting the lagger's values.
+        # Run-Ahead step: leader proceeds, predicting the laggers' values.
         run_ahead_budget = min(self.config.lob_depth, max(remaining, 0))
         entries = self._run_ahead(leader, predictor, record, run_ahead_budget)
         if not entries:
@@ -170,22 +181,23 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
             record.outcome = TransitionOutcome.DEGENERATE
             return record
 
-        # Synchronisation: flush the LOB to the lagger as one burst access.
-        flush_words = self._flush_lob(leader, entries, record)
+        # Synchronisation: flush the LOB to every lagger as one burst access
+        # per sync channel.
+        flush_words = self._flush_lob(leader, laggers, entries, record)
         record.flush_words = flush_words
 
-        # Follow-Up step: the lagger replays the buffered cycles, checking
-        # each prediction.
+        # Follow-Up step: the laggers replay the buffered cycles in lock
+        # step, checking each prediction.
         failure_index, failure_reason, injected, actual_drive, actual_response = (
-            self._follow_up(lagger, predictor, entries)
+            self._follow_up(laggers, predictor, entries)
         )
 
         if failure_index is None:
-            self._finish_success(leader, lagger, record, entries)
+            self._finish_success(leader, laggers, record, entries)
         else:
             self._finish_misprediction(
                 leader,
-                lagger,
+                laggers,
                 record,
                 entries,
                 failure_index,
@@ -234,11 +246,16 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
 
     # -- flush (S-path, leader side) ---------------------------------------------------------------
     def _flush_lob(
-        self, leader: DomainHost, entries: List[LobEntry], record: TransitionRecord
+        self,
+        leader: DomainHost,
+        laggers: List[DomainHost],
+        entries: List[LobEntry],
+        record: TransitionRecord,
     ) -> int:
         # The flush is charged from the exact word counts the packetizer
-        # would produce; the burst itself is never materialised (the lagger
-        # consumes the LOB entries in-process).
+        # would produce; the burst itself is never materialised (the laggers
+        # consume the LOB entries in-process).  Each lagger receives its own
+        # burst over its sync channel with the leader.
         packetizer = self.packetizer
         n_words = 0
         for entry in entries:
@@ -252,11 +269,21 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
                     response=entry.prediction.response,
                 )
         self.trace.record(leader.domain, leader.current_cycle, CwPath.SYNCHRONIZATION)
-        self._charge_channel(leader, n_words, purpose="lob_flush", cycle=entries[0].cycle)
+        for lagger in laggers:
+            self._charge_channel(leader, lagger, n_words, purpose="lob_flush", cycle=entries[0].cycle)
         return n_words
 
     # -- FU step (L-path / R-path, lagger side) ---------------------------------------------------------
-    def _follow_up(self, lagger: DomainHost, predictor, entries: List[LobEntry]):
+    def _follow_up(self, laggers: List[DomainHost], predictor, entries: List[LobEntry]):
+        if not laggers:
+            # Single-domain topology: nothing external was predicted, so the
+            # whole run-ahead window commits unchecked.
+            return None, "", False, None, None
+        if len(laggers) == 1:
+            return self._follow_up_single(laggers[0], predictor, entries)
+        return self._follow_up_group(laggers, predictor, entries)
+
+    def _follow_up_single(self, lagger: DomainHost, predictor, entries: List[LobEntry]):
         failure_index: Optional[int] = None
         failure_reason = ""
         injected = False
@@ -281,20 +308,74 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
                 break
         return failure_index, failure_reason, injected, actual_drive, actual_response
 
+    def _follow_up_group(self, laggers: List[DomainHost], predictor, entries: List[LobEntry]):
+        """Multi-lagger follow-up: the laggers replay the buffered cycles in
+        lock step among themselves, exchanging their own boundary values
+        pairwise (conservatively) while the leader's contribution comes from
+        the LOB.  The leader's prediction is checked against the *merged*
+        lagger values -- exactly what the leader consumed during run-ahead."""
+        failure_index: Optional[int] = None
+        failure_reason = ""
+        injected = False
+        actual_drive = None
+        actual_response = None
+        packetizer = self.packetizer
+        for index, entry in enumerate(entries):
+            cycle = laggers[0].current_cycle
+            drives = {lagger.domain: lagger.drive() for lagger in laggers}
+            for src in laggers:
+                words = packetizer.drive_word_count(drives[src.domain])
+                for dst in laggers:
+                    if dst is not src:
+                        self._charge_channel(
+                            src, dst, words, purpose="followup_exchange", cycle=cycle
+                        )
+            merged = {}
+            lagger_response = None
+            for lagger in laggers:
+                remotes = [entry.leader_drive] + [
+                    drives[peer.domain] for peer in laggers if peer is not lagger
+                ]
+                merged[lagger.domain] = lagger.hbm.merge_drives(drives[lagger.domain], remotes)
+                local = lagger.respond(merged[lagger.domain]).response
+                if lagger_response is None and local is not None:
+                    lagger_response = local
+            commit_response = lagger_response or entry.leader_response or DataPhaseResult.okay()
+            for lagger in laggers:
+                lagger.commit(merged[lagger.domain], commit_response)
+                self.trace.record(lagger.domain, cycle, CwPath.LAGGER)
+            if entry.prediction is None:
+                continue
+            merged_drive = merge_boundary_drives([drives[lagger.domain] for lagger in laggers])
+            matched, reason = entry.prediction.check(merged_drive, lagger_response)
+            predictor.record_check(matched, entry.prediction.forced_failure)
+            if not matched:
+                failure_index = index
+                failure_reason = reason
+                injected = entry.prediction.forced_failure
+                actual_drive = merged_drive
+                actual_response = lagger_response
+                break
+        return failure_index, failure_reason, injected, actual_drive, actual_response
+
     # -- transition epilogue -----------------------------------------------------------------------------
     def _finish_success(
         self,
         leader: DomainHost,
-        lagger: DomainHost,
+        laggers: List[DomainHost],
         record: TransitionRecord,
         entries: List[LobEntry],
     ) -> None:
-        # R-path: the lagger reports success (one channel access).  The reply
-        # carries the lagger's current boundary outputs, mirroring the
-        # conventional read the leader skipped on its final run-ahead cycle.
+        # R-path: each lagger reports success (one channel access per sync
+        # channel).  The reply carries the lagger's current boundary outputs,
+        # mirroring the conventional read the leader skipped on its final
+        # run-ahead cycle.
         report_words = self.packetizer.cycle_word_count()
-        self.trace.record(lagger.domain, lagger.current_cycle, CwPath.REPORT)
-        self._charge_channel(lagger, report_words, purpose="followup_success", cycle=lagger.current_cycle)
+        for lagger in laggers:
+            self.trace.record(lagger.domain, lagger.current_cycle, CwPath.REPORT)
+            self._charge_channel(
+                lagger, leader, report_words, purpose="followup_success", cycle=lagger.current_cycle
+            )
         leader.discard_checkpoint()
         committed = len(entries)
         self.ledger.commit_cycles(committed)
@@ -304,7 +385,7 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
     def _finish_misprediction(
         self,
         leader: DomainHost,
-        lagger: DomainHost,
+        laggers: List[DomainHost],
         record: TransitionRecord,
         entries: List[LobEntry],
         failure_index: int,
@@ -315,13 +396,16 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
     ) -> None:
         predictor = leader.predictor
         assert predictor is not None
-        # L-5 / L-6: the lagger reports the prediction failure together with
-        # its actual values for the failed cycle (one channel access).
+        # L-5 / L-6: each lagger reports the prediction failure together with
+        # the actual values for the failed cycle (one channel access per sync
+        # channel; with several laggers the merged report is a conservative
+        # upper bound on each link's payload).
         report_words = self.packetizer.drive_word_count(actual_drive)
         report_words += self.packetizer.response_word_count(actual_response)
-        self._charge_channel(
-            lagger, report_words, purpose="followup_failure", cycle=lagger.current_cycle
-        )
+        for lagger in laggers:
+            self._charge_channel(
+                lagger, leader, report_words, purpose="followup_failure", cycle=lagger.current_cycle
+            )
         # S-5 / S-6 then RB step: leader stores the reported response and
         # rolls back to the checkpoint taken at the start of the transition.
         self.trace.record(leader.domain, leader.current_cycle, CwPath.SYNCHRONIZATION)
@@ -351,7 +435,7 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
     # -- reporting ------------------------------------------------------------------------------------------
     def _combined_prediction_stats(self) -> PredictionStats:
         combined = PredictionStats()
-        for host in (self.sim_host, self.acc_host):
+        for host in self._host_list:
             if host.predictor is None:
                 continue
             stats = host.predictor.stats

@@ -1,0 +1,290 @@
+"""Co-emulation topologies: which domains exist and how they are wired.
+
+The paper's Figure 2 hard-wires one software simulator against one hardware
+accelerator.  Real verification farms are richer: several accelerators or
+emulators attach to one simulation host, partitions may be simulator-only,
+and traffic can flow accelerator-to-accelerator.  This module makes that
+structure declarative:
+
+* :class:`DomainSpec` describes one verification domain -- its id, its
+  *kind* (``simulator`` or ``accelerator``), and optionally a per-domain
+  execution speed and checkpoint cost policy (``None`` falls back to the
+  engine configuration's per-kind defaults);
+* :class:`SyncChannel` is one pairwise synchronisation link with its own
+  timing parameters (``None`` falls back to the configured channel);
+* :class:`Topology` is the validated set of domains plus the channels
+  between them (a full mesh by default).
+
+The canonical two-domain topology (:meth:`Topology.canonical_pair`)
+reproduces the paper's setup exactly; engines built over it are
+byte-identical to the pre-topology code, which the golden regression suite
+enforces.  Topologies serialise to plain JSON (:meth:`Topology.as_dict` /
+:meth:`Topology.from_dict`) so run requests can carry them across process
+boundaries and the CLI can accept them from files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..channel.phy import ChannelTimingParams
+from ..sim.checkpoint import StateCostModel
+from ..sim.component import Domain
+from ..sim.time_model import DomainSpeed
+
+#: A domain identifier.  Interned strings; see :class:`repro.sim.component.Domain`.
+DomainId = Domain
+
+#: Ledger category names a domain id may not shadow (the per-domain execution
+#: buckets share the ledger with these bookkeeping categories).
+RESERVED_DOMAIN_IDS = frozenset({"state_store", "state_restore", "channel", "other"})
+
+
+class TopologyError(ValueError):
+    """Raised for structurally invalid topologies."""
+
+
+class DomainKind(str, Enum):
+    """What kind of execution engine hosts a domain."""
+
+    SIMULATOR = "simulator"
+    ACCELERATOR = "accelerator"
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """Static description of one verification domain.
+
+    ``speed`` and ``state_costs`` may be left ``None``, in which case the
+    engine resolves them from its :class:`~repro.core.coemulation.
+    CoEmulationConfig` by kind (the paper's simulator/accelerator defaults).
+    """
+
+    domain: DomainId
+    kind: DomainKind
+    speed: Optional[DomainSpeed] = None
+    state_costs: Optional[StateCostModel] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "domain", Domain(self.domain))
+        object.__setattr__(self, "kind", DomainKind(self.kind))
+        if self.domain in RESERVED_DOMAIN_IDS:
+            raise TopologyError(
+                f"domain id {self.domain.value!r} collides with a reserved "
+                f"ledger category ({sorted(RESERVED_DOMAIN_IDS)})"
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"domain": self.domain.value, "kind": self.kind.value}
+        if self.speed is not None:
+            payload["cycles_per_second"] = self.speed.cycles_per_second
+        if self.state_costs is not None:
+            payload["state_costs"] = {
+                "store_time_per_variable": self.state_costs.store_time_per_variable,
+                "restore_time_per_variable": self.state_costs.restore_time_per_variable,
+                "fixed_store_overhead": self.state_costs.fixed_store_overhead,
+                "fixed_restore_overhead": self.state_costs.fixed_restore_overhead,
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DomainSpec":
+        speed = payload.get("cycles_per_second")
+        costs = payload.get("state_costs")
+        return cls(
+            domain=Domain(payload["domain"]),
+            kind=DomainKind(payload["kind"]),
+            speed=None if speed is None else DomainSpeed(float(speed)),
+            state_costs=None if costs is None else StateCostModel(**dict(costs)),
+        )
+
+
+@dataclass(frozen=True)
+class SyncChannel:
+    """One pairwise synchronisation link between two domains.
+
+    The orientation is normalised by the owning topology (the endpoint that
+    comes first in domain order plays the channel's "simulator side" for
+    direction-dependent word timings).  ``params=None`` uses the engine
+    configuration's channel parameters.
+    """
+
+    a: DomainId
+    b: DomainId
+    params: Optional[ChannelTimingParams] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "a", Domain(self.a))
+        object.__setattr__(self, "b", Domain(self.b))
+        if self.a == self.b:
+            raise TopologyError(f"sync channel endpoints must differ (got {self.a.value!r})")
+
+    @property
+    def pair(self) -> frozenset:
+        return frozenset((self.a, self.b))
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"a": self.a.value, "b": self.b.value}
+        if self.params is not None:
+            payload["params"] = {
+                "startup_overhead": self.params.startup_overhead,
+                "sim_to_acc_word_time": self.params.sim_to_acc_word_time,
+                "acc_to_sim_word_time": self.params.acc_to_sim_word_time,
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SyncChannel":
+        params = payload.get("params")
+        return cls(
+            a=Domain(payload["a"]),
+            b=Domain(payload["b"]),
+            params=None if params is None else ChannelTimingParams(**dict(params)),
+        )
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A validated set of domains plus their pairwise sync channels.
+
+    ``channels=()`` (the default) derives a full mesh: one channel per
+    unordered domain pair, in domain order.  Explicit channel lists may
+    restrict connectivity or attach per-link timing parameters; engines
+    raise when they need a pair that has no channel.
+    """
+
+    domains: Tuple[DomainSpec, ...]
+    channels: Tuple[SyncChannel, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "domains", tuple(self.domains))
+        if not self.domains:
+            raise TopologyError("a topology needs at least one domain")
+        ids = [spec.domain for spec in self.domains]
+        if len(set(ids)) != len(ids):
+            raise TopologyError(f"duplicate domain ids in topology: {ids}")
+        channels = tuple(self.channels)
+        if not channels:
+            channels = tuple(
+                SyncChannel(a=ids[i], b=ids[j])
+                for i in range(len(ids))
+                for j in range(i + 1, len(ids))
+            )
+        known = set(ids)
+        seen_pairs = set()
+        for channel in channels:
+            if channel.a not in known or channel.b not in known:
+                raise TopologyError(
+                    f"sync channel {channel.a.value!r}<->{channel.b.value!r} references "
+                    f"a domain not in the topology ({sorted(d.value for d in known)})"
+                )
+            if channel.pair in seen_pairs:
+                raise TopologyError(
+                    f"duplicate sync channel between {channel.a.value!r} and {channel.b.value!r}"
+                )
+            seen_pairs.add(channel.pair)
+        object.__setattr__(self, "channels", channels)
+
+    # -- lookups ---------------------------------------------------------------
+    @property
+    def domain_ids(self) -> Tuple[DomainId, ...]:
+        return tuple(spec.domain for spec in self.domains)
+
+    @property
+    def n_domains(self) -> int:
+        return len(self.domains)
+
+    def spec_for(self, domain: DomainId) -> DomainSpec:
+        domain = Domain(domain)
+        for spec in self.domains:
+            if spec.domain == domain:
+                return spec
+        raise TopologyError(f"domain {domain.value!r} is not part of this topology")
+
+    def index_of(self, domain: DomainId) -> int:
+        domain = Domain(domain)
+        for index, spec in enumerate(self.domains):
+            if spec.domain == domain:
+                return index
+        raise TopologyError(f"domain {domain.value!r} is not part of this topology")
+
+    def domains_of_kind(self, kind: DomainKind) -> List[DomainSpec]:
+        kind = DomainKind(kind)
+        return [spec for spec in self.domains if spec.kind is kind]
+
+    def first_of_kind(self, kind: DomainKind) -> Optional[DomainId]:
+        for spec in self.domains:
+            if spec.kind is DomainKind(kind):
+                return spec.domain
+        return None
+
+    def channel_between(self, a: DomainId, b: DomainId) -> SyncChannel:
+        pair = frozenset((Domain(a), Domain(b)))
+        for channel in self.channels:
+            if channel.pair == pair:
+                return channel
+        raise TopologyError(
+            f"no sync channel between {Domain(a).value!r} and {Domain(b).value!r} "
+            "in this topology"
+        )
+
+    def oriented_pair(self, channel: SyncChannel) -> Tuple[DomainId, DomainId]:
+        """The channel endpoints in domain order (first endpoint = "sim side")."""
+        if self.index_of(channel.a) <= self.index_of(channel.b):
+            return channel.a, channel.b
+        return channel.b, channel.a
+
+    @property
+    def is_canonical_pair(self) -> bool:
+        """True for the paper's simulator+accelerator two-domain layout."""
+        return self.domain_ids == (Domain.SIMULATOR, Domain.ACCELERATOR) and (
+            self.domains[0].kind is DomainKind.SIMULATOR
+            and self.domains[1].kind is DomainKind.ACCELERATOR
+        )
+
+    def describe(self) -> str:
+        """Compact one-line rendering, e.g. ``simulator+acc0+acc1``."""
+        return "+".join(spec.domain.value for spec in self.domains)
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def canonical_pair(cls) -> "Topology":
+        """The paper's hard-wired simulator/accelerator split as a topology."""
+        return cls(
+            domains=(
+                DomainSpec(domain=Domain.SIMULATOR, kind=DomainKind.SIMULATOR),
+                DomainSpec(domain=Domain.ACCELERATOR, kind=DomainKind.ACCELERATOR),
+            )
+        )
+
+    @classmethod
+    def star(
+        cls,
+        hub: DomainSpec,
+        leaves: Sequence[DomainSpec],
+        params: Optional[ChannelTimingParams] = None,
+    ) -> "Topology":
+        """A hub-and-spoke topology: every leaf syncs only with the hub.
+
+        Models the common farm layout where accelerators attach to one
+        simulation host and never talk to each other directly.
+        """
+        channels = tuple(SyncChannel(a=hub.domain, b=leaf.domain, params=params) for leaf in leaves)
+        return cls(domains=(hub, *leaves), channels=channels)
+
+    # -- serialisation ---------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"domains": [spec.as_dict() for spec in self.domains]}
+        # A derived full mesh round-trips as the default (empty) channel list.
+        mesh = Topology(domains=self.domains)
+        if self.channels != mesh.channels:
+            payload["channels"] = [channel.as_dict() for channel in self.channels]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Topology":
+        domains = tuple(DomainSpec.from_dict(d) for d in payload["domains"])
+        channels = tuple(SyncChannel.from_dict(c) for c in payload.get("channels", ()))
+        return cls(domains=domains, channels=channels)

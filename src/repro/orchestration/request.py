@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from ..core.coemulation import CoEmulationConfig, CoEmulationResult, DEFAULT_LOB_DEPTH
 from ..core.engine import create_engine, engine_for_mode, get_engine_info
 from ..core.modes import OperatingMode
+from ..core.topology import Topology
 from ..sim.time_model import DomainSpeed
 from ..workloads.catalog import build_scenario
 
@@ -72,6 +73,10 @@ class RunRequest:
             ``mode``; ``"analytical"`` selects the closed-form pseudo-engine).
         scenario_params: keyword arguments for the scenario builder.
         config_overrides: extra :class:`CoEmulationConfig` fields by name.
+        topology: serialised :class:`~repro.core.topology.Topology` override
+            (``Topology.as_dict()`` shape); ``None`` uses the scenario's own
+            layout.  Omitted from the canonical encoding when ``None`` so
+            topology-free request ids are unchanged.
         label: free-form display label.
     """
 
@@ -84,6 +89,7 @@ class RunRequest:
     engine: Optional[str] = None
     scenario_params: Mapping[str, Any] = field(default_factory=dict)
     config_overrides: Mapping[str, Any] = field(default_factory=dict)
+    topology: Optional[Mapping[str, Any]] = None
     label: str = ""
 
     @property
@@ -95,7 +101,16 @@ class RunRequest:
         payload = asdict(self)
         payload["scenario_params"] = dict(self.scenario_params)
         payload["config_overrides"] = dict(self.config_overrides)
+        if self.topology is None:
+            # Pre-topology requests must keep their historical ids/digests.
+            payload.pop("topology")
+        else:
+            payload["topology"] = dict(self.topology)
         return payload
+
+    def topology_override(self) -> Optional[Topology]:
+        """The deserialised topology override, if any (validates the payload)."""
+        return None if self.topology is None else Topology.from_dict(self.topology)
 
     def operating_mode(self) -> OperatingMode:
         return OperatingMode(self.mode)
@@ -113,6 +128,9 @@ class RunRequest:
             "forced_accuracy": self.accuracy,
             "forced_accuracy_seed": self.seed,
         }
+        topology = self.topology_override()
+        if topology is not None:
+            kwargs["topology"] = topology
         overrides = dict(self.config_overrides)
         for scalar_key, field_name in _SCALAR_CONFIG_OVERRIDES.items():
             if scalar_key in overrides:
@@ -207,10 +225,12 @@ def execute_request(request: RunRequest) -> RunRecord:
     # the engine ends up touching the mechanism.
     spec = build_scenario(request.scenario, **dict(request.scenario_params))
     if info.requires_split:
-        sim_hbm, acc_hbm, _ = spec.build_split()
+        # The scenario's own multi-domain layout applies unless the request
+        # carried an explicit ``topology=`` override (prepare_run's rule).
+        config, partition = spec.prepare_run(config)
     else:
-        sim_hbm = acc_hbm = None
-    result = create_engine(config, sim_hbm, acc_hbm, engine=engine_name).run()
+        partition = None
+    result = create_engine(config, partition=partition, engine=engine_name).run()
     return RunRecord(
         request_id=request.request_id,
         label=request.display_label(),
@@ -244,6 +264,7 @@ def grid_requests(
     engine: Optional[str] = None,
     scenario_params: Optional[Mapping[str, Any]] = None,
     config_overrides: Optional[Mapping[str, Any]] = None,
+    topology: Optional[Mapping[str, Any]] = None,
 ) -> List[RunRequest]:
     """Expand a parameter grid into an ordered request list.
 
@@ -270,6 +291,7 @@ def grid_requests(
                             engine=engine,
                             scenario_params=dict(scenario_params or {}),
                             config_overrides=dict(config_overrides or {}),
+                            topology=None if topology is None else dict(topology),
                         )
                     )
     return requests

@@ -8,25 +8,80 @@ checkpointing (rollback support).
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from enum import Enum
-from typing import Any, Iterable, Optional
+from typing import Any, ClassVar, Dict, Iterable, Optional
 
 
-class Domain(str, Enum):
-    """The verification domain a component belongs to.
+class Domain(str):
+    """An open verification-domain identifier.
 
     The paper splits the SoC into a *simulation domain* (transaction-level
     blocks executed by the software simulator) and an *acceleration domain*
-    (RTL blocks executed by the hardware accelerator).
+    (RTL blocks executed by the hardware accelerator).  Those two remain the
+    canonical aliases :attr:`Domain.SIMULATOR` / :attr:`Domain.ACCELERATOR`,
+    but a topology may declare any number of domains (several accelerators
+    attached to one simulation host, simulator-only partitions, ...), each
+    identified by an arbitrary id such as ``Domain("acc0")``.
+
+    Instances are interned: ``Domain("simulator") is Domain.SIMULATOR`` holds,
+    so identity comparisons written against the old two-member enum keep
+    working, as do equality comparisons against plain strings.  What a domain
+    *is* (simulator or accelerator, how fast, how it checkpoints) lives in
+    :class:`repro.core.topology.DomainSpec`, not in the id.
     """
 
-    SIMULATOR = "simulator"
-    ACCELERATOR = "accelerator"
+    __slots__ = ()
+
+    _interned: ClassVar[Dict[str, "Domain"]] = {}
+
+    SIMULATOR: ClassVar["Domain"]
+    ACCELERATOR: ClassVar["Domain"]
+
+    def __new__(cls, value: str) -> "Domain":
+        if isinstance(value, Domain):
+            return value
+        interned = cls._interned.get(value)
+        if interned is None:
+            if not isinstance(value, str) or not value or value != value.strip():
+                raise ValueError(f"invalid domain id {value!r}")
+            interned = super().__new__(cls, value)
+            cls._interned[value] = interned
+        return interned
+
+    @property
+    def value(self) -> str:
+        """The id as a plain string (enum-era spelling, kept for callers)."""
+        return str(self)
 
     @property
     def other(self) -> "Domain":
-        return Domain.ACCELERATOR if self is Domain.SIMULATOR else Domain.SIMULATOR
+        """Deprecated: the peer of the canonical two-domain pair.
+
+        Only defined for :attr:`SIMULATOR` / :attr:`ACCELERATOR`; topologies
+        with more (or fewer) domains have no unique "other" side.  Enumerate
+        peers through :class:`repro.core.topology.Topology` instead.
+        """
+        warnings.warn(
+            "Domain.other is deprecated: it is only defined for the canonical "
+            "simulator/accelerator pair. Enumerate peer domains through "
+            "repro.core.topology.Topology instead.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self is Domain.SIMULATOR:
+            return Domain.ACCELERATOR
+        if self is Domain.ACCELERATOR:
+            return Domain.SIMULATOR
+        raise ValueError(f"Domain.other is undefined for non-canonical domain {self.value!r}")
+
+    def __repr__(self) -> str:
+        return f"Domain({str(self)!r})"
+
+
+Domain.SIMULATOR = Domain("simulator")
+Domain.ACCELERATOR = Domain("accelerator")
 
 
 class AbstractionLevel(str, Enum):

@@ -73,11 +73,20 @@ class WallClockLedger:
     )
     committed_cycles: int = 0
 
+    def ensure_category(self, category: str) -> None:
+        """Register an extra category (e.g. a non-canonical domain id).
+
+        The canonical categories exist from construction; multi-domain
+        topologies add one execution bucket per domain id before charging.
+        """
+        self.buckets.setdefault(category, 0.0)
+
     def charge(self, category: str, seconds: float) -> None:
         """Add ``seconds`` of modelled time to ``category``."""
         if category not in self.buckets:
             raise LedgerError(
-                f"unknown ledger category {category!r}; expected one of {CATEGORIES}"
+                f"unknown ledger category {category!r}; expected one of "
+                f"{tuple(self.buckets)} (use ensure_category for per-domain buckets)"
             )
         if seconds < 0:
             raise LedgerError(f"cannot charge negative time ({seconds})")

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ahb.signals import HBurst
+from ..core.topology import DomainKind, DomainSpec, Topology
 from ..sim.component import AbstractionLevel, Domain
 from .generators import (
     AddressWindow,
@@ -510,6 +511,221 @@ def sparse_telemetry_soc(n_samples: int = 12, period: int = 24, seed: int = 43) 
         description="mostly-idle bus with short periodic telemetry bursts",
         masters=masters,
         slaves=slaves,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-domain topologies.
+# ---------------------------------------------------------------------------
+
+#: Windows used by the multi-domain scenarios (one per extra accelerator).
+ACC1_BUFFER_WINDOW = AddressWindow(base=0x6000_0000, size=0x4000)
+FARM_WINDOWS = (
+    AddressWindow(base=0x7000_0000, size=0x4000),
+    AddressWindow(base=0x7100_0000, size=0x4000),
+    AddressWindow(base=0x7200_0000, size=0x4000),
+    AddressWindow(base=0x7300_0000, size=0x4000),
+)
+
+
+@register_scenario(
+    "dual_accelerator_pipeline",
+    tags=("multi-domain", "pipeline", "als-friendly"),
+)
+def dual_accelerator_pipeline_soc(n_bursts: int = 10, seed: int = 53) -> SocSpec:
+    """Three domains: one accelerator streams into another and into the host.
+
+    The first accelerator (``acc0``) hosts every data-flow source: one RTL
+    DMA writes into a staging buffer modelled on a *second* accelerator
+    (``acc1``, pure accelerator-to-accelerator traffic that never existed in
+    the two-domain world) and another streams results into simulator memory.
+    With all sources in ``acc0``, ALS elects it leader and runs optimistically
+    across both sync channels.
+    """
+    acc0, acc1 = Domain("acc0"), Domain("acc1")
+    topology = Topology(
+        domains=(
+            DomainSpec(domain=Domain.SIMULATOR, kind=DomainKind.SIMULATOR),
+            DomainSpec(domain=acc0, kind=DomainKind.ACCELERATOR),
+            DomainSpec(domain=acc1, kind=DomainKind.ACCELERATOR),
+        )
+    )
+    masters = [
+        MasterSpec(
+            master_id=0,
+            name="rtl_stage_writer",
+            domain=acc0,
+            level=AbstractionLevel.RTL,
+            transactions=lambda: streaming_write_traffic(
+                0, ACC1_BUFFER_WINDOW, n_bursts=n_bursts, seed=seed
+            ),
+        ),
+        MasterSpec(
+            master_id=1,
+            name="rtl_result_writer",
+            domain=acc0,
+            level=AbstractionLevel.RTL,
+            transactions=lambda: streaming_write_traffic(
+                1, SIM_MEMORY_WINDOW, n_bursts=n_bursts, seed=seed + 1, issue_gap=1
+            ),
+        ),
+    ]
+    slaves = [
+        SlaveSpec(
+            slave_id=0,
+            name="acc1_stage_buffer",
+            domain=acc1,
+            base=ACC1_BUFFER_WINDOW.base,
+            size=ACC1_BUFFER_WINDOW.size,
+            level=AbstractionLevel.RTL,
+        ),
+        SlaveSpec(
+            slave_id=1,
+            name="sim_result_memory",
+            domain=Domain.SIMULATOR,
+            base=SIM_MEMORY_WINDOW.base,
+            size=SIM_MEMORY_WINDOW.size,
+        ),
+        SlaveSpec(
+            slave_id=2,
+            name="acc0_sram",
+            domain=acc0,
+            base=ACC_MEMORY_WINDOW.base,
+            size=ACC_MEMORY_WINDOW.size,
+            level=AbstractionLevel.RTL,
+        ),
+    ]
+    return SocSpec(
+        name="dual_accelerator_pipeline",
+        description="acc0 streams into acc1 and the simulator (3-domain pipeline)",
+        masters=masters,
+        slaves=slaves,
+        topology=topology,
+    )
+
+
+@register_scenario(
+    "accelerator_farm_4x",
+    tags=("multi-domain", "farm", "contention"),
+)
+def accelerator_farm_4x_soc(
+    n_accelerators: int = 4, n_bursts: int = 6, seed: int = 59
+) -> SocSpec:
+    """One simulation host fronting a farm of accelerators.
+
+    Each accelerator hosts one RTL DMA writing into its own simulator-side
+    result window.  With sources spread across the farm no single leader can
+    predict everything while several DMAs are active, so the engines degrade
+    gracefully between optimistic windows and N-way conservative lock-step --
+    the regime that exercises the sync-channel mesh hardest.
+    """
+    if not 1 <= n_accelerators <= len(FARM_WINDOWS):
+        raise ValueError(f"n_accelerators must be within [1, {len(FARM_WINDOWS)}]")
+    farm = [Domain(f"acc{i}") for i in range(n_accelerators)]
+    topology = Topology(
+        domains=(
+            DomainSpec(domain=Domain.SIMULATOR, kind=DomainKind.SIMULATOR),
+            *(DomainSpec(domain=d, kind=DomainKind.ACCELERATOR) for d in farm),
+        )
+    )
+
+    def dma_traffic(index: int):
+        return lambda: streaming_write_traffic(
+            index,
+            FARM_WINDOWS[index],
+            n_bursts=n_bursts,
+            seed=seed + index,
+            issue_gap=2 * index,
+        )
+
+    masters = [
+        MasterSpec(
+            master_id=index,
+            name=f"rtl_farm_dma{index}",
+            domain=farm[index],
+            level=AbstractionLevel.RTL,
+            transactions=dma_traffic(index),
+        )
+        for index in range(n_accelerators)
+    ]
+    slaves = [
+        SlaveSpec(
+            slave_id=index,
+            name=f"sim_result_window{index}",
+            domain=Domain.SIMULATOR,
+            base=FARM_WINDOWS[index].base,
+            size=FARM_WINDOWS[index].size,
+        )
+        for index in range(n_accelerators)
+    ]
+    return SocSpec(
+        name="accelerator_farm_4x",
+        description="a farm of accelerators streaming into one simulation host",
+        masters=masters,
+        slaves=slaves,
+        topology=topology,
+    )
+
+
+@register_scenario(
+    "sim_only_baseline",
+    tags=("multi-domain", "baseline", "single-domain"),
+)
+def sim_only_baseline_soc(n_bursts: int = 12, seed: int = 61) -> SocSpec:
+    """Everything in one simulator domain: no channel, no synchronisation.
+
+    The degenerate single-domain topology is the natural baseline for the
+    co-emulation overhead studies: the same traffic as a split run but with
+    zero channel accesses and no optimism to exploit, so conservative and
+    ALS runs are trivially identical.
+    """
+    topology = Topology(
+        domains=(DomainSpec(domain=Domain.SIMULATOR, kind=DomainKind.SIMULATOR),)
+    )
+    masters = [
+        MasterSpec(
+            master_id=0,
+            name="tl_cpu",
+            domain=Domain.SIMULATOR,
+            transactions=lambda: cpu_like_traffic(
+                0,
+                code_window=SIM_BUFFER_WINDOW,
+                data_window=SIM_MEMORY_WINDOW,
+                n_transactions=n_bursts * 2,
+                seed=seed,
+            ),
+        ),
+        MasterSpec(
+            master_id=1,
+            name="tl_dma",
+            domain=Domain.SIMULATOR,
+            transactions=lambda: streaming_write_traffic(
+                1, SIM_MEMORY_WINDOW, n_bursts=n_bursts, seed=seed + 1
+            ),
+        ),
+    ]
+    slaves = [
+        SlaveSpec(
+            slave_id=0,
+            name="sim_main_memory",
+            domain=Domain.SIMULATOR,
+            base=SIM_MEMORY_WINDOW.base,
+            size=SIM_MEMORY_WINDOW.size,
+        ),
+        SlaveSpec(
+            slave_id=1,
+            name="sim_code_memory",
+            domain=Domain.SIMULATOR,
+            base=SIM_BUFFER_WINDOW.base,
+            size=SIM_BUFFER_WINDOW.size,
+        ),
+    ]
+    return SocSpec(
+        name="sim_only_baseline",
+        description="single-domain baseline: the whole SoC inside the simulator",
+        masters=masters,
+        slaves=slaves,
+        topology=topology,
     )
 
 

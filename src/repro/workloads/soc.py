@@ -23,6 +23,7 @@ from ..ahb.half_bus import HalfBusModel
 from ..ahb.master import TrafficMaster
 from ..ahb.slave import AhbSlave, FifoPeripheralSlave, MemorySlave
 from ..ahb.transaction import BusTransaction
+from ..core.topology import Topology
 from ..sim.component import AbstractionLevel, Domain
 from .generators import AddressWindow
 
@@ -71,6 +72,9 @@ class SocSpec:
     masters: List[MasterSpec] = field(default_factory=list)
     slaves: List[SlaveSpec] = field(default_factory=list)
     description: str = ""
+    #: Multi-domain layout of this SoC; ``None`` means the paper's canonical
+    #: simulator/accelerator pair.
+    topology: Optional[Topology] = None
     #: Memoized master traffic (master_id -> generated transactions); enabled
     #: by :meth:`cache_traffic` so sweeps do not re-run the generators for
     #: every sweep point.
@@ -79,7 +83,7 @@ class SocSpec:
     )
 
     # -- validation ------------------------------------------------------------
-    def validate(self) -> None:
+    def validate(self, topology: Optional[Topology] = None) -> None:
         master_ids = [m.master_id for m in self.masters]
         slave_ids = [s.slave_id for s in self.slaves]
         if len(set(master_ids)) != len(master_ids):
@@ -90,12 +94,25 @@ class SocSpec:
             raise ValueError(f"SoC {self.name!r} has no masters")
         if not self.slaves:
             raise ValueError(f"SoC {self.name!r} has no slaves")
+        topology = topology or self.resolved_topology()
+        known = set(topology.domain_ids)
+        for component in (*self.masters, *self.slaves):
+            if Domain(component.domain) not in known:
+                raise ValueError(
+                    f"SoC {self.name!r}: {component.name!r} lives in domain "
+                    f"{Domain(component.domain).value!r}, which is not part of the "
+                    f"topology ({topology.describe()})"
+                )
+
+    def resolved_topology(self) -> Topology:
+        """This SoC's topology (the canonical pair unless declared)."""
+        return self.topology if self.topology is not None else Topology.canonical_pair()
 
     def masters_in(self, domain: Domain) -> List[MasterSpec]:
-        return [m for m in self.masters if m.domain is domain]
+        return [m for m in self.masters if Domain(m.domain) == Domain(domain)]
 
     def slaves_in(self, domain: Domain) -> List[SlaveSpec]:
-        return [s for s in self.slaves if s.domain is domain]
+        return [s for s in self.slaves if Domain(s.domain) == Domain(domain)]
 
     # -- component instantiation -------------------------------------------------
     def cache_traffic(self) -> "SocSpec":
@@ -169,36 +186,82 @@ class SocSpec:
         bus.finalize()
         return bus, masters
 
-    def build_split(self) -> Tuple[HalfBusModel, HalfBusModel, Dict[int, TrafficMaster]]:
-        """Instantiate the split system: (simulator HBM, accelerator HBM)."""
-        self.validate()
-        sim_hbm = HalfBusModel(name=f"{self.name}_hbms", domain=Domain.SIMULATOR)
-        acc_hbm = HalfBusModel(name=f"{self.name}_hbma", domain=Domain.ACCELERATOR)
+    def _hbm_name(self, domain: Domain) -> str:
+        # Keep the paper-era names for the canonical pair (HBMS / HBMA).
+        if domain is Domain.SIMULATOR:
+            return f"{self.name}_hbms"
+        if domain is Domain.ACCELERATOR:
+            return f"{self.name}_hbma"
+        return f"{self.name}_hbm_{domain.value}"
+
+    def _instantiate_partition(
+        self, topology: Optional[Topology] = None
+    ) -> Tuple[Dict[Domain, HalfBusModel], Dict[int, TrafficMaster]]:
+        topology = topology or self.resolved_topology()
+        self.validate(topology)
+        partition: Dict[Domain, HalfBusModel] = {
+            spec.domain: HalfBusModel(name=self._hbm_name(spec.domain), domain=spec.domain)
+            for spec in topology.domains
+        }
         masters: Dict[int, TrafficMaster] = {}
         for master_spec in self.masters:
             master = self._build_master(master_spec)
             masters[master.master_id] = master
-            if master_spec.domain is Domain.SIMULATOR:
-                sim_hbm.add_local_master(master)
-                acc_hbm.add_remote_master(master.master_id)
-            else:
-                acc_hbm.add_local_master(master)
-                sim_hbm.add_remote_master(master.master_id)
+            home = Domain(master_spec.domain)
+            partition[home].add_local_master(master)
+            for domain, hbm in partition.items():
+                if domain != home:
+                    hbm.add_remote_master(master.master_id)
         for slave_spec in self.slaves:
             slave = self._build_slave(slave_spec)
-            if slave_spec.domain is Domain.SIMULATOR:
-                sim_hbm.add_local_slave(slave, slave_spec.base, slave_spec.size)
-                acc_hbm.add_remote_slave(
-                    slave.slave_id, slave_spec.base, slave_spec.size, name=slave_spec.name
-                )
-            else:
-                acc_hbm.add_local_slave(slave, slave_spec.base, slave_spec.size)
-                sim_hbm.add_remote_slave(
-                    slave.slave_id, slave_spec.base, slave_spec.size, name=slave_spec.name
-                )
-        sim_hbm.finalize()
-        acc_hbm.finalize()
-        return sim_hbm, acc_hbm, masters
+            home = Domain(slave_spec.domain)
+            partition[home].add_local_slave(slave, slave_spec.base, slave_spec.size)
+            for domain, hbm in partition.items():
+                if domain != home:
+                    hbm.add_remote_slave(
+                        slave.slave_id, slave_spec.base, slave_spec.size, name=slave_spec.name
+                    )
+        for hbm in partition.values():
+            hbm.finalize()
+        return partition, masters
+
+    def build_partition(self, topology: Optional[Topology] = None) -> Dict[Domain, HalfBusModel]:
+        """Instantiate one half bus model per topology domain.
+
+        ``topology`` overrides the spec's own layout (e.g. a run request's
+        serialised override); the mapping iterates in topology domain order.
+        The canonical two-domain case is byte-identical to the historical
+        :meth:`build_split` pair.
+        """
+        partition, _ = self._instantiate_partition(topology)
+        return partition
+
+    def prepare_run(self, config) -> Tuple["CoEmulationConfig", Dict[Domain, HalfBusModel]]:
+        """Resolve this spec's topology into ``config`` and build its partition.
+
+        The single precedence rule shared by the orchestrator, the sweep
+        helpers and the benchmarks: an explicit ``config.topology`` (e.g. a
+        run-request override) wins, otherwise the spec's own layout (or the
+        canonical pair) is filled in.  Returns ``(config, partition)``.
+        """
+        if config.topology is None and self.topology is not None:
+            config = replace(config, topology=self.topology)
+        return config, self.build_partition(config.resolve_topology())
+
+    def build_split(self) -> Tuple[HalfBusModel, HalfBusModel, Dict[int, TrafficMaster]]:
+        """Instantiate the canonical split: (simulator HBM, accelerator HBM).
+
+        Only defined for two-domain canonical topologies; multi-domain SoCs
+        must use :meth:`build_partition`.
+        """
+        topology = self.resolved_topology()
+        if not topology.is_canonical_pair:
+            raise ValueError(
+                f"SoC {self.name!r} has a non-canonical topology "
+                f"({topology.describe()}); use build_partition() instead of build_split()"
+            )
+        partition, masters = self._instantiate_partition(topology)
+        return partition[Domain.SIMULATOR], partition[Domain.ACCELERATOR], masters
 
 
 # ---------------------------------------------------------------------------

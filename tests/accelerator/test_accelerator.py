@@ -71,6 +71,31 @@ def test_accelerator_rejects_simulator_domain_half_bus():
         EmulatedAccelerator().map_design(sim_hbm)
 
 
+def test_accelerator_rejects_simulator_kind_domain_via_topology():
+    from repro.ahb.half_bus import HalfBusModel
+    from repro.core.topology import DomainKind, DomainSpec, Topology
+    from repro.sim.component import Domain
+
+    topology = Topology(
+        domains=(
+            DomainSpec(Domain("host"), DomainKind.SIMULATOR),
+            DomainSpec(Domain("acc0"), DomainKind.ACCELERATOR),
+        )
+    )
+    host_hbm = HalfBusModel("host_hbm", Domain("host"))
+    with pytest.raises(AcceleratorError, match="kind"):
+        EmulatedAccelerator().map_design(host_hbm, topology=topology)
+
+
+def test_accelerator_pins_to_one_farm_domain():
+    from repro.ahb.half_bus import HalfBusModel
+    from repro.sim.component import Domain
+
+    acc1_hbm = HalfBusModel("acc1_hbm", Domain("acc1"))
+    with pytest.raises(AcceleratorError, match="emulates domain"):
+        EmulatedAccelerator().map_design(acc1_hbm, domain=Domain("acc0"))
+
+
 def test_capacity_overflow_is_detected():
     spec = als_streaming_soc(n_bursts=2)
     _, acc_hbm, _ = spec.build_split()

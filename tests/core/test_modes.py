@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.ahb.half_bus import NeededFields
 from repro.core.modes import (
     AutoModePolicy,
     ConservativePolicy,
@@ -10,18 +9,16 @@ from repro.core.modes import (
     StaticLeaderPolicy,
     policy_for_mode,
 )
+from repro.core.topology import DomainKind, DomainSpec, Topology
 from repro.sim.component import Domain
 
 
-def fields():
-    return NeededFields(
-        remote_master_ids=(1,),
-        needs_remote_requests=True,
-        needs_remote_address_phase=False,
-        needs_remote_hwdata=False,
-        needs_remote_response=False,
-        response_is_read=False,
-    )
+def candidates(sim_can_predict: bool, acc_can_predict: bool):
+    """Canonical-pair predictability mapping, in topology order."""
+    return {
+        Domain.SIMULATOR: sim_can_predict,
+        Domain.ACCELERATOR: acc_can_predict,
+    }
 
 
 def test_mode_leader_domains():
@@ -39,38 +36,53 @@ def test_mode_optimism_flag():
 
 
 def test_conservative_policy_never_goes_optimistic():
-    decision = ConservativePolicy().decide(fields(), fields(), True, True)
+    decision = ConservativePolicy().decide(candidates(True, True))
     assert not decision.optimistic
 
 
 def test_static_leader_policy_follows_predictability():
     policy = StaticLeaderPolicy(Domain.ACCELERATOR)
-    assert policy.decide(fields(), fields(), sim_can_predict=False, acc_can_predict=True).optimistic
-    blocked = policy.decide(fields(), fields(), sim_can_predict=True, acc_can_predict=False)
+    assert policy.decide(candidates(False, True)).optimistic
+    blocked = policy.decide(candidates(True, False))
     assert not blocked.optimistic
     assert blocked.leader is Domain.ACCELERATOR
 
 
 def test_static_sla_policy_uses_simulator_predictability():
     policy = StaticLeaderPolicy(Domain.SIMULATOR)
-    decision = policy.decide(fields(), fields(), sim_can_predict=True, acc_can_predict=False)
+    decision = policy.decide(candidates(True, False))
     assert decision.optimistic and decision.leader is Domain.SIMULATOR
+
+
+def test_static_leader_absent_from_topology_degrades_to_conservative():
+    policy = StaticLeaderPolicy(Domain.ACCELERATOR)
+    decision = policy.decide({Domain.SIMULATOR: True})
+    assert not decision.optimistic
+    assert "not part of this topology" in decision.reason
 
 
 def test_auto_policy_prefers_preferred_domain():
     policy = AutoModePolicy(prefer=Domain.ACCELERATOR)
-    decision = policy.decide(fields(), fields(), sim_can_predict=True, acc_can_predict=True)
+    decision = policy.decide(candidates(True, True))
     assert decision.leader is Domain.ACCELERATOR
-    decision = policy.decide(fields(), fields(), sim_can_predict=True, acc_can_predict=False)
+    decision = policy.decide(candidates(True, False))
     assert decision.leader is Domain.SIMULATOR
-    decision = policy.decide(fields(), fields(), sim_can_predict=False, acc_can_predict=False)
+    decision = policy.decide(candidates(False, False))
     assert not decision.optimistic
 
 
 def test_auto_policy_can_prefer_simulator():
     policy = AutoModePolicy(prefer=Domain.SIMULATOR)
-    decision = policy.decide(fields(), fields(), sim_can_predict=True, acc_can_predict=True)
+    decision = policy.decide(candidates(True, True))
     assert decision.leader is Domain.SIMULATOR
+
+
+def test_auto_policy_multi_domain_falls_through_in_topology_order():
+    acc0, acc1 = Domain("acc0"), Domain("acc1")
+    policy = AutoModePolicy(prefer=acc0)
+    ordered = {Domain.SIMULATOR: False, acc0: False, acc1: True}
+    decision = policy.decide(ordered)
+    assert decision.optimistic and decision.leader is acc1
 
 
 def test_auto_policy_data_flow_source_leads():
@@ -84,17 +96,15 @@ def test_auto_policy_data_flow_source_leads():
     for prefer in (Domain.ACCELERATOR, Domain.SIMULATOR):
         policy = AutoModePolicy(prefer=prefer)
         # data-flow source in the accelerator: only the accelerator can lead
-        decision = policy.decide(fields(), fields(), sim_can_predict=False, acc_can_predict=True)
+        decision = policy.decide(candidates(False, True))
         assert decision.optimistic and decision.leader is Domain.ACCELERATOR
         # data-flow source in the simulator: only the simulator can lead
-        decision = policy.decide(fields(), fields(), sim_can_predict=True, acc_can_predict=False)
+        decision = policy.decide(candidates(True, False))
         assert decision.optimistic and decision.leader is Domain.SIMULATOR
 
 
 def test_auto_policy_conservative_fallback_reason():
-    decision = AutoModePolicy().decide(
-        fields(), fields(), sim_can_predict=False, acc_can_predict=False
-    )
+    decision = AutoModePolicy().decide(candidates(False, False))
     assert not decision.optimistic
     assert decision.leader is None
     assert "neither" in decision.reason
@@ -146,3 +156,16 @@ def test_policy_factory_maps_modes_to_policies():
     assert isinstance(policy_for_mode(OperatingMode.AUTO), AutoModePolicy)
     assert policy_for_mode(OperatingMode.SLA).leader is Domain.SIMULATOR
     assert policy_for_mode(OperatingMode.ALS).leader is Domain.ACCELERATOR
+
+
+def test_policy_factory_resolves_leaders_by_kind_from_topology():
+    topology = Topology(
+        domains=(
+            DomainSpec(domain=Domain.SIMULATOR, kind=DomainKind.SIMULATOR),
+            DomainSpec(domain=Domain("acc0"), kind=DomainKind.ACCELERATOR),
+            DomainSpec(domain=Domain("acc1"), kind=DomainKind.ACCELERATOR),
+        )
+    )
+    assert policy_for_mode(OperatingMode.ALS, topology=topology).leader is Domain("acc0")
+    assert policy_for_mode(OperatingMode.SLA, topology=topology).leader is Domain.SIMULATOR
+    assert policy_for_mode(OperatingMode.AUTO, topology=topology).prefer is Domain("acc0")

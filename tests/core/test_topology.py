@@ -1,0 +1,137 @@
+"""Unit tests for the topology layer (domains, channels, serialisation)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.channel.phy import ChannelTimingParams
+from repro.core.topology import (
+    DomainKind,
+    DomainSpec,
+    RESERVED_DOMAIN_IDS,
+    SyncChannel,
+    Topology,
+    TopologyError,
+)
+from repro.sim.checkpoint import StateCostModel
+from repro.sim.component import Domain
+from repro.sim.time_model import DomainSpeed
+
+
+def three_domain() -> Topology:
+    return Topology(
+        domains=(
+            DomainSpec(domain=Domain.SIMULATOR, kind=DomainKind.SIMULATOR),
+            DomainSpec(domain=Domain("acc0"), kind=DomainKind.ACCELERATOR),
+            DomainSpec(domain=Domain("acc1"), kind=DomainKind.ACCELERATOR),
+        )
+    )
+
+
+def test_canonical_pair_layout():
+    topology = Topology.canonical_pair()
+    assert topology.is_canonical_pair
+    assert topology.domain_ids == (Domain.SIMULATOR, Domain.ACCELERATOR)
+    assert len(topology.channels) == 1
+    assert topology.describe() == "simulator+accelerator"
+
+
+def test_default_channels_are_a_full_mesh():
+    topology = three_domain()
+    assert len(topology.channels) == 3  # C(3, 2)
+    pairs = {channel.pair for channel in topology.channels}
+    assert frozenset((Domain("acc0"), Domain("acc1"))) in pairs
+    assert not topology.is_canonical_pair
+
+
+def test_single_domain_topology_has_no_channels():
+    topology = Topology(domains=(DomainSpec(Domain.SIMULATOR, DomainKind.SIMULATOR),))
+    assert topology.channels == ()
+    assert topology.n_domains == 1
+
+
+def test_validation_rejects_bad_topologies():
+    spec = DomainSpec(Domain.SIMULATOR, DomainKind.SIMULATOR)
+    with pytest.raises(TopologyError, match="at least one domain"):
+        Topology(domains=())
+    with pytest.raises(TopologyError, match="duplicate domain ids"):
+        Topology(domains=(spec, spec))
+    for reserved in RESERVED_DOMAIN_IDS:
+        with pytest.raises(TopologyError, match="reserved"):
+            DomainSpec(Domain(reserved), DomainKind.ACCELERATOR)
+    with pytest.raises(TopologyError, match="endpoints must differ"):
+        SyncChannel(a=Domain.SIMULATOR, b=Domain.SIMULATOR)
+    with pytest.raises(TopologyError, match="references"):
+        Topology(
+            domains=(spec,),
+            channels=(SyncChannel(a=Domain.SIMULATOR, b=Domain("ghost")),),
+        )
+    with pytest.raises(TopologyError, match="duplicate sync channel"):
+        Topology(
+            domains=three_domain().domains,
+            channels=(
+                SyncChannel(a=Domain.SIMULATOR, b=Domain("acc0")),
+                SyncChannel(a=Domain("acc0"), b=Domain.SIMULATOR),
+            ),
+        )
+
+
+def test_kind_and_channel_lookups():
+    topology = three_domain()
+    assert topology.first_of_kind(DomainKind.ACCELERATOR) is Domain("acc0")
+    assert topology.first_of_kind(DomainKind.SIMULATOR) is Domain.SIMULATOR
+    assert [spec.domain.value for spec in topology.domains_of_kind(DomainKind.ACCELERATOR)] == [
+        "acc0",
+        "acc1",
+    ]
+    channel = topology.channel_between(Domain("acc1"), Domain.SIMULATOR)
+    assert topology.oriented_pair(channel) == (Domain.SIMULATOR, Domain("acc1"))
+    with pytest.raises(TopologyError, match="not part of this topology"):
+        topology.spec_for(Domain("ghost"))
+
+
+def test_star_topology_restricts_connectivity():
+    hub = DomainSpec(Domain.SIMULATOR, DomainKind.SIMULATOR)
+    leaves = [
+        DomainSpec(Domain("acc0"), DomainKind.ACCELERATOR),
+        DomainSpec(Domain("acc1"), DomainKind.ACCELERATOR),
+    ]
+    star = Topology.star(hub, leaves)
+    assert len(star.channels) == 2
+    with pytest.raises(TopologyError, match="no sync channel"):
+        star.channel_between(Domain("acc0"), Domain("acc1"))
+
+
+def test_round_trip_serialisation():
+    topology = Topology(
+        domains=(
+            DomainSpec(Domain.SIMULATOR, DomainKind.SIMULATOR, speed=DomainSpeed(250_000.0)),
+            DomainSpec(
+                Domain("acc0"),
+                DomainKind.ACCELERATOR,
+                state_costs=StateCostModel(1e-9, 2e-9),
+            ),
+        ),
+        channels=(
+            SyncChannel(
+                a=Domain.SIMULATOR,
+                b=Domain("acc0"),
+                params=ChannelTimingParams(startup_overhead=1e-6),
+            ),
+        ),
+    )
+    payload = topology.as_dict()
+    assert payload["domains"][0]["cycles_per_second"] == 250_000.0
+    assert Topology.from_dict(payload) == topology
+    # a derived full mesh serialises without an explicit channel list
+    mesh_payload = three_domain().as_dict()
+    assert "channels" not in mesh_payload
+    assert Topology.from_dict(mesh_payload) == three_domain()
+
+
+def test_domain_ids_survive_pickling_with_identity():
+    domain = Domain("acc7")
+    assert pickle.loads(pickle.dumps(domain)) is domain
+    assert pickle.loads(pickle.dumps(Domain.SIMULATOR)) is Domain.SIMULATOR

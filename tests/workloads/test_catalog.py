@@ -30,6 +30,12 @@ def test_catalog_has_at_least_eight_scenarios():
         "sparse_telemetry",
         "rmw_fifo",
     } <= set(names)
+    # the multi-domain topologies exist
+    assert {
+        "dual_accelerator_pipeline",
+        "accelerator_farm_4x",
+        "sim_only_baseline",
+    } <= set(names)
 
 
 def test_every_scenario_builds_a_valid_spec():
@@ -70,14 +76,17 @@ def test_duplicate_registration_rejected():
 
 @pytest.mark.parametrize("name", scenario_names())
 def test_new_scenarios_keep_functional_equivalence(name):
-    """Every catalog scenario must produce identical committed traffic under
-    the conservative and the optimistic schemes."""
+    """Every catalog scenario -- two-domain and multi-domain alike -- must
+    produce identical committed traffic under the conservative and the
+    optimistic schemes."""
     results = {}
     for mode in (OperatingMode.CONSERVATIVE, OperatingMode.ALS):
-        sim_hbm, acc_hbm, _ = build_scenario(name).build_split()
-        config = CoEmulationConfig(mode=mode, total_cycles=120)
-        results[mode] = create_engine(config, sim_hbm, acc_hbm).run()
+        spec = build_scenario(name)
+        config = CoEmulationConfig(mode=mode, total_cycles=120, topology=spec.topology)
+        partition = spec.build_partition()
+        results[mode] = create_engine(config, partition=partition).run()
     conservative, optimistic = results[OperatingMode.CONSERVATIVE], results[OperatingMode.ALS]
+    assert optimistic.domain_beat_keys == conservative.domain_beat_keys
     assert optimistic.sim_beat_keys == conservative.sim_beat_keys
     assert optimistic.acc_beat_keys == conservative.acc_beat_keys
     assert conservative.monitors_ok and optimistic.monitors_ok
