@@ -66,7 +66,10 @@ SCENARIOS: List[Scenario] = [
     Scenario("conventional/als_soc", _request("als_streaming", "conservative"), quick=True),
     Scenario("als/acc=1.0/lob=64", _request("als_streaming", "als"), quick=True),
     Scenario("als/acc=0.95/lob=64", _request("als_streaming", "als", accuracy=0.95)),
-    Scenario("als/acc=0.8/lob=64", _request("als_streaming", "als", accuracy=0.8)),
+    # Rollback-heavy case in the CI smoke subset: every ~5th prediction
+    # fails, so store/restore/roll-forth dominate -- the cliff the
+    # incremental-checkpointing and hot-path work guards against.
+    Scenario("als/acc=0.8/lob=64", _request("als_streaming", "als", accuracy=0.8), quick=True),
     Scenario("als/acc=1.0/lob=8", _request("als_streaming", "als", lob_depth=8)),
     Scenario("als/acc=1.0/lob=256", _request("als_streaming", "als", lob_depth=256)),
     Scenario("sla/acc=1.0/lob=64", _request("sla_streaming", "sla"), quick=True),

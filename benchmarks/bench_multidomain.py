@@ -72,6 +72,23 @@ def bench_points(quick: bool = False) -> List[dict]:
                     "quick": n_accelerators in (1, 4),
                 }
             )
+    # Rollback-heavy multi-domain point: forced mispredictions make every
+    # transition store, flush, roll back and roll forth across a 3-domain
+    # mesh -- the combination of both cliffs this benchmark guards.
+    points.append(
+        {
+            "key": "als/domains=3/acc=0.9",
+            "request": RunRequest(
+                scenario="accelerator_farm_4x",
+                mode="als",
+                cycles=BENCH_CYCLES,
+                accuracy=0.9,
+                scenario_params={"n_accelerators": 2, "n_bursts": 40},
+            ),
+            "domains": 3,
+            "quick": True,
+        }
+    )
     if quick:
         points = [point for point in points if point["quick"]]
     return points

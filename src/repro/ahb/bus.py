@@ -60,17 +60,39 @@ class DriveValues:
     interrupts: Dict[str, bool] = field(default_factory=dict)
 
 
-@dataclass(frozen=True, slots=True)
 class DataPhaseInfo:
     """Static facts about the current cycle's data phase, derived from
-    registered state at the start of the cycle."""
+    registered state at the start of the cycle.
 
-    active: bool
-    owner_master_id: Optional[int]
-    slave_id: Optional[int]
-    is_write: bool
-    first_cycle: bool
-    address_phase: Optional[AddressPhase]
+    Immutable by convention; a plain ``__slots__`` class because one is
+    built per active cycle on the engine hot path (frozen-dataclass
+    construction pays ``object.__setattr__`` per field).
+    """
+
+    __slots__ = (
+        "active",
+        "owner_master_id",
+        "slave_id",
+        "is_write",
+        "first_cycle",
+        "address_phase",
+    )
+
+    def __init__(
+        self,
+        active: bool,
+        owner_master_id: Optional[int],
+        slave_id: Optional[int],
+        is_write: bool,
+        first_cycle: bool,
+        address_phase: Optional[AddressPhase],
+    ) -> None:
+        self.active = active
+        self.owner_master_id = owner_master_id
+        self.slave_id = slave_id
+        self.is_write = is_write
+        self.first_cycle = first_cycle
+        self.address_phase = address_phase
 
 
 #: Shared instance for cycles with no active data phase (the most common
@@ -135,25 +157,43 @@ class AhbBusCore:
 
     # -- state update at the end of a cycle ------------------------------------
     def commit_cycle(
-        self, cycle: int, drive: DriveValues, response: DataPhaseResult
+        self,
+        cycle: int,
+        drive: DriveValues,
+        response: DataPhaseResult,
+        record: Optional[BusCycleRecord] = None,
     ) -> BusCycleRecord:
-        """Advance registered state; returns the cycle record."""
-        # One defensive copy of the request vector serves both the record and
-        # the latched-request register; neither is mutated afterwards.
-        requests_copy = dict(drive.requests)
-        record = BusCycleRecord(
-            cycle=cycle,
-            granted_master=self.granted_master,
-            address_phase=drive.address_phase,
-            data_phase=self.data_phase,
-            hwdata=drive.hwdata,
-            response=response,
-            requests=requests_copy,
-        )
+        """Advance registered state; returns the cycle record.
+
+        Takes ownership of ``drive.requests``: the merged request dict is
+        built fresh for every cycle by the merge step, is never mutated after
+        commit, and serves both the cycle record and the latched-request
+        register without a defensive copy.
+
+        ``record`` may be a pre-built cycle record shared across the
+        replicated cores of a lock-step N-domain commit (all cores agree on
+        every field); when omitted the record is built here.
+        """
+        requests_copy = drive.requests
+        if record is None:
+            record = BusCycleRecord(
+                cycle=cycle,
+                granted_master=self.arbiter.current_grant,
+                address_phase=drive.address_phase,
+                data_phase=self.data_phase,
+                hwdata=drive.hwdata,
+                response=response,
+                requests=requests_copy,
+            )
         if response.hready:
             accepted = drive.address_phase
             if accepted is not None and accepted.is_active:
-                self._track_burst(accepted)
+                # Inlined _track_burst (hot path: once per accepted beat).
+                htrans = accepted.htrans
+                if htrans is HTrans.NONSEQ:
+                    self._burst_beats_done = 1
+                elif htrans is HTrans.SEQ:
+                    self._burst_beats_done += 1
                 self.data_phase = accepted
             else:
                 self.data_phase = None

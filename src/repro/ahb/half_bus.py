@@ -81,11 +81,42 @@ class NeededFields:
     needs_remote_response: bool
     response_is_read: bool
     granted_master_id: Optional[int] = None
+    #: Precomputed ``not needs_anything_non_predictable`` (instances are
+    #: interned per half bus, so paying this once at construction removes two
+    #: attribute reads from every can-predict check).  Derived; excluded from
+    #: eq/repr.
+    data_free: bool = field(init=False, compare=False, repr=False, default=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "data_free",
+            not (
+                self.needs_remote_hwdata
+                or (self.needs_remote_response and self.response_is_read)
+            ),
+        )
 
     @property
     def needs_anything_non_predictable(self) -> bool:
         """True when a non-predictable MSABS value (data) must come from remote."""
-        return self.needs_remote_hwdata or (self.needs_remote_response and self.response_is_read)
+        return not self.data_free
+
+
+def drives_functionally_equal(a: BoundaryDrive, b: BoundaryDrive) -> bool:
+    """True when two drive contributions carry the same boundary information.
+
+    The ``cycle`` stamp is deliberately ignored: the activity gate asks "did
+    this domain's outputs change since they were last shipped?", and a drive
+    that repeats the previous values verbatim carries no new information
+    regardless of when it was sampled.
+    """
+    return (
+        a.requests == b.requests
+        and a.address_phase == b.address_phase
+        and a.hwdata == b.hwdata
+        and a.interrupts == b.interrupts
+    )
 
 
 def merge_boundary_drives(drives: List[BoundaryDrive]) -> BoundaryDrive:
@@ -119,6 +150,18 @@ def merge_boundary_drives(drives: List[BoundaryDrive]) -> BoundaryDrive:
         hwdata=hwdata,
         interrupts=interrupts,
     )
+
+
+#: Interned parameterless OKAY response (module-level bind keeps the idle
+#: cycle path free of a staticmethod dispatch).
+_OKAY = DataPhaseResult.okay()
+
+
+#: Shared empty interrupt map used for the (overwhelmingly common) cycles in
+#: which a domain drives no interrupt lines.  Treated as immutable by every
+#: consumer of a :class:`BoundaryDrive` / :class:`DriveValues`; code that
+#: needs to mutate an interrupt map must copy it first.
+_NO_INTERRUPTS: Dict[str, bool] = {}
 
 
 #: How many recent cycle records a half bus retains.  Must exceed the
@@ -165,10 +208,17 @@ class HalfBusModel(ClockedComponent):
         self.interrupt_outputs: Dict[str, bool] = {}
         # Preallocated hot-path structures, built by finalize().
         self._tick_order: List[ClockedComponent] = []
+        self._tick_active: List[ClockedComponent] = []
+        self._request_drivers: tuple = ()
         self._request_template: Dict[int, bool] = {}
         self._remote_master_tuple: tuple = ()
         self._remote_master_set: frozenset = frozenset()
         self._remote_slave_set: frozenset = frozenset()
+        self._needed_cache: Optional[NeededFields] = None
+        # Interning table for NeededFields: the value space is tiny (granted
+        # master x a few booleans), so each distinct shape is built once per
+        # half bus and reused for the lifetime of the run.
+        self._needed_intern: Dict[tuple, NeededFields] = {}
 
     # -- construction --------------------------------------------------------------
     def add_local_master(self, master: AhbMaster) -> AhbMaster:
@@ -213,6 +263,19 @@ class HalfBusModel(ClockedComponent):
         # The component map is fixed from here on: precompute the structures
         # the per-cycle phase methods would otherwise rebuild every cycle.
         self._tick_order = list(self.local_masters.values()) + list(self.local_slaves.values())
+        # Only components with a real per-cycle evaluate() need a tick; the
+        # base master/slave evaluates are bus-driven no-ops and skipping them
+        # removes two function calls per component per cycle.  Detection is
+        # exact (the class attribute must *be* one of the known no-ops), so
+        # any subclass overriding evaluate() keeps its tick.
+        noops = (AhbMaster.evaluate, AhbSlave.evaluate, ClockedComponent.evaluate)
+        self._tick_active = [
+            component for component in self._tick_order
+            if type(component).evaluate not in noops
+        ]
+        self._request_drivers = tuple(
+            (mid, master.drive_hbusreq) for mid, master in self.local_masters.items()
+        )
         self._request_template = dict.fromkeys(master_ids, False)
         self._remote_master_tuple = tuple(self.remote_master_ids)
         self._remote_master_set = frozenset(self.remote_master_ids)
@@ -225,49 +288,85 @@ class HalfBusModel(ClockedComponent):
 
     # -- per-cycle protocol ---------------------------------------------------------------
     def needed_fields(self) -> NeededFields:
-        """Describe which remote values are required for the upcoming cycle."""
+        """Describe which remote values are required for the upcoming cycle.
+
+        The result only depends on registered bus-core state, so it is
+        memoized until the next commit / restore / reset (the same
+        invalidation points as the core's data-phase info cache).
+        """
+        needed = self._needed_cache
+        if needed is not None:
+            return needed
         assert self.core is not None, "finalize() must be called first"
         info = self.core.data_phase_info()
-        granted = self.core.granted_master
+        granted = self.core.arbiter.current_grant
         needs_addr = granted in self._remote_master_set
         needs_wdata = (
             info.active and info.is_write and info.owner_master_id in self._remote_master_set
         )
         needs_response = info.active and info.slave_id in self._remote_slave_set
-        return NeededFields(
-            remote_master_ids=self._remote_master_tuple,
-            needs_remote_requests=bool(self._remote_master_tuple),
-            needs_remote_address_phase=needs_addr,
-            needs_remote_hwdata=needs_wdata,
-            needs_remote_response=needs_response,
-            response_is_read=info.active and not info.is_write,
-            granted_master_id=granted,
-        )
+        response_is_read = info.active and not info.is_write
+        key = (granted, needs_addr, needs_wdata, needs_response, response_is_read)
+        needed = self._needed_intern.get(key)
+        if needed is None:
+            needed = NeededFields(
+                remote_master_ids=self._remote_master_tuple,
+                needs_remote_requests=bool(self._remote_master_tuple),
+                needs_remote_address_phase=needs_addr,
+                needs_remote_hwdata=needs_wdata,
+                needs_remote_response=needs_response,
+                response_is_read=response_is_read,
+                granted_master_id=granted,
+            )
+            self._needed_intern[key] = needed
+        self._needed_cache = needed
+        return needed
+
+    def influence_lookahead(self, cycle: int) -> float:
+        """Earliest future cycle at which this domain could initiate new bus
+        activity of its own accord (Chandy-Misra-Bryant lookahead).
+
+        Derived from the local masters' workload state: a domain whose
+        masters are all drained can never initiate again (``inf``); one whose
+        next transaction is queued for a future issue cycle is quiet until
+        then; anything mid-flight yields the conservative ``cycle + 1``.
+        Remote-triggered activity (responses of local slaves) is not counted
+        -- the responder ships those explicitly while a data phase is active.
+        """
+        horizon = float("inf")
+        for master in self.local_masters.values():
+            candidate = master.activity_lookahead(cycle)
+            if candidate < horizon:
+                horizon = candidate
+                if horizon <= cycle + 1:
+                    break
+        return horizon
 
     def drive_phase(self, cycle: int) -> BoundaryDrive:
         """Evaluate local components and return this domain's drive contribution."""
-        assert self.core is not None, "finalize() must be called first"
         core = self.core
-        for component in self._tick_order:
+        assert core is not None, "finalize() must be called first"
+        for component in self._tick_active:
             component.tick(cycle)
         info = core.data_phase_info()
-        requests = {
-            mid: master.drive_hbusreq(cycle) for mid, master in self.local_masters.items()
-        }
-        granted = core.granted_master
-        address_phase = None
         local_masters = self.local_masters
-        if granted in local_masters:
-            address_phase = local_masters[granted].drive_address_phase(cycle, granted=True)
+        requests = {mid: drive_req(cycle) for mid, drive_req in self._request_drivers}
+        granted_master = local_masters.get(core.arbiter.current_grant)
+        address_phase = (
+            granted_master.drive_address_phase(cycle, granted=True)
+            if granted_master is not None
+            else None
+        )
         hwdata = None
         if info.active and info.is_write and info.owner_master_id in local_masters:
             hwdata = local_masters[info.owner_master_id].drive_hwdata(info.address_phase)
+        interrupts = self.interrupt_outputs
         return BoundaryDrive(
             cycle=cycle,
             requests=requests,
             address_phase=address_phase,
             hwdata=hwdata,
-            interrupts=dict(self.interrupt_outputs),
+            interrupts=dict(interrupts) if interrupts else _NO_INTERRUPTS,
         )
 
     def merge_drive(self, local: BoundaryDrive, remote: BoundaryDrive) -> DriveValues:
@@ -280,8 +379,11 @@ class HalfBusModel(ClockedComponent):
         if address_phase is None:
             address_phase = AddressPhase.idle_phase(self.core.granted_master)
         hwdata = local.hwdata if local.hwdata is not None else remote.hwdata
-        interrupts = dict(remote.interrupts)
-        interrupts.update(local.interrupts)
+        if remote.interrupts or local.interrupts:
+            interrupts = dict(remote.interrupts)
+            interrupts.update(local.interrupts)
+        else:
+            interrupts = _NO_INTERRUPTS
         return DriveValues(
             requests=requests,
             address_phase=address_phase,
@@ -322,30 +424,160 @@ class HalfBusModel(ClockedComponent):
             ):
                 self.local_masters[accepted.master_id].on_address_accepted(cycle, accepted)
         record = core.commit_cycle(cycle, drive, response)
+        self._needed_cache = None
         self.records.append(record)
         self._records_committed += 1
         if self.monitor is not None:
             self.monitor.check(record)
-        self._record_completed_beat(cycle, info, drive, response)
+        if info.active and response.hready:
+            self._record_completed_beat(cycle, info, drive, response)
         return record
+
+    def commit_lockstep(
+        self,
+        cycle: int,
+        merged: DriveValues,
+        response: DataPhaseResult,
+        record: BusCycleRecord,
+        beat: Optional[CompletedBeat],
+    ) -> None:
+        """Commit one N-domain lock-step cycle with shared pre-built objects.
+
+        In lock step every replicated core commits the same merged values and
+        therefore produces a value-identical cycle record and completed beat;
+        the engine builds them once and every domain's half bus adopts them
+        by reference.  Must stay behaviourally identical to
+        :meth:`commit_phase` followed by the recorder update (the gating
+        on/off equivalence tests enforce this).
+        """
+        core = self.core
+        assert core is not None
+        info = core._info_cache
+        if info is None:
+            info = core.data_phase_info()
+        local_masters = self.local_masters
+        if response.hready:
+            if info.active and info.owner_master_id in local_masters:
+                local_masters[info.owner_master_id].on_data_phase_done(
+                    cycle, info.address_phase, response
+                )
+            accepted = merged.address_phase
+            if accepted.is_active and accepted.master_id in local_masters:
+                local_masters[accepted.master_id].on_address_accepted(cycle, accepted)
+        core.commit_cycle(cycle, merged, response, record=record)
+        self._needed_cache = None
+        self.records.append(record)
+        self._records_committed += 1
+        if self.monitor is not None:
+            self.monitor.check(record)
+        if beat is not None:
+            self.recorder.record_beat(beat)
 
     def run_local_cycle(
         self,
         cycle: int,
         remote_drive: BoundaryDrive,
         remote_response: Optional[DataPhaseResult],
-    ) -> tuple[BoundaryDrive, BoundaryResponse, BusCycleRecord]:
-        """Convenience wrapper running all three steps of one cycle.
+    ) -> tuple[BoundaryDrive, Optional[DataPhaseResult], BusCycleRecord]:
+        """Run all three steps of one cycle given the remote domain's values.
 
         ``remote_drive`` / ``remote_response`` contain the values obtained
         from (or predicted for) the other domain.  Returns this domain's own
-        contributions plus the committed cycle record.
+        drive contribution, its local data-phase response (``None`` when the
+        active slave is remote or the bus is idle) and the committed record.
+
+        This is the engines' speculative hot path (leader run-ahead, lagger
+        follow-up, roll-forth), so the drive / merge / respond / commit steps
+        are inlined: one data-phase-info lookup serves the whole cycle and no
+        intermediate containers are allocated.  The behaviour must remain
+        identical to calling :meth:`drive_phase` / :meth:`merge_drive` /
+        :meth:`response_phase` / :meth:`commit_phase` in sequence -- the
+        golden regression suite enforces this.
         """
-        local_drive = self.drive_phase(cycle)
-        merged = self.merge_drive(local_drive, remote_drive)
-        local_response = self.response_phase(cycle, merged)
-        response = local_response.response or remote_response or DataPhaseResult.okay()
-        record = self.commit_phase(cycle, merged, response)
+        core = self.core
+        assert core is not None, "finalize() must be called first"
+        # -- drive step ------------------------------------------------------
+        for component in self._tick_active:
+            component.tick(cycle)
+        # Inline the data_phase_info cache hit (needed_fields usually ran
+        # first this cycle and already computed it).
+        info = core._info_cache
+        if info is None:
+            info = core.data_phase_info()
+        info_active = info.active
+        local_masters = self.local_masters
+        requests = {mid: drive_req(cycle) for mid, drive_req in self._request_drivers}
+        granted = core.arbiter.current_grant
+        granted_master = local_masters.get(granted)
+        address_phase = (
+            granted_master.drive_address_phase(cycle, granted=True)
+            if granted_master is not None
+            else None
+        )
+        hwdata = None
+        if info_active and info.is_write and info.owner_master_id in local_masters:
+            hwdata = local_masters[info.owner_master_id].drive_hwdata(info.address_phase)
+        interrupt_outputs = self.interrupt_outputs
+        local_interrupts = dict(interrupt_outputs) if interrupt_outputs else _NO_INTERRUPTS
+        local_drive = BoundaryDrive(
+            cycle=cycle,
+            requests=requests,
+            address_phase=address_phase,
+            hwdata=hwdata,
+            interrupts=local_interrupts,
+        )
+        # -- merge (same rules as merge_drive) -------------------------------
+        remote_requests = remote_drive.requests
+        if not remote_requests and len(requests) == len(self._request_template):
+            # Every master is local and the remote side contributes nothing:
+            # the merged vector is just the local one (fresh copy -- the
+            # commit takes ownership of it).
+            merged_requests = requests.copy()
+        else:
+            merged_requests = self._request_template.copy()
+            merged_requests.update(requests)
+            merged_requests.update(remote_requests)
+        merged_phase = address_phase if address_phase is not None else remote_drive.address_phase
+        if merged_phase is None:
+            merged_phase = AddressPhase.idle_phase(granted)
+        merged_hwdata = hwdata if hwdata is not None else remote_drive.hwdata
+        remote_interrupts = remote_drive.interrupts
+        if remote_interrupts or local_interrupts:
+            merged_interrupts = dict(remote_interrupts)
+            merged_interrupts.update(local_interrupts)
+        else:
+            merged_interrupts = _NO_INTERRUPTS
+        merged = DriveValues(
+            requests=merged_requests,
+            address_phase=merged_phase,
+            hwdata=merged_hwdata,
+            interrupts=merged_interrupts,
+        )
+        # -- respond step (same rules as response_phase) ---------------------
+        local_response: Optional[DataPhaseResult] = None
+        if info_active:
+            slave = self.local_slaves.get(info.slave_id)
+            if slave is not None:
+                local_response = slave.data_phase(
+                    cycle, info.address_phase, merged_hwdata, info.first_cycle
+                )
+        response = local_response or remote_response or _OKAY
+        # -- commit step (same rules as commit_phase) ------------------------
+        if response.hready:
+            if info_active and info.owner_master_id in local_masters:
+                local_masters[info.owner_master_id].on_data_phase_done(
+                    cycle, info.address_phase, response
+                )
+            if merged_phase.is_active and merged_phase.master_id in local_masters:
+                local_masters[merged_phase.master_id].on_address_accepted(cycle, merged_phase)
+        record = core.commit_cycle(cycle, merged, response)
+        self._needed_cache = None
+        self.records.append(record)
+        self._records_committed += 1
+        if self.monitor is not None:
+            self.monitor.check(record)
+        if info_active and response.hready:
+            self._record_completed_beat(cycle, info, merged, response)
         return local_drive, local_response, record
 
     def _record_completed_beat(
@@ -355,8 +587,7 @@ class HalfBusModel(ClockedComponent):
         drive: DriveValues,
         response: DataPhaseResult,
     ) -> None:
-        if not (info.active and response.hready):
-            return
+        # Caller guarantees ``info.active and response.hready``.
         phase = info.address_phase
         assert phase is not None
         self.recorder.record_beat(
@@ -392,6 +623,7 @@ class HalfBusModel(ClockedComponent):
         self.recorder = TransactionRecorder()
         self.records.clear()
         self._records_committed = 0
+        self._needed_cache = None
         if self.monitor is not None:
             self.monitor.reset()
         self.interrupt_outputs.clear()
@@ -410,21 +642,75 @@ class HalfBusModel(ClockedComponent):
 
     def restore_state(self, state: dict) -> None:
         assert self.core is not None
+        self._needed_cache = None
         self.core.restore(state["core"])
         for mid, m_state in state["masters"].items():
             self.local_masters[mid].restore_state(m_state)
         for sid, s_state in state["slaves"].items():
             self.local_slaves[sid].restore_state(s_state)
         self.recorder.restore(state["recorder"])
-        # Drop the speculative records from the right; records that aged out
-        # of the bounded history were committed long ago and stay dropped.
-        while self._records_committed > state["n_records"] and self.records:
-            self.records.pop()
-            self._records_committed -= 1
-        self._records_committed = state["n_records"]
+        self._trim_records(state["n_records"])
         self.interrupt_outputs = dict(state["interrupts"])
         if self.monitor is not None and state.get("monitor") is not None:
             self.monitor.restore(state["monitor"])
+
+    def _trim_records(self, n_records: int) -> None:
+        # Drop the speculative records from the right; records that aged out
+        # of the bounded history were committed long ago and stay dropped.
+        while self._records_committed > n_records and self.records:
+            self.records.pop()
+            self._records_committed -= 1
+        self._records_committed = n_records
+
+    # -- incremental checkpointing (checkpoint windows) -------------------------
+    #: The half bus is window-aware: slaves with their own journal (memories)
+    #: open sub-windows, everything else contributes its (owned, fast-copy)
+    #: snapshot.  This keeps per-transition rb_store cost proportional to the
+    #: registered/control state instead of to total memory size.
+    supports_checkpoint_window = True
+
+    def open_checkpoint_window(self) -> dict:
+        assert self.core is not None
+        return {
+            "core": self.core.snapshot(),
+            "masters": {mid: m.snapshot_state() for mid, m in self.local_masters.items()},
+            "slaves": {
+                sid: (
+                    slave.open_checkpoint_window()
+                    if slave.supports_checkpoint_window
+                    else slave.snapshot_state()
+                )
+                for sid, slave in self.local_slaves.items()
+            },
+            "recorder": self.recorder.snapshot(),
+            "n_records": self._records_committed,
+            "interrupts": dict(self.interrupt_outputs),
+            "monitor": None if self.monitor is None else self.monitor.snapshot(),
+        }
+
+    def rewind_checkpoint_window(self, token: dict) -> None:
+        assert self.core is not None
+        self._needed_cache = None
+        self.core.restore(token["core"])
+        for mid, m_state in token["masters"].items():
+            self.local_masters[mid].restore_state(m_state)
+        for sid, s_state in token["slaves"].items():
+            slave = self.local_slaves[sid]
+            if slave.supports_checkpoint_window:
+                slave.rewind_checkpoint_window(s_state)
+            else:
+                slave.restore_state(s_state)
+        self.recorder.restore(token["recorder"])
+        self._trim_records(token["n_records"])
+        self.interrupt_outputs = dict(token["interrupts"])
+        if self.monitor is not None and token.get("monitor") is not None:
+            self.monitor.restore(token["monitor"])
+
+    def close_checkpoint_window(self, token: dict) -> None:
+        for sid, s_state in token["slaves"].items():
+            slave = self.local_slaves[sid]
+            if slave.supports_checkpoint_window:
+                slave.close_checkpoint_window(s_state)
 
     def rollback_variable_count(self) -> int:
         total = 0

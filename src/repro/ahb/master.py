@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..sim.component import AbstractionLevel, ClockedComponent
-from .burst import BurstTracker
+from .burst import BurstTracker, next_beat_address
 from .signals import AddressPhase, AhbError, DataPhaseResult, HResp, HTrans
 from .transaction import BusTransaction, CompletedTransaction
 
@@ -77,6 +77,15 @@ class AhbMaster(ClockedComponent):
     ) -> None:
         """A data phase owned by this master completed."""
 
+    def activity_lookahead(self, cycle: int) -> float:
+        """Earliest future cycle at which this master could start new bus
+        activity (Chandy-Misra-Bryant lookahead for the sync gate).
+
+        The base implementation is conservatively ``cycle + 1`` (no
+        lookahead); workload-driven masters refine it from their queues.
+        """
+        return cycle + 1
+
 
 class IdleMaster(AhbMaster):
     """A master that never requests the bus.
@@ -92,6 +101,9 @@ class IdleMaster(AhbMaster):
 
     def drive_address_phase(self, cycle: int, granted: bool) -> AddressPhase:
         return AddressPhase.idle_phase(self.master_id)
+
+    def activity_lookahead(self, cycle: int) -> float:
+        return float("inf")  # never requests the bus
 
 
 @dataclass(slots=True)
@@ -148,6 +160,12 @@ class TrafficMaster(AhbMaster):
         self._read_data: dict[int, List[int]] = {}
         self._completed: List[CompletedTransaction] = []
         self._aborted_txns: set[int] = set()
+        # Derived-only cache: the address phases of a transaction's beats are
+        # fully determined by the (immutable) transaction, so they are built
+        # once per transaction and shared across wait-state extensions and
+        # post-rollback replays.  Not part of the snapshot (pure function of
+        # the queue).
+        self._txn_phases: dict[int, List[AddressPhase]] = {}
 
     # -- queue management ----------------------------------------------------
     def enqueue(self, transaction: BusTransaction) -> None:
@@ -197,36 +215,81 @@ class TrafficMaster(AhbMaster):
 
     # -- AhbMaster interface ---------------------------------------------------
     def drive_hbusreq(self, cycle: int) -> bool:
-        if self._tracker is not None and not self._tracker.complete:
+        # Called once per master per cycle: _ready_txn_available and the
+        # tracker.complete property are inlined.
+        tracker = self._tracker
+        if tracker is not None and tracker.beats_done < tracker.total_beats:
             return True
-        return self._ready_txn_available(cycle)
+        index = self._next_txn_index
+        queue = self.queue
+        return index < len(queue) and queue[index].issue_cycle <= cycle
+
+    def _beat_phases(self, txn_index: int) -> List[AddressPhase]:
+        """The (frozen, shared) address phases of one transaction's beats."""
+        phases = self._txn_phases.get(txn_index)
+        if phases is None:
+            txn = self.queue[txn_index]
+            addr = txn.address
+            phases = []
+            for beat in range(txn.n_beats):
+                phases.append(
+                    AddressPhase(
+                        master_id=self.master_id,
+                        haddr=addr,
+                        htrans=HTrans.NONSEQ if beat == 0 else HTrans.SEQ,
+                        hwrite=txn.write,
+                        hsize=txn.hsize,
+                        hburst=txn.hburst,
+                    )
+                )
+                addr = next_beat_address(addr, txn.hburst, txn.hsize, txn.address)
+            self._txn_phases[txn_index] = phases
+        return phases
 
     def drive_address_phase(self, cycle: int, granted: bool) -> AddressPhase:
         if not granted:
             return AddressPhase.idle_phase(self.master_id)
-        if self._tracker is None or self._tracker.complete:
-            if self._tracker is not None and self._tracker.complete:
+        tracker = self._tracker
+        if tracker is None or tracker.complete:
+            if tracker is not None and tracker.complete:
                 self._tracker = None
             if not self._ready_txn_available(cycle):
                 return AddressPhase.idle_phase(self.master_id)
             self._start_next_txn()
-        txn = self._current_txn()
-        assert txn is not None and self._tracker is not None
-        htrans = HTrans.NONSEQ if self._tracker.is_first_beat else HTrans.SEQ
-        return AddressPhase(
-            master_id=self.master_id,
-            haddr=self._tracker.current_address,
-            htrans=htrans,
-            hwrite=txn.write,
-            hsize=txn.hsize,
-            hburst=txn.hburst,
-        )
+            tracker = self._tracker
+        assert tracker is not None and self._active_txn_index is not None
+        return self._beat_phases(self._active_txn_index)[tracker.beats_done]
+
+    def activity_lookahead(self, cycle: int) -> float:
+        if self._tracker is not None or self._outstanding:
+            # Mid-burst / data phases in flight: outputs can change next
+            # cycle (those changes are caught by change detection anyway).
+            return cycle + 1
+        index = self._next_txn_index
+        queue = self.queue
+        if index < len(queue):
+            issue = queue[index].issue_cycle
+            if issue <= cycle:
+                # The bus request is already raised and visible to every
+                # peer; the next output change (the address phase once the
+                # arbiter grants us) is derivable from shared state and is
+                # broadcast by change detection when it happens.  Until then
+                # the outputs are provably stable.
+                return float("inf")
+            return issue
+        return float("inf")
 
     def on_address_accepted(self, cycle: int, address_phase: AddressPhase) -> None:
-        if self._tracker is None or self._active_txn_index is None:
+        tracker = self._tracker
+        if tracker is None or self._active_txn_index is None:
             raise AhbError(f"master {self.name!r}: address accepted with no burst in progress")
-        beat_index = self._tracker.beats_done
-        self._tracker.accept_beat()
+        beat_index = tracker.beats_done
+        # Inlined tracker.accept_beat() minus the address bookkeeping: the
+        # beat addresses come from the precomputed per-transaction phase list,
+        # so the tracker only has to count beats (current_address recomputes
+        # lazily if anything else asks for it).
+        tracker.beats_done = beat_index + 1
+        tracker._next_addr_cache = None
         self._outstanding.append(
             _OutstandingBeat(
                 address_phase=address_phase,
@@ -234,7 +297,7 @@ class TrafficMaster(AhbMaster):
                 transaction_index=self._active_txn_index,
             )
         )
-        if self._tracker.complete:
+        if tracker.beats_done >= tracker.total_beats:
             self._tracker = None
             self._active_txn_index = None
 
@@ -248,17 +311,29 @@ class TrafficMaster(AhbMaster):
     def on_data_phase_done(
         self, cycle: int, address_phase: AddressPhase, response: DataPhaseResult
     ) -> None:
-        beat = self._find_outstanding(address_phase)
-        self._outstanding.remove(beat)
+        # Fused find-and-remove with an identity fast path (the data-phase
+        # register holds the exact interned phase object that was driven).
+        outstanding = self._outstanding
+        beat = None
+        for index, candidate in enumerate(outstanding):
+            if candidate.address_phase is address_phase:
+                beat = candidate
+                del outstanding[index]
+                break
+        if beat is None:
+            beat = self._find_outstanding(address_phase)
+            outstanding.remove(beat)
         txn = self.queue[beat.transaction_index]
         self.stats.beats_completed += 1
         if response.hresp is not HResp.OKAY:
             self.stats.error_responses += 1
             self._aborted_txns.add(beat.transaction_index)
         if not txn.write and response.hrdata is not None:
-            self._read_data.setdefault(beat.transaction_index, []).append(response.hrdata)
-        last_beat = beat.beat_index == txn.n_beats - 1
-        if last_beat:
+            read_buffer = self._read_data.get(beat.transaction_index)
+            if read_buffer is None:
+                read_buffer = self._read_data[beat.transaction_index] = []
+            read_buffer.append(response.hrdata)
+        if beat.beat_index + 1 == txn.n_beats:
             self._finish_txn(cycle, beat.transaction_index)
 
     def _finish_txn(self, cycle: int, txn_index: int) -> None:
@@ -286,6 +361,11 @@ class TrafficMaster(AhbMaster):
         self.stats.transactions_completed += 1
 
     def _find_outstanding(self, address_phase: AddressPhase) -> _OutstandingBeat:
+        # Identity hit first: phases are interned per transaction beat, so the
+        # accepted phase object is normally the exact object driven earlier.
+        for beat in self._outstanding:
+            if beat.address_phase is address_phase:
+                return beat
         for beat in self._outstanding:
             if beat.address_phase == address_phase:
                 return beat

@@ -67,23 +67,16 @@ class HBurst(IntEnum):
     @property
     def beats(self) -> Optional[int]:
         """Number of beats for fixed-length bursts, None for SINGLE/INCR."""
-        return _BURST_BEATS[self]
+        return _BURST_BEATS_BY_VALUE[self._value_]
 
     @property
     def is_wrapping(self) -> bool:
-        return self in (HBurst.WRAP4, HBurst.WRAP8, HBurst.WRAP16)
+        return self._value_ in (2, 4, 6)  # WRAP4 / WRAP8 / WRAP16
 
 
-_BURST_BEATS = {
-    HBurst.SINGLE: 1,
-    HBurst.INCR: None,
-    HBurst.WRAP4: 4,
-    HBurst.INCR4: 4,
-    HBurst.WRAP8: 8,
-    HBurst.INCR8: 8,
-    HBurst.WRAP16: 16,
-    HBurst.INCR16: 16,
-}
+#: Beat counts indexed by HBurst value (tuple indexing beats enum-key
+#: hashing on the per-cycle paths that read ``hburst.beats``).
+_BURST_BEATS_BY_VALUE = (1, None, 4, 4, 8, 8, 16, 16)
 
 
 class HSize(IntEnum):
@@ -186,7 +179,21 @@ class AddressPhase:
 
     @staticmethod
     def idle_phase(master_id: int) -> "AddressPhase":
-        return AddressPhase(master_id=master_id, htrans=HTrans.IDLE)
+        """The default IDLE phase for ``master_id``.
+
+        Idle phases carry no per-cycle information, so one interned instance
+        per master id is shared by every caller (the phase is frozen); this
+        keeps parked-master cycles allocation-free on the engine hot path.
+        """
+        phase = _IDLE_PHASES.get(master_id)
+        if phase is None:
+            phase = AddressPhase(master_id=master_id, htrans=HTrans.IDLE)
+            _IDLE_PHASES[master_id] = phase
+        return phase
+
+
+#: Interned idle phases, one per master id (see :meth:`AddressPhase.idle_phase`).
+_IDLE_PHASES: dict[int, "AddressPhase"] = {}
 
 
 @dataclass(frozen=True, slots=True)
@@ -237,23 +244,53 @@ class MasterRequest:
     hlock: bool = False
 
 
-@dataclass(frozen=True, slots=True)
 class BusCycleRecord:
     """Everything that happened on the bus in one target clock cycle.
 
     Used by the protocol monitor, the transaction recorder and the golden
-    equivalence tests between the monolithic and split bus models.  Frozen:
-    records are committed history, shared by reference between the record
-    deque, the protocol monitor and checkpoint payloads.
+    equivalence tests between the monolithic and split bus models.  Records
+    are committed history, shared by reference between the record deque, the
+    protocol monitor and checkpoint payloads; they are immutable by
+    convention.  A hand-written ``__slots__`` class rather than a frozen
+    dataclass: one record is built per committed cycle and the per-field
+    ``object.__setattr__`` cost of frozen dataclass construction is
+    measurable on the engine hot path.
     """
 
-    cycle: int
-    granted_master: int
-    address_phase: Optional[AddressPhase]
-    data_phase: Optional[AddressPhase]
-    hwdata: Optional[int]
-    response: DataPhaseResult
-    requests: dict[int, bool] = field(default_factory=dict)
+    __slots__ = (
+        "cycle",
+        "granted_master",
+        "address_phase",
+        "data_phase",
+        "hwdata",
+        "response",
+        "requests",
+    )
+
+    def __init__(
+        self,
+        cycle: int,
+        granted_master: int,
+        address_phase: Optional[AddressPhase],
+        data_phase: Optional[AddressPhase],
+        hwdata: Optional[int],
+        response: DataPhaseResult,
+        requests: Optional[dict[int, bool]] = None,
+    ) -> None:
+        self.cycle = cycle
+        self.granted_master = granted_master
+        self.address_phase = address_phase
+        self.data_phase = data_phase
+        self.hwdata = hwdata
+        self.response = response
+        self.requests = {} if requests is None else requests
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BusCycleRecord(cycle={self.cycle}, granted_master={self.granted_master}, "
+            f"address_phase={self.address_phase!r}, data_phase={self.data_phase!r}, "
+            f"hwdata={self.hwdata!r}, response={self.response!r}, requests={self.requests!r})"
+        )
 
     def key(self) -> tuple:
         """A hashable summary used for stream equivalence checks."""

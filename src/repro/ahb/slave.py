@@ -20,10 +20,9 @@ All slaves are snapshotable so they can live in the leader domain.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import Optional
-
-import numpy as np
+from typing import Dict, Optional
 
 from ..sim.component import AbstractionLevel, ClockedComponent
 from .signals import AddressPhase, AhbError, DataPhaseResult
@@ -82,9 +81,17 @@ class SlaveStats:
 class MemorySlave(AhbSlave):
     """A simple word-addressed memory with configurable wait states.
 
-    The memory stores 32-bit words in a numpy array.  Sub-word transfer sizes
-    are accepted but are performed at word granularity (adequate for the
-    word-oriented traffic the workloads generate).
+    The memory stores 32-bit words in a compact ``array('I')`` (plain Python
+    ints on access -- much cheaper than per-word numpy scalar boxing on the
+    engine hot path).  Sub-word transfer sizes are accepted but are performed
+    at word granularity (adequate for the word-oriented traffic the workloads
+    generate).
+
+    The memory also implements *dirty-word tracking* for incremental
+    checkpointing: while a checkpoint window is open (see
+    :meth:`~repro.sim.component.ClockedComponent.open_checkpoint_window`)
+    every first write to a word journals its pre-write value, so rolling the
+    window back costs O(words touched) instead of O(memory size).
     """
 
     #: Fast-copy snapshot protocol: the words array is freshly copied on
@@ -108,9 +115,12 @@ class MemorySlave(AhbSlave):
         self.size_bytes = size_bytes
         self.read_wait_states = read_wait_states
         self.write_wait_states = write_wait_states
-        self._words = np.zeros(size_bytes // 4, dtype=np.uint32)
+        self._words = array("I", bytes(size_bytes))
         self._wait_remaining = 0
         self.stats = SlaveStats()
+        #: Undo journal of the open checkpoint window ({index: pre-write
+        #: value}), ``None`` when no window is open.
+        self._undo: Optional[Dict[int, int]] = None
 
     # -- direct access (used by tests and workload setup) --------------------
     def _index(self, address: int) -> int:
@@ -123,10 +133,14 @@ class MemorySlave(AhbSlave):
         return offset // 4
 
     def read_word(self, address: int) -> int:
-        return int(self._words[self._index(address)])
+        return self._words[self._index(address)]
 
     def write_word(self, address: int, value: int) -> None:
-        self._words[self._index(address)] = np.uint32(value & 0xFFFFFFFF)
+        index = self._index(address)
+        undo = self._undo
+        if undo is not None and index not in undo:
+            undo[index] = self._words[index]
+        self._words[index] = value & 0xFFFFFFFF
 
     def load(self, address: int, values: list[int]) -> None:
         """Bulk-initialise memory starting at ``address``."""
@@ -161,24 +175,59 @@ class MemorySlave(AhbSlave):
     # -- rollback support -------------------------------------------------------
     def snapshot_state(self) -> dict:
         return {
-            "words": self._words.copy(),
+            "words": self._words[:],
             "wait_remaining": self._wait_remaining,
             "stats": self.stats.as_dict(),
         }
 
     def restore_state(self, state: dict) -> None:
-        self._words = state["words"].copy()
+        # An open undo journal deliberately survives a full restore: a full
+        # snapshot restored while a window is open was necessarily taken
+        # *after* the window opened (the checkpoint stack is LIFO and
+        # incremental windows only exist at depth 0), so the journal still
+        # maps every index dirtied since window-open to its window-open value
+        # and a later rewind lands exactly on the window-open state.
+        self._words = state["words"][:]
         self._wait_remaining = state["wait_remaining"]
         self.stats = SlaveStats(**state["stats"])
 
     def rollback_variable_count(self) -> int:
-        return int(self._words.size) + 1
+        return len(self._words) + 1
+
+    # -- incremental checkpointing (dirty-word journal) -------------------------
+    supports_checkpoint_window = True
+
+    def open_checkpoint_window(self) -> dict:
+        """Start journalling writes; returns the scalar sidecar state."""
+        self._undo = {}
+        return {
+            "wait_remaining": self._wait_remaining,
+            "stats": self.stats.as_dict(),
+        }
+
+    def rewind_checkpoint_window(self, token: dict) -> None:
+        """Undo every write since :meth:`open_checkpoint_window` (reverse
+        delta) and restore the scalar sidecar; the window is closed."""
+        undo = self._undo
+        if undo is None:
+            raise AhbError(f"memory {self.name!r}: no checkpoint window open")
+        words = self._words
+        for index, value in undo.items():
+            words[index] = value
+        self._undo = None
+        self._wait_remaining = token["wait_remaining"]
+        self.stats = SlaveStats(**token["stats"])
+
+    def close_checkpoint_window(self, token: dict) -> None:
+        """Drop the journal, keeping the current state (window committed)."""
+        self._undo = None
 
     def reset(self) -> None:
         super().reset()
-        self._words[:] = 0
+        self._words = array("I", bytes(self.size_bytes))
         self._wait_remaining = 0
         self.stats = SlaveStats()
+        self._undo = None
 
 
 class FifoPeripheralSlave(AhbSlave):

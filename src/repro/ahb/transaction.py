@@ -62,9 +62,10 @@ class BusTransaction:
         return int(self.beats)
 
 
-@dataclass
+@dataclass(slots=True)
 class CompletedBeat:
-    """One completed data phase, as observed on the bus."""
+    """One completed data phase, as observed on the bus (hot-path object:
+    one per committed beat, hence ``__slots__``)."""
 
     cycle: int
     master_id: int

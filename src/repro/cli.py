@@ -230,17 +230,38 @@ def _cmd_mechanism(args: argparse.Namespace) -> str:
 
 def _cmd_run(args: argparse.Namespace) -> str:
     topology = _parse_topology(args.topology)
-    record = execute_request(
-        RunRequest(
-            scenario=args.soc,
-            mode=args.mode,
-            cycles=args.cycles,
-            lob_depth=args.lob_depth,
-            accuracy=args.accuracy,
-            engine=args.engine,
-            topology=topology,
-        )
+    request = RunRequest(
+        scenario=args.soc,
+        mode=args.mode,
+        cycles=args.cycles,
+        lob_depth=args.lob_depth,
+        accuracy=args.accuracy,
+        engine=args.engine,
+        topology=topology,
     )
+    if args.profile:
+        # Profile exactly the engine loop (scenario build and result
+        # packaging excluded) so perf PRs start from data, not guesses.
+        import cProfile
+        import pstats
+
+        spec = build_scenario(request.scenario, **dict(request.scenario_params))
+        config, partition = spec.prepare_run(request.build_config())
+        from .core import create_engine
+
+        engine = create_engine(config, partition=partition, engine=request.engine)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        engine.run()
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        top = pstats.Stats(profiler)
+        print(
+            f"profile: {int(top.total_calls)} calls in {top.total_tt:.3f}s "
+            f"-> {args.profile} (inspect with `python -m pstats {args.profile}`)",
+            file=sys.stderr,
+        )
+    record = execute_request(request)
     times = record.per_cycle_times
     if topology is not None:
         domains = Topology.from_dict(topology).describe()
@@ -426,6 +447,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--topology", default=None, metavar="JSON|PATH",
         help="topology override: inline JSON or a path to a Topology.as_dict() "
              "JSON file (default: the scenario's own topology)",
+    )
+    run.add_argument(
+        "--profile", default=None, metavar="OUT.pstats",
+        help="cProfile the engine loop of an extra identical run and dump "
+             "the stats to this path (inspect with `python -m pstats`)",
     )
     run.set_defaults(func=_cmd_run)
 

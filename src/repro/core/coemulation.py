@@ -18,8 +18,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from ..ahb.half_bus import BoundaryDrive, HalfBusModel, merge_boundary_drives
-from ..ahb.signals import DataPhaseResult
+from ..ahb.half_bus import (
+    BoundaryDrive,
+    HalfBusModel,
+    drives_functionally_equal,
+    merge_boundary_drives,
+)
+from ..ahb.bus import DriveValues
+from ..ahb.signals import AddressPhase, BusCycleRecord, DataPhaseResult, HTrans
+from ..ahb.transaction import CompletedBeat
 from ..channel.driver import SimulatorAcceleratorChannel
 from ..channel.packet import BoundaryPacketizer
 from ..channel.phy import ChannelDirection, ChannelTimingParams
@@ -45,6 +52,22 @@ from .transition import TransitionLog
 
 #: Paper default: the evaluation assumes 1,000 rollback variables.
 DEFAULT_ROLLBACK_VARIABLES = 1000
+
+#: Shared empty interrupt map (read-only by convention) for remote views.
+_NO_INTERRUPTS: Dict[str, bool] = {}
+
+_INF = float("inf")
+
+
+def _remote_interrupt_union(drives: List[BoundaryDrive], self_index: int) -> Dict[str, bool]:
+    """Union of every peer's interrupt lines (rarely non-empty)."""
+    union: Optional[Dict[str, bool]] = None
+    for index, drive in enumerate(drives):
+        if index != self_index and drive.interrupts:
+            if union is None:
+                union = {}
+            union.update(drive.interrupts)
+    return union if union is not None else _NO_INTERRUPTS
 
 #: Paper default LOB depth (Table 2); Figure 4 also evaluates 8.
 DEFAULT_LOB_DEPTH = 64
@@ -74,6 +97,17 @@ class CoEmulationConfig:
     interrupt_names: List[str] = field(default_factory=list)
     keep_channel_log: bool = False
     stop_when_workload_done: bool = False
+    #: Activity-gated multi-domain synchronisation (Chandy-Misra-Bryant style
+    #: null-message reduction).  With three or more domains, a domain whose
+    #: boundary drive is unchanged since it was last shipped exchanges
+    #: nothing; instead it advertises a *lookahead promise* ("nothing from me
+    #: before cycle T") whenever its quiet horizon expires, and the
+    #: multi-lagger follow-up batches its pairwise exchange into one access
+    #: per channel per transition.  Functional behaviour is identical with
+    #: the gate on or off (boundary values travel in-process either way) --
+    #: only the modelled channel traffic and the host-side bookkeeping
+    #: change.  The paper's two-domain topologies are unaffected either way.
+    sync_gating: bool = True
     #: Multi-domain layout; ``None`` means the paper's canonical
     #: simulator/accelerator pair built from the per-kind fields above.
     topology: Optional[Topology] = None
@@ -198,6 +232,13 @@ def resolve_engine_args(
 class CoEmulationEngineBase:
     """Shared plumbing of the conventional and optimistic engines."""
 
+    #: Whether conservative cycles feed the per-domain predictors.  The
+    #: optimistic engine needs the training (mode decisions and run-ahead
+    #: quality depend on it); the purely conventional engine never predicts,
+    #: so it skips the bookkeeping (host-side only -- no modelled quantity
+    #: reads predictor state in a conservative run).
+    observe_during_conservative = True
+
     def __init__(
         self,
         partition,
@@ -294,6 +335,26 @@ class CoEmulationEngineBase:
         self.sim_host = self.hosts.get(Domain.SIMULATOR)
         self.acc_host = self.hosts.get(Domain.ACCELERATOR)
         self.transitions = TransitionLog()
+        # Activity-gate state (N>2 domains only): per source domain, the last
+        # boundary drive actually shipped on its channels and the cycle until
+        # which it has promised to stay quiet (-1 = no outstanding promise).
+        # The gate models the channels' memory, so it lives on the engine and
+        # is *not* rolled back -- values already shipped stay shipped.
+        self._sync_gating = config.sync_gating and len(self._host_list) > 2
+        self._last_broadcast: Dict[Domain, BoundaryDrive] = {}
+        self._quiet_until: Dict[Domain, float] = {}
+        # Per-domain local-slave id sets (rebuilt per cycle before this was
+        # hoisted) and per-host execution bookkeeping for the inlined
+        # lock-step commit loop.
+        self._slave_ids_of: Dict[Domain, frozenset] = {
+            host.domain: frozenset(host.hbm.local_slaves) for host in self._host_list
+        }
+        self._master_home: Dict[int, DomainHost] = {
+            mid: host for host in self._host_list for mid in host.hbm.local_masters
+        }
+        #: Grant value after the last committed lock-step cycle (quiet-domain
+        #: drive reuse is only valid while arbitration is stable).
+        self._last_grant: Optional[int] = None
 
     # -- host helpers -----------------------------------------------------------
     def host_for(self, domain: Domain) -> DomainHost:
@@ -324,12 +385,21 @@ class CoEmulationEngineBase:
         direct channel (restricted topologies such as hub-and-spoke stars)
         relay through an intermediate domain, paying one access per hop.
         """
-        try:
-            channel, direction = self._channels[(source.domain, dest.domain)]
-        except KeyError:
+        entry = self._channels.get((source.domain, dest.domain))
+        if entry is None:
             return self._charge_relayed(source, dest, n_words, purpose, cycle)
-        access_time = channel.charge(direction, n_words, purpose=purpose, target_cycle=cycle)
-        self.ledger.charge("channel", access_time)
+        channel, direction = entry
+        access_time = channel.stats.record_access(
+            direction, n_words, purpose=purpose, target_cycle=cycle
+        )
+        layers = channel.layers
+        layer_times = channel.layer_times
+        layer_times.api += layers.api_overhead
+        layer_times.driver += layers.driver_overhead
+        layer_times.physical += layers.physical_overhead
+        # Direct bucket update ("channel" is a canonical category and
+        # access_time is non-negative by construction).
+        self.ledger.buckets["channel"] += access_time
         return access_time
 
     def _charge_relayed(
@@ -353,8 +423,9 @@ class CoEmulationEngineBase:
         """The domain hosting the data-phase slave (first domain when idle/tied)."""
         info = self._host_list[0].hbm.core.data_phase_info()  # all cores agree
         if info.active:
+            slave_ids_of = self._slave_ids_of
             for host in self._host_list:
-                if info.slave_id in host.local_slave_ids():
+                if info.slave_id in slave_ids_of[host.domain]:
                     return host
         return self._host_list[0]
 
@@ -399,10 +470,15 @@ class CoEmulationEngineBase:
             merged_first = first.hbm.merge_drive(first_drive, second_drive)
             first.commit(merged_first, response)
 
-            self._observe_actuals(first, second_drive, response)
-            self._observe_actuals(second, first_drive, response)
+            if self.observe_during_conservative:
+                self._observe_actuals(first, second_drive, response)
+                self._observe_actuals(second, first_drive, response)
             self.ledger.commit_cycles(1)
             self.transitions.record_conservative_cycle()
+            return
+
+        if self._sync_gating:
+            self._run_conservative_cycle_gated()
             return
 
         responder = self._slave_side_host()
@@ -444,10 +520,193 @@ class CoEmulationEngineBase:
             )
             host.commit(merged, response)
 
-        for host in self._host_list:
-            remote = [drives[peer.domain] for peer in self._host_list if peer is not host]
-            if remote:
-                self._observe_actuals(host, merge_boundary_drives(remote), response)
+        if self.observe_during_conservative:
+            for host in self._host_list:
+                remote = [drives[peer.domain] for peer in self._host_list if peer is not host]
+                if remote:
+                    self._observe_actuals(host, merge_boundary_drives(remote), response)
+        self.ledger.commit_cycles(1)
+        self.transitions.record_conservative_cycle()
+
+    def _run_conservative_cycle_gated(self) -> None:
+        """One N-domain lock-step cycle with activity-gated channel traffic.
+
+        Functionally identical to the ungated loop (every domain still drives,
+        merges all peers' contributions and commits the same values -- the
+        gating on/off equivalence tests enforce this); only the modelled
+        channel accounting changes:
+
+        * a domain ships its boundary drive to its peers only when the drive
+          *changed* since it was last shipped (an unchanged drive carries no
+          information -- the receivers keep the last value);
+        * a quiet domain instead advertises a one-word *lookahead promise*
+          ("nothing from me before cycle T", with T from
+          :meth:`~repro.ahb.half_bus.HalfBusModel.influence_lookahead`)
+          whenever its previous promise expires, the Chandy-Misra-Bryant
+          null-message reduction -- a drained domain promises once and then
+          stays silent;
+        * the data-phase response is shipped by the responder only while a
+          data phase is actually active (the idle OKAY is a constant).
+
+        The per-cycle cost therefore scales with the number of *active*
+        ordered pairs instead of all D*(D-1) pairs.
+        """
+        hosts = self._host_list
+        responder = self._slave_side_host()
+        cycle = hosts[0].current_cycle
+        info = responder.hbm.core.data_phase_info()
+        info_active = info.active
+        packetizer = self.packetizer
+        last_broadcast = self._last_broadcast
+        quiet_until = self._quiet_until
+        # Quiet-domain drive reuse: while arbitration is stable, a domain
+        # holding an *infinite* lookahead promise (all local masters drained
+        # or provably waiting), with no per-cycle components and not owning
+        # the active data phase, must re-drive exactly the values it last
+        # shipped -- its drive step is skipped and the shipped object reused.
+        effective_grant = hosts[0].hbm.core.arbiter.current_grant
+        grant_stable = effective_grant == self._last_grant
+        # Record the grant *in effect this cycle*: the next cycle compares
+        # its own effective grant against it, so a re-arbitration at this
+        # cycle's commit is seen as unstable next cycle.
+        self._last_grant = effective_grant
+        owner_host = (
+            self._master_home.get(info.owner_master_id) if info_active else None
+        )
+
+        drives: List[BoundaryDrive] = []
+        for host in hosts:
+            domain = host.domain
+            if (
+                grant_stable
+                and host is not owner_host
+                and quiet_until.get(domain, -1.0) == _INF
+                and not host.hbm._tick_active
+            ):
+                drives.append(last_broadcast[domain])
+                continue
+            drive = host.hbm.drive_phase(cycle)
+            drives.append(drive)
+            last = last_broadcast.get(domain)
+            if last is None or not drives_functionally_equal(drive, last):
+                words = packetizer.drive_word_count(drive)
+                for dest in hosts:
+                    if dest is not host:
+                        self._charge_channel(
+                            host, dest, words, purpose="conservative_drive", cycle=cycle
+                        )
+                last_broadcast[domain] = drive
+                quiet_until[domain] = -1.0
+            elif quiet_until.get(domain, -1.0) <= cycle:
+                # Quiet horizon expired: renew the lookahead promise (one
+                # header word per channel).
+                horizon = host.hbm.influence_lookahead(cycle)
+                for dest in hosts:
+                    if dest is not host:
+                        self._charge_channel(
+                            host, dest, 1, purpose="sync_promise", cycle=cycle
+                        )
+                quiet_until[domain] = horizon
+
+        # In lock step every replicated core commits the *same* merged bus
+        # values: master ownership is disjoint across domains and at most one
+        # domain drives an address phase or write data, so the union of all
+        # contributions -- built once -- is exactly what each host's
+        # local-plus-peers merge would produce.  One shared DriveValues
+        # object serves every commit (nothing mutates committed drive
+        # values; the request dict is aliased by every core's latched
+        # register, which is read-only after commit).
+        global_drive = merge_boundary_drives(drives)
+        global_phase = global_drive.address_phase
+        global_hwdata = global_drive.hwdata
+        merged = DriveValues(
+            requests=global_drive.requests,
+            address_phase=(
+                global_phase
+                if global_phase is not None
+                else AddressPhase.idle_phase(hosts[0].hbm.core.arbiter.current_grant)
+            ),
+            hwdata=global_hwdata,
+            interrupts=global_drive.interrupts,
+        )
+        response = (
+            responder.hbm.response_phase(cycle, merged).response or DataPhaseResult.okay()
+        )
+
+        if info.active:
+            reply_words = packetizer.response_word_count(response)
+            for dest in hosts:
+                if dest is not responder:
+                    self._charge_channel(
+                        responder, dest, reply_words, purpose="conservative_reply", cycle=cycle
+                    )
+
+        # Shared commit objects: every replicated core produces the same
+        # cycle record (and completed beat) in lock step, so they are built
+        # once and adopted by reference.
+        first_core = hosts[0].hbm.core
+        record = BusCycleRecord(
+            cycle=cycle,
+            granted_master=first_core.arbiter.current_grant,
+            address_phase=merged.address_phase,
+            data_phase=first_core.data_phase,
+            hwdata=merged.hwdata,
+            response=response,
+            requests=merged.requests,
+        )
+        beat = None
+        if info.active and response.hready:
+            phase = info.address_phase
+            beat = CompletedBeat(
+                cycle=cycle,
+                master_id=phase.master_id,
+                address=phase.haddr,
+                write=phase.hwrite,
+                data=merged.hwdata if phase.hwrite else response.hrdata,
+                hresp=response.hresp,
+                hburst=phase.hburst,
+                hsize=phase.hsize,
+                first_beat=phase.htrans is HTrans.NONSEQ,
+            )
+        for host in hosts:
+            host.hbm.commit_lockstep(cycle, merged, response, record, beat)
+
+        # Batched per-host clock/execution bookkeeping (identical float
+        # additions per category as the per-host commit wrapper).
+        buckets = self.ledger.buckets
+        for host in hosts:
+            clock = host.clock
+            clock.cycle += 1
+            clock.total_executed += 1
+            execution = host.execution
+            buckets[execution.category] += execution._seconds_per_cycle
+            execution.cycles_charged += 1
+
+        if self.observe_during_conservative:
+            # Per-host remote view derived from the global union (observe
+            # only reads remote master ids from the request map, so handing
+            # it the global map is equivalent to the peers-only union).
+            phase_owner = phase_index = None
+            for index, drive in enumerate(drives):
+                if drive.address_phase is not None:
+                    phase_index = index
+                if drive.hwdata is not None:
+                    phase_owner = index
+            has_interrupts = bool(global_drive.interrupts)
+            global_requests = global_drive.requests
+            for index, host in enumerate(hosts):
+                remote_view = BoundaryDrive(
+                    cycle=cycle,
+                    requests=global_requests,
+                    address_phase=global_phase if phase_index != index else None,
+                    hwdata=global_hwdata if phase_owner != index else None,
+                    interrupts=(
+                        _remote_interrupt_union(drives, index)
+                        if has_interrupts
+                        else _NO_INTERRUPTS
+                    ),
+                )
+                self._observe_actuals(host, remote_view, response)
         self.ledger.commit_cycles(1)
         self.transitions.record_conservative_cycle()
 
@@ -458,15 +717,16 @@ class CoEmulationEngineBase:
         response: Optional[DataPhaseResult],
     ) -> None:
         """Let a domain's predictor learn from actual remote values."""
-        if observer.predictor is None:
+        predictor = observer.predictor
+        if predictor is None:
             return
         info = observer.hbm.core.data_phase_info()
         remote_slave = (
             info.slave_id
-            if info.active and info.slave_id not in observer.local_slave_ids()
+            if info.active and info.slave_id not in self._slave_ids_of[observer.domain]
             else None
         )
-        observer.predictor.observe(
+        predictor.observe(
             remote_drive,
             response if remote_slave is not None else None,
             slave_id=remote_slave,

@@ -27,6 +27,10 @@ from .prediction import PredictionStats
 class ConventionalCoEmulation(CoEmulationEngineBase):
     """Lock-step, cycle-by-cycle synchronisation of all topology domains."""
 
+    # No predictions are ever made, so conservative cycles skip the predictor
+    # training bookkeeping entirely (host-side only; results are unchanged).
+    observe_during_conservative = False
+
     def __init__(
         self,
         partition,

@@ -102,12 +102,20 @@ class DomainHost:
         self,
         remote_drive: BoundaryDrive,
         remote_response: Optional[DataPhaseResult],
-    ) -> tuple[BoundaryDrive, BoundaryResponse, BusCycleRecord]:
-        """Run one full cycle given the remote domain's (or predicted) values."""
+    ) -> tuple[BoundaryDrive, Optional[DataPhaseResult], BusCycleRecord]:
+        """Run one full cycle given the remote domain's (or predicted) values.
+
+        Returns the local drive contribution, the local data-phase response
+        (``None`` when the active slave is remote or the bus is idle) and the
+        committed cycle record.  Speculative hot path: the clock advance is
+        inlined (no validation needed for the constant +1 step).
+        """
+        clock = self.clock
         local_drive, local_response, record = self.hbm.run_local_cycle(
-            self.clock.cycle, remote_drive, remote_response
+            clock.cycle, remote_drive, remote_response
         )
-        self.clock.advance(1)
+        clock.cycle += 1
+        clock.total_executed += 1
         self.execution.charge_cycles(1)
         return local_drive, local_response, record
 

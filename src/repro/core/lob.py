@@ -27,7 +27,7 @@ class LobError(RuntimeError):
     """Raised on invalid buffer operations (overflow, popping an empty LOB)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class LobEntry:
     """One run-ahead cycle recorded by the leader.
 
@@ -106,13 +106,35 @@ class LeaderOutputBuffer:
     def entries(self) -> List[LobEntry]:
         return list(self._entries)
 
+    def adopt(self, entries: List[LobEntry]) -> None:
+        """Take ownership of a run-ahead window built externally.
+
+        Equivalent (including statistics) to pushing every entry in order
+        onto an empty buffer; the engine's run-ahead loop builds a plain
+        local list and hands it over in one call, which keeps per-cycle LOB
+        bookkeeping out of the hot loop.  The buffer must be empty.
+        """
+        if self._entries:
+            raise LobError("adopt() requires an empty LOB")
+        if len(entries) > self.depth:
+            raise LobError(f"LOB overflow: depth {self.depth} exceeded")
+        self._entries = entries
+        stats = self.stats
+        stats.entries_pushed += len(entries)
+        if len(entries) > stats.max_occupancy_seen:
+            stats.max_occupancy_seen = len(entries)
+
     def push(self, entry: LobEntry) -> None:
         """Append one run-ahead cycle; raises :class:`LobError` when full."""
-        if self.full:
+        entries = self._entries
+        if len(entries) >= self.depth:
             raise LobError(f"LOB overflow: depth {self.depth} exceeded")
-        self._entries.append(entry)
-        self.stats.entries_pushed += 1
-        self.stats.max_occupancy_seen = max(self.stats.max_occupancy_seen, len(self._entries))
+        entries.append(entry)
+        stats = self.stats
+        stats.entries_pushed += 1
+        occupancy = len(entries)
+        if occupancy > stats.max_occupancy_seen:
+            stats.max_occupancy_seen = occupancy
 
     def flush(self) -> List[LobEntry]:
         """Remove and return all entries (the burst sent to the lagger)."""

@@ -35,8 +35,10 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional
 
-from ..ahb.half_bus import merge_boundary_drives
-from ..ahb.signals import DataPhaseResult
+from ..ahb.bus import DriveValues
+from ..ahb.half_bus import drives_functionally_equal, merge_boundary_drives
+from ..ahb.signals import AddressPhase, BusCycleRecord, DataPhaseResult, HTrans
+from ..ahb.transaction import CompletedBeat
 from ..sim.component import Domain
 from .coemulation import CoEmulationConfig, CoEmulationEngineBase, CoEmulationResult
 from .domain import DomainHost
@@ -45,6 +47,9 @@ from .lob import LeaderOutputBuffer, LobEntry
 from .modes import ModeDecision, OperatingMode, policy_for_mode
 from .prediction import PredictionStats
 from .transition import TransitionOutcome, TransitionRecord
+
+
+_INF = float("inf")
 
 
 class CwPath(str, Enum):
@@ -149,9 +154,10 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
         return self.policy.decide(candidates)
 
     def _traced_conservative_cycle(self) -> None:
-        cycle = self._host_list[0].current_cycle
-        for host in self._host_list:
-            self.trace.record(host.domain, cycle, CwPath.CONSERVATIVE)
+        if self.trace.enabled:
+            cycle = self._host_list[0].current_cycle
+            for host in self._host_list:
+                self.trace.record(host.domain, cycle, CwPath.CONSERVATIVE)
         self.run_conservative_cycle()
 
     # -- one transition ------------------------------------------------------------------
@@ -217,32 +223,67 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
         budget: int,
     ) -> List[LobEntry]:
         ra_cycles = 0
+        # Hot loop: bind the per-cycle collaborators once (every attribute
+        # lookup in here runs tens of thousands of times per second), and
+        # inline the DomainHost.execute_cycle wrapper -- run the half bus
+        # cycle directly, then advance the clock and charge execution time
+        # exactly as execute_cycle would.
+        lob = self.lob
+        entries: List[LobEntry] = []
+        entries_append = entries.append
+        depth = lob.depth
+        needed_fields = leader.hbm.needed_fields
+        can_predict = predictor.can_predict
+        predict = predictor.predict
+        observe = predictor.observe
+        run_cycle = leader.hbm.run_local_cycle
+        clock = leader.clock
+        execution = leader.execution
+        buckets = self.ledger.buckets
+        category = execution.category
+        seconds_per_cycle = execution._seconds_per_cycle
+        trace = self.trace if self.trace.enabled else None
+        # Clock and execution-time bookkeeping are accumulated locally and
+        # written back once after the loop.  The float additions happen in
+        # exactly the per-cycle order (bucket += spc each iteration), so the
+        # modelled times stay bit-identical to per-cycle charging.
+        cycle = clock.cycle
+        bucket_acc = buckets[category]
         while ra_cycles < budget:
-            needed = leader.needed_fields()
-            if not predictor.can_predict(needed):
+            needed = needed_fields()
+            if not can_predict(needed):
                 predictor.record_unpredictable()
                 break
-            cycle = leader.current_cycle
-            prediction = predictor.predict(cycle, needed)
+            prediction = predict(cycle, needed)
             remote_drive, remote_response = prediction.as_boundary_values(cycle)
-            local_drive, local_response, _ = leader.execute_cycle(remote_drive, remote_response)
+            local_drive, local_response, _ = run_cycle(cycle, remote_drive, remote_response)
+            bucket_acc += seconds_per_cycle
             # Chain the prediction state: subsequent predictions extrapolate
             # from what was just predicted.
-            predictor.observe(remote_drive, remote_response)
-            self.lob.push(
+            observe(remote_drive, remote_response)
+            entries_append(
                 LobEntry(
                     cycle=cycle,
                     leader_drive=local_drive,
-                    leader_response=local_response.response,
+                    leader_response=local_response,
                     prediction=prediction,
                 )
             )
-            self.trace.record(leader.domain, cycle, CwPath.PREDICTION)
+            if trace is not None:
+                trace.record(leader.domain, cycle, CwPath.PREDICTION)
+            cycle += 1
             ra_cycles += 1
-            if self.lob.full:
+            if ra_cycles >= depth:
                 break
+        clock.cycle = cycle
+        clock.total_executed += ra_cycles
+        buckets[category] = bucket_acc
+        execution.cycles_charged += ra_cycles
         record.run_ahead_cycles = ra_cycles
-        return self.lob.flush() if ra_cycles else []
+        if not ra_cycles:
+            return []
+        lob.adopt(entries)
+        return lob.flush()
 
     # -- flush (S-path, leader side) ---------------------------------------------------------------
     def _flush_lob(
@@ -255,19 +296,34 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
         # The flush is charged from the exact word counts the packetizer
         # would produce; the burst itself is never materialised (the laggers
         # consume the LOB entries in-process).  Each lagger receives its own
-        # burst over its sync channel with the leader.
-        packetizer = self.packetizer
+        # burst over its sync channel with the leader.  The per-entry counts
+        # inline BoundaryPacketizer.cycle_word_count's arithmetic (header +
+        # 2-word address phase + write data + response + read data);
+        # tests/core/test_flush_words.py pins this copy to the packetizer
+        # across every field combination.
         n_words = 0
         for entry in entries:
-            n_words += packetizer.drive_word_count(entry.leader_drive)
-            if entry.leader_response is not None:
-                n_words += packetizer.response_word_count(entry.leader_response)
-            if entry.prediction is not None:
-                n_words += packetizer.cycle_word_count(
-                    address_phase=entry.prediction.address_phase,
-                    hwdata=entry.prediction.hwdata,
-                    response=entry.prediction.response,
-                )
+            drive = entry.leader_drive
+            words = 1
+            if drive.address_phase is not None:
+                words += 2
+            if drive.hwdata is not None:
+                words += 1
+            response = entry.leader_response
+            if response is not None:
+                words += 2 if response.hrdata is not None else 1
+                words += 1  # response packet header
+            prediction = entry.prediction
+            if prediction is not None:
+                words += 1
+                if prediction.address_phase is not None:
+                    words += 2
+                if prediction.hwdata is not None:
+                    words += 1
+                predicted_response = prediction.response
+                if predicted_response is not None:
+                    words += 2 if predicted_response.hrdata is not None else 1
+            n_words += words
         self.trace.record(leader.domain, leader.current_cycle, CwPath.SYNCHRONIZATION)
         for lagger in laggers:
             self._charge_channel(leader, lagger, n_words, purpose="lob_flush", cycle=entries[0].cycle)
@@ -289,22 +345,25 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
         injected = False
         actual_drive = None
         actual_response = None
+        execute_cycle = lagger.execute_cycle
+        trace = self.trace if self.trace.enabled else None
         for index, entry in enumerate(entries):
             cycle = lagger.current_cycle
-            lag_drive, lag_response, _ = lagger.execute_cycle(
+            lag_drive, lag_response, _ = execute_cycle(
                 entry.leader_drive, entry.leader_response
             )
-            self.trace.record(lagger.domain, cycle, CwPath.LAGGER)
+            if trace is not None:
+                trace.record(lagger.domain, cycle, CwPath.LAGGER)
             if entry.prediction is None:
                 continue
-            matched, reason = entry.prediction.check(lag_drive, lag_response.response)
+            matched, reason = entry.prediction.check(lag_drive, lag_response)
             predictor.record_check(matched, entry.prediction.forced_failure)
             if not matched:
                 failure_index = index
                 failure_reason = reason
                 injected = entry.prediction.forced_failure
                 actual_drive = lag_drive
-                actual_response = lag_response.response
+                actual_response = lag_response
                 break
         return failure_index, failure_reason, injected, actual_drive, actual_response
 
@@ -313,40 +372,142 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
         lock step among themselves, exchanging their own boundary values
         pairwise (conservatively) while the leader's contribution comes from
         the LOB.  The leader's prediction is checked against the *merged*
-        lagger values -- exactly what the leader consumed during run-ahead."""
+        lagger values -- exactly what the leader consumed during run-ahead.
+
+        With sync gating enabled the pairwise exchange is both *activity
+        gated* (a lagger whose drive is unchanged since it last shipped
+        contributes nothing that entry) and *batched*: the changed drives of
+        the whole transition travel as one burst access per ordered lagger
+        pair, charged when the replay window closes -- mirroring how the
+        leader's own LOB flush amortises the channel startup cost."""
         failure_index: Optional[int] = None
         failure_reason = ""
         injected = False
         actual_drive = None
         actual_response = None
         packetizer = self.packetizer
+        gating = self._sync_gating
+        last_broadcast = self._last_broadcast
+        batched_words: Dict[Domain, int] = {}
+        trace = self.trace if self.trace.enabled else None
+        last_cycle = laggers[0].current_cycle
+        slave_ids_of = self._slave_ids_of
+        buckets = self.ledger.buckets
+        quiet_until = self._quiet_until
+        master_home = self._master_home
         for index, entry in enumerate(entries):
-            cycle = laggers[0].current_cycle
-            drives = {lagger.domain: lagger.drive() for lagger in laggers}
-            for src in laggers:
-                words = packetizer.drive_word_count(drives[src.domain])
-                for dst in laggers:
-                    if dst is not src:
-                        self._charge_channel(
-                            src, dst, words, purpose="followup_exchange", cycle=cycle
-                        )
-            merged = {}
+            cycle = last_cycle = laggers[0].current_cycle
+            first_core = laggers[0].hbm.core
+            lock_info = first_core.data_phase_info()
+            if gating:
+                # Quiet-lagger drive reuse under stable arbitration (same
+                # reasoning as the gated conservative cycle).
+                effective_grant = first_core.arbiter.current_grant
+                grant_stable = effective_grant == self._last_grant
+                self._last_grant = effective_grant
+                owner_host = (
+                    master_home.get(lock_info.owner_master_id)
+                    if lock_info.active
+                    else None
+                )
+                drive_list = []
+                for src in laggers:
+                    domain = src.domain
+                    if (
+                        grant_stable
+                        and src is not owner_host
+                        and quiet_until.get(domain, -1.0) == _INF
+                        and not src.hbm._tick_active
+                    ):
+                        drive_list.append(last_broadcast[domain])
+                        continue
+                    drive = src.hbm.drive_phase(cycle)
+                    drive_list.append(drive)
+                    last = last_broadcast.get(domain)
+                    if last is not None and drives_functionally_equal(drive, last):
+                        continue
+                    last_broadcast[domain] = drive
+                    quiet_until[domain] = -1.0
+                    batched_words[domain] = batched_words.get(domain, 0) + (
+                        packetizer.drive_word_count(drive)
+                    )
+            else:
+                drive_list = [lagger.hbm.drive_phase(cycle) for lagger in laggers]
+                for src_index, src in enumerate(laggers):
+                    words = packetizer.drive_word_count(drive_list[src_index])
+                    for dst in laggers:
+                        if dst is not src:
+                            self._charge_channel(
+                                src, dst, words, purpose="followup_exchange", cycle=cycle
+                            )
+            # In lock step every lagger commits the *same* merged values:
+            # build the union of the leader's entry and every lagger's drive
+            # once and share the resulting DriveValues across all commits
+            # (master ownership is disjoint; at most one domain drives an
+            # address phase / write data; committed values are read-only).
+            global_drive = merge_boundary_drives([entry.leader_drive] + drive_list)
+            global_phase = global_drive.address_phase
+            merged = DriveValues(
+                requests=global_drive.requests,
+                address_phase=(
+                    global_phase
+                    if global_phase is not None
+                    else AddressPhase.idle_phase(first_core.arbiter.current_grant)
+                ),
+                hwdata=global_drive.hwdata,
+                interrupts=global_drive.interrupts,
+            )
+            # Only the domain owning the active data-phase slave can answer;
+            # dispatch the response step straight to it (first lagger in
+            # order, matching the ungated first-non-None rule).
             lagger_response = None
-            for lagger in laggers:
-                remotes = [entry.leader_drive] + [
-                    drives[peer.domain] for peer in laggers if peer is not lagger
-                ]
-                merged[lagger.domain] = lagger.hbm.merge_drives(drives[lagger.domain], remotes)
-                local = lagger.respond(merged[lagger.domain]).response
-                if lagger_response is None and local is not None:
-                    lagger_response = local
+            if lock_info.active:
+                slave_id = lock_info.slave_id
+                for lagger in laggers:
+                    if slave_id in slave_ids_of[lagger.domain]:
+                        lagger_response = lagger.hbm.response_phase(cycle, merged).response
+                        break
             commit_response = lagger_response or entry.leader_response or DataPhaseResult.okay()
+            # Shared commit objects (see _run_conservative_cycle_gated): the
+            # laggers' replicated cores all commit the same values.
+            shared_record = BusCycleRecord(
+                cycle=cycle,
+                granted_master=first_core.arbiter.current_grant,
+                address_phase=merged.address_phase,
+                data_phase=first_core.data_phase,
+                hwdata=merged.hwdata,
+                response=commit_response,
+                requests=merged.requests,
+            )
+            shared_beat = None
+            if lock_info.active and commit_response.hready:
+                phase = lock_info.address_phase
+                shared_beat = CompletedBeat(
+                    cycle=cycle,
+                    master_id=phase.master_id,
+                    address=phase.haddr,
+                    write=phase.hwrite,
+                    data=merged.hwdata if phase.hwrite else commit_response.hrdata,
+                    hresp=commit_response.hresp,
+                    hburst=phase.hburst,
+                    hsize=phase.hsize,
+                    first_beat=phase.htrans is HTrans.NONSEQ,
+                )
             for lagger in laggers:
-                lagger.commit(merged[lagger.domain], commit_response)
-                self.trace.record(lagger.domain, cycle, CwPath.LAGGER)
+                lagger.hbm.commit_lockstep(
+                    cycle, merged, commit_response, shared_record, shared_beat
+                )
+                clock = lagger.clock
+                clock.cycle += 1
+                clock.total_executed += 1
+                execution = lagger.execution
+                buckets[execution.category] += execution._seconds_per_cycle
+                execution.cycles_charged += 1
+                if trace is not None:
+                    trace.record(lagger.domain, cycle, CwPath.LAGGER)
             if entry.prediction is None:
                 continue
-            merged_drive = merge_boundary_drives([drives[lagger.domain] for lagger in laggers])
+            merged_drive = merge_boundary_drives(drive_list)
             matched, reason = entry.prediction.check(merged_drive, lagger_response)
             predictor.record_check(matched, entry.prediction.forced_failure)
             if not matched:
@@ -356,6 +517,18 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
                 actual_drive = merged_drive
                 actual_response = lagger_response
                 break
+        if gating:
+            # Charge the batched exchange: one burst access per ordered
+            # lagger pair carrying every changed drive of this transition.
+            for src in laggers:
+                words = batched_words.get(src.domain, 0)
+                if not words:
+                    continue
+                for dst in laggers:
+                    if dst is not src:
+                        self._charge_channel(
+                            src, dst, words, purpose="followup_exchange", cycle=last_cycle
+                        )
         return failure_index, failure_reason, injected, actual_drive, actual_response
 
     # -- transition epilogue -----------------------------------------------------------------------------
@@ -377,6 +550,11 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
                 lagger, leader, report_words, purpose="followup_success", cycle=lagger.current_cycle
             )
         leader.discard_checkpoint()
+        if self._sync_gating and entries:
+            # The flush shipped the leader's drives: the channels now
+            # remember the last consumed entry.
+            self._last_broadcast[leader.domain] = entries[-1].leader_drive
+            self._quiet_until[leader.domain] = -1.0
         committed = len(entries)
         self.ledger.commit_cycles(committed)
         record.committed_cycles = committed
@@ -409,6 +587,12 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
         # S-5 / S-6 then RB step: leader stores the reported response and
         # rolls back to the checkpoint taken at the start of the transition.
         self.trace.record(leader.domain, leader.current_cycle, CwPath.SYNCHRONIZATION)
+        if self._sync_gating:
+            # The laggers consumed the flushed burst up to the failed entry;
+            # the channels remember that drive (speculative values already
+            # shipped stay shipped -- the gate state is never rolled back).
+            self._last_broadcast[leader.domain] = entries[failure_index].leader_drive
+            self._quiet_until[leader.domain] = -1.0
         leader.restore_checkpoint()
         # RF step (F-path): the leader re-executes the cycles the lagger has
         # already committed.  For the validated prefix the (correct)

@@ -28,16 +28,22 @@ misprediction), they only add the corresponding timing penalty.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..ahb.burst import next_beat_address
 from ..ahb.half_bus import BoundaryDrive, NeededFields
-from ..ahb.signals import AddressPhase, DataPhaseResult, HResp, HTrans
+from ..ahb.signals import AddressPhase, DataPhaseResult, HTrans
 from ..sim.component import ClockedComponent
 
 
-@dataclass
+#: Shared empty maps for predictions that carry no requests / interrupts
+#: (treated as immutable by every BoundaryDrive consumer).
+_EMPTY_REQUESTS: Dict[int, bool] = {}
+_EMPTY_INTERRUPTS: Dict[str, bool] = {}
+
+
+@dataclass(slots=True)
 class PredictionRecord:
     """The prediction made for one run-ahead cycle.
 
@@ -110,13 +116,20 @@ class PredictionRecord:
         self, cycle: int
     ) -> tuple[BoundaryDrive, Optional[DataPhaseResult]]:
         """Convert the prediction into the remote-value containers the
-        half bus model consumes."""
+        half bus model consumes.
+
+        The request/interrupt maps are shared by reference: ``predict()``
+        builds fresh dicts that are owned by this record, and every consumer
+        of a :class:`BoundaryDrive` treats its maps as read-only (the merge
+        step copies before mutating).  This keeps the run-ahead hot path from
+        re-copying two dicts per predicted cycle.
+        """
         drive = BoundaryDrive(
             cycle=cycle,
-            requests=dict(self.requests or {}),
+            requests=self.requests if self.requests is not None else _EMPTY_REQUESTS,
             address_phase=self.address_phase,
             hwdata=self.hwdata,
-            interrupts=dict(self.interrupts or {}),
+            interrupts=self.interrupts if self.interrupts is not None else _EMPTY_INTERRUPTS,
         )
         return drive, self.response
 
@@ -246,10 +259,15 @@ class LaggerPredictor(ClockedComponent):
         Called whenever real lagger values become known to the leader:
         during conservative cycles, at the end of a follow-up, and during
         roll-forth (where the previously validated predictions are re-used).
+        Runs once per run-ahead cycle, so every branch early-outs on the
+        (common) empty inputs.
         """
-        for master_id in self.remote_master_ids:
-            if master_id in drive.requests:
-                self._last_requests[master_id] = drive.requests[master_id]
+        requests = drive.requests
+        if requests:
+            last_requests = self._last_requests
+            for master_id in self.remote_master_ids:
+                if master_id in requests:
+                    last_requests[master_id] = requests[master_id]
         if drive.interrupts:
             self._last_interrupts.update(drive.interrupts)
         if drive.address_phase is not None:
@@ -282,9 +300,7 @@ class LaggerPredictor(ClockedComponent):
         non-predictable unless ``predict_new_remote_bursts`` is set (in which
         case an IDLE continuation is guessed and the follow-up check decides).
         """
-        if needed.needs_remote_hwdata:
-            return False
-        if needed.needs_remote_response and needed.response_is_read:
+        if not needed.data_free:
             return False
         if needed.needs_remote_address_phase:
             if self._last_remote_phase is None and not self.predict_new_remote_bursts:
@@ -294,16 +310,21 @@ class LaggerPredictor(ClockedComponent):
     # -- prediction -------------------------------------------------------------------
     def predict(self, cycle: int, needed: NeededFields) -> PredictionRecord:
         """Produce the prediction for one run-ahead cycle."""
-        record = PredictionRecord(cycle=cycle)
-        if needed.needs_remote_requests:
-            record.requests = dict(self._last_requests)
-        record.interrupts = dict(self._last_interrupts) if self._last_interrupts else None
-        if needed.needs_remote_address_phase:
-            record.address_phase = self._predict_address_phase(needed.granted_master_id)
-        if needed.needs_remote_response:
-            record.response = self._predict_response()
-        if self.forced_accuracy is not None and self.forced_accuracy.should_fail():
-            record.forced_failure = True
+        forced_accuracy = self.forced_accuracy
+        record = PredictionRecord(
+            cycle=cycle,
+            requests=dict(self._last_requests) if needed.needs_remote_requests else None,
+            address_phase=(
+                self._predict_address_phase(needed.granted_master_id)
+                if needed.needs_remote_address_phase
+                else None
+            ),
+            response=self._predict_response() if needed.needs_remote_response else None,
+            interrupts=dict(self._last_interrupts) if self._last_interrupts else None,
+            forced_failure=(
+                forced_accuracy is not None and forced_accuracy.should_fail()
+            ),
+        )
         self.stats.predictions_made += 1
         return record
 
@@ -345,8 +366,9 @@ class LaggerPredictor(ClockedComponent):
     def _predict_response(self) -> DataPhaseResult:
         # Producer-consumer readiness: predict ready (OKAY) -- the common
         # steady-state case.  Learned wait-state patterns could refine this;
-        # the simple model already captures the paper's argument.
-        return DataPhaseResult(hready=True, hresp=HResp.OKAY, hrdata=None)
+        # the simple model already captures the paper's argument.  The
+        # parameterless OKAY response is interned (frozen dataclass).
+        return DataPhaseResult.okay()
 
     # -- follow-up bookkeeping -------------------------------------------------------------
     def record_check(self, matched: bool, injected: bool) -> None:

@@ -15,6 +15,16 @@ are stored and restored by reference, with no ``copy.deepcopy`` anywhere on
 the path; this is what keeps ``rb_store`` off the engine's per-cycle hot
 path.  Components that do not opt in keep the legacy deep-copy semantics.
 
+On top of the fast-copy protocol the manager supports *incremental*
+checkpointing (Time-Warp style incremental state saving): components that
+implement the checkpoint-window protocol (see
+:attr:`~repro.sim.component.ClockedComponent.supports_checkpoint_window`)
+journal their own mutations between store and restore/discard, so ``rb_store``
+costs O(1) on the host and a rollback costs O(state touched) instead of
+O(total state).  The modelled store/restore *times* are unchanged -- they are
+charged from the rollback-variable count exactly as before; only the host
+mechanics become cheaper.
+
 The manager also counts rollback variables and charges store/restore time to
 the wall-clock ledger through a :class:`StateCostModel`.
 """
@@ -73,12 +83,23 @@ SIMULATOR_STATE_COSTS = StateCostModel(
 
 @dataclass
 class Checkpoint:
-    """A stored state of a set of components at a particular target cycle."""
+    """A stored state of a set of components at a particular target cycle.
+
+    Two flavours exist:
+
+    * *full* checkpoints hold a complete owned snapshot per component in
+      ``states`` (the legacy scheme);
+    * *incremental* checkpoints hold one opaque checkpoint-window token per
+      component in ``states`` (``incremental=True``) -- the components
+      themselves journal their mutations and can rewind to the window-open
+      state in O(state touched).
+    """
 
     cycle: int
     states: dict = field(default_factory=dict)
     n_variables: int = 0
     label: str = ""
+    incremental: bool = False
 
     def __len__(self) -> int:
         return len(self.states)
@@ -95,6 +116,7 @@ class CheckpointStats:
     variables_restored: int = 0
     store_time: float = 0.0
     restore_time: float = 0.0
+    incremental_stores: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -105,6 +127,7 @@ class CheckpointStats:
             "variables_restored": self.variables_restored,
             "store_time": self.store_time,
             "restore_time": self.restore_time,
+            "incremental_stores": self.incremental_stores,
         }
 
 
@@ -122,12 +145,33 @@ class CheckpointManager:
         components: Iterable[ClockedComponent],
         cost_model: StateCostModel,
         rollback_variable_budget: Optional[int] = None,
+        incremental: Optional[bool] = None,
     ) -> None:
         self.components = list(components)
         self.cost_model = cost_model
         self.rollback_variable_budget = rollback_variable_budget
         self.stats = CheckpointStats()
         self._stack: list[Checkpoint] = []
+        # Incremental (checkpoint-window) protocol: usable when every managed
+        # component either journals its own mutations or follows the
+        # fast-copy ownership contract (whose full-snapshot window fallback
+        # is safe by reference).  ``incremental=None`` auto-enables it.
+        can_do_incremental = all(
+            component.supports_checkpoint_window
+            or getattr(component, "snapshot_copy_free", False)
+            for component in self.components
+        )
+        if incremental is None:
+            self.incremental = can_do_incremental
+        else:
+            if incremental and not can_do_incremental:
+                raise CheckpointError(
+                    "incremental checkpointing requires every component to be "
+                    "checkpoint-window capable or snapshot_copy_free"
+                )
+            self.incremental = incremental
+        # Cached actual variable count (see variable_count()).
+        self._variable_count_cache: Optional[int] = None
 
     # -- introspection -----------------------------------------------------
     @property
@@ -139,36 +183,78 @@ class CheckpointManager:
         return bool(self._stack)
 
     def variable_count(self) -> int:
-        """Number of rollback variables a store would capture right now.
+        """Number of rollback variables a store captures.
 
         If an explicit budget was supplied (matching the paper's "1,000
-        rollback variables" assumption) the budget wins; otherwise the
-        components are asked to report their actual snapshot size.
+        rollback variables" assumption) the budget wins.  Otherwise the
+        components report their snapshot size **once** and the sum is
+        cached: the paper's cost model assumes a *fixed* rollback-variable
+        set (hardware shadow registers, not transient buffers), so the
+        baseline footprint sampled at first use is the right modelled
+        quantity -- and re-summing every component on every store was a
+        measurable per-transition cost.  Note the per-component counts are
+        *not* static (e.g. a master's outstanding-beat buffers grow and
+        shrink); the cache deliberately freezes the baseline rather than
+        tracking in-flight state.  Call :meth:`invalidate_variable_count`
+        after structurally growing a component (e.g. mapping new blocks) to
+        force a re-count.
         """
         if self.rollback_variable_budget is not None:
             return self.rollback_variable_budget
-        return sum(c.rollback_variable_count() for c in self.components)
+        count = self._variable_count_cache
+        if count is None:
+            count = sum(c.rollback_variable_count() for c in self.components)
+            self._variable_count_cache = count
+        return count
+
+    def invalidate_variable_count(self) -> None:
+        """Drop the cached actual variable count (next call re-sums)."""
+        self._variable_count_cache = None
 
     # -- operations --------------------------------------------------------
     def store(self, cycle: int, label: str = "") -> Checkpoint:
         """Capture the state of every managed component (``rb_store``).
 
-        Components that follow the fast-copy protocol hand over an owned
-        payload which is stored by reference; legacy components get the
-        defensive ``deepcopy`` they were written against.
+        With incremental checkpointing enabled (and no checkpoint already
+        outstanding) the components open *checkpoint windows* instead of
+        producing full snapshots: window-aware components merely start
+        journalling their mutations, turning the per-transition store cost
+        from O(total state) into O(1) plus O(state touched) on rollback.
+
+        Nested stores (experimental speculation stacks) and legacy
+        components use the full-snapshot scheme: fast-copy components hand
+        over an owned payload stored by reference; others get the defensive
+        ``deepcopy`` they were written against.
+
+        The *modelled* store cost (``variable_count`` x the cost model) is
+        identical for both schemes -- the paper's rb_store operation captures
+        the same rollback variables either way; only the host-side mechanics
+        differ.
         """
-        states = {}
-        for c in self.components:
-            payload = c.snapshot_state()
-            if not getattr(c, "snapshot_copy_free", False):
-                payload = copy.deepcopy(payload)
-            states[c.name] = payload
-        n_vars = self.variable_count()
-        checkpoint = Checkpoint(cycle=cycle, states=states, n_variables=n_vars, label=label)
+        if self.incremental and not self._stack:
+            states = {c.name: c.open_checkpoint_window() for c in self.components}
+            checkpoint = Checkpoint(
+                cycle=cycle,
+                states=states,
+                n_variables=self.variable_count(),
+                label=label,
+                incremental=True,
+            )
+            self.stats.incremental_stores += 1
+        else:
+            states = {}
+            for c in self.components:
+                payload = c.snapshot_state()
+                if not getattr(c, "snapshot_copy_free", False):
+                    payload = copy.deepcopy(payload)
+                states[c.name] = payload
+            checkpoint = Checkpoint(
+                cycle=cycle, states=states, n_variables=self.variable_count(), label=label
+            )
         self._stack.append(checkpoint)
         self.stats.stores += 1
-        self.stats.variables_stored += n_vars
-        self.stats.store_time += self.cost_model.store_time(n_vars)
+        self.stats.variables_stored += checkpoint.n_variables
+        self.stats.store_time += self.cost_model.store_time(checkpoint.n_variables)
         return checkpoint
 
     def restore(self) -> Checkpoint:
@@ -176,12 +262,16 @@ class CheckpointManager:
         if not self._stack:
             raise CheckpointError("restore requested but no checkpoint is stored")
         checkpoint = self._stack.pop()
-        for component in self.components:
-            if component.name in checkpoint.states:
-                payload = checkpoint.states[component.name]
-                if not getattr(component, "snapshot_copy_free", False):
-                    payload = copy.deepcopy(payload)
-                component.restore_state(payload)
+        if checkpoint.incremental:
+            for component in self.components:
+                component.rewind_checkpoint_window(checkpoint.states[component.name])
+        else:
+            for component in self.components:
+                if component.name in checkpoint.states:
+                    payload = checkpoint.states[component.name]
+                    if not getattr(component, "snapshot_copy_free", False):
+                        payload = copy.deepcopy(payload)
+                    component.restore_state(payload)
         self.stats.restores += 1
         self.stats.variables_restored += checkpoint.n_variables
         self.stats.restore_time += self.cost_model.restore_time(checkpoint.n_variables)
@@ -192,11 +282,23 @@ class CheckpointManager:
         if not self._stack:
             raise CheckpointError("discard requested but no checkpoint is stored")
         checkpoint = self._stack.pop()
+        if checkpoint.incremental:
+            for component in self.components:
+                component.close_checkpoint_window(checkpoint.states[component.name])
         self.stats.discarded += 1
         return checkpoint
 
     def clear(self) -> None:
-        self._stack.clear()
+        """Drop every outstanding checkpoint without restoring.
+
+        Incremental checkpoints close their windows (current state kept) so
+        the components stop journalling.
+        """
+        while self._stack:
+            checkpoint = self._stack.pop()
+            if checkpoint.incremental:
+                for component in self.components:
+                    component.close_checkpoint_window(checkpoint.states[component.name])
 
     def last_store_time(self) -> float:
         """Time charged for a single store at the current variable count."""

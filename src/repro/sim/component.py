@@ -8,8 +8,10 @@ checkpointing (rollback support).
 
 from __future__ import annotations
 
+import copy as _copy
 import warnings
 from abc import ABC, abstractmethod
+from array import array
 from enum import Enum
 from typing import Any, ClassVar, Dict, Iterable, Optional
 
@@ -153,6 +155,38 @@ class ClockedComponent(ABC):
         """
         return _count_scalars(self.snapshot_state())
 
+    # -- incremental checkpointing (checkpoint windows) ----------------------
+    #: Opt-in flag for the *checkpoint window* protocol (Time-Warp style
+    #: incremental state saving).  A window-aware component journals its
+    #: mutations between :meth:`open_checkpoint_window` and the matching
+    #: rewind/close, so storing a checkpoint is O(1) and rolling back is
+    #: O(state touched) instead of O(total state).  The default
+    #: implementations below fall back to a full snapshot, which makes every
+    #: component window-capable; set the flag to True only once the component
+    #: implements a genuinely incremental journal (the flag is what the
+    #: checkpoint manager reports in its stats).
+    supports_checkpoint_window: bool = False
+
+    def open_checkpoint_window(self) -> Any:
+        """Begin a checkpoint window; returns an opaque token.
+
+        The token, passed back to :meth:`rewind_checkpoint_window` or
+        :meth:`close_checkpoint_window`, must let the component restore
+        exactly the state it had when the window was opened.  The fallback
+        implementation snapshots the full state (no journalling).
+        """
+        return self.snapshot_state()
+
+    def rewind_checkpoint_window(self, token: Any) -> None:
+        """Restore the state captured at :meth:`open_checkpoint_window` and
+        close the window (``rb_restore``)."""
+        self.restore_state(token)
+
+    def close_checkpoint_window(self, token: Any) -> None:
+        """Close the window keeping the current state (checkpoint discarded
+        after a successful transition).  Fallback: nothing to clean up."""
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}({self.name!r})"
 
@@ -163,6 +197,8 @@ def _count_scalars(obj: Any) -> int:
         return sum(_count_scalars(v) for v in obj.values())
     if isinstance(obj, (list, tuple)):
         return sum(_count_scalars(v) for v in obj)
+    if isinstance(obj, array):
+        return len(obj)
     try:  # numpy arrays expose .size
         size = obj.size  # type: ignore[attr-defined]
     except AttributeError:
@@ -243,3 +279,39 @@ class ComponentGroup(ClockedComponent):
 
     def rollback_variable_count(self) -> int:
         return sum(component.rollback_variable_count() for component in self.components)
+
+    # -- incremental checkpointing: delegate windows to the members ----------
+    @property
+    def supports_checkpoint_window(self) -> bool:  # type: ignore[override]
+        """A group journals incrementally when at least one member does (the
+        rest fall back to their full snapshot inside the group token)."""
+        return any(component.supports_checkpoint_window for component in self.components)
+
+    def open_checkpoint_window(self) -> dict:
+        token = {}
+        for component in self.components:
+            if component.supports_checkpoint_window:
+                token[component.name] = component.open_checkpoint_window()
+            else:
+                payload = component.snapshot_state()
+                if not component.snapshot_copy_free:
+                    payload = _copy.deepcopy(payload)
+                token[component.name] = payload
+        return token
+
+    def rewind_checkpoint_window(self, token: dict) -> None:
+        for component in self.components:
+            if component.name not in token:
+                continue
+            if component.supports_checkpoint_window:
+                component.rewind_checkpoint_window(token[component.name])
+            else:
+                payload = token[component.name]
+                if not component.snapshot_copy_free:
+                    payload = _copy.deepcopy(payload)
+                component.restore_state(payload)
+
+    def close_checkpoint_window(self, token: dict) -> None:
+        for component in self.components:
+            if component.supports_checkpoint_window and component.name in token:
+                component.close_checkpoint_window(token[component.name])

@@ -153,13 +153,23 @@ class ExecutionCostModel:
     category: str
     speed: DomainSpeed
     cycles_charged: int = 0
+    #: Cached ``speed.seconds_per_cycle`` (the property recomputes the
+    #: division on every read; charge_cycles runs once per executed cycle).
+    _seconds_per_cycle: float = field(init=False, repr=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self._seconds_per_cycle = self.speed.seconds_per_cycle
+        # The bucket must exist for the direct update in charge_cycles.
+        self.ledger.ensure_category(self.category)
 
     def charge_cycles(self, count: int) -> float:
         """Charge the time to execute ``count`` cycles; returns seconds charged."""
         if count < 0:
             raise LedgerError("cannot charge a negative cycle count")
-        seconds = count * self.speed.seconds_per_cycle
-        self.ledger.charge(self.category, seconds)
+        seconds = count * self._seconds_per_cycle
+        # Direct bucket update (the category was validated at construction
+        # via ensure_category, and seconds is non-negative by construction).
+        self.ledger.buckets[self.category] += seconds
         self.cycles_charged += count
         return seconds
 

@@ -1,0 +1,125 @@
+"""Activity-gated multi-domain synchronisation: equivalence and traffic.
+
+The sync gate (``CoEmulationConfig.sync_gating``) changes only the modelled
+channel accounting and the host-side bookkeeping of N>2-domain runs:
+
+* functional behaviour (beat streams, transitions, prediction statistics)
+  must be identical with the gate on or off for **every** catalog scenario,
+* two-domain (and single-domain) runs must be *bit-identical* in every
+  respect -- the gate must not touch the paper's canonical topologies,
+* gated traffic must never exceed the unconditional per-ordered-pair scheme,
+  and quiet domains must appear as lookahead promises, not per-cycle data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.core import CoEmulationConfig, OperatingMode, create_engine
+from repro.workloads.catalog import build_scenario, scenario_names
+
+MODES = (OperatingMode.CONSERVATIVE, OperatingMode.ALS)
+
+
+def run_gated(name: str, mode: OperatingMode, sync_gating: bool, cycles: int = 200):
+    spec = build_scenario(name)
+    config = CoEmulationConfig(
+        mode=mode,
+        total_cycles=cycles,
+        topology=spec.topology,
+        sync_gating=sync_gating,
+    )
+    return create_engine(config, partition=spec.build_partition()).run()
+
+
+def functional_digest(result) -> str:
+    """Everything the gate must not change, for any domain count."""
+    payload = repr(
+        (
+            sorted(result.domain_beat_keys.items()),
+            result.committed_cycles,
+            result.transitions,
+            result.prediction,
+            result.monitors_ok,
+            result.wasted_leader_cycles,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def full_digest(result) -> str:
+    """Functional digest plus every modelled quantity (times, traffic)."""
+    payload = repr(
+        (
+            sorted(result.domain_beat_keys.items()),
+            result.committed_cycles,
+            result.transitions,
+            result.prediction,
+            {k: repr(v) for k, v in result.per_cycle_times.items()},
+            repr(result.total_modelled_time),
+            result.channel.get("accesses"),
+            result.channel.get("words"),
+            repr(result.channel.get("total_time")),
+            result.wasted_leader_cycles,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("name", scenario_names())
+def test_gating_preserves_functional_behaviour_for_every_catalog_scenario(name, mode):
+    gated = run_gated(name, mode, sync_gating=True)
+    ungated = run_gated(name, mode, sync_gating=False)
+    assert functional_digest(gated) == functional_digest(ungated)
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize(
+    "name",
+    [
+        name
+        for name in scenario_names()
+        if build_scenario(name).resolved_topology().n_domains <= 2
+    ],
+)
+def test_gating_is_a_strict_noop_for_one_and_two_domain_scenarios(name, mode):
+    """The paper's canonical topologies keep every modelled quantity
+    bit-identical regardless of the gate flag."""
+    gated = run_gated(name, mode, sync_gating=True)
+    ungated = run_gated(name, mode, sync_gating=False)
+    assert full_digest(gated) == full_digest(ungated)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_gated_traffic_never_exceeds_the_unconditional_scheme(mode):
+    for name in ("accelerator_farm_4x", "dual_accelerator_pipeline"):
+        gated = run_gated(name, mode, sync_gating=True)
+        ungated = run_gated(name, mode, sync_gating=False)
+        assert gated.channel["accesses"] <= ungated.channel["accesses"]
+        assert gated.channel["total_time"] <= ungated.channel["total_time"]
+
+
+def test_quiet_domains_advertise_lookahead_promises():
+    """A drained farm shows up as a handful of one-word sync promises
+    instead of a per-cycle null-message storm."""
+    result = run_gated("accelerator_farm_4x", OperatingMode.CONSERVATIVE, True, cycles=400)
+    per_purpose = result.channel["per_purpose"]
+    assert per_purpose.get("sync_promise", 0) > 0
+    # Far fewer promises than quiet pair-cycles (the whole point of the
+    # infinite-lookahead promise).
+    assert per_purpose["sync_promise"] < 20 * result.committed_cycles / 4
+
+
+def test_multidomain_followup_exchange_is_batched_per_transition():
+    """With gating on, the lagger-to-lagger follow-up exchange pays at most
+    one access per ordered lagger pair per transition (a burst), not one per
+    replayed cycle."""
+    gated = run_gated("accelerator_farm_4x", OperatingMode.ALS, True, cycles=400)
+    transitions = gated.transitions["transitions"]
+    exchanges = gated.channel["per_purpose"].get("followup_exchange", 0)
+    if transitions:
+        # 4 laggers -> at most 12 ordered pairs per transition.
+        assert exchanges <= 12 * transitions

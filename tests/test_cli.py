@@ -61,6 +61,19 @@ def test_run_command_conservative_mode(capsys):
     assert "conservative" in out
 
 
+def test_run_command_profile_dumps_pstats(capsys, tmp_path):
+    import pstats
+
+    target = tmp_path / "engine.pstats"
+    out = run_cli(
+        capsys, "run", "--cycles", "120", "--mode", "als", "--profile", str(target)
+    )
+    assert "performance" in out  # the normal run still happens and reports
+    assert target.exists()
+    stats = pstats.Stats(str(target))
+    assert stats.total_calls > 0  # the engine loop was actually profiled
+
+
 def test_scenarios_command_lists_catalog(capsys):
     out = run_cli(capsys, "scenarios")
     assert "Scenario catalog" in out
