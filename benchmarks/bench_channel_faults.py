@@ -1,0 +1,121 @@
+"""Imperfect-channel degradation benchmarks.
+
+Measures (a) the raw overhead of the fault-injection + selective-repeat path
+relative to the ideal ``_charge_channel`` hot path, and (b) the degradation
+curves of both synchronisation mechanisms as frame loss rises.  The headline
+is the robustness corollary of the paper's traffic argument: the optimistic
+scheme pays far fewer channel accesses, so the same loss rate costs it far
+less absolute retransmission time than the conventional scheme.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.degradation import loss_rate_sweep
+from repro.analysis.report import render_table
+from repro.channel.driver import ChannelEndpoint
+from repro.channel.faults import ChannelFaultConfig, ChannelFaultInjector
+from repro.channel.phy import ChannelDirection
+from repro.channel.reliability import SelectiveRepeatLink
+from repro.channel.stats import FaultStats
+from repro.core.coemulation import CoEmulationConfig
+from repro.workloads.catalog import build_scenario
+
+
+def _make_link(config: ChannelFaultConfig) -> SelectiveRepeatLink:
+    channel = ChannelEndpoint(keep_log=False)
+    channel.stats.faults = FaultStats()
+    injector = ChannelFaultInjector(
+        config, config.derive_rng("bench", "sim_to_acc"), stats=channel.stats.faults
+    )
+    return SelectiveRepeatLink(channel, ChannelDirection.SIM_TO_ACC, config, injector)
+
+
+def test_bench_fault_injection_overhead(benchmark, report):
+    """Host-side cost of one modelled selective-repeat delivery."""
+    config = ChannelFaultConfig(
+        loss_rate=0.02,
+        duplicate_rate=0.01,
+        corruption_rate=0.005,
+        reorder_rate=0.02,
+        jitter_mean=0.5e-6,
+        jitter_spread=1.0e-6,
+        seed=5,
+    )
+    n = 5_000
+
+    def deliver_batch():
+        link = _make_link(config)
+        total = 0.0
+        for cycle in range(n):
+            total += link.deliver(4, "bench", cycle)
+        return link, total
+
+    link, total = benchmark(deliver_batch)
+    stats = link.stats.as_dict()
+    ideal = ChannelEndpoint(keep_log=False)
+    ideal_total = sum(
+        ideal.charge(ChannelDirection.SIM_TO_ACC, 4, purpose="bench", target_cycle=c)
+        for c in range(n)
+    )
+    report(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["messages", str(n)],
+                ["wire attempts", str(stats["attempts"])],
+                ["retransmissions", str(stats["retransmissions"])],
+                ["modelled time (faulty)", f"{total:.4f} s"],
+                ["modelled time (ideal)", f"{ideal_total:.4f} s"],
+                ["modelled inflation", f"{total / ideal_total:.2f}x"],
+            ],
+            title="Selective-repeat delivery over a 2% lossy link (5k messages)",
+        )
+    )
+    # every message delivered despite faults, at a bounded modelled premium
+    assert stats["attempts"] >= n
+    assert total > ideal_total
+
+
+def test_bench_degradation_curves(benchmark, report):
+    """Mechanism performance vs loss rate on the mixed workload."""
+    spec = build_scenario("mixed")
+    base = CoEmulationConfig(total_cycles=300)
+    faults = ChannelFaultConfig(max_attempts=20, seed=9)
+    loss_rates = [0.0, 0.01, 0.05, 0.15]
+
+    points = benchmark.pedantic(
+        lambda: loss_rate_sweep(spec, base, loss_rates, base_faults=faults),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            point.mode,
+            f"{point.loss_rate:.2f}",
+            f"{point.performance / 1000:.1f}k",
+            f"{point.relative_performance:.3f}",
+            str(point.channel_accesses),
+            str(point.retransmissions),
+        ]
+        for point in points
+    ]
+    report(
+        render_table(
+            ["mode", "loss", "performance", "relative", "accesses", "retx"],
+            rows,
+            title="Degradation vs frame loss ('mixed', 300 cycles)",
+        )
+    )
+    by_mode = {}
+    for point in points:
+        by_mode.setdefault(point.mode, []).append(point)
+    for mode, series in by_mode.items():
+        # no give-ups at these rates, and performance falls monotonically
+        assert all(not p.gave_up for p in series), mode
+        perfs = [p.performance for p in series]
+        assert perfs == sorted(perfs, reverse=True), mode
+    # ALS suffers fewer absolute retransmissions than conservative at equal loss
+    worst = loss_rates[-1]
+    cons = next(p for p in points if p.mode == "conservative" and p.loss_rate == worst)
+    als = next(p for p in points if p.mode == "als" and p.loss_rate == worst)
+    assert als.retransmissions < cons.retransmissions

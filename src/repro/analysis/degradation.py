@@ -1,0 +1,173 @@
+"""Channel-degradation sweeps.
+
+The paper's central claim is that prediction packetizing reduces *channel
+accesses*; an imperfect channel multiplies the cost of every access it keeps.
+These sweeps quantify that interaction: how each synchronisation mechanism's
+performance falls off as frame loss rises, how prediction accuracy and loss
+compound, and where a link becomes effectively unusable (the give-up
+threshold).  The headline result mirrors the ideal-channel story -- because
+the optimistic scheme pays orders of magnitude fewer accesses, it also
+suffers orders of magnitude fewer faults, so its degradation curve is far
+flatter than the conventional scheme's.
+
+Every point is deterministic: the fault schedule is a pure function of the
+:class:`~repro.channel.faults.ChannelFaultConfig` seed, and the functional
+run (committed beats) is identical across the whole grid by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Sequence
+
+from ..channel.faults import ChannelDegradedError, ChannelFaultConfig
+from ..core.coemulation import CoEmulationConfig
+from ..core.modes import OperatingMode
+from ..workloads.soc import SocSpec
+from .sweep import run_engine
+
+
+@dataclass
+class DegradationPoint:
+    """One (mechanism, loss rate[, accuracy]) point of a degradation sweep."""
+
+    mode: str
+    loss_rate: float
+    accuracy: Optional[float]
+    performance: float
+    channel_accesses: int
+    retransmissions: int
+    drops: int
+    rollbacks: int
+    total_time: float
+    #: Relative performance against the same mechanism's ideal-channel run.
+    relative_performance: float = 1.0
+    #: True when the link degraded past the give-up threshold (the run raised
+    #: :class:`~repro.channel.faults.ChannelDegradedError` instead of
+    #: finishing; the metric fields hold zeros).
+    gave_up: bool = False
+
+    def row(self) -> dict:
+        return {
+            "mode": self.mode,
+            "loss_rate": self.loss_rate,
+            "accuracy": self.accuracy,
+            "performance": self.performance,
+            "relative_performance": self.relative_performance,
+            "channel_accesses": self.channel_accesses,
+            "retransmissions": self.retransmissions,
+            "drops": self.drops,
+            "rollbacks": self.rollbacks,
+            "total_time": self.total_time,
+            "gave_up": self.gave_up,
+        }
+
+
+def _point(
+    spec: SocSpec,
+    config: CoEmulationConfig,
+    mode: OperatingMode,
+    loss_rate: float,
+    accuracy: Optional[float],
+) -> DegradationPoint:
+    try:
+        result = run_engine(spec, config)
+    except ChannelDegradedError:
+        return DegradationPoint(
+            mode=mode.value,
+            loss_rate=loss_rate,
+            accuracy=accuracy,
+            performance=0.0,
+            channel_accesses=0,
+            retransmissions=0,
+            drops=0,
+            rollbacks=0,
+            total_time=0.0,
+            gave_up=True,
+        )
+    faults = result.channel.get("faults") or {}
+    return DegradationPoint(
+        mode=mode.value,
+        loss_rate=loss_rate,
+        accuracy=accuracy,
+        performance=result.performance_cycles_per_second,
+        channel_accesses=result.channel.get("accesses", 0),
+        retransmissions=faults.get("retransmissions", 0),
+        drops=faults.get("drops", 0),
+        rollbacks=result.transitions.get("rollbacks", 0),
+        total_time=result.total_modelled_time,
+    )
+
+
+def loss_rate_sweep(
+    spec: SocSpec,
+    base_config: CoEmulationConfig,
+    loss_rates: Sequence[float],
+    modes: Iterable[OperatingMode] = (OperatingMode.CONSERVATIVE, OperatingMode.ALS),
+    base_faults: Optional[ChannelFaultConfig] = None,
+) -> List[DegradationPoint]:
+    """Sweep frame-loss rate for each mechanism.
+
+    ``base_faults`` carries every non-loss knob (jitter, reliability-protocol
+    parameters, seed); each point overrides only ``loss_rate``.  The zero-loss
+    point of each mode anchors its ``relative_performance`` column (an ideal
+    channel when ``base_faults`` is otherwise fault-free).
+    """
+    spec.cache_traffic()
+    faults = base_faults if base_faults is not None else ChannelFaultConfig()
+    points: List[DegradationPoint] = []
+    for mode in modes:
+        baseline: Optional[float] = None
+        for loss in loss_rates:
+            config = replace(
+                base_config,
+                mode=mode,
+                channel_faults=replace(faults, loss_rate=loss),
+            )
+            point = _point(spec, config, mode, loss, base_config.forced_accuracy)
+            if baseline is None and not point.gave_up:
+                baseline = point.performance
+            point.relative_performance = (
+                point.performance / baseline if baseline else 0.0
+            )
+            points.append(point)
+    return points
+
+
+def accuracy_loss_grid(
+    spec: SocSpec,
+    base_config: CoEmulationConfig,
+    accuracies: Sequence[float],
+    loss_rates: Sequence[float],
+    base_faults: Optional[ChannelFaultConfig] = None,
+) -> List[DegradationPoint]:
+    """The accuracy x loss-rate grid for the optimistic mechanism.
+
+    Prediction failures and channel faults compound: a rollback's follow-up
+    exchanges also ride the faulty channel.  Each accuracy's zero-loss point
+    anchors that row's ``relative_performance``.
+    """
+    spec.cache_traffic()
+    faults = base_faults if base_faults is not None else ChannelFaultConfig()
+    points: List[DegradationPoint] = []
+    for accuracy in accuracies:
+        baseline: Optional[float] = None
+        for loss in loss_rates:
+            config = replace(
+                base_config,
+                mode=OperatingMode.ALS,
+                forced_accuracy=accuracy,
+                channel_faults=replace(faults, loss_rate=loss),
+            )
+            point = _point(spec, config, OperatingMode.ALS, loss, accuracy)
+            if baseline is None and not point.gave_up:
+                baseline = point.performance
+            point.relative_performance = (
+                point.performance / baseline if baseline else 0.0
+            )
+            points.append(point)
+    return points
+
+
+def degradation_rows(points: List[DegradationPoint]) -> List[dict]:
+    return [point.row() for point in points]

@@ -1,7 +1,22 @@
 """Simulator-accelerator channel substrate: timing model, packetizing,
-message transport and traffic accounting."""
+message transport, traffic accounting, fault injection and reliability."""
 
-from .driver import ChannelError, ChannelMessage, LayerTimes, SimulatorAcceleratorChannel
+from .driver import (
+    ChannelEndpoint,
+    ChannelError,
+    ChannelMessage,
+    LayerTimes,
+    SimulatorAcceleratorChannel,
+)
+from .faults import (
+    ChannelDegradedError,
+    ChannelFaultConfig,
+    ChannelFaultConfigError,
+    ChannelFaultInjector,
+    FaultyChannelEndpoint,
+    WireFate,
+    frame_checksum,
+)
 from .packet import BoundaryPacketizer, CycleRecordPacket, PacketError
 from .phy import (
     ChannelDirection,
@@ -11,23 +26,36 @@ from .phy import (
     IPROVE_PCI_CHANNEL,
     ZERO_OVERHEAD_CHANNEL,
 )
-from .stats import ChannelAccessRecord, ChannelStats, compare_traffic
+from .reliability import ReliableStream, SelectiveRepeatLink, StreamReport
+from .stats import ChannelAccessRecord, ChannelStats, FaultStats, compare_traffic
 
 __all__ = [
     "BoundaryPacketizer",
     "ChannelAccessRecord",
+    "ChannelDegradedError",
     "ChannelDirection",
+    "ChannelEndpoint",
     "ChannelError",
+    "ChannelFaultConfig",
+    "ChannelFaultConfigError",
+    "ChannelFaultInjector",
     "ChannelLayerBreakdown",
     "ChannelMessage",
     "ChannelStats",
     "ChannelTimingParams",
     "CycleRecordPacket",
     "FAST_CHANNEL",
+    "FaultStats",
+    "FaultyChannelEndpoint",
     "IPROVE_PCI_CHANNEL",
     "LayerTimes",
     "PacketError",
+    "ReliableStream",
+    "SelectiveRepeatLink",
     "SimulatorAcceleratorChannel",
+    "StreamReport",
+    "WireFate",
     "ZERO_OVERHEAD_CHANNEL",
     "compare_traffic",
+    "frame_checksum",
 ]

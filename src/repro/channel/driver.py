@@ -125,15 +125,33 @@ class SimulatorAcceleratorChannel:
         """Number of unread messages travelling in ``direction``."""
         return len(self._queues[direction])
 
-    def read(self, direction: ChannelDirection) -> ChannelMessage:
+    def readable(self, direction: ChannelDirection) -> bool:
+        """Non-raising poll: is a message pending in ``direction``?
+
+        Orchestrating code (the reliability layer's drain loops, protocol
+        drivers, tests) should poll this instead of catching
+        :class:`ChannelError` from a speculative :meth:`read`.
+        """
+        return bool(self._queues[direction])
+
+    def read(self, direction: ChannelDirection, purpose: str = "") -> ChannelMessage:
         """Receive the oldest unread message travelling in ``direction``.
 
         Reading does not pay a second startup overhead: the cost model charges
         the full access cost at write time (one access = one startup).
+        ``purpose`` only annotates the empty-read diagnostic -- pass what the
+        caller expected to receive.
         """
         queue = self._queues[direction]
         if not queue:
-            raise ChannelError(f"no pending message in direction {direction.value}")
+            expected = f" (expected {purpose!r})" if purpose else ""
+            depths = ", ".join(
+                f"{d.value}={len(q)} pending" for d, q in self._queues.items()
+            )
+            raise ChannelError(
+                f"empty read in direction {direction.value}{expected}: "
+                f"queue depths: {depths}; poll readable() before reading"
+            )
         return queue.popleft()
 
     def drain(self, direction: ChannelDirection) -> List[ChannelMessage]:
@@ -147,3 +165,9 @@ class SimulatorAcceleratorChannel:
         self.layer_times = LayerTimes()
         for queue in self._queues.values():
             queue.clear()
+
+
+#: One side of the modelled link *is* the message transport: historical name
+#: kept as the primary class, protocol-facing name exported for the fault /
+#: reliability layers (:mod:`repro.channel.faults` wraps a ChannelEndpoint).
+ChannelEndpoint = SimulatorAcceleratorChannel

@@ -21,6 +21,7 @@ is derived from these three constants.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from enum import Enum
 
@@ -129,9 +130,25 @@ class ChannelLayerBreakdown:
         return self.api_overhead + self.driver_overhead + self.physical_overhead
 
     def scaled_to(self, total: float) -> "ChannelLayerBreakdown":
-        """Return a breakdown with the same proportions summing to ``total``."""
+        """Return a breakdown with the same proportions summing to ``total``.
+
+        ``total`` must be a positive finite number: a zero or negative target
+        has no proportional decomposition (callers modelling a free channel
+        should construct ``ChannelLayerBreakdown(0.0, 0.0, 0.0)`` directly,
+        as :class:`~repro.channel.driver.SimulatorAcceleratorChannel` does).
+        """
+        if not math.isfinite(total):
+            raise ValueError(f"cannot scale a breakdown to non-finite total {total!r}")
+        if total <= 0:
+            raise ValueError(
+                f"cannot scale a breakdown to non-positive total {total!r}; "
+                "construct ChannelLayerBreakdown(0.0, 0.0, 0.0) for a free channel"
+            )
         if self.total == 0:
-            raise ValueError("cannot scale a zero breakdown")
+            raise ValueError(
+                "cannot scale a zero breakdown: ChannelLayerBreakdown(0.0, 0.0, 0.0) "
+                "has no proportions to preserve"
+            )
         factor = total / self.total
         return ChannelLayerBreakdown(
             api_overhead=self.api_overhead * factor,

@@ -28,6 +28,70 @@ class ChannelAccessRecord:
 
 
 @dataclass
+class FaultStats:
+    """Fault-injection and reliability-layer counters for one link.
+
+    ``attempts`` counts wire transmissions (including retransmissions and
+    duplicate copies are counted separately); the time fields hold modelled
+    seconds spent on top of the ideal access costs, so the ideal
+    :class:`ChannelStats` arithmetic (startup vs payload split) stays exact.
+    """
+
+    attempts: int = 0
+    drops: int = 0
+    corruptions: int = 0
+    duplicates: int = 0
+    duplicates_suppressed: int = 0
+    reorder_events: int = 0
+    max_reorder_depth: int = 0
+    retransmissions: int = 0
+    rto_events: int = 0
+    buffer_overflows: int = 0
+    ack_losses: int = 0
+    jitter_time: float = 0.0
+    rto_wait_time: float = 0.0
+    reorder_wait_time: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "drops": self.drops,
+            "corruptions": self.corruptions,
+            "duplicates": self.duplicates,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "reorder_events": self.reorder_events,
+            "max_reorder_depth": self.max_reorder_depth,
+            "retransmissions": self.retransmissions,
+            "rto_events": self.rto_events,
+            "buffer_overflows": self.buffer_overflows,
+            "ack_losses": self.ack_losses,
+            "jitter_time": self.jitter_time,
+            "rto_wait_time": self.rto_wait_time,
+            "reorder_wait_time": self.reorder_wait_time,
+        }
+
+    def merge(self, other: "FaultStats") -> None:
+        self.attempts += other.attempts
+        self.drops += other.drops
+        self.corruptions += other.corruptions
+        self.duplicates += other.duplicates
+        self.duplicates_suppressed += other.duplicates_suppressed
+        self.reorder_events += other.reorder_events
+        self.max_reorder_depth = max(self.max_reorder_depth, other.max_reorder_depth)
+        self.retransmissions += other.retransmissions
+        self.rto_events += other.rto_events
+        self.buffer_overflows += other.buffer_overflows
+        self.ack_losses += other.ack_losses
+        self.jitter_time += other.jitter_time
+        self.rto_wait_time += other.rto_wait_time
+        self.reorder_wait_time += other.reorder_wait_time
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0.0 if isinstance(getattr(self, name), float) else 0)
+
+
+@dataclass
 class ChannelStats:
     """Aggregated channel traffic counters."""
 
@@ -44,6 +108,9 @@ class ChannelStats:
     per_purpose_accesses: Dict[str, int] = field(default_factory=dict)
     log: List[ChannelAccessRecord] = field(default_factory=list)
     keep_log: bool = True
+    #: Fault/reliability counters; ``None`` on an ideal channel, so ideal
+    #: stats dicts (and the record digests derived from them) are unchanged.
+    faults: Optional[FaultStats] = None
 
     def record_access(
         self,
@@ -93,7 +160,7 @@ class ChannelStats:
         return self.total_time / committed_cycles if committed_cycles else 0.0
 
     def as_dict(self) -> dict:
-        return {
+        result = {
             "accesses": self.accesses,
             "words": self.words,
             "total_time": self.total_time,
@@ -104,6 +171,9 @@ class ChannelStats:
             "acc_to_sim_accesses": self.per_direction_accesses[ChannelDirection.ACC_TO_SIM],
             "per_purpose": dict(self.per_purpose_accesses),
         }
+        if self.faults is not None:
+            result["faults"] = self.faults.as_dict()
+        return result
 
     def reset(self) -> None:
         self.accesses = 0
@@ -113,6 +183,8 @@ class ChannelStats:
         self.per_direction_words = {d: 0 for d in ChannelDirection}
         self.per_purpose_accesses = {}
         self.log.clear()
+        if self.faults is not None:
+            self.faults.reset()
 
 
 def compare_traffic(

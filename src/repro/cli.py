@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional
 from .analysis.artifacts import run_pipeline, write_artifacts
 from .analysis.metrics import per_domain_utilisation
 from .analysis.report import Series, render_ascii_chart, render_table
+from .channel.faults import ChannelFaultConfig
 from .core.topology import Topology
 from .version import package_version
 from .core.analytical import (
@@ -71,6 +72,29 @@ def _parse_topology(text: Optional[str]) -> Optional[Dict[str, Any]]:
     else:
         payload = json.loads(Path(text).read_text())
     return Topology.from_dict(payload).as_dict()
+
+
+def _parse_faults(text: Optional[str], loss: Optional[float] = None) -> Optional[Dict[str, Any]]:
+    """Parse ``--faults`` (inline JSON or a path) plus the ``--loss`` shortcut.
+
+    Returns a serialised :class:`ChannelFaultConfig` dict (validated by
+    round-tripping it) or ``None`` when neither option was given.  ``--loss``
+    alone builds a pure i.i.d.-loss config; combined with ``--faults`` it
+    overrides that config's ``loss_rate``.
+    """
+    if text is None and loss is None:
+        return None
+    if text is None:
+        payload: Dict[str, Any] = {}
+    else:
+        stripped = text.strip()
+        if stripped.startswith("{"):
+            payload = json.loads(stripped)
+        else:
+            payload = json.loads(Path(text).read_text())
+    if loss is not None:
+        payload["loss_rate"] = loss
+    return ChannelFaultConfig.from_dict(payload).as_dict()
 
 
 def _scenario_domains(name: str) -> str:
@@ -230,6 +254,7 @@ def _cmd_mechanism(args: argparse.Namespace) -> str:
 
 def _cmd_run(args: argparse.Namespace) -> str:
     topology = _parse_topology(args.topology)
+    channel_faults = _parse_faults(args.faults, args.loss)
     request = RunRequest(
         scenario=args.soc,
         mode=args.mode,
@@ -238,6 +263,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
         accuracy=args.accuracy,
         engine=args.engine,
         topology=topology,
+        channel_faults=channel_faults,
     )
     if args.profile:
         # Profile exactly the engine loop (scenario build and result
@@ -284,6 +310,15 @@ def _cmd_run(args: argparse.Namespace) -> str:
         ["rollbacks", str(record.transitions.get("rollbacks", 0))],
         ["monitors clean", str(record.monitors_ok)],
     ]
+    faults = record.channel.get("faults")
+    if faults is not None:
+        rows.append(
+            [
+                "channel faults",
+                f"{faults['drops']} drop / {faults['retransmissions']} retx / "
+                f"{faults['corruptions']} corrupt / {faults['duplicates']} dup",
+            ]
+        )
     for domain, share in per_domain_utilisation(times).items():
         rows.append([f"utilisation[{domain}]", f"{share:.1%}"])
     return render_table(["quantity", "value"], rows, title=f"Co-emulation run on '{args.soc}'")
@@ -300,6 +335,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         scenarios = args.scenarios if args.scenarios is not None else ["als_streaming"]
     accuracies: List[Optional[float]] = args.accuracies if args.accuracies else [None]
     topology = _parse_topology(args.topology)
+    channel_faults = _parse_faults(args.faults, args.loss)
     requests = grid_requests(
         scenarios=scenarios,
         modes=args.modes,
@@ -309,6 +345,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         base_seed=args.seed,
         engine=args.engine,
         topology=topology,
+        channel_faults=channel_faults,
     )
     cache = ResultCache(args.cache) if args.cache else None
     store = RunStore(args.output) if args.output else None
@@ -449,6 +486,17 @@ def build_parser() -> argparse.ArgumentParser:
              "JSON file (default: the scenario's own topology)",
     )
     run.add_argument(
+        "--faults", default=None, metavar="JSON|PATH",
+        help="channel-fault override: inline JSON or a path to a "
+             "ChannelFaultConfig.as_dict() JSON file (default: the scenario's "
+             "own channel; '{}' forces the ideal channel on a faulty scenario)",
+    )
+    run.add_argument(
+        "--loss", type=float, default=None, metavar="RATE",
+        help="shortcut: i.i.d. frame-loss rate in [0, 1] (combines with "
+             "--faults by overriding its loss_rate)",
+    )
+    run.add_argument(
         "--profile", default=None, metavar="OUT.pstats",
         help="cProfile the engine loop of an extra identical run and dump "
              "the stats to this path (inspect with `python -m pstats`)",
@@ -484,6 +532,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--topology", default=None, metavar="JSON|PATH",
         help="topology override applied to every grid point (inline JSON or "
              "a path to a Topology.as_dict() JSON file)",
+    )
+    sweep.add_argument(
+        "--faults", default=None, metavar="JSON|PATH",
+        help="channel-fault override applied to every grid point (inline JSON "
+             "or a path to a ChannelFaultConfig.as_dict() JSON file)",
+    )
+    sweep.add_argument(
+        "--loss", type=float, default=None, metavar="RATE",
+        help="shortcut: i.i.d. frame-loss rate applied to every grid point",
     )
     sweep.add_argument("--output", default=None, metavar="PATH",
                        help="write records to a JSON-lines run store")

@@ -28,9 +28,11 @@ from ..ahb.bus import DriveValues
 from ..ahb.signals import AddressPhase, BusCycleRecord, DataPhaseResult, HTrans
 from ..ahb.transaction import CompletedBeat
 from ..channel.driver import SimulatorAcceleratorChannel
+from ..channel.faults import ChannelFaultConfig, ChannelFaultInjector
 from ..channel.packet import BoundaryPacketizer
 from ..channel.phy import ChannelDirection, ChannelTimingParams
-from ..channel.stats import ChannelStats
+from ..channel.reliability import SelectiveRepeatLink
+from ..channel.stats import ChannelStats, FaultStats
 from ..sim.checkpoint import (
     ACCELERATOR_STATE_COSTS,
     SIMULATOR_STATE_COSTS,
@@ -111,6 +113,15 @@ class CoEmulationConfig:
     #: Multi-domain layout; ``None`` means the paper's canonical
     #: simulator/accelerator pair built from the per-kind fields above.
     topology: Optional[Topology] = None
+    #: Imperfect-channel axis: when set (and not ideal), every sync-channel
+    #: access runs through the seeded fault injector plus the selective-repeat
+    #: reliability layer of :mod:`repro.channel.reliability`.  Boundary values
+    #: still travel in-process, so the committed bus behaviour (and the beat
+    #: digests derived from it) is identical to the ideal channel for any
+    #: seed -- only the modelled times and the per-channel
+    #: :class:`~repro.channel.stats.FaultStats` change.  ``None`` (or an
+    #: all-zero config) keeps the ideal hot path byte-untouched.
+    channel_faults: Optional[ChannelFaultConfig] = None
 
     def __post_init__(self) -> None:
         if self.total_cycles <= 0:
@@ -298,6 +309,32 @@ class CoEmulationEngineBase:
         #: Legacy single-channel view (the canonical pair's only channel).
         self.channel = self._channel_list[0] if len(self._channel_list) == 1 else None
 
+        # Imperfect-channel wiring: one modelled selective-repeat link per
+        # ordered (source, dest) pair, each drawing from its own seeded
+        # stream (derived from the fault seed plus the link coordinates, so
+        # one link's schedule never depends on how many others exist).  Both
+        # directions of a channel share that channel's FaultStats.  The
+        # ideal hot path is untouched: ``_charge_channel`` is only shadowed
+        # when a non-ideal fault config is present.
+        self._fault_links: Dict[Tuple[Domain, Domain], SelectiveRepeatLink] = {}
+        faults = config.channel_faults
+        if faults is not None and not faults.is_ideal:
+            for sync in self.topology.channels:
+                first, second = self.topology.oriented_pair(sync)
+                channel, _ = self._channels[(first, second)]
+                channel.stats.faults = FaultStats()
+                for src, dst in ((first, second), (second, first)):
+                    _, direction = self._channels[(src, dst)]
+                    injector = ChannelFaultInjector(
+                        faults,
+                        faults.derive_rng(src.value, dst.value, direction.value),
+                        stats=channel.stats.faults,
+                    )
+                    self._fault_links[(src, dst)] = SelectiveRepeatLink(
+                        channel, direction, faults, injector
+                    )
+            self._charge_channel = self._charge_channel_faulty  # type: ignore[method-assign]
+
         all_master_ids = sorted(
             {mid for hbm in partition.values() for mid in hbm.local_masters}
         )
@@ -416,6 +453,38 @@ class CoEmulationEngineBase:
             channel, direction = self._channels[(hop_src, hop_dst)]
             total += channel.charge(direction, n_words, purpose=purpose, target_cycle=cycle)
         self.ledger.charge("channel", total)
+        return total
+
+    def _charge_channel_faulty(
+        self, source: DomainHost, dest: DomainHost, n_words: int, purpose: str, cycle: int
+    ) -> float:
+        """Fault-injected variant of :meth:`_charge_channel`.
+
+        Installed (as an instance attribute shadowing the ideal method) only
+        when ``config.channel_faults`` is active.  Each logical exchange runs
+        the modelled selective-repeat delivery: the wire may drop, corrupt,
+        duplicate, reorder or jitter the frame, retransmissions pay real
+        modelled time with exponential-backoff RTO waits, and the SACK
+        feedback frame pays the reverse direction.  Values still travel
+        in-process, so nothing functional can diverge; a link degraded past
+        the give-up threshold raises
+        :class:`~repro.channel.faults.ChannelDegradedError`.
+        """
+        link = self._fault_links.get((source.domain, dest.domain))
+        if link is None:
+            route = self._relay_routes.get((source.domain, dest.domain))
+            if route is None:
+                raise TopologyError(
+                    f"topology has no sync channel (or relay route) between "
+                    f"{source.domain.value!r} and {dest.domain.value!r}"
+                )
+            total = 0.0
+            for hop in route:
+                total += self._fault_links[hop].deliver(n_words, purpose, cycle)
+            self.ledger.charge("channel", total)
+            return total
+        total = link.deliver(n_words, purpose, cycle)
+        self.ledger.buckets["channel"] += total
         return total
 
     # -- conservative (lock-step) cycle ---------------------------------------------
@@ -771,6 +840,14 @@ class CoEmulationEngineBase:
         aggregate["words_per_access"] = (
             aggregate["words"] / aggregate["accesses"] if aggregate["accesses"] else 0.0
         )
+        fault_totals: Optional[FaultStats] = None
+        for channel in self._channel_list:
+            if channel.stats.faults is not None:
+                if fault_totals is None:
+                    fault_totals = FaultStats()
+                fault_totals.merge(channel.stats.faults)
+        if fault_totals is not None:
+            aggregate["faults"] = fault_totals.as_dict()
         return aggregate
 
     def _build_result(self, mode: OperatingMode, prediction: PredictionStats, lob: dict) -> CoEmulationResult:

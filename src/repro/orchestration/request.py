@@ -20,6 +20,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from ..channel.faults import ChannelFaultConfig
 from ..core.coemulation import CoEmulationConfig, CoEmulationResult, DEFAULT_LOB_DEPTH
 from ..core.engine import create_engine, engine_for_mode, get_engine_info
 from ..core.modes import OperatingMode
@@ -77,6 +78,11 @@ class RunRequest:
             (``Topology.as_dict()`` shape); ``None`` uses the scenario's own
             layout.  Omitted from the canonical encoding when ``None`` so
             topology-free request ids are unchanged.
+        channel_faults: serialised :class:`~repro.channel.faults.
+            ChannelFaultConfig` override (``ChannelFaultConfig.as_dict()``
+            shape); ``None`` uses the scenario's own channel (ideal unless the
+            scenario declares faults).  Omitted from the canonical encoding
+            when ``None`` so fault-free request ids and digests are unchanged.
         label: free-form display label.
     """
 
@@ -90,6 +96,7 @@ class RunRequest:
     scenario_params: Mapping[str, Any] = field(default_factory=dict)
     config_overrides: Mapping[str, Any] = field(default_factory=dict)
     topology: Optional[Mapping[str, Any]] = None
+    channel_faults: Optional[Mapping[str, Any]] = None
     label: str = ""
 
     @property
@@ -106,11 +113,22 @@ class RunRequest:
             payload.pop("topology")
         else:
             payload["topology"] = dict(self.topology)
+        if self.channel_faults is None:
+            # Same rule for the fault axis: ideal requests keep their ids.
+            payload.pop("channel_faults")
+        else:
+            payload["channel_faults"] = dict(self.channel_faults)
         return payload
 
     def topology_override(self) -> Optional[Topology]:
         """The deserialised topology override, if any (validates the payload)."""
         return None if self.topology is None else Topology.from_dict(self.topology)
+
+    def channel_faults_override(self) -> Optional[ChannelFaultConfig]:
+        """The deserialised fault-config override, if any (validates it)."""
+        if self.channel_faults is None:
+            return None
+        return ChannelFaultConfig.from_dict(self.channel_faults)
 
     def operating_mode(self) -> OperatingMode:
         return OperatingMode(self.mode)
@@ -131,6 +149,9 @@ class RunRequest:
         topology = self.topology_override()
         if topology is not None:
             kwargs["topology"] = topology
+        channel_faults = self.channel_faults_override()
+        if channel_faults is not None:
+            kwargs["channel_faults"] = channel_faults
         overrides = dict(self.config_overrides)
         for scalar_key, field_name in _SCALAR_CONFIG_OVERRIDES.items():
             if scalar_key in overrides:
@@ -265,6 +286,7 @@ def grid_requests(
     scenario_params: Optional[Mapping[str, Any]] = None,
     config_overrides: Optional[Mapping[str, Any]] = None,
     topology: Optional[Mapping[str, Any]] = None,
+    channel_faults: Optional[Mapping[str, Any]] = None,
 ) -> List[RunRequest]:
     """Expand a parameter grid into an ordered request list.
 
@@ -292,6 +314,9 @@ def grid_requests(
                             scenario_params=dict(scenario_params or {}),
                             config_overrides=dict(config_overrides or {}),
                             topology=None if topology is None else dict(topology),
+                            channel_faults=(
+                                None if channel_faults is None else dict(channel_faults)
+                            ),
                         )
                     )
     return requests

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ahb.signals import HBurst
+from ..channel.faults import ChannelFaultConfig
 from ..core.topology import DomainKind, DomainSpec, Topology
 from ..sim.component import AbstractionLevel, Domain
 from .generators import (
@@ -806,3 +807,95 @@ def rmw_fifo_soc(n_blocks: int = 8, seed: int = 47) -> SocSpec:
         masters=masters,
         slaves=slaves,
     )
+
+
+# ---------------------------------------------------------------------------
+# Imperfect-channel scenarios.
+#
+# Each takes an existing traffic shape and declares a ChannelFaultConfig on
+# the spec, so every run of the scenario -- CLI, orchestrator, sweeps --
+# pays the seeded fault schedule through the selective-repeat reliability
+# layer.  Functional results are identical to the ideal-channel runs of the
+# same traffic (values travel in-process); what degrades is the modelled
+# performance, which is exactly what the degradation sweeps measure.  A run
+# request can still force the ideal channel back with an all-zero
+# ``channel_faults`` override.
+# ---------------------------------------------------------------------------
+
+
+@register_scenario(
+    "lossy_streaming",
+    tags=("faulty", "streaming", "als-friendly"),
+)
+def lossy_streaming_soc(n_bursts: int = 24, loss_rate: float = 0.02, seed: int = 67) -> SocSpec:
+    """The ALS streaming workload over a lossy, jittery channel.
+
+    I.i.d. frame loss plus uniform jitter on every access: the mildest
+    degradation shape, recovered by retransmission alone.
+    """
+    spec = als_streaming_soc(n_bursts=n_bursts)
+    spec.name = "lossy_streaming"
+    spec.description = "ALS streaming traffic over an i.i.d.-lossy, jittery channel"
+    spec.channel_faults = ChannelFaultConfig(
+        loss_rate=loss_rate,
+        jitter_mean=0.5e-6,
+        jitter_spread=1.0e-6,
+        seed=seed,
+    )
+    return spec
+
+
+@register_scenario(
+    "bursty_link_mixed",
+    tags=("faulty", "bidirectional", "burst-loss"),
+)
+def bursty_link_mixed_soc(seed: int = 71) -> SocSpec:
+    """The mixed bidirectional workload over a bursty Gilbert-Elliott link.
+
+    Loss arrives in bursts (a two-state channel alternating between a nearly
+    clean and a heavily lossy regime), with occasional reordering and
+    checksum-detectable corruption on top -- the shape that stresses the
+    exponential-backoff RTO hardest.
+    """
+    spec = mixed_soc()
+    spec.name = "bursty_link_mixed"
+    spec.description = "mixed traffic over a bursty (Gilbert-Elliott) lossy link"
+    spec.channel_faults = ChannelFaultConfig(
+        loss_rate=0.005,
+        burst_loss_rate=0.35,
+        burst_enter=0.02,
+        burst_exit=0.25,
+        reorder_rate=0.02,
+        corruption_rate=0.01,
+        max_attempts=16,
+        seed=seed,
+    )
+    return spec
+
+
+@register_scenario(
+    "degraded_pipeline",
+    tags=("faulty", "multi-domain", "pipeline"),
+)
+def degraded_pipeline_soc(n_bursts: int = 10, seed: int = 73) -> SocSpec:
+    """The three-domain pipeline with every sync channel degraded at once.
+
+    Duplicates and a small bounded receive buffer join moderate loss across
+    the whole channel mesh, so the reliability layer runs on every link of a
+    multi-domain topology simultaneously.
+    """
+    spec = dual_accelerator_pipeline_soc(n_bursts=n_bursts)
+    spec.name = "degraded_pipeline"
+    spec.description = "3-domain pipeline with loss, duplicates and a bounded buffer"
+    spec.channel_faults = ChannelFaultConfig(
+        loss_rate=0.02,
+        duplicate_rate=0.03,
+        reorder_rate=0.05,
+        reorder_depth=4,
+        buffer_capacity=3,
+        jitter_mean=0.2e-6,
+        jitter_spread=0.4e-6,
+        max_attempts=12,
+        seed=seed,
+    )
+    return spec

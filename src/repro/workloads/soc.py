@@ -23,6 +23,7 @@ from ..ahb.half_bus import HalfBusModel
 from ..ahb.master import TrafficMaster
 from ..ahb.slave import AhbSlave, FifoPeripheralSlave, MemorySlave
 from ..ahb.transaction import BusTransaction
+from ..channel.faults import ChannelFaultConfig
 from ..core.topology import Topology
 from ..sim.component import AbstractionLevel, Domain
 from .generators import AddressWindow
@@ -75,6 +76,12 @@ class SocSpec:
     #: Multi-domain layout of this SoC; ``None`` means the paper's canonical
     #: simulator/accelerator pair.
     topology: Optional[Topology] = None
+    #: Imperfect-channel default of this SoC (a :class:`~repro.channel.faults.
+    #: ChannelFaultConfig`); ``None`` means the ideal channel.  The ``faulty``
+    #: catalog scenarios declare their degradation here, and
+    #: :meth:`prepare_run` fills it into the run config unless the config (a
+    #: run-request override) already carries one.
+    channel_faults: Optional["ChannelFaultConfig"] = None
     #: Memoized master traffic (master_id -> generated transactions); enabled
     #: by :meth:`cache_traffic` so sweeps do not re-run the generators for
     #: every sweep point.
@@ -242,10 +249,14 @@ class SocSpec:
         The single precedence rule shared by the orchestrator, the sweep
         helpers and the benchmarks: an explicit ``config.topology`` (e.g. a
         run-request override) wins, otherwise the spec's own layout (or the
-        canonical pair) is filled in.  Returns ``(config, partition)``.
+        canonical pair) is filled in.  The same rule applies to the
+        imperfect-channel axis: an explicit ``config.channel_faults`` wins
+        over the spec's declared degradation.  Returns ``(config, partition)``.
         """
         if config.topology is None and self.topology is not None:
             config = replace(config, topology=self.topology)
+        if config.channel_faults is None and self.channel_faults is not None:
+            config = replace(config, channel_faults=self.channel_faults)
         return config, self.build_partition(config.resolve_topology())
 
     def build_split(self) -> Tuple[HalfBusModel, HalfBusModel, Dict[int, TrafficMaster]]:

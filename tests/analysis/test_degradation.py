@@ -1,0 +1,102 @@
+"""Tests for the channel-degradation sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.degradation import (
+    DegradationPoint,
+    accuracy_loss_grid,
+    degradation_rows,
+    loss_rate_sweep,
+)
+from repro.channel.faults import ChannelFaultConfig
+from repro.core import CoEmulationConfig, OperatingMode
+from repro.workloads.catalog import build_scenario
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return build_scenario("mixed")
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return CoEmulationConfig(total_cycles=150)
+
+
+def test_loss_rate_sweep_covers_modes_and_rates(spec, base_config):
+    faults = ChannelFaultConfig(max_attempts=20, seed=3)
+    points = loss_rate_sweep(spec, base_config, [0.0, 0.05], base_faults=faults)
+    assert len(points) == 4  # 2 modes x 2 rates
+    assert {p.mode for p in points} == {"conservative", "als"}
+    assert not any(p.gave_up for p in points)
+
+
+def test_loss_degrades_performance_relative_to_zero_loss(spec, base_config):
+    faults = ChannelFaultConfig(max_attempts=20, seed=3)
+    points = loss_rate_sweep(spec, base_config, [0.0, 0.1], base_faults=faults)
+    for mode in ("conservative", "als"):
+        series = [p for p in points if p.mode == mode]
+        assert series[0].relative_performance == pytest.approx(1.0)
+        assert series[1].relative_performance < 1.0
+        assert series[1].retransmissions > 0
+
+
+def test_als_suffers_fewer_absolute_retransmissions(spec, base_config):
+    """The robustness corollary: fewer accesses, fewer faults to pay for."""
+    faults = ChannelFaultConfig(max_attempts=20, seed=3)
+    points = loss_rate_sweep(spec, base_config, [0.1], base_faults=faults)
+    cons = next(p for p in points if p.mode == "conservative")
+    als = next(p for p in points if p.mode == "als")
+    assert als.channel_accesses < cons.channel_accesses
+    assert als.retransmissions < cons.retransmissions
+
+
+def test_dead_link_reports_gave_up_instead_of_deadlocking(spec, base_config):
+    faults = ChannelFaultConfig(max_attempts=3, seed=3)
+    points = loss_rate_sweep(
+        spec,
+        base_config,
+        [1.0],
+        modes=(OperatingMode.CONSERVATIVE,),
+        base_faults=faults,
+    )
+    assert len(points) == 1
+    assert points[0].gave_up
+    assert points[0].performance == 0.0
+    assert points[0].relative_performance == 0.0
+
+
+def test_accuracy_loss_grid_anchors_each_accuracy_row(spec, base_config):
+    faults = ChannelFaultConfig(max_attempts=20, seed=3)
+    points = accuracy_loss_grid(
+        spec, base_config, [1.0, 0.7], [0.0, 0.05], base_faults=faults
+    )
+    assert len(points) == 4
+    for accuracy in (1.0, 0.7):
+        row = [p for p in points if p.accuracy == accuracy]
+        assert row[0].relative_performance == pytest.approx(1.0)
+        assert row[1].relative_performance < 1.0
+
+
+def test_degradation_rows_round_trip(spec, base_config):
+    faults = ChannelFaultConfig(max_attempts=20, seed=3)
+    points = loss_rate_sweep(
+        spec, base_config, [0.0], modes=(OperatingMode.ALS,), base_faults=faults
+    )
+    rows = degradation_rows(points)
+    assert rows == [points[0].row()]
+    assert set(rows[0]) >= {
+        "mode", "loss_rate", "performance", "relative_performance",
+        "retransmissions", "gave_up",
+    }
+
+
+def test_point_is_plain_data():
+    point = DegradationPoint(
+        mode="als", loss_rate=0.1, accuracy=None, performance=1.0,
+        channel_accesses=2, retransmissions=3, drops=4, rollbacks=5,
+        total_time=6.0,
+    )
+    assert point.row()["drops"] == 4

@@ -84,3 +84,25 @@ def test_custom_channel_parameters_are_respected():
     channel = SimulatorAcceleratorChannel(params=params)
     time = channel.write(ChannelDirection.SIM_TO_ACC, [0] * 100)
     assert time == pytest.approx(1e-6 + 100e-9)
+
+
+def test_readable_polls_without_raising():
+    channel = SimulatorAcceleratorChannel()
+    assert not channel.readable(ChannelDirection.SIM_TO_ACC)
+    channel.write(ChannelDirection.SIM_TO_ACC, [1])
+    assert channel.readable(ChannelDirection.SIM_TO_ACC)
+    assert not channel.readable(ChannelDirection.ACC_TO_SIM)
+    channel.read(ChannelDirection.SIM_TO_ACC)
+    assert not channel.readable(ChannelDirection.SIM_TO_ACC)
+
+
+def test_empty_read_diagnostic_reports_expectation_and_depths():
+    channel = SimulatorAcceleratorChannel()
+    channel.write(ChannelDirection.SIM_TO_ACC, [1, 2])
+    with pytest.raises(ChannelError) as excinfo:
+        channel.read(ChannelDirection.ACC_TO_SIM, purpose="sync_response")
+    message = str(excinfo.value)
+    assert "acc_to_sim" in message
+    assert "'sync_response'" in message
+    assert "sim_to_acc=1 pending" in message
+    assert "poll readable() before reading" in message

@@ -1,0 +1,288 @@
+"""Unit tests for the pluggable channel fault models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.channel.driver import ChannelEndpoint, ChannelError, SimulatorAcceleratorChannel
+from repro.channel.faults import (
+    BoundedBufferModel,
+    ChannelDegradedError,
+    ChannelFaultConfig,
+    ChannelFaultConfigError,
+    ChannelFaultInjector,
+    CorruptionModel,
+    DuplicateModel,
+    FaultyChannelEndpoint,
+    JitterModel,
+    LossModel,
+    ReorderModel,
+    WireFate,
+    frame_checksum,
+)
+from repro.channel.phy import ChannelDirection
+
+
+# -- configuration ----------------------------------------------------------
+
+def test_default_config_is_ideal():
+    assert ChannelFaultConfig().is_ideal
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"loss_rate": 0.1},
+        {"burst_loss_rate": 0.5},
+        {"reorder_rate": 0.1},
+        {"duplicate_rate": 0.1},
+        {"corruption_rate": 0.1},
+        {"jitter_mean": 1e-6},
+        {"jitter_spread": 1e-6},
+        {"buffer_capacity": 4},
+    ],
+)
+def test_any_fault_knob_clears_is_ideal(kwargs):
+    assert not ChannelFaultConfig(**kwargs).is_ideal
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"loss_rate": 1.5},
+        {"loss_rate": -0.1},
+        {"burst_loss_rate": 2.0},
+        {"reorder_depth": 0},
+        {"buffer_capacity": 0},
+        {"window": 0},
+        {"max_attempts": 0},
+        {"base_rto": 0.0},
+        {"rto_backoff": 0.5},
+        {"jitter_mean": -1.0},
+        {"ack_words": 0},
+    ],
+)
+def test_invalid_config_rejected(kwargs):
+    with pytest.raises(ChannelFaultConfigError):
+        ChannelFaultConfig(**kwargs)
+
+
+def test_config_dict_round_trip():
+    config = ChannelFaultConfig(
+        loss_rate=0.1, burst_loss_rate=0.4, reorder_rate=0.05, seed=17
+    )
+    assert ChannelFaultConfig.from_dict(config.as_dict()) == config
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ChannelFaultConfigError, match="unknown channel-fault field"):
+        ChannelFaultConfig.from_dict({"loss_rtae": 0.1})
+
+
+def test_derive_rng_is_deterministic_and_coordinate_sensitive():
+    config = ChannelFaultConfig(loss_rate=0.1, seed=3)
+    a = config.derive_rng("link", "sim_to_acc").random()
+    b = config.derive_rng("link", "sim_to_acc").random()
+    c = config.derive_rng("link", "acc_to_sim").random()
+    assert a == b
+    assert a != c
+
+
+# -- individual models ------------------------------------------------------
+
+def test_loss_model_iid_rates():
+    model = LossModel(0.3)
+    rng = random.Random(1)
+    losses = 0
+    for _ in range(10_000):
+        fate = WireFate()
+        model.apply(rng, fate)
+        losses += fate.lost
+    assert 0.27 < losses / 10_000 < 0.33
+
+
+def test_loss_model_gilbert_elliott_bursts():
+    """Burst loss clusters: the loss rate in the bad state dominates."""
+    model = LossModel(0.0, burst_rate=1.0, burst_enter=0.1, burst_exit=0.2)
+    rng = random.Random(2)
+    fates = []
+    for _ in range(5_000):
+        fate = WireFate()
+        model.apply(rng, fate)
+        fates.append(fate.lost)
+    losses = sum(fates)
+    assert losses > 0
+    # losses must arrive in runs, not i.i.d.: count adjacent loss pairs
+    pairs = sum(1 for i in range(1, len(fates)) if fates[i] and fates[i - 1])
+    assert pairs > losses * 0.3  # i.i.d. at this rate would give ~ losses * rate
+
+
+def test_reorder_model_depth_bounds():
+    model = ReorderModel(1.0, depth=3)
+    rng = random.Random(3)
+    depths = set()
+    for _ in range(200):
+        fate = WireFate()
+        model.apply(rng, fate)
+        depths.add(fate.reorder_depth)
+    assert depths == {1, 2, 3}
+
+
+def test_duplicate_and_corruption_models():
+    rng = random.Random(4)
+    fate = WireFate()
+    DuplicateModel(1.0).apply(rng, fate)
+    CorruptionModel(1.0).apply(rng, fate)
+    assert fate.duplicates == 1 and fate.corrupted
+
+
+def test_jitter_model_range():
+    model = JitterModel(1e-6, 2e-6)
+    rng = random.Random(5)
+    for _ in range(100):
+        fate = WireFate()
+        model.apply(rng, fate)
+        assert 1e-6 <= fate.jitter < 3e-6
+
+
+def test_bounded_buffer_overflows_mark_fate():
+    model = BoundedBufferModel(capacity=2)
+    fate = WireFate(reorder_depth=2, duplicates=1)
+    model.apply(random.Random(6), fate)
+    assert fate.lost and fate.overflowed
+    calm = WireFate(reorder_depth=1)
+    model.apply(random.Random(6), calm)
+    assert not calm.lost
+
+
+def test_injector_same_seed_same_schedule():
+    config = ChannelFaultConfig(
+        loss_rate=0.2, duplicate_rate=0.1, corruption_rate=0.1, reorder_rate=0.2,
+        jitter_mean=1e-6, jitter_spread=1e-6, seed=7,
+    )
+    def schedule():
+        injector = ChannelFaultInjector(config, config.derive_rng("x"))
+        return [vars(injector.wire_fate()).copy() for _ in range(500)]
+    assert schedule() == schedule()
+
+
+def test_injector_skips_inactive_models():
+    config = ChannelFaultConfig(loss_rate=0.5)
+    injector = ChannelFaultInjector(config, config.derive_rng("x"))
+    assert len(injector.models) == 1
+
+
+# -- checksum ---------------------------------------------------------------
+
+def test_frame_checksum_detects_any_single_bit_flip():
+    words = [0xDEADBEEF, 0x12345678, 7]
+    checksum = frame_checksum(words)
+    for index in range(len(words)):
+        for bit in range(32):
+            corrupted = list(words)
+            corrupted[index] ^= 1 << bit
+            assert frame_checksum(corrupted) != checksum
+
+
+# -- faulty endpoint --------------------------------------------------------
+
+def _faulty(config: ChannelFaultConfig, context: str = "t") -> FaultyChannelEndpoint:
+    endpoint = ChannelEndpoint(keep_log=True)
+    injector = ChannelFaultInjector(config, config.derive_rng(context))
+    return FaultyChannelEndpoint(endpoint, injector)
+
+
+def test_faulty_endpoint_requires_queueing_endpoint():
+    endpoint = ChannelEndpoint(keep_log=False)
+    config = ChannelFaultConfig(loss_rate=0.5)
+    with pytest.raises(ChannelError, match="keep_log=True"):
+        FaultyChannelEndpoint(endpoint, ChannelFaultInjector(config, config.derive_rng("x")))
+
+
+def test_faulty_endpoint_drops_frames():
+    link = _faulty(ChannelFaultConfig(loss_rate=1.0))
+    link.write(ChannelDirection.SIM_TO_ACC, [1, 2, 3])
+    assert not link.readable(ChannelDirection.SIM_TO_ACC)
+    assert link.fault_stats.drops == 1
+
+
+def test_faulty_endpoint_corruption_is_checksum_detectable():
+    link = _faulty(ChannelFaultConfig(corruption_rate=1.0))
+    words = [5, 6, 7]
+    framed = words + [frame_checksum(words)]
+    link.write(ChannelDirection.SIM_TO_ACC, framed)
+    message = link.read(ChannelDirection.SIM_TO_ACC)
+    assert message.words != framed
+    assert frame_checksum(message.words[:-1]) != message.words[-1]
+    assert link.fault_stats.corruptions == 1
+
+
+def test_faulty_endpoint_duplicates_enqueue_copies_and_charge():
+    link = _faulty(ChannelFaultConfig(duplicate_rate=1.0))
+    link.write(ChannelDirection.SIM_TO_ACC, [9])
+    assert link.pending(ChannelDirection.SIM_TO_ACC) == 2
+    assert link.stats.accesses == 2  # the copy paid wire time too
+    assert link.fault_stats.duplicates == 1
+
+
+def test_faulty_endpoint_reorder_holds_frame_behind_younger_writes():
+    # seed 1 draws reorder on the first wire fate and none on the second
+    config = ChannelFaultConfig(reorder_rate=0.5, reorder_depth=1, seed=1)
+    link = _faulty(config)
+    link.write(ChannelDirection.SIM_TO_ACC, [1])  # held back (depth 1)
+    link.write(ChannelDirection.SIM_TO_ACC, [2])  # overtakes; releases [1] behind it
+    drained = link.drain(ChannelDirection.SIM_TO_ACC)
+    assert [m.words for m in drained] == [[2], [1]]
+    assert link.fault_stats.reorder_events == 1
+    assert link.fault_stats.max_reorder_depth == 1
+
+
+def test_faulty_endpoint_held_frames_flush_when_link_idles():
+    config = ChannelFaultConfig(reorder_rate=1.0, reorder_depth=5)
+    link = _faulty(config)
+    link.write(ChannelDirection.SIM_TO_ACC, [1])
+    # Nothing younger ever arrives; the frame must not be stuck forever.
+    assert link.readable(ChannelDirection.SIM_TO_ACC)
+    assert link.read(ChannelDirection.SIM_TO_ACC).words == [1]
+
+
+def test_faulty_endpoint_bounded_buffer_counts_overflows():
+    config = ChannelFaultConfig(reorder_rate=1.0, reorder_depth=3, buffer_capacity=1)
+    link = _faulty(config)
+    for value in range(20):
+        link.write(ChannelDirection.SIM_TO_ACC, [value])
+    assert link.fault_stats.buffer_overflows > 0
+    assert link.fault_stats.drops == 0  # overflow accounted separately
+
+
+def test_faulty_endpoint_ideal_config_passes_bytes_untouched():
+    link = _faulty(ChannelFaultConfig())
+    link.write(ChannelDirection.SIM_TO_ACC, [1, 2, 3], purpose="x", target_cycle=4)
+    message = link.read(ChannelDirection.SIM_TO_ACC)
+    assert message.words == [1, 2, 3]
+    assert message.purpose == "x"
+
+
+# -- degraded error ---------------------------------------------------------
+
+def test_degraded_error_structure():
+    error = ChannelDegradedError(
+        direction=ChannelDirection.ACC_TO_SIM,
+        purpose="sync",
+        target_cycle=42,
+        attempts=8,
+        limit=8,
+        elapsed=1.25e-3,
+    )
+    assert isinstance(error, ChannelError)
+    payload = error.as_dict()
+    assert payload["direction"] == "acc_to_sim"
+    assert payload["target_cycle"] == 42
+    assert payload["attempts"] == payload["limit"] == 8
+    assert "give-up threshold 8" in str(error)
+
+
+def test_channel_endpoint_alias_is_the_channel_class():
+    assert ChannelEndpoint is SimulatorAcceleratorChannel

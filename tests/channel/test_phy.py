@@ -90,3 +90,20 @@ def test_layer_breakdown_scaling_preserves_proportions():
     )
     with pytest.raises(ValueError):
         ChannelLayerBreakdown(0.0, 0.0, 0.0).scaled_to(1.0)
+
+
+@pytest.mark.parametrize("total", [0.0, -1e-6])
+def test_layer_breakdown_rejects_non_positive_scale_target(total):
+    with pytest.raises(ValueError, match="non-positive total"):
+        ChannelLayerBreakdown().scaled_to(total)
+
+
+@pytest.mark.parametrize("total", [float("nan"), float("inf"), float("-inf")])
+def test_layer_breakdown_rejects_non_finite_scale_target(total):
+    with pytest.raises(ValueError, match="non-finite total"):
+        ChannelLayerBreakdown().scaled_to(total)
+
+
+def test_zero_breakdown_error_names_the_free_channel_escape_hatch():
+    with pytest.raises(ValueError, match=r"ChannelLayerBreakdown\(0\.0, 0\.0, 0\.0\)"):
+        ChannelLayerBreakdown(0.0, 0.0, 0.0).scaled_to(1.0)

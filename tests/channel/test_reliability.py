@@ -1,0 +1,202 @@
+"""Unit tests for the selective-repeat reliability layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.driver import ChannelEndpoint
+from repro.channel.faults import (
+    ChannelDegradedError,
+    ChannelFaultConfig,
+    ChannelFaultInjector,
+    FaultyChannelEndpoint,
+)
+from repro.channel.phy import ChannelDirection
+from repro.channel.reliability import ReliableStream, SelectiveRepeatLink
+from repro.channel.stats import FaultStats
+
+
+def make_link(config: ChannelFaultConfig, context: str = "link") -> SelectiveRepeatLink:
+    channel = ChannelEndpoint(keep_log=False)
+    channel.stats.faults = FaultStats()
+    injector = ChannelFaultInjector(
+        config, config.derive_rng(context, "sim_to_acc"), stats=channel.stats.faults
+    )
+    return SelectiveRepeatLink(channel, ChannelDirection.SIM_TO_ACC, config, injector)
+
+
+def make_stream(
+    config: ChannelFaultConfig, context: str = "stream"
+) -> ReliableStream:
+    endpoint = ChannelEndpoint(keep_log=True)
+    injector = ChannelFaultInjector(config, config.derive_rng(context))
+    return ReliableStream(
+        FaultyChannelEndpoint(endpoint, injector), ChannelDirection.SIM_TO_ACC, config
+    )
+
+
+# -- modelled link ----------------------------------------------------------
+
+def test_ideal_link_costs_one_frame_plus_one_ack():
+    config = ChannelFaultConfig()
+    link = make_link(config)
+    total = link.deliver(4, "sync", 0)
+    params = link.channel.params
+    expected = params.access_time(
+        ChannelDirection.SIM_TO_ACC, 4 + config.frame_overhead_words
+    ) + params.access_time(ChannelDirection.ACC_TO_SIM, config.ack_words)
+    assert total == pytest.approx(expected)
+    assert link.stats.retransmissions == 0
+
+
+def test_lossy_link_pays_retransmissions_and_rto():
+    config = ChannelFaultConfig(loss_rate=0.3, max_attempts=50, seed=5)
+    link = make_link(config)
+    total = sum(link.deliver(4, "sync", cycle) for cycle in range(500))
+    stats = link.stats
+    assert stats.retransmissions > 0
+    assert stats.rto_events > 0
+    assert stats.rto_wait_time > 0
+    # the wire carried more frames than messages
+    assert stats.attempts > 500
+    ideal = make_link(ChannelFaultConfig())
+    ideal_total = sum(ideal.deliver(4, "sync", cycle) for cycle in range(500))
+    assert total > ideal_total
+
+
+def test_link_same_seed_identical_cost_and_stats():
+    config = ChannelFaultConfig(
+        loss_rate=0.1, duplicate_rate=0.05, corruption_rate=0.02, reorder_rate=0.1,
+        jitter_mean=1e-6, jitter_spread=2e-6, max_attempts=30, seed=11,
+    )
+    def run():
+        link = make_link(config)
+        total = sum(link.deliver(3, "sync", cycle) for cycle in range(400))
+        return total, link.stats.as_dict()
+    assert run() == run()
+
+
+def test_link_rto_backs_off_exponentially():
+    """With loss_rate=1.0 every attempt times out; waits must grow then cap."""
+    config = ChannelFaultConfig(
+        loss_rate=1.0, max_attempts=6, base_rto=1e-4, rto_backoff=2.0, max_rto=4e-4
+    )
+    link = make_link(config)
+    with pytest.raises(ChannelDegradedError):
+        link.deliver(1, "sync", 0)
+    # waits: 1e-4 + 2e-4 + 4e-4 (cap) + 4e-4 + 4e-4 + 4e-4
+    assert link.stats.rto_wait_time == pytest.approx(19e-4)
+
+
+def test_link_gives_up_with_structured_error():
+    config = ChannelFaultConfig(loss_rate=1.0, max_attempts=4)
+    link = make_link(config)
+    with pytest.raises(ChannelDegradedError) as excinfo:
+        link.deliver(2, "conservative_drive", 33)
+    error = excinfo.value
+    assert error.attempts == 4
+    assert error.limit == 4
+    assert error.purpose == "conservative_drive"
+    assert error.target_cycle == 33
+    assert error.elapsed > 0
+
+
+def test_link_duplicates_charge_extra_accesses():
+    config = ChannelFaultConfig(duplicate_rate=1.0, seed=2)
+    link = make_link(config)
+    link.deliver(4, "sync", 0)
+    # data + duplicate copy + ack (the ack's own duplicate draw also fires)
+    assert link.stats.duplicates >= 1
+    assert link.stats.duplicates_suppressed >= 1
+    assert link.channel.stats.accesses >= 3
+
+
+# -- byte-level stream ------------------------------------------------------
+
+def _payloads(n: int):
+    return [[index, index * 7, index ^ 0x5A] for index in range(n)]
+
+
+def test_stream_ideal_delivers_in_order():
+    stream = make_stream(ChannelFaultConfig())
+    payloads = _payloads(50)
+    assert stream.transfer(payloads) == payloads
+    assert stream.report.delivered == 50
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        ChannelFaultConfig(loss_rate=0.15, max_attempts=30, seed=21),
+        ChannelFaultConfig(duplicate_rate=0.2, seed=22),
+        ChannelFaultConfig(corruption_rate=0.15, max_attempts=30, seed=23),
+        ChannelFaultConfig(reorder_rate=0.3, reorder_depth=4, seed=24),
+        ChannelFaultConfig(
+            loss_rate=0.05, burst_loss_rate=0.5, burst_enter=0.05, burst_exit=0.3,
+            duplicate_rate=0.05, corruption_rate=0.05, reorder_rate=0.1,
+            jitter_mean=1e-6, jitter_spread=2e-6, buffer_capacity=4,
+            window=8, max_attempts=40, seed=25,
+        ),
+    ],
+    ids=["loss", "duplicates", "corruption", "reorder", "everything"],
+)
+def test_stream_exactly_once_in_order_under_faults(config):
+    stream = make_stream(config)
+    payloads = _payloads(120)
+    assert stream.transfer(payloads) == payloads
+    assert stream.report.delivered == 120
+
+
+def test_stream_detects_corruption_via_checksum():
+    config = ChannelFaultConfig(corruption_rate=0.3, max_attempts=50, seed=31)
+    stream = make_stream(config)
+    payloads = _payloads(80)
+    assert stream.transfer(payloads) == payloads
+    assert stream.report.checksum_failures > 0
+
+
+def test_stream_suppresses_duplicates():
+    config = ChannelFaultConfig(duplicate_rate=0.5, seed=32)
+    stream = make_stream(config)
+    payloads = _payloads(60)
+    assert stream.transfer(payloads) == payloads
+    assert stream.report.duplicates_suppressed > 0
+
+
+def test_stream_sack_rescues_out_of_order_segments():
+    config = ChannelFaultConfig(loss_rate=0.2, window=8, max_attempts=40, seed=33)
+    stream = make_stream(config)
+    payloads = _payloads(100)
+    assert stream.transfer(payloads) == payloads
+    assert stream.report.sack_rescues > 0
+
+
+def test_stream_gives_up_on_dead_link():
+    config = ChannelFaultConfig(loss_rate=1.0, max_attempts=3)
+    stream = make_stream(config)
+    with pytest.raises(ChannelDegradedError) as excinfo:
+        stream.transfer([[1, 2]])
+    assert excinfo.value.limit == 3
+
+
+def test_stream_window_one_degenerates_to_stop_and_wait():
+    config = ChannelFaultConfig(loss_rate=0.2, window=1, max_attempts=40, seed=34)
+    stream = make_stream(config)
+    payloads = _payloads(30)
+    assert stream.transfer(payloads) == payloads
+
+
+def test_stream_deterministic_for_same_seed():
+    config = ChannelFaultConfig(
+        loss_rate=0.1, duplicate_rate=0.1, reorder_rate=0.1, max_attempts=40, seed=35
+    )
+    def run():
+        stream = make_stream(config)
+        stream.transfer(_payloads(60))
+        return stream.report.elapsed, stream.report.fault_stats.as_dict()
+    assert run() == run()
+
+
+def test_stream_empty_transfer():
+    stream = make_stream(ChannelFaultConfig(loss_rate=0.5))
+    assert stream.transfer([]) == []

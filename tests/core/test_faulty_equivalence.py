@@ -1,0 +1,119 @@
+"""Faults must never change *what* ran -- only how long it took.
+
+The central acceptance criterion of the imperfect-channel layer: because the
+reliability protocol delivers every frame exactly once and in order (or gives
+up with a structured error), the committed beat stream of a faulty run is
+bit-identical to the ideal-channel run for any seed.  Only the modelled times
+(and the fault counters) differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.channel.faults import ChannelDegradedError, ChannelFaultConfig
+from repro.core.coemulation import CoEmulationConfig
+from repro.core.modes import OperatingMode
+from repro.orchestration.request import RunRequest, execute_request
+from repro.workloads.catalog import build_scenario
+
+FAULTY_SCENARIOS = ["lossy_streaming", "bursty_link_mixed", "degraded_pipeline"]
+MODES = ["conservative", "als"]
+
+#: All-zero override: forces the ideal channel even on a scenario whose spec
+#: declares default faults (prepare_run's explicit-override-wins rule).
+IDEAL_OVERRIDE = ChannelFaultConfig().as_dict()
+
+
+@pytest.mark.parametrize("scenario", FAULTY_SCENARIOS)
+@pytest.mark.parametrize("mode", MODES)
+def test_faulty_run_commits_identical_beats_to_ideal(scenario, mode):
+    faulty = execute_request(RunRequest(scenario=scenario, mode=mode, cycles=150))
+    ideal = execute_request(
+        RunRequest(
+            scenario=scenario, mode=mode, cycles=150, channel_faults=IDEAL_OVERRIDE
+        )
+    )
+    assert faulty.beat_digest == ideal.beat_digest
+    assert faulty.committed_cycles == ideal.committed_cycles == 150
+    assert faulty.monitors_ok and ideal.monitors_ok
+    # ... but the channel was not free: the faulty run is strictly slower and
+    # carries fault counters the ideal run does not.
+    assert faulty.performance < ideal.performance
+    assert faulty.channel.get("faults") is not None
+    assert ideal.channel.get("faults") is None
+
+
+@pytest.mark.parametrize("scenario", FAULTY_SCENARIOS)
+def test_faulty_run_is_deterministic(scenario):
+    request = RunRequest(scenario=scenario, mode="als", cycles=120)
+    first = execute_request(request)
+    second = execute_request(request)
+    assert first.digest == second.digest
+    assert first.channel["faults"] == second.channel["faults"]
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_any_fault_seed_preserves_the_beat_digest(seed):
+    """The invariant is seed-independent: vary the fault schedule freely."""
+    faults = ChannelFaultConfig(
+        loss_rate=0.05, duplicate_rate=0.05, corruption_rate=0.02,
+        reorder_rate=0.05, max_attempts=20, seed=seed,
+    )
+    faulty = execute_request(
+        RunRequest(
+            scenario="mixed", mode="als", cycles=120, channel_faults=faults.as_dict()
+        )
+    )
+    ideal = execute_request(RunRequest(scenario="mixed", mode="als", cycles=120))
+    assert faulty.beat_digest == ideal.beat_digest
+
+
+@pytest.mark.parametrize("mode", [OperatingMode.CONSERVATIVE, OperatingMode.ALS])
+def test_dead_link_raises_structured_give_up(mode):
+    spec = build_scenario("mixed")
+    config, partition = spec.prepare_run(
+        CoEmulationConfig(
+            mode=mode,
+            total_cycles=100,
+            channel_faults=ChannelFaultConfig(loss_rate=1.0, max_attempts=3),
+        )
+    )
+    from repro.core.engine import create_engine
+
+    with pytest.raises(ChannelDegradedError) as excinfo:
+        create_engine(config, partition=partition).run()
+    assert excinfo.value.limit == 3
+    assert excinfo.value.attempts == 3
+
+
+def test_explicit_ideal_override_disables_scenario_faults():
+    spec = build_scenario("lossy_streaming")
+    assert spec.channel_faults is not None and not spec.channel_faults.is_ideal
+    config, _ = spec.prepare_run(
+        CoEmulationConfig(total_cycles=50, channel_faults=ChannelFaultConfig())
+    )
+    assert config.channel_faults is not None
+    assert config.channel_faults.is_ideal
+
+
+def test_scenario_default_faults_flow_into_config():
+    spec = build_scenario("lossy_streaming")
+    config, _ = spec.prepare_run(CoEmulationConfig(total_cycles=50))
+    assert config.channel_faults == spec.channel_faults
+
+
+def test_loss_rate_zero_with_other_knobs_still_perturbs_timing_only():
+    base = replace(build_scenario("bursty_link_mixed").channel_faults, loss_rate=0.0)
+    faulty = execute_request(
+        RunRequest(
+            scenario="mixed", mode="conservative", cycles=100,
+            channel_faults=base.as_dict(),
+        )
+    )
+    ideal = execute_request(
+        RunRequest(scenario="mixed", mode="conservative", cycles=100)
+    )
+    assert faulty.beat_digest == ideal.beat_digest

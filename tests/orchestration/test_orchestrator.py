@@ -205,3 +205,51 @@ def test_canonical_line_is_valid_sorted_json():
     payload = json.loads(line)
     assert list(payload) == sorted(payload)
     assert payload["digest"] == record.digest
+
+
+# ---------------------------------------------------------------------------
+# Channel-fault axis
+# ---------------------------------------------------------------------------
+
+def test_fault_free_request_omits_channel_faults_from_canonical_payload():
+    """Ideal requests must keep their historical ids (the fault axis is new)."""
+    request = RunRequest(scenario="mixed", mode="als", cycles=100)
+    assert "channel_faults" not in request.as_dict()
+
+
+def test_channel_faults_change_the_request_id():
+    from repro.channel.faults import ChannelFaultConfig
+
+    ideal = RunRequest(scenario="mixed", mode="als", cycles=100)
+    faults = ChannelFaultConfig(loss_rate=0.05, seed=3).as_dict()
+    faulty = RunRequest(scenario="mixed", mode="als", cycles=100, channel_faults=faults)
+    assert ideal.request_id != faulty.request_id
+    assert faulty.as_dict()["channel_faults"] == faults
+
+
+def test_channel_faults_round_trip_through_build_config():
+    from repro.channel.faults import ChannelFaultConfig
+
+    faults = ChannelFaultConfig(loss_rate=0.1, duplicate_rate=0.05, seed=11)
+    request = RunRequest(scenario="mixed", channel_faults=faults.as_dict())
+    assert request.channel_faults_override() == faults
+    assert request.build_config().channel_faults == faults
+
+
+def test_invalid_channel_faults_payload_rejected():
+    from repro.channel.faults import ChannelFaultConfigError
+
+    request = RunRequest(scenario="mixed", channel_faults={"loss_rtae": 0.1})
+    with pytest.raises(ChannelFaultConfigError):
+        request.channel_faults_override()
+
+
+def test_grid_requests_thread_channel_faults_into_every_request():
+    from repro.channel.faults import ChannelFaultConfig
+
+    faults = ChannelFaultConfig(loss_rate=0.02, seed=5).as_dict()
+    requests = grid_requests(
+        ["mixed"], ["conservative", "als"], cycles=50, channel_faults=faults
+    )
+    assert len(requests) == 2
+    assert all(r.channel_faults == faults for r in requests)

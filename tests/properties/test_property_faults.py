@@ -1,0 +1,106 @@
+"""Property-based tests for the imperfect-channel layer.
+
+Three invariants, each over randomised fault configurations:
+
+1. **Schedule determinism** -- the injected fault schedule is a pure function
+   of the :class:`ChannelFaultConfig` seed and the stream coordinates.
+2. **Run determinism** -- a faulty co-emulation run is bit-for-bit
+   reproducible (identical record digest), and its committed beats are
+   identical to the ideal-channel run of the same workload.
+3. **Exactly-once delivery** -- the selective-repeat stream delivers every
+   payload exactly once and in order for arbitrary fault mixes, as long as no
+   message exceeds the give-up threshold.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.driver import ChannelEndpoint
+from repro.channel.faults import (
+    ChannelFaultConfig,
+    ChannelFaultInjector,
+    FaultyChannelEndpoint,
+)
+from repro.channel.phy import ChannelDirection
+from repro.channel.reliability import ReliableStream
+from repro.orchestration.request import RunRequest, execute_request
+
+
+def fault_configs(max_loss: float = 0.25) -> st.SearchStrategy[ChannelFaultConfig]:
+    """Random but survivable fault mixes.
+
+    ``max_attempts`` is held high relative to the fault rates so that the
+    probability of a give-up over a short stream is negligible -- the
+    exactly-once property is only promised below the give-up threshold.
+    """
+    return st.builds(
+        ChannelFaultConfig,
+        loss_rate=st.floats(min_value=0.0, max_value=max_loss),
+        duplicate_rate=st.floats(min_value=0.0, max_value=0.3),
+        corruption_rate=st.floats(min_value=0.0, max_value=0.15),
+        reorder_rate=st.floats(min_value=0.0, max_value=0.3),
+        reorder_depth=st.integers(min_value=1, max_value=5),
+        jitter_mean=st.sampled_from([0.0, 0.5e-6]),
+        jitter_spread=st.sampled_from([0.0, 1.0e-6]),
+        window=st.sampled_from([1, 4, 16]),
+        max_attempts=st.just(64),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+
+
+@given(config=fault_configs(), context=st.text(min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_same_seed_produces_identical_fault_schedule(config, context):
+    def schedule():
+        injector = ChannelFaultInjector(config, config.derive_rng(context))
+        return [vars(injector.wire_fate()).copy() for _ in range(200)]
+
+    assert schedule() == schedule()
+
+
+@given(
+    config=fault_configs(),
+    n_payloads=st.integers(min_value=0, max_value=60),
+    data_seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_stream_delivers_exactly_once_in_order(config, n_payloads, data_seed):
+    import random
+
+    rng = random.Random(data_seed)
+    payloads = [
+        [rng.randrange(2**32) for _ in range(rng.randrange(1, 5))]
+        for _ in range(n_payloads)
+    ]
+    endpoint = ChannelEndpoint(keep_log=True)
+    injector = ChannelFaultInjector(config, config.derive_rng("property"))
+    stream = ReliableStream(
+        FaultyChannelEndpoint(endpoint, injector), ChannelDirection.SIM_TO_ACC, config
+    )
+    assert stream.transfer(payloads) == payloads
+    assert stream.report.delivered == n_payloads
+
+
+@given(
+    fault_seed=st.integers(min_value=0, max_value=2**31),
+    loss=st.floats(min_value=0.0, max_value=0.1),
+    mode=st.sampled_from(["conservative", "als"]),
+)
+@settings(max_examples=10, deadline=None)
+def test_faulty_run_digest_is_deterministic_and_beats_match_ideal(
+    fault_seed, loss, mode
+):
+    faults = ChannelFaultConfig(
+        loss_rate=loss, duplicate_rate=0.05, reorder_rate=0.05,
+        max_attempts=30, seed=fault_seed,
+    )
+    request = RunRequest(
+        scenario="mixed", mode=mode, cycles=80, channel_faults=faults.as_dict()
+    )
+    first = execute_request(request)
+    second = execute_request(request)
+    assert first.digest == second.digest
+    ideal = execute_request(RunRequest(scenario="mixed", mode=mode, cycles=80))
+    assert first.beat_digest == ideal.beat_digest

@@ -258,3 +258,50 @@ def test_parser_rejects_unknown_command():
 def test_parser_requires_a_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_run_command_with_faulty_scenario_reports_fault_counters(capsys):
+    out = run_cli(capsys, "run", "--soc", "lossy_streaming", "--cycles", "120")
+    assert "channel faults" in out
+    assert "retx" in out
+
+
+def test_run_command_loss_shortcut_on_ideal_scenario(capsys):
+    out = run_cli(
+        capsys, "run", "--soc", "mixed", "--cycles", "120", "--loss", "0.05"
+    )
+    assert "channel faults" in out
+
+
+def test_run_command_faults_json_inline(capsys):
+    out = run_cli(
+        capsys, "run", "--soc", "mixed", "--cycles", "100",
+        "--faults", '{"loss_rate": 0.02, "seed": 4}',
+    )
+    assert "channel faults" in out
+
+
+def test_run_command_empty_faults_forces_ideal_channel(capsys):
+    out = run_cli(
+        capsys, "run", "--soc", "lossy_streaming", "--cycles", "100",
+        "--faults", "{}",
+    )
+    assert "channel faults" not in out
+
+
+def test_run_command_rejects_bad_faults_json(capsys):
+    code = main(["run", "--soc", "mixed", "--faults", '{"loss_rtae": 0.1}'])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "unknown channel-fault field" in captured.err
+
+
+def test_sweep_command_faulty_tag_parallel_matches_serial(capsys):
+    argv = [
+        "sweep", "--tag", "faulty", "--modes", "als",
+        "--cycles", "100", "--seed", "7",
+    ]
+    serial = run_cli(capsys, *argv, "--jobs", "1")
+    parallel = run_cli(capsys, *argv, "--jobs", "2")
+    assert serial == parallel
+    assert "lossy_streaming" in serial

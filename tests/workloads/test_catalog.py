@@ -90,3 +90,19 @@ def test_new_scenarios_keep_functional_equivalence(name):
     assert optimistic.sim_beat_keys == conservative.sim_beat_keys
     assert optimistic.acc_beat_keys == conservative.acc_beat_keys
     assert conservative.monitors_ok and optimistic.monitors_ok
+
+
+def test_faulty_tag_lists_the_degraded_scenarios():
+    faulty = scenario_names(tag="faulty")
+    assert set(faulty) == {"lossy_streaming", "bursty_link_mixed", "degraded_pipeline"}
+
+
+@pytest.mark.parametrize(
+    "name", ["lossy_streaming", "bursty_link_mixed", "degraded_pipeline"]
+)
+def test_faulty_scenarios_declare_non_ideal_channel_faults(name):
+    spec = build_scenario(name)
+    assert spec.channel_faults is not None
+    assert not spec.channel_faults.is_ideal
+    # the fault declaration survives the builder's kwargs path too
+    assert get_scenario(name).description
