@@ -52,15 +52,28 @@ class Scenario:
     quick: bool = False  # included in the CI smoke subset
 
 
-def _request(scenario: str, mode: str, **kwargs) -> RunRequest:
+def _request(scenario: str, mode: str, params: Optional[dict] = None, **kwargs) -> RunRequest:
     return RunRequest(
         scenario=scenario,
         mode=mode,
         cycles=5000,
-        scenario_params={"n_bursts": 400},
+        scenario_params={"n_bursts": 400} if params is None else params,
         **kwargs,
     )
 
+
+#: Builder kwargs for the sparse_telemetry points: the default catalog sizing
+#: drains long before 5000 cycles; this keeps periodic traffic alive across
+#: the whole run while leaving it idle-dominated (one short burst per period).
+_SPARSE = {"n_samples": 160, "period": 24}
+
+#: Sparser variant (~94% idle cycles): the regime where quiescence
+#: fast-forwarding approaches its Amdahl ceiling.
+_SPARSE64 = {"n_samples": 70, "period": 64}
+
+#: single_master with a short workload: most of the 5000-cycle run is the
+#: drained tail, which the batch engines skip in O(1) dispatches.
+_SINGLE = {"n_bursts": 40}
 
 SCENARIOS: List[Scenario] = [
     Scenario("conventional/als_soc", _request("als_streaming", "conservative"), quick=True),
@@ -74,6 +87,72 @@ SCENARIOS: List[Scenario] = [
     Scenario("als/acc=1.0/lob=256", _request("als_streaming", "als", lob_depth=256)),
     Scenario("sla/acc=1.0/lob=64", _request("sla_streaming", "sla"), quick=True),
     Scenario("sla/acc=0.9/lob=64", _request("sla_streaming", "sla", accuracy=0.9)),
+    # Scalar-vs-batch pairs: same request, batch-stepped engine.  The sparse
+    # scenario is the idle-heavy regime the quiescence fast-forward targets;
+    # the streaming pairs measure the batch kernel on busy traffic (gains
+    # come from inter-burst gaps and the drained tail).
+    Scenario(
+        "conventional_batch/als_soc",
+        _request("als_streaming", "conservative", engine="conventional_batch"),
+        quick=True,
+    ),
+    Scenario(
+        "als_batch/acc=1.0/lob=64",
+        _request("als_streaming", "als", engine="als_batch"),
+        quick=True,
+    ),
+    Scenario(
+        "als_batch/acc=0.95/lob=64",
+        _request("als_streaming", "als", accuracy=0.95, engine="als_batch"),
+    ),
+    Scenario(
+        "conventional/sparse_soc",
+        _request("sparse_telemetry", "conservative", params=_SPARSE),
+    ),
+    Scenario(
+        "conventional_batch/sparse_soc",
+        _request("sparse_telemetry", "conservative", params=_SPARSE, engine="conventional_batch"),
+        quick=True,
+    ),
+    Scenario("als/sparse_soc", _request("sparse_telemetry", "als", params=_SPARSE)),
+    Scenario(
+        "als_batch/sparse_soc",
+        _request("sparse_telemetry", "als", params=_SPARSE, engine="als_batch"),
+    ),
+    Scenario(
+        "conventional/sparse64_soc",
+        _request("sparse_telemetry", "conservative", params=_SPARSE64),
+    ),
+    Scenario(
+        "conventional_batch/sparse64_soc",
+        _request("sparse_telemetry", "conservative", params=_SPARSE64,
+                 engine="conventional_batch"),
+    ),
+    # Deep LOB on the sparse point: run-ahead windows span whole idle gaps,
+    # so the batch engine amortises follow-up boundaries as well as cycles.
+    Scenario(
+        "als/sparse64/lob=256",
+        _request("sparse_telemetry", "als", params=_SPARSE64, lob_depth=256),
+    ),
+    Scenario(
+        "als_batch/sparse64/lob=256",
+        _request("sparse_telemetry", "als", params=_SPARSE64, lob_depth=256,
+                 engine="als_batch"),
+    ),
+    Scenario(
+        "conventional/single_master",
+        _request("single_master", "conservative", params=_SINGLE),
+    ),
+    Scenario(
+        "conventional_batch/single_master",
+        _request("single_master", "conservative", params=_SINGLE,
+                 engine="conventional_batch"),
+    ),
+    Scenario("als/single_master", _request("single_master", "als", params=_SINGLE)),
+    Scenario(
+        "als_batch/single_master",
+        _request("single_master", "als", params=_SINGLE, engine="als_batch"),
+    ),
 ]
 
 
@@ -90,7 +169,7 @@ def run_scenario(scenario: Scenario, repeats: int = 3) -> dict:
     for _ in range(repeats):
         spec = build_scenario(request.scenario, **dict(request.scenario_params))
         config, partition = spec.prepare_run(request.build_config())
-        engine = create_engine(config, partition=partition)
+        engine = create_engine(config, partition=partition, engine=request.engine)
         start = time.perf_counter()
         result = engine.run()
         elapsed = time.perf_counter() - start

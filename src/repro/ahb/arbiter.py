@@ -140,6 +140,18 @@ class Arbiter:
         self.current_grant = chosen
         return chosen
 
+    def record_idle_cycles(self, count: int) -> None:
+        """Account for ``count`` all-idle arbitration decisions at once.
+
+        Equivalent to ``count`` calls to :meth:`arbitrate` with an all-False
+        request vector while already parked on the default master: every such
+        call bumps ``decisions`` and ``cycles_parked`` and leaves the grant
+        unchanged (both built-in policies return the default master when
+        nobody requests).  Used by the batch-stepping fast-forward path.
+        """
+        self.stats.decisions += count
+        self.stats.cycles_parked += count
+
     def reset(self) -> None:
         self.current_grant = self.default_master
         self.policy.reset()

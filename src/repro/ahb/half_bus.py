@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from ..sim.component import ClockedComponent, Domain
-from .arbiter import Arbiter, ArbitrationPolicy, FixedPriorityPolicy
+from .arbiter import Arbiter, ArbitrationPolicy, FixedPriorityPolicy, RoundRobinPolicy
 from .bus import AhbBusCore, DataPhaseInfo, DriveValues
 from .decoder import AddressDecoder
 from .master import AhbMaster
@@ -162,6 +162,13 @@ _OKAY = DataPhaseResult.okay()
 #: consumer of a :class:`BoundaryDrive` / :class:`DriveValues`; code that
 #: needs to mutate an interrupt map must copy it first.
 _NO_INTERRUPTS: Dict[str, bool] = {}
+
+
+#: Arbitration policies with the all-idle fixed point ``choose({all False})
+#: == default_master`` regardless of internal state.  The batch-stepping
+#: quiescence detector only fast-forwards buses running one of these; a
+#: custom policy falls back to the scalar per-cycle path.
+_STATIONARY_POLICIES = (FixedPriorityPolicy, RoundRobinPolicy)
 
 
 #: How many recent cycle records a half bus retains.  Must exceed the
@@ -341,6 +348,73 @@ class HalfBusModel(ClockedComponent):
                 if horizon <= cycle + 1:
                     break
         return horizon
+
+    # -- batch-stepping quiescence support ----------------------------------------
+    def idle_stationary(self) -> bool:
+        """True when this half bus is at its structural idle fixed point.
+
+        At the fixed point one committed idle cycle maps the registered state
+        onto itself: no data phase is in flight, the grant is parked on the
+        default master (where the stationary policies keep it under an
+        all-False request vector), no local component needs a per-cycle tick
+        and no interrupt line is asserted.  Whether the *masters* stay idle is
+        a separate, per-cycle question answered by :meth:`next_local_activity`.
+        """
+        core = self.core
+        return (
+            core is not None
+            and not self._tick_active
+            and not self.interrupt_outputs
+            and core.data_phase is None
+            and core.data_phase_first_cycle
+            and core.arbiter.current_grant == core.arbiter.default_master
+            and type(core.arbiter.policy) in _STATIONARY_POLICIES
+        )
+
+    def next_local_activity(self, cycle: int) -> float:
+        """Earliest cycle >= ``cycle`` at which a local master may be active.
+
+        The quiescence horizon companion to :meth:`idle_stationary`: the bus
+        stays at its idle fixed point for cycles ``[cycle, horizon)``.
+        """
+        horizon = float("inf")
+        for master in self.local_masters.values():
+            candidate = master.next_activity_cycle(cycle)
+            if candidate < horizon:
+                horizon = candidate
+                if horizon <= cycle:
+                    break
+        return horizon
+
+    def adopt_idle_records(
+        self, records: List[BusCycleRecord], latched_requests: Dict[int, bool]
+    ) -> None:
+        """Adopt a proven-idle run of committed cycles in one step.
+
+        The caller (the batch-stepping engine) has verified the bus is
+        :meth:`idle_stationary` for the whole run and built the per-cycle
+        records itself.  This applies exactly the state transitions ``len(
+        records)`` idle :meth:`commit_phase` calls would have applied: records
+        and the monotone commit counter advance, the monitor adopts the run,
+        the arbiter books one parked all-idle decision per cycle (grant
+        unchanged), the latched request vector becomes the all-False map, and
+        the per-cycle caches are invalidated.  Masters receive no callbacks
+        (HREADY is high but nothing is active) and the data-phase registers
+        are already at their idle values.
+        """
+        core = self.core
+        assert core is not None
+        count = len(records)
+        if count == 0:
+            return
+        self.records.extend(records)
+        self._records_committed += count
+        if self.monitor is not None:
+            self.monitor.observe_idle_run(records[-1])
+        core.arbiter.record_idle_cycles(count)
+        core.latched_requests = latched_requests
+        core._info_cache = None
+        self._needed_cache = None
 
     def drive_phase(self, cycle: int) -> BoundaryDrive:
         """Evaluate local components and return this domain's drive contribution."""

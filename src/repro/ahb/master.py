@@ -86,6 +86,19 @@ class AhbMaster(ClockedComponent):
         """
         return cycle + 1
 
+    def next_activity_cycle(self, cycle: int) -> float:
+        """Earliest cycle (>= ``cycle``) at which this master may *be* active.
+
+        Unlike :meth:`activity_lookahead` -- which answers "when can my
+        outputs next change?" for the sync gate and may legitimately return
+        ``inf`` while a bus request is pending -- this is the quiescence
+        horizon for the batch-stepping kernel: the first cycle at which the
+        master may request the bus, own a burst, or carry an outstanding data
+        phase.  Returning ``cycle`` means "possibly active right now" and
+        disables fast-forwarding.  The base implementation is conservative.
+        """
+        return cycle
+
 
 class IdleMaster(AhbMaster):
     """A master that never requests the bus.
@@ -104,6 +117,9 @@ class IdleMaster(AhbMaster):
 
     def activity_lookahead(self, cycle: int) -> float:
         return float("inf")  # never requests the bus
+
+    def next_activity_cycle(self, cycle: int) -> float:
+        return float("inf")  # never active
 
 
 @dataclass(slots=True)
@@ -278,6 +294,16 @@ class TrafficMaster(AhbMaster):
                 return float("inf")
             return issue
         return float("inf")
+
+    def next_activity_cycle(self, cycle: int) -> float:
+        if self._tracker is not None or self._outstanding:
+            return cycle  # burst in progress / data phases in flight
+        index = self._next_txn_index
+        queue = self.queue
+        if index < len(queue):
+            issue = queue[index].issue_cycle
+            return cycle if issue <= cycle else issue
+        return float("inf")  # drained
 
     def on_address_accepted(self, cycle: int, address_phase: AddressPhase) -> None:
         tracker = self._tracker

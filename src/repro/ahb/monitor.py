@@ -165,5 +165,19 @@ class AhbProtocolMonitor:
 
         self._previous = record
 
+    def observe_idle_run(self, record: BusCycleRecord) -> None:
+        """Adopt a run of idle cycles ending in ``record`` without re-checking.
+
+        Used by the batch-stepping fast-forward path for stretches the engine
+        has already proven quiescent (no active address/data phase, HREADY
+        high, grant parked).  Under those preconditions every rule body in
+        :meth:`check` provably falls through -- GRANT and BURST need an active
+        phase, RESP needs HREADY low, STABLE needs the *previous* cycle's
+        HREADY low (and the stretch is only entered from an HREADY-high
+        cycle) -- so the only state transition is ``_previous`` advancing to
+        the last record of the run.
+        """
+        self._previous = record
+
     def _flag(self, record: BusCycleRecord, rule: str, message: str) -> None:
         self.violations.append(ProtocolViolation(cycle=record.cycle, rule=rule, message=message))

@@ -183,24 +183,55 @@ def _cmd_conventional(args: argparse.Namespace) -> str:
     )
 
 
+def _profile_top_table(stats, n: int) -> str:
+    """Render the top ``n`` profiled functions by cumulative time."""
+    entries = sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    )[:n]
+    rows = []
+    for (filename, lineno, funcname), (_, ncalls, tottime, cumtime, _) in entries:
+        if filename == "~":  # builtins have no file
+            location = funcname
+        else:
+            location = f"{'/'.join(Path(filename).parts[-2:])}:{lineno}({funcname})"
+        rows.append([str(ncalls), f"{tottime:.3f}", f"{cumtime:.3f}", location])
+    return render_table(
+        ["ncalls", "tottime", "cumtime", "function"],
+        rows,
+        title=f"Top {len(rows)} functions by cumulative time",
+    )
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> str:
     infos = list_scenarios(tag=args.tag)
+    headers = ["scenario", "domains", "tags", "masters", "slaves", "description"]
+    if args.engine:
+        headers.insert(2, "engines")
+        # Every mechanism engine (the pseudo-engines that never touch the
+        # split are excluded) is swept over every catalog scenario by the
+        # equivalence suites, so coverage is catalog-wide by construction.
+        from .core.engine import available_engines
+
+        covered = ", ".join(
+            sorted(name for name, info in available_engines().items() if info.requires_split)
+        )
     rows = []
     for info in infos:
         spec = info.builder()
-        rows.append(
-            [
-                info.name,
-                spec.resolved_topology().describe(),
-                ", ".join(info.tags) or "-",
-                str(len(spec.masters)),
-                str(len(spec.slaves)),
-                info.description,
-            ]
-        )
+        row = [
+            info.name,
+            spec.resolved_topology().describe(),
+            ", ".join(info.tags) or "-",
+            str(len(spec.masters)),
+            str(len(spec.slaves)),
+            info.description,
+        ]
+        if args.engine:
+            row.insert(2, covered)
+        rows.append(row)
     suffix = f" tagged {args.tag!r}" if args.tag else ""
     return render_table(
-        ["scenario", "domains", "tags", "masters", "slaves", "description"],
+        headers,
         rows,
         title=f"Scenario catalog: {len(infos)} registered SoC configuration(s){suffix}",
     )
@@ -287,6 +318,8 @@ def _cmd_run(args: argparse.Namespace) -> str:
             f"-> {args.profile} (inspect with `python -m pstats {args.profile}`)",
             file=sys.stderr,
         )
+        if args.profile_top > 0:
+            print(_profile_top_table(top, args.profile_top), file=sys.stderr)
     record = execute_request(request)
     times = record.per_cycle_times
     if topology is not None:
@@ -455,6 +488,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     scenarios = sub.add_parser("scenarios", help="list the workload catalog")
     scenarios.add_argument("--tag", default=None, help="only scenarios with this tag")
+    scenarios.add_argument(
+        "--engine", action="store_true",
+        help="add a column listing the registered engines with equivalence "
+             "coverage for each scenario",
+    )
     scenarios.set_defaults(func=_cmd_scenarios)
 
     mechanism = sub.add_parser("mechanism", help="protocol-level accuracy sweep")
@@ -500,6 +538,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", default=None, metavar="OUT.pstats",
         help="cProfile the engine loop of an extra identical run and dump "
              "the stats to this path (inspect with `python -m pstats`)",
+    )
+    run.add_argument(
+        "--profile-top", type=int, default=10, metavar="N",
+        help="with --profile: also print the top N functions by cumulative "
+             "time as a readable table (default 10; 0 disables the table)",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -22,6 +22,7 @@ registry is always populated without creating import cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from difflib import get_close_matches
 from typing import Callable, Dict, Mapping, Optional, Protocol, Tuple, runtime_checkable
 
 from ..ahb.half_bus import HalfBusModel
@@ -62,6 +63,12 @@ class EngineInfo:
 
 _REGISTRY: Dict[str, EngineInfo] = {}
 _MODE_INDEX: Dict[OperatingMode, str] = {}
+#: Mode-resolved engine name -> its batch-stepping variant.  Consulted when
+#: ``config.batch_stepping`` is set and no explicit ``engine=`` was given.
+_BATCH_VARIANTS: Dict[str, str] = {
+    "conventional": "conventional_batch",
+    "optimistic": "als_batch",
+}
 _BUILTINS_LOADED = False
 
 
@@ -117,7 +124,7 @@ def _ensure_builtin_engines() -> None:
     global _BUILTINS_LOADED
     if _BUILTINS_LOADED:
         return
-    from . import analytical_engine, conventional, optimistic  # noqa: F401
+    from . import analytical_engine, batch, conventional, optimistic  # noqa: F401
 
     _BUILTINS_LOADED = True
 
@@ -139,8 +146,10 @@ def _registry_summary() -> str:
 
 
 def _unknown_mode_error(mode: OperatingMode) -> "EngineRegistryError":
+    close = get_close_matches(mode.value, _REGISTRY, n=3, cutoff=0.6)
+    hint = f" (did you mean engine {', '.join(repr(c) for c in close)}?)" if close else ""
     return EngineRegistryError(
-        f"no engine registered for operating mode {mode.value!r}; "
+        f"no engine registered for operating mode {mode.value!r};{hint} "
         f"registered engines: {_registry_summary()}"
     )
 
@@ -160,8 +169,11 @@ def get_engine_info(name: str) -> EngineInfo:
     try:
         return _REGISTRY[name]
     except KeyError:
+        close = get_close_matches(name, _REGISTRY, n=3, cutoff=0.6)
+        hint = f" (did you mean {', '.join(repr(c) for c in close)}?)" if close else ""
         raise EngineRegistryError(
-            f"unknown engine {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+            f"unknown engine {name!r};{hint} "
+            f"available: {', '.join(sorted(_REGISTRY))}"
         ) from None
 
 
@@ -187,6 +199,8 @@ def create_engine(
     name = engine if engine is not None else _MODE_INDEX.get(config.mode)
     if name is None:
         raise _unknown_mode_error(config.mode)
+    if engine is None and getattr(config, "batch_stepping", False):
+        name = _BATCH_VARIANTS.get(name, name)
     info = get_engine_info(name)
     if partition is None and (sim_hbm is not None or acc_hbm is not None):
         partition = {Domain.SIMULATOR: sim_hbm, Domain.ACCELERATOR: acc_hbm}

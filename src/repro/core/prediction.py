@@ -307,6 +307,37 @@ class LaggerPredictor(ClockedComponent):
                 return False
         return True
 
+    def is_idle_fixed_point(self, needed: NeededFields) -> bool:
+        """True when consecutive :meth:`predict` calls for ``needed`` would
+        keep producing the same all-idle prediction (modulo the forced-failure
+        flag and the cycle stamp) and :meth:`observe` of that prediction's own
+        values would not change predictor state.
+
+        This is the predictor half of the batch-stepping quiescence test:
+        requests all False (so the predicted request vector is a stable
+        all-False map that also leaves the arbitration fixed point intact),
+        no remembered interrupts (a remembered-but-deasserted interrupt map
+        would still be attached to predictions and merged into the bus
+        values), and -- when an address phase is needed -- a remembered
+        *inactive* phase from the currently granted remote master, which
+        ``_predict_address_phase`` returns unchanged cycle after cycle.
+        """
+        if not needed.data_free:
+            return False
+        if self._last_interrupts:
+            return False
+        if needed.needs_remote_requests and any(self._last_requests.values()):
+            return False
+        if needed.needs_remote_address_phase:
+            last = self._last_remote_phase
+            if last is None or last.is_active:
+                return False
+            if needed.granted_master_id is not None and last.master_id != needed.granted_master_id:
+                return False
+        if needed.needs_remote_response:
+            return False
+        return True
+
     # -- prediction -------------------------------------------------------------------
     def predict(self, cycle: int, needed: NeededFields) -> PredictionRecord:
         """Produce the prediction for one run-ahead cycle."""

@@ -1,0 +1,86 @@
+"""Bit-exact batched float accumulation for the batch-stepped engines.
+
+The batch-stepping kernel replaces thousands of per-cycle Python dispatches
+with one closed-form advance -- but every modelled quantity must stay
+*bit-identical* to the scalar engines (the golden digests hash the raw float
+ledger values).  IEEE-754 addition is not associative: ``k`` repeated adds of
+``x`` generally differ from one add of ``k * x`` in the last ulp, so the
+batched bookkeeping must reproduce the exact sequential reduction order of
+the per-cycle loops.
+
+``numpy.ufunc.accumulate`` is documented to apply the operator successively
+along the axis (a strict left fold), which makes ``np.add.accumulate`` the
+vectorised twin of a Python ``for`` loop of ``+=`` -- same operations, same
+order, same rounding.  When numpy is unavailable (or the run is too short to
+amortise the array setup) the helpers fall back to the stdlib loop;
+``tests/sim/test_batchmath.py`` pins the two paths against each other
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+try:  # feature-detect: the container bakes numpy in, but stay importable without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-free installs
+    _np = None
+
+#: Below this many additions the plain Python loop beats the array setup
+#: (allocation + tile + accumulate); measured on the bench grid, the
+#: crossover sits around a few dozen adds.
+NUMPY_MIN_ADDS = 64
+
+
+def have_numpy() -> bool:
+    """True when the numpy fast path is active."""
+    return _np is not None
+
+
+def repeat_add(base: float, increment: float, count: int) -> float:
+    """``base`` after ``count`` sequential ``+= increment`` steps.
+
+    Bit-identical to the scalar loop for every (base, increment, count):
+    the numpy path builds ``[base, inc, inc, ...]`` and left-folds it with
+    ``np.add.accumulate``, which performs the same float64 additions in the
+    same order.
+    """
+    if count <= 0:
+        return base
+    if _np is not None and count >= NUMPY_MIN_ADDS:
+        acc = _np.empty(count + 1, dtype=_np.float64)
+        acc[0] = base
+        acc[1:] = increment
+        return float(_np.add.accumulate(acc)[-1])
+    for _ in range(count):
+        base += increment
+    return base
+
+
+def repeat_add_pattern(base: float, pattern: Sequence[float], count: int) -> float:
+    """``base`` after ``count`` repetitions of sequentially adding ``pattern``.
+
+    Equivalent to::
+
+        for _ in range(count):
+            for increment in pattern:
+                base += increment
+
+    with the same float64 rounding at every step.  Used for per-cycle charge
+    sequences (e.g. the channel-bucket additions of one idle lock-step cycle)
+    repeated over a quiescent stretch.
+    """
+    if count <= 0 or not pattern:
+        return base
+    if len(pattern) == 1:
+        return repeat_add(base, pattern[0], count)
+    total = len(pattern) * count
+    if _np is not None and total >= NUMPY_MIN_ADDS:
+        acc = _np.empty(total + 1, dtype=_np.float64)
+        acc[0] = base
+        acc[1:] = _np.tile(_np.asarray(pattern, dtype=_np.float64), count)
+        return float(_np.add.accumulate(acc)[-1])
+    for _ in range(count):
+        for increment in pattern:
+            base += increment
+    return base

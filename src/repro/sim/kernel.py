@@ -120,6 +120,54 @@ class CycleKernel:
             )
         return self.run(cycle - self.clock.cycle)
 
+    def fast_forward(self, cycles: int) -> int:
+        """Advance up to ``cycles`` provably-quiescent cycles in one step.
+
+        The batch-stepping entry point at the kernel layer: when every
+        registered component declares (via an optional ``quiescent_until
+        (cycle)`` method) that its ``tick`` is a complete no-op for a run of
+        upcoming cycles, and no discrete event falls inside that run, the
+        kernel advances clock, scheduler time and counters in O(1) instead of
+        dispatching per cycle.  Returns the number of cycles skipped (0 when
+        nothing could be proven, in which case no state was touched and the
+        caller falls back to :meth:`run_cycle`).
+
+        A component's ``quiescent_until(cycle)`` must return the first future
+        cycle at which its ``tick`` may do observable work (``float("inf")``
+        for "never"); components without the method make the kernel
+        ineligible, as do registered hooks and signal bundles (both are
+        invoked unconditionally every scalar cycle).
+        """
+        if cycles <= 0 or self._pre_cycle_hooks or self._post_cycle_hooks or self.bundles:
+            return 0
+        cycle = self.clock.cycle
+        horizon = float(cycle + cycles)
+        next_event = self.scheduler.peek_time()
+        if next_event is not None and next_event < horizon:
+            horizon = float(next_event)
+        if horizon <= cycle:
+            return 0
+        for component in self.components:
+            declare = getattr(component, "quiescent_until", None)
+            if declare is None:
+                return 0
+            until = declare(cycle)
+            if until < horizon:
+                horizon = until
+                if horizon <= cycle:
+                    return 0
+        count = int(horizon) - cycle
+        if count <= 0:
+            return 0
+        # No event lies at or before the last skipped cycle, so this fires
+        # nothing -- it only brings the scheduler's clock to where the last
+        # scalar ``run_cycle`` would have left it.
+        self.stats.events_fired += self.scheduler.fire_until(cycle + count - 1)
+        self.clock.advance(count)
+        self.stats.cycles_run += count
+        self.stats.commits += count
+        return count
+
     # -- state management --------------------------------------------------
     def reset(self) -> None:
         """Reset the clock, scheduler, every component and every bundle."""

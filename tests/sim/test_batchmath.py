@@ -1,0 +1,106 @@
+"""Bit-exactness tests for the batched float accumulation helpers.
+
+The batch-stepped engines stand or fall on one property: ``repeat_add`` /
+``repeat_add_pattern`` must reproduce the scalar ``+=`` loop bit for bit,
+through both the numpy fast path and the stdlib fallback.  These tests pin
+the two implementations against the reference loop across awkward values
+(denormal-adjacent increments, values spanning many orders of magnitude,
+counts on both sides of the numpy crossover).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim import batchmath
+from repro.sim.batchmath import NUMPY_MIN_ADDS, have_numpy, repeat_add, repeat_add_pattern
+
+
+def scalar_repeat_add(base, increment, count):
+    for _ in range(count):
+        base += increment
+    return base
+
+
+def scalar_repeat_pattern(base, pattern, count):
+    for _ in range(count):
+        for increment in pattern:
+            base += increment
+    return base
+
+
+AWKWARD_INCREMENTS = [
+    1e-8,
+    1 / 3,
+    0.1,
+    2.5e-9,
+    1.0000000000000002,
+    7.137e-7,
+]
+
+
+@pytest.mark.parametrize("increment", AWKWARD_INCREMENTS)
+@pytest.mark.parametrize("count", [0, 1, 2, NUMPY_MIN_ADDS - 1, NUMPY_MIN_ADDS, 1000])
+def test_repeat_add_is_bit_identical_to_scalar_loop(increment, count):
+    base = 123.456789
+    assert repeat_add(base, increment, count) == scalar_repeat_add(base, increment, count)
+
+
+def test_repeat_add_matches_scalar_across_magnitudes():
+    # base >> increment: every add rounds, and the rounding must match.
+    base = 1e12
+    increment = 1e-4
+    for count in (3, 500):
+        assert repeat_add(base, increment, count) == scalar_repeat_add(base, increment, count)
+
+
+@pytest.mark.parametrize(
+    "pattern",
+    [
+        [1e-6],
+        [1e-6, 2.5e-7],
+        [0.1, 1 / 3, 7.137e-7, 2.5e-9],
+    ],
+)
+@pytest.mark.parametrize("count", [0, 1, 7, 400])
+def test_repeat_add_pattern_is_bit_identical_to_scalar_loop(pattern, count):
+    base = 0.987654321
+    assert repeat_add_pattern(base, pattern, count) == scalar_repeat_pattern(
+        base, pattern, count
+    )
+
+
+def test_repeat_add_pattern_empty_pattern_is_identity():
+    assert repeat_add_pattern(3.14, [], 100) == 3.14
+
+
+def test_zero_and_negative_counts_are_identity():
+    assert repeat_add(2.5, 1e-3, 0) == 2.5
+    assert repeat_add(2.5, 1e-3, -4) == 2.5
+    assert repeat_add_pattern(2.5, [1e-3], -1) == 2.5
+
+
+def test_stdlib_fallback_matches_numpy_path(monkeypatch):
+    """Force the fallback and compare against the (possibly-numpy) default."""
+    base, increment, count = 55.5, 1 / 7, 5 * NUMPY_MIN_ADDS
+    expected = repeat_add(base, increment, count)
+    monkeypatch.setattr(batchmath, "_np", None)
+    assert repeat_add(base, increment, count) == expected
+    pattern = [1 / 7, 1e-5, 0.25]
+    monkeypatch.undo()
+    expected_pattern = repeat_add_pattern(base, pattern, count)
+    monkeypatch.setattr(batchmath, "_np", None)
+    assert repeat_add_pattern(base, pattern, count) == expected_pattern
+
+
+def test_have_numpy_reports_feature_detect(monkeypatch):
+    assert have_numpy() is (batchmath._np is not None)
+    monkeypatch.setattr(batchmath, "_np", None)
+    assert have_numpy() is False
+
+
+def test_results_are_finite_floats():
+    result = repeat_add(0.0, 1e-9, 10_000)
+    assert isinstance(result, float) and math.isfinite(result)

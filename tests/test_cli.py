@@ -74,6 +74,39 @@ def test_run_command_profile_dumps_pstats(capsys, tmp_path):
     assert stats.total_calls > 0  # the engine loop was actually profiled
 
 
+def test_run_command_profile_top_table_on_stderr(capsys, tmp_path):
+    target = tmp_path / "engine.pstats"
+    code = main(
+        ["run", "--cycles", "120", "--mode", "als",
+         "--profile", str(target), "--profile-top", "5"]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Top 5 functions by cumulative time" in captured.err
+    assert "cumtime" in captured.err
+    assert "performance" in captured.out  # the run itself still reports
+
+
+def test_run_command_profile_top_zero_disables_table(capsys, tmp_path):
+    target = tmp_path / "engine.pstats"
+    code = main(
+        ["run", "--cycles", "120", "--mode", "als",
+         "--profile", str(target), "--profile-top", "0"]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "by cumulative time" not in captured.err
+    assert target.exists()  # the dump itself is unaffected
+
+
+def test_run_command_batch_engine(capsys):
+    out = run_cli(
+        capsys, "run", "--cycles", "150", "--mode", "als", "--engine", "als_batch"
+    )
+    assert "als_batch" in out
+    assert "performance" in out
+
+
 def test_scenarios_command_lists_catalog(capsys):
     out = run_cli(capsys, "scenarios")
     assert "Scenario catalog" in out
@@ -98,6 +131,15 @@ def test_scenarios_command_tag_filter(capsys):
     out = run_cli(capsys, "scenarios", "--tag", "paper")
     assert "als_streaming" in out
     assert "dma_burst_storm" not in out
+
+
+def test_scenarios_command_engine_column(capsys):
+    out = run_cli(capsys, "scenarios", "--engine")
+    assert "engines" in out
+    assert "als_batch" in out
+    assert "conventional_batch" in out
+    # pseudo-engines that never touch the mechanism are excluded
+    assert "analytical" not in out
 
 
 def test_sweep_command_runs_grid(capsys):
