@@ -1,0 +1,147 @@
+"""Fleet-sweep scaling benchmark: wall-clock vs local worker count.
+
+Runs one fixed sweep grid through :func:`repro.orchestration.run_fleet` at
+increasing worker counts (1 -> 8 by default) against a fresh cache each
+time, and reports wall-clock, aggregate points/s, speedup over one worker
+and the claim-protocol overhead counters.  Every run's reconciled store is
+digest-checked against the serial (``BatchRunner(jobs=1)``) reference, so
+the scaling numbers are only ever reported for byte-identical output.
+
+Numbers here are wall-clock (process spawn, lease I/O and polling included)
+and therefore noisy by nature; this harness deliberately has no ``--check``
+CI gate, unlike the engine-throughput benchmarks.  On a single-core host the
+whole curve is flat by physics -- compare against ``BatchRunner`` at the
+same ``--jobs`` before blaming the claim protocol.
+
+Usage::
+
+    python benchmarks/bench_fleet.py                # 1 2 4 8 workers
+    python benchmarks/bench_fleet.py --quick        # smaller grid, 1 2 workers
+    python benchmarks/bench_fleet.py --workers 1 4  # explicit curve
+    python benchmarks/bench_fleet.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.orchestration import (  # noqa: E402
+    BatchRunner,
+    RunStore,
+    grid_requests,
+    run_fleet,
+)
+
+
+def bench_grid(quick: bool = False) -> list:
+    """A heterogeneous grid big enough that stealing matters.
+
+    Mixing scenarios, modes and a rollback-heavy forced accuracy gives the
+    points a wide per-point cost spread -- the load shape work-stealing is
+    for.  The quick grid trades points for CI wall-clock.
+    """
+    if quick:
+        return grid_requests(
+            scenarios=["single_master", "mixed"],
+            modes=["conservative", "als"],
+            lob_depths=[8, 64],
+            cycles=200,
+        )
+    # Per-point cost must dwarf worker spawn + lease I/O (~100ms) or the
+    # curve measures process startup, not the protocol: 6000 cycles puts a
+    # point at a few hundred ms on a typical host.
+    return grid_requests(
+        scenarios=["single_master", "mixed", "als_streaming"],
+        modes=["conservative", "als"],
+        accuracies=[None, 0.9],
+        lob_depths=[8, 64],
+        cycles=6000,
+    )
+
+
+def measure(workers_curve: List[int], quick: bool = False) -> List[dict]:
+    grid = bench_grid(quick)
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+        root = Path(tmp)
+        reference = RunStore(root / "reference.jsonl")
+        start = time.perf_counter()
+        reference.write(BatchRunner(jobs=1).run(grid))
+        serial_seconds = time.perf_counter() - start
+        reference_digest = reference.digest()
+        print(
+            f"grid: {len(grid)} point(s), serial reference "
+            f"{serial_seconds:.2f}s ({len(grid) / serial_seconds:.2f} points/s)"
+        )
+
+        results = []
+        base_seconds: Optional[float] = None
+        for workers in workers_curve:
+            cache_dir = root / f"cache-{workers}"
+            store = RunStore(root / f"fleet-{workers}.jsonl")
+            start = time.perf_counter()
+            _, stats = run_fleet(
+                grid, cache_dir, workers=workers, store=store, poll_interval=0.05
+            )
+            elapsed = time.perf_counter() - start
+            if store.digest() != reference_digest:
+                raise AssertionError(
+                    f"fleet store with {workers} worker(s) is not byte-identical "
+                    "to the serial reference"
+                )
+            if base_seconds is None:
+                base_seconds = elapsed
+            row = {
+                "workers": workers,
+                "wall_seconds": round(elapsed, 3),
+                "points_per_second": round(len(grid) / elapsed, 2),
+                "speedup_vs_1": round(base_seconds / elapsed, 2),
+                "executed": stats.total("executed"),
+                "stolen": stats.total("stolen"),
+                "deduped": stats.total("deduped"),
+                "reconcile_passes": stats.reconcile_passes,
+            }
+            results.append(row)
+            print(
+                f"workers={workers:<2d} wall {row['wall_seconds']:>7.3f}s"
+                f"  {row['points_per_second']:>7.2f} points/s"
+                f"  speedup x{row['speedup_vs_1']:<5.2f}"
+                f"  executed {row['executed']}"
+                f"  stolen {row['stolen']}  (byte-identical OK)"
+            )
+        return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=None, metavar="N",
+        help="worker counts to measure (default: 1 2 4 8; quick: 1 2)",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller grid and curve (CI smoke)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the measurements as JSON")
+    args = parser.parse_args(argv)
+
+    curve = args.workers
+    if curve is None:
+        curve = [1, 2] if args.quick else [1, 2, 4, 8]
+    results = measure(curve, quick=args.quick)
+    if args.json:
+        Path(args.json).write_text(json.dumps(results, indent=1) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,10 @@ from .degradation import (
     degradation_rows,
     loss_rate_sweep,
 )
+from .fleet import (
+    fleet_worker_rows,
+    render_fleet_stats,
+)
 from .metrics import (
     ComparisonRow,
     PaperComparison,
@@ -54,7 +58,9 @@ __all__ = [
     "PipelineResult",
     "accuracy_loss_grid",
     "degradation_rows",
+    "fleet_worker_rows",
     "loss_rate_sweep",
+    "render_fleet_stats",
     "Series",
     "SweepPoint",
     "accuracy_sweep_mechanism",

@@ -1,0 +1,93 @@
+"""Per-worker throughput reporting for distributed fleet sweeps.
+
+The deterministic half of a fleet sweep (the record table, the store bytes)
+is rendered by the ordinary sweep report; this module renders the
+*operational* half -- who claimed, stole, executed and deduped what, and at
+what wall-clock rate -- from the :class:`~repro.orchestration.fleet.
+FleetStats` the driver assembles out of the workers' stats files.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+from ..orchestration.fleet import FleetStats, FleetWorkerStats
+from .report import render_table
+
+#: Columns of the per-worker table, in display order.
+WORKER_COLUMNS = [
+    "worker",
+    "claimed",
+    "stolen",
+    "executed",
+    "deduped",
+    "released",
+    "lost",
+    "elapsed",
+    "points/s",
+]
+
+
+def worker_row(stats: FleetWorkerStats) -> List[str]:
+    return [
+        stats.owner,
+        str(stats.claimed),
+        str(stats.stolen),
+        str(stats.executed),
+        str(stats.deduped),
+        str(stats.released),
+        str(stats.lost),
+        f"{stats.elapsed_seconds:.2f}s",
+        f"{stats.throughput:.2f}",
+    ]
+
+
+def fleet_worker_rows(
+    workers: Iterable[FleetWorkerStats], totals: bool = True
+) -> List[List[str]]:
+    """One row per worker (owner-sorted for stable output) plus a totals row.
+
+    The totals row's throughput is the *aggregate* rate -- total executed
+    points over the longest worker wall-clock -- which is the number the
+    1..N scaling benchmark plots.
+    """
+    worker_list = sorted(workers, key=lambda stats: stats.owner)
+    rows = [worker_row(stats) for stats in worker_list]
+    if totals and worker_list:
+        executed = sum(stats.executed for stats in worker_list)
+        elapsed = max(stats.elapsed_seconds for stats in worker_list)
+        rows.append(
+            [
+                "TOTAL",
+                str(sum(stats.claimed for stats in worker_list)),
+                str(sum(stats.stolen for stats in worker_list)),
+                str(executed),
+                str(sum(stats.deduped for stats in worker_list)),
+                str(sum(stats.released for stats in worker_list)),
+                str(sum(stats.lost for stats in worker_list)),
+                f"{elapsed:.2f}s",
+                f"{executed / elapsed:.2f}" if elapsed > 0 else "0.00",
+            ]
+        )
+    return rows
+
+
+def render_fleet_stats(
+    stats: Union[FleetStats, FleetWorkerStats], title: str = ""
+) -> str:
+    """The per-worker throughput table for a fleet sweep (or one worker)."""
+    if isinstance(stats, FleetWorkerStats):
+        workers: List[FleetWorkerStats] = [stats]
+        totals = False
+        heading = title or f"Fleet worker '{stats.owner}'"
+    else:
+        workers = stats.workers
+        totals = True
+        heading = title or (
+            f"Fleet sweep {stats.sweep_id}: {stats.grid_points} point(s), "
+            f"{stats.restarts} restart(s), "
+            f"{stats.reconcile_passes} reconciliation pass(es)"
+        )
+        if not workers:
+            return f"{heading}\n(no worker reports)"
+    return render_table(WORKER_COLUMNS, fleet_worker_rows(workers, totals), title=heading)

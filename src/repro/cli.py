@@ -11,6 +11,8 @@ Exposes the reproduction's experiments without writing any Python::
     python -m repro run --mode als --cycles 1000 --accuracy 0.9
     python -m repro sweep --scenarios als_streaming mixed --jobs 4
     python -m repro sweep --cache .repro-cache --output runs.jsonl --resume
+    python -m repro sweep --fleet 4 --cache /shared/sweep --output runs.jsonl
+    python -m repro worker --cache /shared/sweep   # join from any host
     python -m repro report --quick --cache .repro-cache --out artifacts
 
 Every sub-command prints a plain-text table (and, where applicable, the
@@ -30,6 +32,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from .analysis.artifacts import run_pipeline, write_artifacts
+from .analysis.fleet import render_fleet_stats
 from .analysis.metrics import per_domain_utilisation
 from .analysis.report import Series, render_ascii_chart, render_table
 from .channel.faults import ChannelFaultConfig
@@ -47,6 +50,8 @@ from .core.analytical import (
 )
 from .core.modes import OperatingMode
 from .orchestration import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_POLL_INTERVAL,
     BatchRunner,
     ResultCache,
     RunRequest,
@@ -54,6 +59,8 @@ from .orchestration import (
     execute_request,
     grid_requests,
     plan_resume,
+    run_fleet,
+    run_worker,
 )
 from .workloads.catalog import build_scenario, list_scenarios, scenario_names
 
@@ -383,7 +390,35 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     cache = ResultCache(args.cache) if args.cache else None
     store = RunStore(args.output) if args.output else None
     runner = BatchRunner(jobs=args.jobs)
-    if args.resume:
+    if args.fleet is not None:
+        if not args.cache:
+            raise ValueError(
+                "--fleet requires --cache (the shared coordination directory)"
+            )
+        if args.resume:
+            raise ValueError(
+                "--fleet already reconciles crash-tolerantly; drop --resume"
+            )
+        if args.jobs != 1:
+            raise ValueError(
+                "--fleet and --jobs are mutually exclusive (fleet workers are "
+                "processes already)"
+            )
+        records, fleet_stats = run_fleet(
+            requests,
+            cache_dir=args.cache,
+            workers=args.fleet,
+            store=store,
+            ttl=args.fleet_ttl,
+            poll_interval=args.fleet_poll,
+            kill_after=args.fleet_kill_after,
+            log=lambda message: print(f"fleet: {message}", file=sys.stderr),
+        )
+        # Operational stats go to stderr: stdout must stay byte-identical
+        # to the same grid swept with --jobs 1.
+        print(render_fleet_stats(fleet_stats), file=sys.stderr)
+        print(f"fleet: {fleet_stats.summary()}", file=sys.stderr)
+    elif args.resume:
         if store is None:
             raise ValueError("--resume requires --output (the store to resume)")
         plan = plan_resume(requests, store)
@@ -397,9 +432,10 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         print(f"resume: {plan.summary()}", file=sys.stderr)
     else:
         records = runner.run(requests, cache=cache)
-    if cache is not None:
+    if cache is not None and args.fleet is None:
         print(f"cache: {cache.stats.summary()}", file=sys.stderr)
-    if store is not None:
+    if store is not None and args.fleet is None:
+        # The fleet path's reconciliation already wrote the store.
         store.write(records)
     if topology is not None:
         override_domains = Topology.from_dict(topology).describe()
@@ -431,6 +467,17 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         rows,
         title=f"Sweep grid: {len(records)} run(s) over {len(scenarios)} scenario(s)",
     )
+
+
+def _cmd_worker(args: argparse.Namespace) -> str:
+    stats = run_worker(
+        args.cache,
+        owner=args.owner,
+        ttl=args.ttl,
+        poll_interval=args.poll,
+        kill_after=args.kill_after,
+    )
+    return render_fleet_stats(stats)
 
 
 def _cmd_report(args: argparse.Namespace) -> str:
@@ -595,7 +642,65 @@ def build_parser() -> argparse.ArgumentParser:
              "grid points that are missing (tolerates a torn/partial store); "
              "the store is rewritten to exactly this grid",
     )
+    sweep.add_argument(
+        "--fleet", type=int, default=None, metavar="N",
+        help="distributed mode: publish the grid manifest into --cache, spawn "
+             "N local work-stealing workers (0 = reconcile-only: finalize a "
+             "sweep executed by external `repro worker` processes), restart "
+             "crashed workers, and reconcile a store byte-identical to "
+             "--jobs 1; workers on other hosts join via `repro worker "
+             "--cache DIR` on the same shared directory",
+    )
+    sweep.add_argument(
+        "--fleet-ttl", type=float, default=DEFAULT_LEASE_TTL, metavar="SECONDS",
+        help="lease time-to-live: a claim whose heartbeat stalls this long is "
+             "stolen; must comfortably exceed the heartbeat interval (ttl/4) "
+             f"(default {DEFAULT_LEASE_TTL:g}s)",
+    )
+    sweep.add_argument(
+        "--fleet-poll", type=float, default=DEFAULT_POLL_INTERVAL,
+        metavar="SECONDS",
+        help="idle re-scan interval for workers and the driver "
+             f"(default {DEFAULT_POLL_INTERVAL:g}s)",
+    )
+    sweep.add_argument(
+        "--fleet-kill-after", type=int, default=None, metavar="N",
+        help="crash-tolerance test hook: the first worker SIGKILLs itself "
+             "while holding its next claim after N executions (CI uses 0 to "
+             "guarantee a dangling lease that must be stolen)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a published fleet sweep from this host (work-stealing; "
+             "exits when the shared grid is fully cached)",
+    )
+    worker.add_argument(
+        "--cache", required=True, metavar="DIR",
+        help="the sweep's shared cache directory (holds the grid manifest, "
+             "claim leases and result shards)",
+    )
+    worker.add_argument(
+        "--owner", default=None,
+        help="worker identity in leases and stats (default: hostname-pid)",
+    )
+    worker.add_argument(
+        "--ttl", type=float, default=DEFAULT_LEASE_TTL, metavar="SECONDS",
+        help=f"lease time-to-live (default {DEFAULT_LEASE_TTL:g}s; must match "
+             "the fleet's order of magnitude, not its exact value)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=DEFAULT_POLL_INTERVAL, metavar="SECONDS",
+        help="idle re-scan interval "
+             f"(default {DEFAULT_POLL_INTERVAL:g}s)",
+    )
+    worker.add_argument(
+        "--kill-after", type=int, default=None, metavar="N",
+        help="crash-tolerance test hook: SIGKILL self while holding the next "
+             "claim after N executions",
+    )
+    worker.set_defaults(func=_cmd_worker)
 
     report = sub.add_parser(
         "report",

@@ -13,14 +13,31 @@ such grids.  This package runs them at scale:
   deterministic per-request seeds.
 * :class:`BatchRunner` -- fan requests across worker processes; results are
   identical to a serial run, independent of ``jobs``.
-* :class:`RunStore` -- JSON-lines persistence for records (atomic writes).
+* :class:`RunStore` -- JSON-lines persistence for records (atomic writes,
+  torn-line accounting via :meth:`RunStore.scan`).
 * :class:`ResultCache` -- content-addressed memoization of records keyed by
   ``request_id``; attached to a runner, hits skip execution entirely.
 * :func:`plan_resume` -- reconcile a partial store against a request grid so
   an interrupted sweep re-runs only its missing points.
+* :class:`ClaimBoard` / :func:`run_fleet` / :func:`run_worker` -- the
+  distributed layer: atomic lease-file claims over a shared cache directory,
+  work-stealing workers on any number of hosts, crash-tolerant
+  reconciliation byte-identical to a serial run.
 """
 
 from .cache import CacheStats, ResultCache, ResumePlan, plan_resume
+from .claims import DEFAULT_LEASE_TTL, ClaimBoard, ClaimStats, Lease
+from .fleet import (
+    DEFAULT_POLL_INTERVAL,
+    FleetStats,
+    FleetWorkerStats,
+    load_grid,
+    publish_grid,
+    reconcile,
+    run_fleet,
+    run_worker,
+    sweep_id_for,
+)
 from .request import (
     RunRecord,
     RunRequest,
@@ -29,18 +46,33 @@ from .request import (
     grid_requests,
 )
 from .runner import BatchRunner
-from .store import RunStore
+from .store import RunStore, StoreScan, TornLine
 
 __all__ = [
     "BatchRunner",
     "CacheStats",
+    "ClaimBoard",
+    "ClaimStats",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_POLL_INTERVAL",
+    "FleetStats",
+    "FleetWorkerStats",
+    "Lease",
     "ResultCache",
     "ResumePlan",
     "RunRecord",
     "RunRequest",
     "RunStore",
+    "StoreScan",
+    "TornLine",
     "derive_seed",
     "execute_request",
     "grid_requests",
+    "load_grid",
     "plan_resume",
+    "publish_grid",
+    "reconcile",
+    "run_fleet",
+    "run_worker",
+    "sweep_id_for",
 ]

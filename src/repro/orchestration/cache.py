@@ -142,6 +142,19 @@ class ResultCache:
         request_id = self._request_id(key)
         return request_id in self._load_shard(request_id[:SHARD_CHARS])
 
+    def refresh(self, key: Union[RunRequest, RunRecord, str, None] = None) -> None:
+        """Drop the in-memory shard index so the next lookup rereads disk.
+
+        With ``key`` only that request's shard is dropped; without, all of
+        them.  Fleet workers poll a cache that *other processes* are writing
+        to, so they must invalidate before probing -- a plain single-process
+        sweep never needs this.
+        """
+        if key is None:
+            self._shards.clear()
+        else:
+            self._shards.pop(self._request_id(key)[:SHARD_CHARS], None)
+
     def put(self, record: RunRecord) -> int:
         return self.put_many([record])
 
@@ -203,12 +216,18 @@ class ResumePlan:
             so these records are dropped from the store -- resume with the
             grid that produced them, or attach a ``--cache``, to keep them.
         skipped: damaged store lines dropped by the tolerant reader.
+        torn_offsets: byte offset of each damaged line, in file order.  A
+            missing grid point *plus* a torn line means the store's writer
+            likely crashed mid-write; a missing point in a clean store means
+            it simply never ran.  Fleet reconciliation reports the
+            distinction (``FleetStats.torn_records``).
     """
 
     reusable: Dict[str, RunRecord] = field(default_factory=dict)
     missing: List[RunRequest] = field(default_factory=list)
     extra: int = 0
     skipped: int = 0
+    torn_offsets: List[int] = field(default_factory=list)
 
     def summary(self) -> str:
         text = f"{len(self.reusable)} reusable, {len(self.missing)} to execute"
@@ -229,9 +248,12 @@ def plan_resume(requests: Sequence[RunRequest], store: RunStore) -> ResumePlan:
     the interrupted sweep completed its points in and to any unrelated
     records sharing the store.
     """
-    records, skipped = store.load_valid()
-    by_id = {record.request_id: record for record in records}
-    plan = ResumePlan(skipped=skipped)
+    scan = store.scan()
+    by_id = {record.request_id: record for record in scan.records}
+    plan = ResumePlan(
+        skipped=scan.torn_records,
+        torn_offsets=[line.offset for line in scan.torn],
+    )
     wanted = set()
     for request in requests:
         request_id = request.request_id

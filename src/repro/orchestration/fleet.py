@@ -1,0 +1,530 @@
+"""Distributed, work-stealing sweep execution over a shared cache directory.
+
+The content-addressed :class:`~repro.orchestration.cache.ResultCache` already
+makes results location-independent: a record stored under its ``request_id``
+by *any* process is byte-identical to the record any other process would
+produce.  This module adds the two missing pieces for running one sweep
+across many workers -- on one host or on many hosts sharing the cache
+directory -- without a coordinator process:
+
+* a **grid manifest** (``<cache>/fleet/grid.json``): the sweep's request
+  list in canonical encoding, published once so workers started on any host
+  (``repro worker --cache DIR``) know what to execute;
+* a **claim protocol** (:mod:`.claims`): workers claim points by
+  ``request_id`` via atomic lease files, heartbeat while executing, and
+  steal leases whose heartbeats have stopped (a SIGKILLed worker's in-flight
+  points are re-executed by survivors after one TTL).
+
+Workers are stateless and interchangeable: each loops over the grid, skips
+points already in the cache, claims and executes misses, and exits when the
+grid is fully cached.  :func:`run_fleet` is the convenience driver behind
+``repro sweep --fleet N``: it publishes the manifest, spawns N local worker
+processes, restarts crashed ones, and finishes with a **reconciliation
+pass** built on the same :func:`~repro.orchestration.cache.plan_resume` that
+``sweep --resume`` uses -- so a sweep interrupted at any point (mid-shard
+write, mid-claim, mid-store rewrite) converges to an output store
+byte-identical to a ``--jobs 1`` run of the same grid.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .cache import ResultCache, plan_resume
+from .claims import DEFAULT_LEASE_TTL, ClaimBoard
+from .request import RunRecord, RunRequest, canonical_json, execute_request, _sha256
+from .runner import BatchRunner
+from .store import RunStore, atomic_write_text
+
+#: Seconds an idle worker sleeps before re-scanning the grid for newly
+#: expired leases or newly cached results.
+DEFAULT_POLL_INTERVAL = 0.2
+
+#: Subdirectory of the cache root holding all fleet coordination state
+#: (grid manifest, claim leases, per-worker stats).  Result shards stay at
+#: the cache root, untouched, so a fleet cache is also a plain cache.
+FLEET_DIRNAME = "fleet"
+
+
+def fleet_dir(cache_root: Union[str, Path]) -> Path:
+    return Path(cache_root) / FLEET_DIRNAME
+
+
+def claims_dir(cache_root: Union[str, Path]) -> Path:
+    return fleet_dir(cache_root) / "claims"
+
+
+def manifest_path(cache_root: Union[str, Path]) -> Path:
+    return fleet_dir(cache_root) / "grid.json"
+
+
+def stats_dir(cache_root: Union[str, Path], sweep_id: str) -> Path:
+    return fleet_dir(cache_root) / "stats" / sweep_id
+
+
+def sweep_id_for(requests: Sequence[RunRequest]) -> str:
+    """Stable identity of one grid: the hash of its ordered request ids."""
+    return _sha256(canonical_json([request.request_id for request in requests]))[:12]
+
+
+def publish_grid(cache_root: Union[str, Path], requests: Sequence[RunRequest]) -> str:
+    """Write the grid manifest workers resolve their work-list from.
+
+    Publishing is atomic and idempotent; re-publishing a *different* grid
+    simply replaces the manifest (workers snapshot it at startup, and points
+    of an older grid are addressed by ``request_id``, so stale workers can
+    only ever contribute valid cache entries).
+    """
+    sweep_id = sweep_id_for(requests)
+    payload = {
+        "schema": 1,
+        "sweep_id": sweep_id,
+        "requests": [request.as_dict() for request in requests],
+    }
+    atomic_write_text(manifest_path(cache_root), canonical_json(payload) + "\n")
+    return sweep_id
+
+
+def load_grid(cache_root: Union[str, Path]) -> Tuple[str, List[RunRequest]]:
+    """Read the published manifest back into (sweep_id, requests)."""
+    path = manifest_path(cache_root)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"no fleet manifest at {path}; publish one with "
+            "`repro sweep ... --fleet N --cache DIR` before joining workers"
+        ) from None
+    requests = [RunRequest.from_dict(entry) for entry in payload["requests"]]
+    return str(payload["sweep_id"]), requests
+
+
+# ---------------------------------------------------------------------------
+# Worker side.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FleetWorkerStats:
+    """What one worker did during a sweep (wall-clock included: these are
+    operational diagnostics, never part of the deterministic result store)."""
+
+    owner: str
+    claimed: int = 0
+    stolen: int = 0
+    executed: int = 0
+    deduped: int = 0
+    released: int = 0
+    lost: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Executed grid points per second of worker wall-clock."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.executed / self.elapsed_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "owner": self.owner,
+            "claimed": self.claimed,
+            "stolen": self.stolen,
+            "executed": self.executed,
+            "deduped": self.deduped,
+            "released": self.released,
+            "lost": self.lost,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FleetWorkerStats":
+        return cls(
+            owner=str(payload["owner"]),
+            claimed=int(payload["claimed"]),
+            stolen=int(payload["stolen"]),
+            executed=int(payload["executed"]),
+            deduped=int(payload["deduped"]),
+            released=int(payload["released"]),
+            lost=int(payload["lost"]),
+            elapsed_seconds=float(payload["elapsed_seconds"]),
+        )
+
+
+class _HeartbeatPump:
+    """Daemon thread renewing every lease the board currently owns.
+
+    Runs independently of the worker's main loop so a long engine run cannot
+    starve its own lease into stealability; a SIGKILL stops the pump with
+    the process, which is exactly what lets survivors steal.
+    """
+
+    def __init__(self, board: ClaimBoard, interval: float) -> None:
+        self._board = board
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-heartbeat", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            for request_id in list(self._board.owned):
+                if request_id not in self._board.owned:
+                    continue  # released while we iterated
+                try:
+                    self._board.heartbeat(request_id)
+                except OSError:
+                    pass  # transient shared-fs hiccup; retry next beat
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def _rotation(owner: str, count: int) -> int:
+    """Deterministic per-owner scan offset so workers start on different
+    points instead of stampeding the same lease."""
+    if count == 0:
+        return 0
+    return int(_sha256(owner)[:8], 16) % count
+
+
+def run_worker(
+    cache_dir: Union[str, Path],
+    owner: Optional[str] = None,
+    ttl: float = DEFAULT_LEASE_TTL,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    heartbeat_interval: Optional[float] = None,
+    kill_after: Optional[int] = None,
+    requests: Optional[Sequence[RunRequest]] = None,
+) -> FleetWorkerStats:
+    """Join the sweep published in ``cache_dir`` and work until it is done.
+
+    The loop is: skip points already cached (counted as *deduped*), claim or
+    steal a miss, re-check the cache (the claim may have raced a completion),
+    execute, store through the atomic cache shards, release.  The worker
+    exits when every grid point is cached -- its own work plus everyone
+    else's.
+
+    ``kill_after`` is the crash-tolerance test hook used by CI: after that
+    many successful executions the worker SIGKILLs itself *while holding its
+    next claim*, leaving exactly the dangling lease the steal path must
+    recover.  ``None`` (the default) disables it.
+
+    ``requests`` overrides the manifest (used by in-process tests); normal
+    workers load the published grid.
+    """
+    start = time.perf_counter()
+    if requests is None:
+        sweep_id, request_list = load_grid(cache_dir)
+    else:
+        request_list = list(requests)
+        sweep_id = sweep_id_for(request_list)
+    cache = ResultCache(cache_dir)
+    board = ClaimBoard(
+        claims_dir(cache_dir), owner=owner, ttl=ttl, steal_jitter=0.25
+    )
+    if heartbeat_interval is None:
+        heartbeat_interval = max(ttl / 4.0, 0.02)
+    pump = _HeartbeatPump(board, heartbeat_interval)
+    pump.start()
+    pending: Dict[str, RunRequest] = {
+        request.request_id: request for request in request_list
+    }
+    executed_ids: set = set()
+    deduped = 0
+    try:
+        while pending:
+            progress = False
+            order = list(pending)
+            offset = _rotation(board.owner, len(order))
+            for request_id in order[offset:] + order[:offset]:
+                if request_id not in pending:
+                    continue  # completed earlier in this same pass
+                cache.refresh(request_id)
+                if request_id in cache:
+                    pending.pop(request_id)
+                    deduped += 1
+                    progress = True
+                    continue
+                if board.try_acquire(request_id) is None:
+                    continue
+                if kill_after is not None and len(executed_ids) >= kill_after:
+                    _sigkill_self()
+                # The lease may have raced a completion (claimer finished
+                # and published between our cache probe and our steal).
+                cache.refresh(request_id)
+                if request_id in cache:
+                    board.release(request_id)
+                    pending.pop(request_id)
+                    deduped += 1
+                    progress = True
+                    continue
+                record = execute_request(pending[request_id])
+                cache.put(record)
+                board.release(request_id)
+                executed_ids.add(request_id)
+                pending.pop(request_id)
+                progress = True
+            if pending and not progress:
+                time.sleep(poll_interval)
+    finally:
+        pump.stop()
+    stats = FleetWorkerStats(
+        owner=board.owner,
+        claimed=board.stats.claimed,
+        stolen=board.stats.stolen,
+        executed=len(executed_ids),
+        deduped=deduped,
+        released=board.stats.released,
+        lost=board.stats.lost,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+    _write_worker_stats(cache_dir, sweep_id, stats)
+    return stats
+
+
+def _sigkill_self() -> None:  # pragma: no cover - the point is not to return
+    import os
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _write_worker_stats(
+    cache_dir: Union[str, Path], sweep_id: str, stats: FleetWorkerStats
+) -> None:
+    atomic_write_text(
+        stats_dir(cache_dir, sweep_id) / f"{stats.owner}.json",
+        json.dumps(stats.as_dict(), sort_keys=True) + "\n",
+    )
+
+
+def load_worker_stats(
+    cache_dir: Union[str, Path], sweep_id: str
+) -> List[FleetWorkerStats]:
+    """Every surviving worker's stats report for one sweep, by owner name.
+
+    A SIGKILLed worker never writes its report; its contribution is visible
+    only through the survivors' ``stolen`` counts, which is precisely the
+    signal the crash-tolerance smoke asserts on.
+    """
+    directory = stats_dir(cache_dir, sweep_id)
+    reports = []
+    if directory.is_dir():
+        for path in sorted(directory.glob("*.json")):
+            try:
+                reports.append(FleetWorkerStats.from_dict(json.loads(path.read_text())))
+            except (ValueError, KeyError, TypeError):
+                continue  # torn stats file from a crash mid-report
+    return reports
+
+
+def _worker_entry(
+    cache_dir: str,
+    owner: Optional[str],
+    ttl: float,
+    poll_interval: float,
+    kill_after: Optional[int],
+) -> None:
+    """Module-level process target (must stay picklable for spawn contexts)."""
+    run_worker(
+        cache_dir,
+        owner=owner,
+        ttl=ttl,
+        poll_interval=poll_interval,
+        kill_after=kill_after,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fleet driver: local spawn, supervision, reconciliation.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FleetStats:
+    """Summary of one fleet sweep: per-worker reports plus driver-side
+    supervision and reconciliation counters."""
+
+    sweep_id: str
+    grid_points: int
+    workers: List[FleetWorkerStats] = field(default_factory=list)
+    restarts: int = 0
+    reconcile_passes: int = 0
+    reused_records: int = 0  # intact records recovered from a prior store
+    executed_locally: int = 0  # reconciliation fallback executions
+    torn_records: int = 0  # damaged store lines seen while reconciling
+    reaped_leases: int = 0  # dangling leases of already-completed points
+
+    def total(self, field_name: str) -> int:
+        return sum(getattr(worker, field_name) for worker in self.workers)
+
+    def summary(self) -> str:
+        text = (
+            f"fleet {self.sweep_id}: {self.grid_points} point(s), "
+            f"{len(self.workers)} worker report(s), "
+            f"{self.total('executed')} executed, "
+            f"{self.total('deduped')} deduped, "
+            f"{self.total('claimed')} claimed, "
+            f"{self.total('stolen')} stolen, "
+            f"{self.restarts} restart(s), "
+            f"{self.reconcile_passes} reconciliation pass(es)"
+        )
+        if self.reused_records:
+            text += f", {self.reused_records} reused from store"
+        if self.executed_locally:
+            text += f", {self.executed_locally} executed locally"
+        if self.torn_records:
+            text += f", {self.torn_records} torn record(s) dropped"
+        if self.reaped_leases:
+            text += f", {self.reaped_leases} dangling lease(s) reaped"
+        return text
+
+
+def reconcile(
+    requests: Sequence[RunRequest],
+    cache: ResultCache,
+    store: Optional[RunStore] = None,
+    stats: Optional[FleetStats] = None,
+    max_passes: int = 3,
+) -> List[RunRecord]:
+    """Converge store + cache to exactly this grid, in grid order.
+
+    Reuses :func:`plan_resume` against the (possibly absent, partial or
+    torn) store, serves the missing points from the cache -- executing any
+    true stragglers in-process, which makes reconciliation total even after
+    a whole-fleet crash -- and rewrites the store atomically.  The result is
+    byte-identical to an uninterrupted ``--jobs 1`` sweep of the same grid,
+    whatever the interleaving of worker crashes that preceded it.
+    """
+    runner = BatchRunner(jobs=1)
+    if store is None:
+        before = cache.stats.snapshot()
+        cache.refresh()
+        records = runner.run(list(requests), cache=cache)
+        if stats is not None:
+            stats.reconcile_passes += 1
+            stats.executed_locally += cache.stats.since(before).misses
+        return records
+
+    records: List[RunRecord] = []
+    for _ in range(max_passes):
+        if stats is not None:
+            stats.reconcile_passes += 1
+        plan = plan_resume(requests, store)
+        if stats is not None:
+            stats.torn_records += plan.skipped
+            stats.reused_records = len(plan.reusable)
+        before = cache.stats.snapshot()
+        cache.refresh()
+        executed = runner.run(plan.missing, cache=cache)
+        if stats is not None:
+            stats.executed_locally += cache.stats.since(before).misses
+        by_id = dict(plan.reusable)
+        for record in executed:
+            by_id[record.request_id] = record
+        records = [by_id[request.request_id] for request in requests]
+        store.write(records)
+        verify = plan_resume(requests, store)
+        if not verify.missing and not verify.skipped and not verify.extra:
+            break
+    return records
+
+
+def run_fleet(
+    requests: Sequence[RunRequest],
+    cache_dir: Union[str, Path],
+    workers: int = 2,
+    store: Optional[RunStore] = None,
+    ttl: float = DEFAULT_LEASE_TTL,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    kill_after: Optional[int] = None,
+    max_restarts: Optional[int] = None,
+    mp_context: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Tuple[List[RunRecord], FleetStats]:
+    """Publish the grid, drive ``workers`` local workers, reconcile.
+
+    ``workers=0`` spawns nothing: it publishes (or re-publishes) the
+    manifest and reconciles whatever external workers have cached so far,
+    executing any remainder in-process -- the "finalize now" mode for
+    multi-host sweeps whose workers joined via ``repro worker``.
+
+    Crashed workers (non-zero exit, e.g. SIGKILL) are restarted up to
+    ``max_restarts`` times (default: one restart per worker); their leases
+    are stolen by survivors after ``ttl``.  ``kill_after`` arms the crash
+    hook on the *first* worker only -- see :func:`run_worker`.
+    """
+    request_list = list(requests)
+    sweep_id = publish_grid(cache_dir, request_list)
+    stats = FleetStats(sweep_id=sweep_id, grid_points=len(request_list))
+    if max_restarts is None:
+        max_restarts = max(1, workers)
+    cache = ResultCache(cache_dir)
+    wanted = [request.request_id for request in request_list]
+
+    context = multiprocessing.get_context(mp_context)
+
+    def spawn(index: int, hook: Optional[int]) -> multiprocessing.process.BaseProcess:
+        process = context.Process(
+            target=_worker_entry,
+            args=(str(cache_dir), None, ttl, poll_interval, hook),
+            name=f"fleet-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    processes = [spawn(index, kill_after if index == 0 else None)
+                 for index in range(workers)]
+    try:
+        if processes:
+            while True:
+                cache.refresh()
+                if all(request_id in cache for request_id in wanted):
+                    break
+                alive = 0
+                for index, process in enumerate(processes):
+                    if process.is_alive():
+                        alive += 1
+                        continue
+                    if process.exitcode not in (0, None) and stats.restarts < max_restarts:
+                        stats.restarts += 1
+                        if log is not None:
+                            log(
+                                f"worker {process.name} exited with "
+                                f"{process.exitcode}; restart "
+                                f"{stats.restarts}/{max_restarts}"
+                            )
+                        processes[index] = spawn(workers + stats.restarts, None)
+                        alive += 1
+                if alive == 0:
+                    # Whole fleet gone and restart budget spent: fall through,
+                    # reconciliation executes the remainder in-process.
+                    break
+                time.sleep(poll_interval)
+            for process in processes:
+                process.join(timeout=max(10.0, 4 * ttl))
+    finally:
+        for process in processes:
+            if process.is_alive():  # pragma: no cover - defensive teardown
+                process.terminate()
+                process.join(timeout=5.0)
+
+    records = reconcile(request_list, cache, store=store, stats=stats)
+    board = ClaimBoard(claims_dir(cache_dir), owner="reconciler", ttl=ttl)
+    cache.refresh()
+    stats.reaped_leases = board.sweep_completed(lambda rid: rid in cache)
+    stats.workers = load_worker_stats(cache_dir, sweep_id)
+    return records, stats

@@ -120,6 +120,23 @@ class RunRequest:
             payload["channel_faults"] = dict(self.channel_faults)
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunRequest":
+        """Rebuild a request from its canonical :meth:`as_dict` payload.
+
+        The optional axes omitted from the canonical encoding (topology,
+        channel faults) default back to ``None``, so a round trip preserves
+        the ``request_id`` exactly -- which is what lets a fleet grid
+        manifest address the same cache entries as the process that
+        published it.
+        """
+        try:
+            return cls(**dict(payload))
+        except TypeError as exc:
+            raise ValueError(
+                f"payload does not fit the request schema: {exc}"
+            ) from None
+
     def topology_override(self) -> Optional[Topology]:
         """The deserialised topology override, if any (validates the payload)."""
         return None if self.topology is None else Topology.from_dict(self.topology)

@@ -12,6 +12,12 @@ returned verbatim and only the misses fan out to workers -- and because a
 cached record is byte-identical to a fresh one, the returned list (and any
 store written from it) is byte-identical whether the cache was cold, warm,
 or absent.
+
+The runner is single-host by design; :mod:`~repro.orchestration.fleet`
+layers multi-host execution on top of the same cache (workers claim points
+by ``request_id`` via lease files and write through the atomic shards), then
+funnels back through ``BatchRunner`` during reconciliation -- which is why a
+fleet sweep's output is byte-identical to ``BatchRunner(jobs=1)``.
 """
 
 from __future__ import annotations

@@ -17,12 +17,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, List, Tuple, Union
 
 from .request import RunRecord, canonical_json
+
+logger = logging.getLogger(__name__)
 
 
 def canonical_line(record: RunRecord) -> str:
@@ -82,6 +86,27 @@ def parse_record_line(line: str) -> RunRecord:
     return record
 
 
+@dataclass(frozen=True)
+class TornLine:
+    """One damaged store line: where it sits and why it was rejected."""
+
+    offset: int  # byte offset of the line's first byte in the store file
+    length: int  # bytes the line occupies, including its newline (if any)
+    reason: str
+
+
+@dataclass
+class StoreScan:
+    """Everything a tolerant read of one store file learned."""
+
+    records: List[RunRecord] = field(default_factory=list)
+    torn: List[TornLine] = field(default_factory=list)
+
+    @property
+    def torn_records(self) -> int:
+        return len(self.torn)
+
+
 class RunStore:
     """Append-oriented JSON-lines storage for :class:`RunRecord`."""
 
@@ -124,28 +149,50 @@ class RunStore:
     def load(self) -> List[RunRecord]:
         return list(self)
 
+    def scan(self) -> StoreScan:
+        """Tolerantly read the store, accounting for every damaged line.
+
+        Each torn or tampered line is logged (with its byte offset, so a
+        crashed writer's tear is locatable with ``dd``/``tail -c``) and
+        reported in :attr:`StoreScan.torn`.  Fleet reconciliation uses the
+        count to distinguish a grid point that *never ran* (missing from a
+        clean store) from one whose writer *crashed mid-write* (missing
+        alongside torn lines).
+        """
+        result = StoreScan()
+        if not self.path.exists():
+            return result
+        offset = 0
+        with self.path.open("rb") as handle:
+            for raw in handle:
+                line_offset, offset = offset, offset + len(raw)
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                try:
+                    result.records.append(parse_record_line(line))
+                except ValueError as exc:
+                    result.torn.append(TornLine(line_offset, len(raw), str(exc)))
+                    logger.warning(
+                        "store %s: damaged record at byte offset %d (%d byte(s)): %s",
+                        self.path,
+                        line_offset,
+                        len(raw),
+                        exc,
+                    )
+        return result
+
     def load_valid(self) -> Tuple[List[RunRecord], int]:
         """Load every intact record, skipping damaged lines.
 
         Returns ``(records, skipped)`` where ``skipped`` counts lines that
         failed to parse or whose digest check failed.  This is the tolerant
         reader behind ``sweep --resume``: a partial or damaged store yields
-        whatever whole records it still holds.
+        whatever whole records it still holds.  :meth:`scan` is the richer
+        form (byte offsets per damaged line).
         """
-        records: List[RunRecord] = []
-        skipped = 0
-        if not self.path.exists():
-            return records, skipped
-        with self.path.open() as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(parse_record_line(line))
-                except ValueError:
-                    skipped += 1
-        return records, skipped
+        scan = self.scan()
+        return scan.records, scan.torn_records
 
     def __len__(self) -> int:
         return sum(1 for _ in self)

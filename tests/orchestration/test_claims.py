@@ -1,0 +1,170 @@
+"""Unit tests for the lease-file claim protocol."""
+
+from __future__ import annotations
+
+from repro.orchestration.claims import CORRUPT_OWNER, ClaimBoard, Lease
+
+
+class FakeClock:
+    """Injectable monotonic clock so expiry is driven, not slept for."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_board(tmp_path, owner, clock, ttl=10.0):
+    return ClaimBoard(tmp_path / "claims", owner=owner, ttl=ttl, clock=clock)
+
+
+# ---------------------------------------------------------------------------
+# Claim / release basics.
+# ---------------------------------------------------------------------------
+
+def test_claim_is_exclusive_and_release_reopens(tmp_path):
+    clock = FakeClock()
+    alice = make_board(tmp_path, "alice", clock)
+    bob = make_board(tmp_path, "bob", clock)
+    assert alice.try_claim("r1")
+    assert not bob.try_claim("r1")
+    assert "r1" in alice.owned and "r1" not in bob.owned
+    assert alice.release("r1")
+    assert bob.try_claim("r1")
+    assert alice.stats.claimed == 1 and alice.stats.released == 1
+    assert bob.stats.claimed == 1
+
+
+def test_lease_file_roundtrip(tmp_path):
+    clock = FakeClock()
+    alice = make_board(tmp_path, "alice", clock)
+    alice.try_claim("r1")
+    lease = alice.read("r1")
+    assert lease == Lease("r1", "alice", 0, lease.stamp)
+    assert alice.read("r2") is None
+    assert set(alice.outstanding()) == {"r1"}
+
+
+def test_heartbeat_increments_counter(tmp_path):
+    clock = FakeClock()
+    alice = make_board(tmp_path, "alice", clock)
+    alice.try_claim("r1")
+    assert alice.heartbeat("r1")
+    assert alice.heartbeat("r1")
+    assert alice.read("r1").heartbeat == 2
+
+
+def test_try_acquire_is_idempotent_for_the_owner(tmp_path):
+    clock = FakeClock()
+    alice = make_board(tmp_path, "alice", clock)
+    assert alice.try_acquire("r1") == "claimed"
+    assert alice.try_acquire("r1") == "claimed"
+    assert alice.stats.claimed == 1  # the second call found it already owned
+
+
+# ---------------------------------------------------------------------------
+# Expiry and stealing.
+# ---------------------------------------------------------------------------
+
+def test_steal_requires_a_full_observed_ttl(tmp_path):
+    clock = FakeClock()
+    alice = make_board(tmp_path, "alice", clock)
+    bob = make_board(tmp_path, "bob", clock)
+    alice.try_claim("r1")
+    # First contact only starts bob's observation window.
+    assert bob.try_acquire("r1") is None
+    clock.advance(9.99)
+    assert bob.try_acquire("r1") is None
+    clock.advance(0.02)
+    assert bob.try_acquire("r1") == "stolen"
+    assert bob.stats.stolen == 1
+    assert bob.read("r1").owner == "bob"
+
+
+def test_heartbeat_resets_the_observation_window(tmp_path):
+    clock = FakeClock()
+    alice = make_board(tmp_path, "alice", clock)
+    bob = make_board(tmp_path, "bob", clock)
+    alice.try_claim("r1")
+    assert bob.try_acquire("r1") is None
+    clock.advance(8.0)
+    alice.heartbeat("r1")
+    clock.advance(8.0)
+    # 16s since first sight, but the fingerprint changed 8s ago: not stealable.
+    assert bob.try_acquire("r1") is None
+    clock.advance(10.5)
+    assert bob.try_acquire("r1") == "stolen"
+
+
+def test_victim_discovers_the_theft(tmp_path):
+    clock = FakeClock()
+    alice = make_board(tmp_path, "alice", clock)
+    bob = make_board(tmp_path, "bob", clock)
+    alice.try_claim("r1")
+    bob.try_acquire("r1")
+    clock.advance(11.0)
+    assert bob.try_acquire("r1") == "stolen"
+    assert not alice.heartbeat("r1")
+    assert "r1" not in alice.owned
+    assert not alice.release("r1")
+    assert alice.stats.lost == 2  # heartbeat and release each observed it
+
+
+def test_corrupt_lease_blocks_then_expires(tmp_path):
+    clock = FakeClock()
+    bob = make_board(tmp_path, "bob", clock)
+    (tmp_path / "claims").mkdir(parents=True)
+    (tmp_path / "claims" / "r1.lease").write_text("{torn json")
+    lease = bob.read("r1")
+    assert lease.owner == CORRUPT_OWNER
+    assert bob.try_acquire("r1") is None  # starts the observation window
+    clock.advance(10.5)
+    assert bob.try_acquire("r1") == "stolen"
+    assert bob.read("r1").owner == "bob"
+
+
+def test_released_lease_is_reacquired_not_stolen(tmp_path):
+    clock = FakeClock()
+    alice = make_board(tmp_path, "alice", clock)
+    bob = make_board(tmp_path, "bob", clock)
+    alice.try_claim("r1")
+    bob.try_acquire("r1")
+    alice.release("r1")
+    assert bob.try_acquire("r1") == "claimed"
+    assert bob.stats.stolen == 0
+
+
+def test_sweep_completed_reaps_only_done_leases(tmp_path):
+    clock = FakeClock()
+    alice = make_board(tmp_path, "alice", clock)
+    alice.try_claim("done-1")
+    alice.try_claim("pending-1")
+    reaper = make_board(tmp_path, "reaper", clock)
+    reaped = reaper.sweep_completed(lambda rid: rid.startswith("done"))
+    assert reaped == 1
+    assert set(reaper.outstanding()) == {"pending-1"}
+
+
+def test_steal_jitter_stretches_the_threshold_deterministically(tmp_path):
+    clock = FakeClock()
+    plain = ClaimBoard(tmp_path / "a", owner="alice", ttl=10.0, clock=clock)
+    assert plain.steal_after == 10.0  # no jitter: threshold is exactly the ttl
+    jittered = ClaimBoard(
+        tmp_path / "b", owner="alice", ttl=10.0, clock=clock, steal_jitter=0.25
+    )
+    again = ClaimBoard(
+        tmp_path / "c", owner="alice", ttl=10.0, clock=clock, steal_jitter=0.25
+    )
+    assert 10.0 <= jittered.steal_after <= 12.5
+    assert jittered.steal_after == again.steal_after  # same owner, same stretch
+
+
+def test_ttl_must_be_positive(tmp_path):
+    import pytest
+
+    with pytest.raises(ValueError):
+        ClaimBoard(tmp_path, ttl=0.0)

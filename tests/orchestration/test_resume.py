@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import logging
+
 import pytest
 
 from repro.orchestration import (
@@ -78,6 +80,52 @@ def test_load_valid_skips_torn_and_tampered_lines(tmp_path, grid_records):
     assert [r.as_dict() for r in records] == [grid_records[0].as_dict()]
 
 
+def test_scan_reports_byte_offsets_of_damaged_lines(tmp_path, grid_records):
+    path = tmp_path / "runs.jsonl"
+    good = canonical_line(grid_records[0])
+    tampered = canonical_line(grid_records[1]).replace(
+        '"monitors_ok":true', '"monitors_ok":false'
+    )
+    torn_tail = good[: len(good) // 3]
+    path.write_text(good + "\n" + tampered + "\n" + torn_tail + "\n")
+    scan = RunStore(path).scan()
+    assert [r.as_dict() for r in scan.records] == [grid_records[0].as_dict()]
+    assert scan.torn_records == 2
+    good_bytes = len((good + "\n").encode("utf-8"))
+    tampered_bytes = len((tampered + "\n").encode("utf-8"))
+    assert [line.offset for line in scan.torn] == [
+        good_bytes,
+        good_bytes + tampered_bytes,
+    ]
+    assert scan.torn[0].length == tampered_bytes
+    assert all(line.reason for line in scan.torn)
+
+
+def test_scan_logs_a_warning_per_damaged_line(tmp_path, grid_records, caplog):
+    path = tmp_path / "runs.jsonl"
+    good = canonical_line(grid_records[0])
+    path.write_text(good + "\n" + good[:25] + "\n")
+    with caplog.at_level(logging.WARNING, logger="repro.orchestration.store"):
+        records, skipped = RunStore(path).load_valid()
+    assert len(records) == 1 and skipped == 1
+    warnings = [r for r in caplog.records if r.levelno == logging.WARNING]
+    assert len(warnings) == 1
+    message = warnings[0].getMessage()
+    assert "byte offset" in message
+    assert str(len((good + "\n").encode("utf-8"))) in message
+
+
+def test_scan_of_a_clean_or_missing_store_logs_nothing(
+    tmp_path, grid_records, caplog
+):
+    clean = RunStore(tmp_path / "clean.jsonl")
+    clean.write(grid_records[:2])
+    with caplog.at_level(logging.WARNING, logger="repro.orchestration.store"):
+        assert clean.scan().torn == []
+        assert RunStore(tmp_path / "absent.jsonl").scan().records == []
+    assert caplog.records == []
+
+
 def test_parse_record_line_rejects_garbage():
     with pytest.raises(ValueError):
         parse_record_line("{torn")
@@ -135,6 +183,10 @@ def test_resumed_store_is_byte_identical_to_uninterrupted(
     assert len(plan.reusable) == 2
     assert len(plan.missing) == 2
     assert plan.skipped == 1
+    # The plan carries where the damage sits, so drivers can point at it.
+    assert plan.torn_offsets == [
+        len((lines[0] + "\n" + lines[1] + "\n").encode("utf-8"))
+    ]
     executed = BatchRunner(jobs=1).run(plan.missing)
     by_id = dict(plan.reusable)
     for record in executed:

@@ -1,0 +1,213 @@
+"""Property-based tests for the lease-file claim protocol.
+
+A miniature fleet simulator drives :class:`ClaimBoard` instances sharing one
+claims directory through random interleavings of worker steps, clock
+advances, crashes and restarts, checking the two safety properties the
+protocol promises -- no two *alive* workers ever execute the same grid
+point concurrently, and no completed point is ever executed again -- plus
+the liveness property: every interleaving converges to full grid coverage
+within a bounded number of drain rounds, because dead workers' leases
+expire and get stolen.
+
+Time is a shared fake monotonic clock; each clock advance also models the
+heartbeat pump (live workers renew the lease of the point they are
+executing), exactly as ``run_worker``'s background pump does.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orchestration.claims import ClaimBoard
+
+GRID = [f"rid{i:02d}" for i in range(6)]
+TTL = 10.0
+N_WORKERS = 3
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class SimWorker:
+    """One worker process: a board, a liveness flag, a point in flight."""
+
+    def __init__(self, root: Path, index: int, clock: FakeClock) -> None:
+        self.root = root
+        self.index = index
+        self.clock = clock
+        self.generation = 0
+        self.alive = True
+        self.current = None
+        self.board = self._new_board()
+
+    def _new_board(self) -> ClaimBoard:
+        return ClaimBoard(
+            self.root,
+            owner=f"w{self.index}-g{self.generation}",
+            ttl=TTL,
+            clock=self.clock,
+        )
+
+    def restart(self) -> None:
+        """A crashed worker comes back as a fresh process (new owner id)."""
+        self.generation += 1
+        self.board = self._new_board()
+        self.alive = True
+        self.current = None
+
+
+class FleetSim:
+    def __init__(self, root: Path) -> None:
+        self.clock = FakeClock()
+        self.workers = [SimWorker(root, i, self.clock) for i in range(N_WORKERS)]
+        self.completed = set()
+        self.completions = Counter()
+
+    # -- the four randomised operations ------------------------------------
+
+    def advance(self, seconds: float) -> None:
+        """Time passes; the heartbeat pump renews live in-flight leases."""
+        self.clock.advance(seconds)
+        for worker in self.workers:
+            if worker.alive and worker.current is not None:
+                worker.board.heartbeat(worker.current)
+
+    def step(self, index: int) -> None:
+        """One scheduling quantum: finish the point in hand, else claim one."""
+        worker = self.workers[index]
+        if not worker.alive:
+            return
+        if worker.current is not None:
+            rid = worker.current
+            assert rid not in self.completed, (
+                f"{worker.board.owner} completed {rid} twice"
+            )
+            self.completed.add(rid)
+            self.completions[rid] += 1
+            worker.board.release(rid)
+            worker.current = None
+            return
+        for rid in GRID:
+            if rid in self.completed:  # the cache probe
+                continue
+            if worker.board.try_acquire(rid) is None:
+                continue
+            if rid in self.completed:  # post-acquire cache recheck
+                worker.board.release(rid)
+                continue
+            executing = [
+                other
+                for other in self.workers
+                if other is not worker and other.alive and other.current == rid
+            ]
+            assert not executing, (
+                f"{worker.board.owner} acquired {rid} while "
+                f"{executing[0].board.owner} (alive) is executing it"
+            )
+            worker.current = rid
+            return
+
+    def crash(self, index: int) -> None:
+        """SIGKILL: leases stay on disk, heartbeats stop, nothing released."""
+        self.workers[index].alive = False
+
+    def restart(self, index: int) -> None:
+        if not self.workers[index].alive:
+            self.workers[index].restart()
+
+    # -- safety and liveness checks ----------------------------------------
+
+    def check_single_true_owner(self) -> None:
+        """At most one board's self-belief of ownership matches the disk."""
+        for rid in GRID:
+            believers = [
+                worker
+                for worker in self.workers
+                if rid in worker.board.owned
+            ]
+            lease = self.workers[0].board.read(rid)
+            true_owners = [
+                worker
+                for worker in believers
+                if lease is not None and lease.owner == worker.board.owner
+            ]
+            assert len(true_owners) <= 1, (
+                f"{rid} has {len(true_owners)} matching owners on disk"
+            )
+
+    def drain(self) -> None:
+        """Keep stepping until the grid is covered; bounded, so a stuck
+        lease (a steal that can never happen) fails the test as a timeout."""
+        rounds = 0
+        while self.completed != set(GRID):
+            rounds += 1
+            assert rounds <= 4 * len(GRID) + 8, (
+                f"no convergence after {rounds} rounds; "
+                f"missing {sorted(set(GRID) - self.completed)}"
+            )
+            if not any(worker.alive for worker in self.workers):
+                self.workers[0].restart()
+            self.advance(TTL + 1.0)
+            for index in range(len(self.workers)):
+                self.step(index)  # finish whatever is in hand
+                self.step(index)  # then claim (or steal) the next point
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("advance"),
+            st.floats(min_value=0.1, max_value=1.5 * TTL, allow_nan=False),
+        ),
+        st.tuples(st.just("step"), st.integers(0, N_WORKERS - 1)),
+        st.tuples(st.just("crash"), st.integers(0, N_WORKERS - 1)),
+        st.tuples(st.just("restart"), st.integers(0, N_WORKERS - 1)),
+    ),
+    min_size=5,
+    max_size=50,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=40, deadline=None)
+def test_random_interleavings_never_double_execute_and_converge(ops):
+    with tempfile.TemporaryDirectory(prefix="claims-prop-") as tmp:
+        sim = FleetSim(Path(tmp) / "claims")
+        for name, arg in ops:
+            getattr(sim, name)(arg)
+            sim.check_single_true_owner()
+        sim.drain()
+        assert sim.completed == set(GRID)
+        # Liveness converged *and* safety held: exactly one completion each.
+        assert all(sim.completions[rid] == 1 for rid in GRID)
+
+
+@given(ops=operations)
+@settings(max_examples=25, deadline=None)
+def test_crashed_workers_leases_are_always_stolen_not_waited_out(ops):
+    """However the random prefix leaves the board, killing every worker and
+    bringing up one fresh recruit must still cover the whole grid: the
+    recruit can steal any dangling lease after one observed TTL."""
+    with tempfile.TemporaryDirectory(prefix="claims-prop-") as tmp:
+        sim = FleetSim(Path(tmp) / "claims")
+        for name, arg in ops:
+            getattr(sim, name)(arg)
+        for index in range(N_WORKERS):
+            sim.crash(index)
+        sim.restart(0)
+        sim.drain()
+        assert sim.completed == set(GRID)
+        assert all(sim.completions[rid] == 1 for rid in GRID)

@@ -347,3 +347,81 @@ def test_sweep_command_faulty_tag_parallel_matches_serial(capsys):
     parallel = run_cli(capsys, *argv, "--jobs", "2")
     assert serial == parallel
     assert "lossy_streaming" in serial
+
+
+# ---------------------------------------------------------------------------
+# Fleet sweeps and the worker subcommand.
+# ---------------------------------------------------------------------------
+
+def test_sweep_fleet_stdout_and_store_byte_identical_to_serial(capsys, tmp_path):
+    argv = [
+        "sweep",
+        "--scenarios", "single_master", "mixed",
+        "--modes", "conservative", "als",
+        "--cycles", "60",
+    ]
+    serial_path = tmp_path / "serial.jsonl"
+    assert main(argv + ["--jobs", "1", "--output", str(serial_path)]) == 0
+    serial = capsys.readouterr()
+    fleet_path = tmp_path / "fleet.jsonl"
+    assert main(
+        argv
+        + [
+            "--fleet", "1",
+            "--cache", str(tmp_path / "cache"),
+            "--fleet-poll", "0.02",
+            "--output", str(fleet_path),
+        ]
+    ) == 0
+    fleet = capsys.readouterr()
+    # The deterministic artefact (stdout + store bytes) must not change; all
+    # the fleet chatter (worker table, summary) belongs to stderr.
+    assert fleet.out == serial.out
+    assert fleet_path.read_bytes() == serial_path.read_bytes()
+    assert "TOTAL" in fleet.err
+    assert "reconciliation pass(es)" in fleet.err
+
+
+def test_sweep_fleet_requires_cache(capsys):
+    code = main(["sweep", "--scenarios", "single_master", "--fleet", "2"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "--fleet requires --cache" in captured.err
+
+
+def test_sweep_fleet_rejects_resume_and_jobs(capsys, tmp_path):
+    base = [
+        "sweep", "--scenarios", "single_master",
+        "--fleet", "1", "--cache", str(tmp_path / "cache"),
+    ]
+    code = main(base + ["--resume", "--output", str(tmp_path / "out.jsonl")])
+    assert code == 1
+    assert "drop --resume" in capsys.readouterr().err
+    code = main(base + ["--jobs", "2"])
+    assert code == 1
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_worker_command_joins_a_published_sweep(capsys, tmp_path):
+    from repro.orchestration import grid_requests, publish_grid
+
+    cache = tmp_path / "cache"
+    publish_grid(
+        cache,
+        grid_requests(
+            scenarios=["single_master"], modes=["als"], cycles=60
+        ),
+    )
+    out = run_cli(
+        capsys, "worker", "--cache", str(cache), "--owner", "cli-probe",
+        "--poll", "0.02",
+    )
+    assert "cli-probe" in out
+    assert "executed" in out
+
+
+def test_worker_command_without_manifest_exits_nonzero(capsys, tmp_path):
+    code = main(["worker", "--cache", str(tmp_path / "nowhere")])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "--fleet" in captured.err  # the hint names the publishing command
