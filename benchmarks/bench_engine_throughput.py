@@ -87,6 +87,7 @@ SCENARIOS: List[Scenario] = [
     Scenario("als/acc=1.0/lob=256", _request("als_streaming", "als", lob_depth=256)),
     Scenario("sla/acc=1.0/lob=64", _request("sla_streaming", "sla"), quick=True),
     Scenario("sla/acc=0.9/lob=64", _request("sla_streaming", "sla", accuracy=0.9)),
+    Scenario("conventional/sla_soc", _request("sla_streaming", "conservative")),
     # Scalar-vs-batch pairs: same request, batch-stepped engine.  The sparse
     # scenario is the idle-heavy regime the quiescence fast-forward targets;
     # the streaming pairs measure the batch kernel on busy traffic (gains
@@ -104,6 +105,21 @@ SCENARIOS: List[Scenario] = [
     Scenario(
         "als_batch/acc=0.95/lob=64",
         _request("als_streaming", "als", accuracy=0.95, engine="als_batch"),
+    ),
+    # Scalar-vs-trace pairs on the dense streaming SoCs: busy periodic
+    # traffic where the batch kernel finds nothing to skip but the periodic
+    # trace-replay controller fast-forwards verified steady-state periods.
+    # Compare against the scalar baselines in this same file
+    # (conventional/als_soc, conventional/sla_soc).
+    Scenario(
+        "conventional_trace/als_soc",
+        _request("als_streaming", "conservative", engine="conventional_trace"),
+        quick=True,
+    ),
+    Scenario(
+        "conventional_trace/sla_soc",
+        _request("sla_streaming", "conservative", engine="conventional_trace"),
+        quick=True,
     ),
     Scenario(
         "conventional/sparse_soc",

@@ -371,6 +371,32 @@ class HalfBusModel(ClockedComponent):
             and type(core.arbiter.policy) in _STATIONARY_POLICIES
         )
 
+    def trace_signature(self, cycle: int, horizon: int) -> Optional[tuple]:
+        """Structural state digest of this half bus for the periodic trace
+        cache (see :mod:`repro.core.trace`).
+
+        Combines every local master's and slave's digest; two cycles with
+        equal half-bus digests (plus the shared bus-core digest held by the
+        trace controller) evolve identically for ``horizon`` cycles when fed
+        the same bus-level schedule.  Returns ``None`` -- disabling trace
+        replay for the topology -- when any component cannot be digested or
+        an interrupt line is asserted (interrupt consumers are not covered).
+        """
+        parts = []
+        for master_id in sorted(self.local_masters):
+            sig = self.local_masters[master_id].trace_signature(cycle, horizon)
+            if sig is None:
+                return None
+            parts.append((master_id, sig))
+        for slave_id in sorted(self.local_slaves):
+            sig = self.local_slaves[slave_id].trace_signature()
+            if sig is None:
+                return None
+            parts.append((slave_id, sig))
+        if self.interrupt_outputs:
+            return None
+        return tuple(parts)
+
     def next_local_activity(self, cycle: int) -> float:
         """Earliest cycle >= ``cycle`` at which a local master may be active.
 

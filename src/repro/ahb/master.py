@@ -99,6 +99,19 @@ class AhbMaster(ClockedComponent):
         """
         return cycle
 
+    def trace_signature(self, cycle: int, horizon: int) -> Optional[tuple]:
+        """Structural state digest for the periodic trace cache.
+
+        Two cycles with equal signatures must make identical *control*
+        decisions (bus request, burst progress, phase shape) for the next
+        ``horizon`` cycles given identical bus behaviour; data values are
+        deliberately excluded (trace replay feeds them through the real
+        calls).  ``None`` means this master's state cannot be digested, which
+        disables trace replay for the whole topology.  The base
+        implementation is conservative.
+        """
+        return None
+
 
 class IdleMaster(AhbMaster):
     """A master that never requests the bus.
@@ -120,6 +133,9 @@ class IdleMaster(AhbMaster):
 
     def next_activity_cycle(self, cycle: int) -> float:
         return float("inf")  # never active
+
+    def trace_signature(self, cycle: int, horizon: int) -> Optional[tuple]:
+        return ("idle",)  # stateless: any two cycles are interchangeable
 
 
 @dataclass(slots=True)
@@ -304,6 +320,35 @@ class TrafficMaster(AhbMaster):
             issue = queue[index].issue_cycle
             return cycle if issue <= cycle else issue
         return float("inf")  # drained
+
+    def trace_signature(self, cycle: int, horizon: int) -> Optional[tuple]:
+        """Structural digest: burst FSM + queue position, with *relative*
+        transaction indices and the next-issue delay clamped to ``horizon``
+        (anything further away cannot influence the next ``horizon`` cycles).
+        Addresses and data words are excluded on purpose: replay re-executes
+        the real master/slave calls, so only the control shape must recur.
+        """
+        tracker = self._tracker
+        next_index = self._next_txn_index
+        queue = self.queue
+        if next_index < len(queue):
+            delta = queue[next_index].issue_cycle - cycle
+            if delta < 0:
+                delta = 0
+            elif delta > horizon:
+                delta = horizon
+        else:
+            delta = -1  # drained: no future issue
+        active = self._active_txn_index
+        return (
+            None if tracker is None else (tracker.beats_done, tracker.total_beats),
+            tuple(
+                (beat.beat_index, beat.transaction_index - next_index)
+                for beat in self._outstanding
+            ),
+            None if active is None else active - next_index,
+            delta,
+        )
 
     def on_address_accepted(self, cycle: int, address_phase: AddressPhase) -> None:
         tracker = self._tracker

@@ -59,6 +59,16 @@ class AhbSlave(ClockedComponent):
         """
         raise NotImplementedError
 
+    def trace_signature(self) -> Optional[tuple]:
+        """Structural state digest for the periodic trace cache.
+
+        Must cover every piece of state that influences *response shape*
+        (wait states, hready/hresp sequencing); payload words are excluded.
+        ``None`` (the conservative base implementation) disables trace
+        replay for the whole topology.
+        """
+        return None
+
 
 @dataclass
 class SlaveStats:
@@ -171,6 +181,12 @@ class MemorySlave(AhbSlave):
         value = self.read_word(address_phase.haddr)
         self.stats.reads += 1
         return DataPhaseResult.okay(hrdata=value)
+
+    def trace_signature(self) -> Optional[tuple]:
+        # Response shape depends only on hwrite (per-slave constant wait
+        # counts) and the wait countdown; memory contents flow through the
+        # live read/write calls during replay.
+        return (self._wait_remaining,)
 
     # -- rollback support -------------------------------------------------------
     def snapshot_state(self) -> dict:
@@ -360,6 +376,13 @@ class DefaultSlave(AhbSlave):
             return DataPhaseResult.error_first_cycle()
         self._in_second_cycle = False
         return DataPhaseResult.error_second_cycle()
+
+    def trace_signature(self) -> Optional[tuple]:
+        # ``_in_second_cycle`` is fully determined by the bus-core state the
+        # trace controller already digests (data-phase route + first_cycle),
+        # and a period whose data phase reaches the default slave is rejected
+        # at template build; the digest itself is therefore constant.
+        return ()
 
     def snapshot_state(self) -> dict:
         return {"in_second_cycle": self._in_second_cycle, "stats": self.stats.as_dict()}

@@ -33,6 +33,7 @@ from ..core.analytical import (
     TABLE2_ACCURACIES,
 )
 from ..orchestration import BatchRunner, RunRecord, RunRequest, derive_seed
+from .metrics import trace_replay_share
 from ..orchestration.cache import CacheStats, ResultCache
 from ..orchestration.request import canonical_json
 from ..orchestration.store import atomic_write_text
@@ -324,6 +325,7 @@ def mechanism_spec(scenario: str, quick: bool = False) -> ArtifactSpec:
                     record.performance / baseline.performance,
                     record.channel.get("accesses", 0),
                     record.transitions.get("rollbacks", 0),
+                    trace_replay_share(record.trace_replay, record.committed_cycles),
                     record.monitors_ok,
                     record.beat_digest,
                 )
@@ -339,6 +341,7 @@ def mechanism_spec(scenario: str, quick: bool = False) -> ArtifactSpec:
                 "gain",
                 "channel_accesses",
                 "rollbacks",
+                "trace_pct",
                 "monitors_ok",
                 "beat_digest",
             ),

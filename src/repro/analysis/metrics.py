@@ -140,6 +140,19 @@ def summarize_counts(counts: Dict[str, int]) -> str:
     return ", ".join(f"{key}={counts[key]}" for key in sorted(counts))
 
 
+def trace_replay_share(trace_replay: Mapping[str, object], committed_cycles: int) -> float:
+    """Fraction of committed cycles the trace-replay controller fast-forwarded.
+
+    ``trace_replay`` is the counter mapping the trace engines attach to
+    results (``CoEmulationResult.trace_replay`` / ``RunRecord.trace_replay``).
+    Engines without the controller report an empty mapping; those, disabled
+    controllers and zero-cycle runs all yield ``0.0``.
+    """
+    if not trace_replay or committed_cycles <= 0:
+        return 0.0
+    return float(trace_replay.get("replayed_cycles", 0) or 0) / float(committed_cycles)
+
+
 #: Ledger categories that are bookkeeping, not domain execution time.
 NON_DOMAIN_CATEGORIES = frozenset({"state_store", "state_restore", "channel", "other"})
 

@@ -33,7 +33,7 @@ from typing import Any, Dict, List, Optional
 
 from .analysis.artifacts import run_pipeline, write_artifacts
 from .analysis.fleet import render_fleet_stats
-from .analysis.metrics import per_domain_utilisation
+from .analysis.metrics import per_domain_utilisation, summarize_counts, trace_replay_share
 from .analysis.report import Series, render_ascii_chart, render_table
 from .channel.faults import ChannelFaultConfig
 from .core.topology import Topology
@@ -290,6 +290,24 @@ def _cmd_mechanism(args: argparse.Namespace) -> str:
     )
 
 
+def _kernel_refusals(engine) -> Dict[str, int]:
+    """Aggregate :class:`~repro.sim.kernel.CycleKernel` fast-forward refusal
+    tallies reachable from an engine.
+
+    The co-emulation engines drive the half bus models directly, but
+    kernel-backed components (reference buses, accelerator wrappers) may hang
+    off the hosts; the probe is defensive so either layout reports.
+    """
+    totals: Dict[str, int] = {}
+    for host in getattr(engine, "_host_list", None) or []:
+        stats = getattr(getattr(host, "kernel", None), "stats", None)
+        refusals = getattr(stats, "fast_forward_refusals", None)
+        if refusals:
+            for reason, count in refusals.items():
+                totals[reason] = totals.get(reason, 0) + count
+    return totals
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
     topology = _parse_topology(args.topology)
     channel_faults = _parse_faults(args.faults, args.loss)
@@ -300,6 +318,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
         lob_depth=args.lob_depth,
         accuracy=args.accuracy,
         engine=args.engine,
+        config_overrides={"trace_replay": True} if args.trace else {},
         topology=topology,
         channel_faults=channel_faults,
     )
@@ -316,7 +335,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
         engine = create_engine(config, partition=partition, engine=request.engine)
         profiler = cProfile.Profile()
         profiler.enable()
-        engine.run()
+        profiled_result = engine.run()
         profiler.disable()
         profiler.dump_stats(args.profile)
         top = pstats.Stats(profiler)
@@ -327,6 +346,23 @@ def _cmd_run(args: argparse.Namespace) -> str:
         )
         if args.profile_top > 0:
             print(_profile_top_table(top, args.profile_top), file=sys.stderr)
+        # Fast-forward diagnostics for perf work: why cycles ran scalar.
+        trace = profiled_result.trace_replay
+        if trace:
+            share = trace_replay_share(trace, profiled_result.committed_cycles)
+            bailouts = summarize_counts(trace.get("bailouts", {})) or "none"
+            print(
+                f"profile: trace replay {'on' if trace.get('enabled') else 'off'}, "
+                f"{trace.get('replayed_cycles', 0)} cycles replayed ({share:.1%}), "
+                f"bailouts: {bailouts}",
+                file=sys.stderr,
+            )
+        refusals = _kernel_refusals(engine)
+        if refusals:
+            print(
+                f"profile: kernel fast-forward refusals: {summarize_counts(refusals)}",
+                file=sys.stderr,
+            )
     record = execute_request(request)
     times = record.per_cycle_times
     if topology is not None:
@@ -350,6 +386,20 @@ def _cmd_run(args: argparse.Namespace) -> str:
         ["rollbacks", str(record.transitions.get("rollbacks", 0))],
         ["monitors clean", str(record.monitors_ok)],
     ]
+    trace = record.trace_replay
+    if trace:
+        share = trace_replay_share(trace, record.committed_cycles)
+        rows.append(
+            [
+                "trace replay",
+                f"{trace.get('replayed_cycles', 0)} cycles ({share:.1%}), "
+                f"{trace.get('verified_periods', 0)} verified period(s), "
+                f"{trace.get('replay_hits', 0)} hit(s)",
+            ]
+        )
+        bailouts = trace.get("bailouts") or {}
+        if bailouts:
+            rows.append(["trace bailouts", summarize_counts(bailouts)])
     faults = record.channel.get("faults")
     if faults is not None:
         rows.append(
@@ -384,6 +434,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         cycles=args.cycles,
         base_seed=args.seed,
         engine=args.engine,
+        config_overrides={"trace_replay": True} if args.trace else {},
         topology=topology,
         channel_faults=channel_faults,
     )
@@ -453,6 +504,9 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             f"{record.performance / 1000:.1f}k",
             str(record.channel.get("accesses", 0)),
             str(record.transitions.get("rollbacks", 0)),
+            "-"
+            if not record.trace_replay
+            else f"{trace_replay_share(record.trace_replay, record.committed_cycles):.0%}",
             record.digest,
         ]
         for record in records
@@ -463,7 +517,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         print(f"wrote {len(records)} record(s) to {args.output}", file=sys.stderr)
     return render_table(
         ["scenario", "domains", "mode", "accuracy", "lob", "cycles", "performance",
-         "channel accesses", "rollbacks", "digest"],
+         "channel accesses", "rollbacks", "trace%", "digest"],
         rows,
         title=f"Sweep grid: {len(records)} run(s) over {len(scenarios)} scenario(s)",
     )
@@ -582,6 +636,12 @@ def build_parser() -> argparse.ArgumentParser:
              "--faults by overriding its loss_rate)",
     )
     run.add_argument(
+        "--trace", action="store_true",
+        help="enable periodic trace replay (the cycle-pattern cache); the "
+             "result is bit-identical to the scalar engine, only faster on "
+             "periodic steady states",
+    )
+    run.add_argument(
         "--profile", default=None, metavar="OUT.pstats",
         help="cProfile the engine loop of an extra identical run and dump "
              "the stats to this path (inspect with `python -m pstats`)",
@@ -617,6 +677,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--engine", default=None,
         help="force a registered engine for every run (e.g. 'analytical')",
+    )
+    sweep.add_argument(
+        "--trace", action="store_true",
+        help="enable periodic trace replay on every grid point (bit-identical "
+             "results; the trace%% column shows the replayed-cycle share)",
     )
     sweep.add_argument(
         "--topology", default=None, metavar="JSON|PATH",

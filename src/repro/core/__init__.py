@@ -53,6 +53,7 @@ from .engine import (
     create_engine,
     engine_for_mode,
     register_engine,
+    resolve_engine_name,
 )
 from .lob import LeaderOutputBuffer, LobEntry, LobError, LobStats
 from .modes import (
@@ -154,6 +155,7 @@ __all__ = [
     "figure4",
     "policy_for_mode",
     "register_engine",
+    "resolve_engine_name",
     "sla_summary",
     "table2",
 ]

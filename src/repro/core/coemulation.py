@@ -109,6 +109,15 @@ class CoEmulationConfig:
     #: equivalence suites enforce digest equality); the scalar engines ignore
     #: the flag.
     batch_stepping: bool = False
+    #: Periodic steady-state trace replay (see :mod:`repro.core.trace`): when
+    #: True (and no explicit engine name is requested) the registry resolves
+    #: the operating mode to its trace variant (``conventional_trace`` /
+    #: ``als_trace``), which detects recurring per-cycle state signatures,
+    #: verifies one full period against a second scalar execution and then
+    #: replays further periods from the verified template.  Bit-identical to
+    #: the scalar engines on every modelled quantity; replay hit/verify/
+    #: bailout counters land on ``CoEmulationResult.trace_replay``.
+    trace_replay: bool = False
     #: Activity-gated multi-domain synchronisation (Chandy-Misra-Bryant style
     #: null-message reduction).  With three or more domains, a domain whose
     #: boundary drive is unchanged since it was last shipped exchanges
@@ -183,6 +192,11 @@ class CoEmulationResult:
     #: Committed beat streams per domain id (covers every topology domain;
     #: ``sim_beat_keys`` / ``acc_beat_keys`` remain the canonical-pair views).
     domain_beat_keys: Dict[str, List[tuple]] = field(default_factory=dict)
+    #: Periodic trace-replay counters (``{}`` for engines without the trace
+    #: controller): enabled flag, replayed_cycles, verified_periods,
+    #: replay_hits and a per-reason bailout histogram.  Host-side
+    #: observability only -- never part of the modelled result.
+    trace_replay: Dict[str, object] = field(default_factory=dict)
 
     @property
     def tsim(self) -> float:
@@ -1126,6 +1140,11 @@ class CoEmulationEngineBase:
             wasted_leader_cycles=sum(host.wasted_cycles for host in self._host_list),
             ledger=self.ledger,
             domain_beat_keys=domain_beat_keys,
+            trace_replay=(
+                replay.stats.as_dict()
+                if (replay := getattr(self, "replay", None)) is not None
+                else {}
+            ),
         )
 
 

@@ -69,6 +69,15 @@ _BATCH_VARIANTS: Dict[str, str] = {
     "conventional": "conventional_batch",
     "optimistic": "als_batch",
 }
+#: Mode-resolved engine name -> its trace-replay variant.  Consulted when
+#: ``config.trace_replay`` is set and no explicit ``engine=`` was given;
+#: wins over the batch variant (the trace engines extend the batch ones).
+_TRACE_VARIANTS: Dict[str, str] = {
+    "conventional": "conventional_trace",
+    "optimistic": "als_trace",
+    "conventional_batch": "conventional_trace",
+    "als_batch": "als_trace",
+}
 _BUILTINS_LOADED = False
 
 
@@ -124,7 +133,7 @@ def _ensure_builtin_engines() -> None:
     global _BUILTINS_LOADED
     if _BUILTINS_LOADED:
         return
-    from . import analytical_engine, batch, conventional, optimistic  # noqa: F401
+    from . import analytical_engine, batch, conventional, optimistic, trace  # noqa: F401
 
     _BUILTINS_LOADED = True
 
@@ -163,6 +172,27 @@ def engine_for_mode(mode: OperatingMode) -> str:
         raise _unknown_mode_error(mode) from None
 
 
+def resolve_engine_name(config, engine: Optional[str] = None) -> str:
+    """The engine name a ``create_engine`` call would actually instantiate.
+
+    An explicit ``engine=`` wins outright; otherwise the mode's default
+    engine is promoted to its batch variant when ``config.batch_stepping``
+    is set, then to its trace variant when ``config.trace_replay`` is set
+    (the trace engines extend the batch run loop, so trace wins).
+    """
+    _ensure_builtin_engines()
+    if engine is not None:
+        return engine
+    name = _MODE_INDEX.get(config.mode)
+    if name is None:
+        raise _unknown_mode_error(config.mode)
+    if getattr(config, "batch_stepping", False):
+        name = _BATCH_VARIANTS.get(name, name)
+    if getattr(config, "trace_replay", False):
+        name = _TRACE_VARIANTS.get(name, name)
+    return name
+
+
 def get_engine_info(name: str) -> EngineInfo:
     """The registration for ``name``; raises the canonical unknown-engine error."""
     _ensure_builtin_engines()
@@ -195,12 +225,7 @@ def create_engine(
     ``"analytical"`` for the closed-form pseudo-engine, which ignores the
     partition).
     """
-    _ensure_builtin_engines()
-    name = engine if engine is not None else _MODE_INDEX.get(config.mode)
-    if name is None:
-        raise _unknown_mode_error(config.mode)
-    if engine is None and getattr(config, "batch_stepping", False):
-        name = _BATCH_VARIANTS.get(name, name)
+    name = resolve_engine_name(config, engine)
     info = get_engine_info(name)
     if partition is None and (sim_hbm is not None or acc_hbm is not None):
         partition = {Domain.SIMULATOR: sim_hbm, Domain.ACCELERATOR: acc_hbm}

@@ -22,7 +22,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..channel.faults import ChannelFaultConfig
 from ..core.coemulation import CoEmulationConfig, CoEmulationResult, DEFAULT_LOB_DEPTH
-from ..core.engine import create_engine, engine_for_mode, get_engine_info
+from ..core.engine import create_engine, get_engine_info, resolve_engine_name
 from ..core.modes import OperatingMode
 from ..core.topology import Topology
 from ..sim.time_model import DomainSpeed
@@ -151,9 +151,11 @@ class RunRequest:
         return OperatingMode(self.mode)
 
     def engine_name(self) -> str:
-        if self.engine is not None:
-            return self.engine
-        return engine_for_mode(self.operating_mode())
+        """The registry name this request resolves to, config flags included
+        (``batch_stepping`` / ``trace_replay`` overrides promote the mode's
+        default engine to its batch/trace variant, as ``create_engine`` does).
+        """
+        return resolve_engine_name(self.build_config(), self.engine)
 
     def build_config(self) -> CoEmulationConfig:
         kwargs: Dict[str, Any] = {
@@ -208,6 +210,9 @@ class RunRecord:
     monitors_ok: bool
     wasted_leader_cycles: int
     beat_digest: str
+    #: Trace-replay counters (``CoEmulationResult.trace_replay``); empty for
+    #: engines without the periodic replay controller.
+    trace_replay: dict = field(default_factory=dict)
     digest: str = ""
 
     def __post_init__(self) -> None:
@@ -289,6 +294,7 @@ def execute_request(request: RunRequest) -> RunRecord:
         monitors_ok=result.monitors_ok,
         wasted_leader_cycles=result.wasted_leader_cycles,
         beat_digest=_beat_digest(result),
+        trace_replay=dict(result.trace_replay),
     )
 
 

@@ -198,6 +198,59 @@ def test_fast_forward_zero_or_negative_request_is_a_no_op():
     assert kernel.current_cycle == 0
 
 
+def test_fast_forward_refusals_carry_structured_reasons():
+    """A refused fast-forward names its reason instead of a bare zero."""
+    kernel = CycleKernel("k")
+    component = kernel.add_component(CountingComponent("dma0"))
+    assert kernel.fast_forward(25) == 0
+    assert kernel.last_refusal == "undeclared_component:dma0"
+    assert component.counter == 0
+
+    hooked = CycleKernel("hooked")
+    hooked.add_component(QuiescentComponent("q", wake_at=float("inf")))
+    hooked.add_pre_cycle_hook(lambda c: None)
+    hooked.fast_forward(25)
+    assert hooked.last_refusal == "hooks"
+
+    bundled = CycleKernel("bundled")
+    bundled.add_component(QuiescentComponent("q", wake_at=float("inf")))
+    bundled.add_bundle(SignalBundle("b"))
+    bundled.fast_forward(25)
+    assert bundled.last_refusal == "bundles"
+
+    empty = CycleKernel("empty")
+    empty.add_component(QuiescentComponent("q", wake_at=float("inf")))
+    empty.fast_forward(0)
+    assert empty.last_refusal == "no_cycles"
+
+
+def test_fast_forward_refusal_reasons_for_horizons():
+    kernel = CycleKernel("k")
+    kernel.add_component(QuiescentComponent("bus", wake_at=7.0))
+    assert kernel.fast_forward(25) == 7
+    assert kernel.last_refusal is None  # success clears the reason
+    assert kernel.fast_forward(25) == 0
+    assert kernel.last_refusal == "component_horizon:bus"
+
+    evented = CycleKernel("evented")
+    evented.add_component(QuiescentComponent("q", wake_at=float("inf")))
+    evented.scheduler.schedule(0, lambda _: None)
+    assert evented.fast_forward(25) == 0
+    assert evented.last_refusal == "event_horizon"
+
+
+def test_fast_forward_refusals_are_tallied_in_stats():
+    kernel = CycleKernel("k")
+    kernel.add_component(CountingComponent("c"))
+    kernel.fast_forward(10)
+    kernel.fast_forward(10)
+    stats = kernel.stats.as_dict()
+    assert stats["fast_forward_refusals"] == {"undeclared_component:c": 2}
+    kernel.reset()
+    assert kernel.last_refusal is None
+    assert kernel.stats.as_dict()["fast_forward_refusals"] == {}
+
+
 def test_fast_forward_then_run_matches_pure_scalar_schedule():
     """A fast-forwarded kernel continues exactly where a scalar one would."""
     scalar = CycleKernel("scalar")
