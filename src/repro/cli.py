@@ -28,14 +28,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .analysis.artifacts import run_pipeline, write_artifacts
 from .analysis.fleet import render_fleet_stats
 from .analysis.metrics import per_domain_utilisation, summarize_counts, trace_replay_share
 from .analysis.report import Series, render_ascii_chart, render_table
-from .channel.faults import ChannelFaultConfig
+from .channel.faults import ChannelDegradedError, ChannelFaultConfig
 from .core.topology import Topology
 from .version import package_version
 from .core.analytical import (
@@ -53,14 +54,28 @@ from .orchestration import (
     DEFAULT_LEASE_TTL,
     DEFAULT_POLL_INTERVAL,
     BatchRunner,
+    ChaosConfig,
+    CheckpointPolicy,
+    DurableRunEvents,
+    EXIT_CODES,
     ResultCache,
+    RunFailure,
     RunRequest,
     RunStore,
+    SupervisorPolicy,
     execute_request,
+    execute_request_durable,
+    failures_path,
     grid_requests,
+    load_quarantine,
     plan_resume,
+    quarantine_report,
     run_fleet,
+    run_supervised,
+    run_supervised_batch,
     run_worker,
+    sweep_exit_code,
+    write_failures,
 )
 from .workloads.catalog import build_scenario, list_scenarios, scenario_names
 
@@ -107,6 +122,65 @@ def _parse_faults(text: Optional[str], loss: Optional[float] = None) -> Optional
 def _scenario_domains(name: str) -> str:
     """The ``a+b+c`` topology rendering of a catalog scenario."""
     return build_scenario(name).resolved_topology().describe()
+
+
+def _checkpoint_policy(args: argparse.Namespace) -> Optional[CheckpointPolicy]:
+    """The :class:`CheckpointPolicy` requested by ``--checkpoint-*`` flags,
+    or ``None`` when neither flag was given (durability stays opt-in)."""
+    if args.checkpoint_every is None and args.checkpoint_seconds is None:
+        return None
+    return CheckpointPolicy(
+        every_cycles=args.checkpoint_every,
+        every_seconds=args.checkpoint_seconds,
+    )
+
+
+def _chaos_config(args: argparse.Namespace) -> Optional[ChaosConfig]:
+    """The :class:`ChaosConfig` requested by ``--chaos-*`` flags, or ``None``
+    when every probability is zero (no chaos)."""
+    if not (args.chaos_kill or args.chaos_hang or args.chaos_disk_full):
+        return None
+    return ChaosConfig(
+        seed=args.chaos_seed,
+        kill_probability=args.chaos_kill,
+        hang_probability=args.chaos_hang,
+        disk_full_probability=args.chaos_disk_full,
+        hang_seconds=args.chaos_hang_seconds,
+        once=not args.chaos_every_attempt,
+    )
+
+
+def _render_failures(failures: List[RunFailure], title: str) -> str:
+    """A quarantine table (deterministic fields only, so stdout-safe)."""
+    rows = [
+        [
+            failure.scenario,
+            failure.mode,
+            failure.label,
+            failure.kind,
+            str(failure.attempts),
+            str(failure.exit_code),
+            failure.message.splitlines()[-1] if failure.message else "-",
+        ]
+        for failure in failures
+    ]
+    return render_table(
+        ["scenario", "mode", "label", "kind", "attempts", "exit code", "message"],
+        rows,
+        title=title,
+    )
+
+
+def _write_quarantine_report(path: str, failures: List[RunFailure]) -> None:
+    """Write the machine-readable quarantine summary for CI to branch on."""
+    report = quarantine_report(failures)
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(
+        f"quarantine: wrote report for {report['total']} failure(s) to {path}",
+        file=sys.stderr,
+    )
 
 
 def _cmd_table2(args: argparse.Namespace) -> str:
@@ -308,7 +382,7 @@ def _kernel_refusals(engine) -> Dict[str, int]:
     return totals
 
 
-def _cmd_run(args: argparse.Namespace) -> str:
+def _cmd_run(args: argparse.Namespace) -> Union[str, Tuple[str, int]]:
     topology = _parse_topology(args.topology)
     channel_faults = _parse_faults(args.faults, args.loss)
     request = RunRequest(
@@ -363,7 +437,53 @@ def _cmd_run(args: argparse.Namespace) -> str:
                 f"profile: kernel fast-forward refusals: {summarize_counts(refusals)}",
                 file=sys.stderr,
             )
-    record = execute_request(request)
+    checkpoint = _checkpoint_policy(args)
+    if args.deadline is not None or args.max_retries is not None:
+        # Supervised: the attempt runs in a watchdogged child and retries
+        # resume from the latest snapshot.  Without --snapshot-dir the
+        # snapshots are scoped to this invocation (retries still resume).
+        policy = SupervisorPolicy(
+            deadline=args.deadline,
+            max_retries=2 if args.max_retries is None else args.max_retries,
+            checkpoint=checkpoint or CheckpointPolicy(),
+        )
+        snapshot_dir = args.snapshot_dir or tempfile.mkdtemp(prefix="repro-snap-")
+        outcome = run_supervised(request, snapshot_dir, policy=policy)
+        if isinstance(outcome, RunFailure):
+            print(
+                f"run: {outcome.kind} after {outcome.attempts} attempt(s): "
+                f"{outcome.message.splitlines()[-1] if outcome.message else '-'}",
+                file=sys.stderr,
+            )
+            return (
+                _render_failures([outcome], title=f"Run quarantined on '{args.soc}'"),
+                outcome.exit_code,
+            )
+        record = outcome
+    elif checkpoint is not None or args.snapshot_dir is not None:
+        # Durable (unsupervised): write snapshots, resume from a leftover
+        # one if a previous invocation was interrupted mid-run.
+        snapshot_dir = args.snapshot_dir or ".repro-snapshots"
+        events = DurableRunEvents()
+        record = execute_request_durable(
+            request,
+            snapshot_dir,
+            policy=checkpoint or CheckpointPolicy(),
+            events=events,
+        )
+        if events.resumed_from_cycle is not None:
+            print(
+                f"durable: resumed from cycle {events.resumed_from_cycle}",
+                file=sys.stderr,
+            )
+        if events.snapshots_written or events.snapshot_write_errors:
+            print(
+                f"durable: {events.snapshots_written} snapshot(s) written, "
+                f"{events.snapshot_write_errors} write error(s)",
+                file=sys.stderr,
+            )
+    else:
+        record = execute_request(request)
     times = record.per_cycle_times
     if topology is not None:
         domains = Topology.from_dict(topology).describe()
@@ -409,12 +529,15 @@ def _cmd_run(args: argparse.Namespace) -> str:
                 f"{faults['corruptions']} corrupt / {faults['duplicates']} dup",
             ]
         )
-    for domain, share in per_domain_utilisation(times).items():
+    # Sorted so the rendering is stable no matter where the record came from
+    # (a live engine keeps insertion order; a supervised child or cache hit
+    # round-trips through canonical JSON, which sorts keys).
+    for domain, share in sorted(per_domain_utilisation(times).items()):
         rows.append([f"utilisation[{domain}]", f"{share:.1%}"])
     return render_table(["quantity", "value"], rows, title=f"Co-emulation run on '{args.soc}'")
 
 
-def _cmd_sweep(args: argparse.Namespace) -> str:
+def _cmd_sweep(args: argparse.Namespace) -> Union[str, Tuple[str, int]]:
     if args.tag and args.scenarios is not None:
         raise ValueError("--scenarios and --tag are mutually exclusive")
     if args.tag:
@@ -441,6 +564,15 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     cache = ResultCache(args.cache) if args.cache else None
     store = RunStore(args.output) if args.output else None
     runner = BatchRunner(jobs=args.jobs)
+    checkpoint = _checkpoint_policy(args)
+    chaos = _chaos_config(args)
+    max_retries = 2 if args.max_retries is None else args.max_retries
+    supervised = (
+        args.deadline is not None
+        or args.max_retries is not None
+        or chaos is not None
+    )
+    failures: List[RunFailure] = []
     if args.fleet is not None:
         if not args.cache:
             raise ValueError(
@@ -455,6 +587,11 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 "--fleet and --jobs are mutually exclusive (fleet workers are "
                 "processes already)"
             )
+        if args.deadline is not None:
+            raise ValueError(
+                "--deadline supervises local child processes; fleet workers "
+                "use lease stealing instead (tune --fleet-ttl)"
+            )
         records, fleet_stats = run_fleet(
             requests,
             cache_dir=args.cache,
@@ -463,12 +600,42 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             ttl=args.fleet_ttl,
             poll_interval=args.fleet_poll,
             kill_after=args.fleet_kill_after,
+            checkpoint=checkpoint,
+            chaos=chaos,
+            max_retries=max_retries,
             log=lambda message: print(f"fleet: {message}", file=sys.stderr),
         )
+        failures = load_quarantine(args.cache, fleet_stats.sweep_id)
         # Operational stats go to stderr: stdout must stay byte-identical
         # to the same grid swept with --jobs 1.
         print(render_fleet_stats(fleet_stats), file=sys.stderr)
         print(f"fleet: {fleet_stats.summary()}", file=sys.stderr)
+    elif supervised:
+        if args.resume:
+            raise ValueError(
+                "--resume cannot combine with supervision; supervised sweeps "
+                "already resume retries from their own snapshots"
+            )
+        policy = SupervisorPolicy(
+            deadline=args.deadline,
+            max_retries=max_retries,
+            checkpoint=checkpoint or CheckpointPolicy(),
+        )
+        snapshot_dir = args.snapshot_dir or tempfile.mkdtemp(prefix="repro-snap-")
+        records, failures = run_supervised_batch(
+            requests,
+            snapshot_dir,
+            policy=policy,
+            jobs=args.jobs,
+            cache=cache,
+            chaos=chaos,
+            chaos_state_dir=str(Path(snapshot_dir) / "chaos"),
+        )
+        print(
+            f"supervise: {len(records)} record(s), "
+            f"{len(failures)} quarantined",
+            file=sys.stderr,
+        )
     elif args.resume:
         if store is None:
             raise ValueError("--resume requires --output (the store to resume)")
@@ -488,6 +655,20 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     if store is not None and args.fleet is None:
         # The fleet path's reconciliation already wrote the store.
         store.write(records)
+    if store is not None:
+        # Failures go to a sidecar, never the store: the store's bytes stay
+        # identical to a fully healthy serial sweep.  An empty failure list
+        # removes a stale sidecar from an earlier attempt.
+        write_failures(failures_path(args.output), failures)
+    if args.quarantine_report is not None:
+        _write_quarantine_report(args.quarantine_report, failures)
+    if failures:
+        print(
+            _render_failures(
+                failures, title=f"Quarantine: {len(failures)} failed point(s)"
+            ),
+            file=sys.stderr,
+        )
     if topology is not None:
         override_domains = Topology.from_dict(topology).describe()
         domains_by_scenario = {name: override_domains for name in scenarios}
@@ -515,12 +696,14 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         # Status goes to stderr so stdout stays a deterministic artefact
         # (byte-identical across --jobs and across output paths).
         print(f"wrote {len(records)} record(s) to {args.output}", file=sys.stderr)
-    return render_table(
+    table = render_table(
         ["scenario", "domains", "mode", "accuracy", "lob", "cycles", "performance",
          "channel accesses", "rollbacks", "trace%", "digest"],
         rows,
         title=f"Sweep grid: {len(records)} run(s) over {len(scenarios)} scenario(s)",
     )
+    code = sweep_exit_code(failures)
+    return table if code == 0 else (table, code)
 
 
 def _cmd_worker(args: argparse.Namespace) -> str:
@@ -530,6 +713,9 @@ def _cmd_worker(args: argparse.Namespace) -> str:
         ttl=args.ttl,
         poll_interval=args.poll,
         kill_after=args.kill_after,
+        checkpoint=_checkpoint_policy(args),
+        max_retries=2 if args.max_retries is None else args.max_retries,
+        drain_on_signal=args.drain_on_signal,
     )
     return render_fleet_stats(stats)
 
@@ -567,6 +753,74 @@ def _cmd_report(args: argparse.Namespace) -> str:
         rows,
         title=f"Paper-artifact pipeline: {len(result.artifacts)} artifact(s)"
         f"{' (quick grid)' if args.quick else ''}",
+    )
+
+
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="CYCLES",
+        help="write a durable engine snapshot every N committed cycles "
+             "(deterministic cadence; resume is bit-identical)",
+    )
+    parser.add_argument(
+        "--checkpoint-seconds", type=float, default=None, metavar="SECONDS",
+        help="write a durable engine snapshot every N wall-clock seconds "
+             "(combines with --checkpoint-every: whichever is due first)",
+    )
+
+
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    _add_checkpoint_args(parser)
+    parser.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="where durable snapshots live (default: '.repro-snapshots' for "
+             "plain durable runs, a fresh temporary directory under "
+             "supervision)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="supervise: run each attempt in a child process and SIGKILL it "
+             "past this wall-clock budget (exit code 10 when it times out "
+             "for good)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="supervise: retry a failed attempt up to N times, resuming "
+             "from the latest snapshot; a request that exhausts retries is "
+             "quarantined as a poison point (default 2 when supervision is "
+             "active)",
+    )
+
+
+def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="SEED",
+        help="seed for the deterministic chaos schedule (which requests get "
+             "sabotaged, and at which cycle)",
+    )
+    parser.add_argument(
+        "--chaos-kill", type=float, default=0.0, metavar="P",
+        help="chaos: share of requests whose process SIGKILLs itself at a "
+             "mid-run safe point",
+    )
+    parser.add_argument(
+        "--chaos-hang", type=float, default=0.0, metavar="P",
+        help="chaos: share of requests that hang at a mid-run safe point "
+             "(pair with --deadline or a fleet lease TTL)",
+    )
+    parser.add_argument(
+        "--chaos-disk-full", type=float, default=0.0, metavar="P",
+        help="chaos: share of requests whose snapshot writes fail with "
+             "ENOSPC (runs continue; durability degrades)",
+    )
+    parser.add_argument(
+        "--chaos-hang-seconds", type=float, default=120.0, metavar="SECONDS",
+        help="chaos: how long an injected hang sleeps (default 120)",
+    )
+    parser.add_argument(
+        "--chaos-every-attempt", action="store_true",
+        help="chaos: fire on every attempt instead of once per (request, "
+             "action) -- turns sabotaged points into poison points",
     )
 
 
@@ -651,6 +905,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --profile: also print the top N functions by cumulative "
              "time as a readable table (default 10; 0 disables the table)",
     )
+    _add_supervision_args(run)
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser(
@@ -734,6 +989,14 @@ def build_parser() -> argparse.ArgumentParser:
              "while holding its next claim after N executions (CI uses 0 to "
              "guarantee a dangling lease that must be stolen)",
     )
+    _add_supervision_args(sweep)
+    _add_chaos_args(sweep)
+    sweep.add_argument(
+        "--quarantine-report", default=None, metavar="PATH",
+        help="write a machine-readable JSON summary of quarantined points "
+             "(kind counts + full failure records); written even when empty "
+             "so CI can assert on it",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     worker = sub.add_parser(
@@ -765,6 +1028,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash-tolerance test hook: SIGKILL self while holding the next "
              "claim after N executions",
     )
+    _add_checkpoint_args(worker)
+    worker.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="attempts (beyond the first) the *fleet* may spend on a point "
+             "before any worker quarantines it as poison (default 2; "
+             "tracked in the shared attempt ledger, so it is fleet-wide)",
+    )
+    worker.add_argument(
+        "--drain-on-signal", action="store_true",
+        help="on SIGTERM/SIGINT: snapshot the in-flight run, release all "
+             "leases, flush stats and exit 0 -- a successor resumes the "
+             "point mid-run instead of replaying it",
+    )
     worker.set_defaults(func=_cmd_worker)
 
     report = sub.add_parser(
@@ -791,15 +1067,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        print(args.func(args))
+        result = args.func(args)
+        # Commands report structured outcomes as (text, exit_code); plain
+        # strings mean success.  The codes are the supervisor taxonomy
+        # (timeout 10, crash 11, poison 12, degraded 13) so scripts and CI
+        # branch on *what* failed without parsing output.
+        code = 0
+        if isinstance(result, tuple):
+            result, code = result
+        if result:
+            print(result)
+        return code
     except BrokenPipeError:  # output piped into a closed reader (e.g. head)
         return 0
     except SystemExit:
         raise
+    except ChannelDegradedError as exc:
+        # A deterministic channel degradation is an expected outcome of the
+        # modelled channel, distinct from an operator error.
+        print(f"repro: degraded: {exc}", file=sys.stderr)
+        return EXIT_CODES["degraded"]
     except Exception as exc:  # scriptability: non-zero exit, error on stderr
         print(f"repro: error: {exc}", file=sys.stderr)
         return 1
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -66,6 +66,15 @@ from .modes import (
     policy_for_mode,
 )
 from .optimistic import CwPath, OptimisticCoEmulation, OptimisticRunTrace, PathTraceEntry
+from .snapshot import (
+    AbortRun,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    SnapshotMeta,
+    load_engine,
+    read_snapshot,
+    write_snapshot,
+)
 from .topology import (
     DomainId,
     DomainKind,
@@ -88,6 +97,7 @@ from .transition import (
 )
 
 __all__ = [
+    "AbortRun",
     "AnalyticalConfig",
     "AnalyticalPseudoEngine",
     "AutoModePolicy",
@@ -132,6 +142,9 @@ __all__ = [
     "PerformanceEstimate",
     "PredictionRecord",
     "PredictionStats",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "SnapshotMeta",
     "StaticLeaderPolicy",
     "SyncChannel",
     "TABLE2_ACCURACIES",
@@ -153,7 +166,10 @@ __all__ = [
     "expected_rollforth_per_transition",
     "failure_probability",
     "figure4",
+    "load_engine",
     "policy_for_mode",
+    "read_snapshot",
+    "write_snapshot",
     "register_engine",
     "resolve_engine_name",
     "sla_summary",

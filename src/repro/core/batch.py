@@ -62,6 +62,7 @@ class ConventionalBatchCoEmulation(ConventionalCoEmulation):
         stop = self.config.stop_when_workload_done
         ledger = self.ledger
         while ledger.committed_cycles < total:
+            self._safe_point()
             # The workload-done check comes *first*: the scalar loop always
             # runs one more cycle after the workload drains, then stops --
             # fast-forwarding here would commit the whole idle remainder

@@ -416,6 +416,42 @@ class CoEmulationEngineBase:
         #: Grant value after the last committed lock-step cycle (quiet-domain
         #: drive reuse is only valid while arbitration is stable).
         self._last_grant: Optional[int] = None
+        #: Optional per-safe-point callable ``hook(engine)``, invoked by the
+        #: run loops between committed transitions (never mid-transition).
+        #: This is where durable snapshots, watchdog heartbeats, chaos
+        #: injection and graceful-drain aborts attach; ``None`` (the default)
+        #: costs one attribute read per safe point.  Hooks are host-local
+        #: plumbing, never modelled state: they are stripped before a
+        #: snapshot is taken and stay ``None`` on a restored engine.
+        self.run_hook = None
+
+    # -- durable snapshots -------------------------------------------------------
+    def _safe_point(self) -> None:
+        """Invoke the run hook, if any.  Run loops call this exactly at the
+        points where the engine state is self-consistent and snapshottable:
+        the committed prefix is fully charged, no transition is in flight and
+        no rollback checkpoint is outstanding."""
+        hook = self.run_hook
+        if hook is not None:
+            hook(self)
+
+    @classmethod
+    def restore(cls, path) -> "CoEmulationEngineBase":
+        """Load a durable snapshot and return the resumable engine.
+
+        The returned engine continues from its snapshotted safe point:
+        calling :meth:`run` commits the remaining cycles and produces a
+        result bit-identical to an uninterrupted run.
+        """
+        from .snapshot import SnapshotError, load_engine
+
+        engine = load_engine(path)
+        if not isinstance(engine, cls):
+            raise SnapshotError(
+                f"snapshot at {path} holds a {type(engine).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return engine
 
     # -- host helpers -----------------------------------------------------------
     def host_for(self, domain: Domain) -> DomainHost:

@@ -40,10 +40,19 @@ class ConventionalCoEmulation(CoEmulationEngineBase):
         super().__init__(partition, acc_hbm, config)
 
     def run(self) -> CoEmulationResult:
-        """Run ``config.total_cycles`` target cycles in lock step."""
-        for _ in range(self.config.total_cycles):
+        """Run ``config.total_cycles`` target cycles in lock step.
+
+        The loop counts *committed* cycles rather than iterations (each
+        scalar conservative cycle commits exactly one), so a restored
+        snapshot resumes with the remainder instead of re-running the total.
+        """
+        total = self.config.total_cycles
+        stop = self.config.stop_when_workload_done
+        ledger = self.ledger
+        while ledger.committed_cycles < total:
+            self._safe_point()
             self.run_conservative_cycle()
-            if self.config.stop_when_workload_done and self._workload_done():
+            if stop and self._workload_done():
                 break
         return self._build_result(
             OperatingMode.CONSERVATIVE, prediction=PredictionStats(), lob={}

@@ -124,6 +124,7 @@ class OptimisticCoEmulation(CoEmulationEngineBase):
         """Run ``config.total_cycles`` committed target cycles."""
         total = self.config.total_cycles
         while self.ledger.committed_cycles < total:
+            self._safe_point()
             if self.config.stop_when_workload_done and self._workload_done():
                 break
             decision = self._decide_mode()

@@ -962,6 +962,7 @@ class ConventionalTraceCoEmulation(ConventionalBatchCoEmulation):
         ledger = self.ledger
         replay = self.replay
         while ledger.committed_cycles < total:
+            self._safe_point()
             if not (stop and self._workload_done()):
                 run = self._idle_run_length(total - ledger.committed_cycles)
                 if run > 1:

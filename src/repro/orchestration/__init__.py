@@ -23,15 +23,33 @@ such grids.  This package runs them at scale:
   distributed layer: atomic lease-file claims over a shared cache directory,
   work-stealing workers on any number of hosts, crash-tolerant
   reconciliation byte-identical to a serial run.
+* :func:`execute_request_durable` / :class:`CheckpointPolicy` -- periodic
+  whole-engine snapshots so an interrupted run resumes mid-flight,
+  bit-identical to an uninterrupted one.
+* :func:`run_supervised` / :class:`SupervisorPolicy` / :class:`RunFailure`
+  -- watchdog deadlines, retry-with-backoff from the latest snapshot, and
+  poison-point quarantine with a structured failure taxonomy mapped to
+  distinct process exit codes.
+* :class:`ChaosConfig` / :class:`ChaosMonkey` -- deterministic fault
+  injection (kill / hang / disk-full) keyed on the request id, for CI and
+  property tests of all of the above.
 """
 
 from .cache import CacheStats, ResultCache, ResumePlan, plan_resume
+from .chaos import ChaosConfig, ChaosMonkey, ChaosPlan, plan_for
 from .claims import DEFAULT_LEASE_TTL, ClaimBoard, ClaimStats, Lease
+from .durable import (
+    CheckpointPolicy,
+    DurableRunEvents,
+    execute_request_durable,
+    snapshot_path,
+)
 from .fleet import (
     DEFAULT_POLL_INTERVAL,
     FleetStats,
     FleetWorkerStats,
     load_grid,
+    load_quarantine,
     publish_grid,
     reconcile,
     run_fleet,
@@ -47,32 +65,63 @@ from .request import (
 )
 from .runner import BatchRunner
 from .store import RunStore, StoreScan, TornLine
+from .supervisor import (
+    EXIT_CODES,
+    RunFailure,
+    SupervisorPolicy,
+    failures_path,
+    load_failures,
+    quarantine_report,
+    run_supervised,
+    run_supervised_batch,
+    sweep_exit_code,
+    write_failures,
+)
 
 __all__ = [
     "BatchRunner",
     "CacheStats",
+    "ChaosConfig",
+    "ChaosMonkey",
+    "ChaosPlan",
+    "CheckpointPolicy",
     "ClaimBoard",
     "ClaimStats",
     "DEFAULT_LEASE_TTL",
     "DEFAULT_POLL_INTERVAL",
+    "DurableRunEvents",
+    "EXIT_CODES",
     "FleetStats",
     "FleetWorkerStats",
     "Lease",
     "ResultCache",
     "ResumePlan",
+    "RunFailure",
     "RunRecord",
     "RunRequest",
     "RunStore",
     "StoreScan",
+    "SupervisorPolicy",
     "TornLine",
     "derive_seed",
     "execute_request",
+    "execute_request_durable",
+    "failures_path",
     "grid_requests",
+    "load_failures",
     "load_grid",
+    "load_quarantine",
+    "plan_for",
     "plan_resume",
     "publish_grid",
+    "quarantine_report",
     "reconcile",
     "run_fleet",
+    "run_supervised",
+    "run_supervised_batch",
     "run_worker",
+    "snapshot_path",
+    "sweep_exit_code",
     "sweep_id_for",
+    "write_failures",
 ]

@@ -31,12 +31,15 @@ grid by ``request_id`` and returns what to reuse and what to run.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from .request import RunRecord, RunRequest
 from .store import RunStore, atomic_write_text, canonical_line, parse_record_line
+
+logger = logging.getLogger(__name__)
 
 #: Hex characters of the request id used as the shard key.  Two characters
 #: give 256 shards: small sweeps stay in a handful of files, huge caches
@@ -52,9 +55,12 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalid: int = 0
+    quarantined: int = 0  # damaged lines moved to a shard's .corrupt sidecar
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.stores, self.invalid)
+        return CacheStats(
+            self.hits, self.misses, self.stores, self.invalid, self.quarantined
+        )
 
     def since(self, earlier: "CacheStats") -> "CacheStats":
         """The delta between this snapshot and an ``earlier`` one."""
@@ -63,12 +69,15 @@ class CacheStats:
             misses=self.misses - earlier.misses,
             stores=self.stores - earlier.stores,
             invalid=self.invalid - earlier.invalid,
+            quarantined=self.quarantined - earlier.quarantined,
         )
 
     def summary(self) -> str:
         text = f"{self.hits} hit(s), {self.misses} miss(es), {self.stores} store(s)"
         if self.invalid:
             text += f", {self.invalid} invalid line(s) dropped"
+        if self.quarantined:
+            text += f", {self.quarantined} damaged line(s) quarantined"
         return text
 
 
@@ -96,29 +105,84 @@ class ResultCache:
     # -- shard I/O ----------------------------------------------------------
 
     def _load_shard(self, shard_key: str) -> Dict[str, RunRecord]:
+        """Read one shard, serving only verified records.
+
+        Reads in binary so damaged lines are located by **byte offset** (the
+        same tolerant-scan discipline :meth:`RunStore.scan` uses): a torn
+        tail from a crashed writer, a corrupted span from a bad disk, or a
+        record filed under the wrong shard is counted, logged with its
+        offset, appended verbatim to the shard's ``.corrupt`` sidecar for
+        post-mortems, and the shard is rewritten clean -- so the damage is
+        quarantined exactly once instead of being re-skipped (and
+        re-counted) on every load.
+        """
         try:
             return self._shards[shard_key]
         except KeyError:
             pass
         index: Dict[str, RunRecord] = {}
         path = self.root / f"{shard_key}.jsonl"
+        damaged: List[tuple] = []  # (offset, raw bytes, reason)
         if path.exists():
-            with path.open() as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
+            offset = 0
+            with path.open("rb") as handle:
+                for raw in handle:
+                    line_offset = offset
+                    offset += len(raw)
+                    stripped = raw.strip()
+                    if not stripped:
                         continue
                     try:
-                        record = parse_record_line(line)
-                    except ValueError:
+                        record = parse_record_line(stripped.decode("utf-8"))
+                    except (ValueError, UnicodeDecodeError) as exc:
                         self.stats.invalid += 1
+                        damaged.append((line_offset, raw, str(exc)))
                         continue
                     if record.request_id[:SHARD_CHARS] != shard_key:
                         self.stats.invalid += 1
+                        damaged.append(
+                            (line_offset, raw, "record filed under wrong shard")
+                        )
                         continue
                     index[record.request_id] = record
+        if damaged:
+            self._quarantine_damage(path, index, damaged)
         self._shards[shard_key] = index
         return index
+
+    def _quarantine_damage(
+        self,
+        path: Path,
+        index: Dict[str, RunRecord],
+        damaged: List[tuple],
+    ) -> None:
+        """Move damaged shard lines into ``<shard>.jsonl.corrupt``.
+
+        The sidecar gets the raw bytes (appended, so repeated incidents
+        accumulate); the shard is rewritten with only the verified records.
+        Best-effort: if either write fails the shard is left as-is and the
+        damage simply stays skip-on-read.
+        """
+        logger.warning(
+            "cache: %d damaged line(s) in %s at byte offset(s) %s; "
+            "quarantining to %s",
+            len(damaged),
+            path,
+            ", ".join(str(entry[0]) for entry in damaged),
+            path.name + ".corrupt",
+        )
+        try:
+            with path.with_name(path.name + ".corrupt").open("ab") as sidecar:
+                for _offset, raw, _reason in damaged:
+                    sidecar.write(raw if raw.endswith(b"\n") else raw + b"\n")
+            atomic_write_text(
+                path,
+                "".join(canonical_line(record) + "\n" for record in index.values()),
+            )
+        except OSError as exc:  # pragma: no cover - depends on fs failures
+            logger.warning("cache: could not quarantine damage in %s: %s", path, exc)
+            return
+        self.stats.quarantined += len(damaged)
 
     def _write_shard(self, shard_key: str, index: Dict[str, RunRecord]) -> None:
         path = self.root / f"{shard_key}.jsonl"

@@ -30,17 +30,25 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
+import signal
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..channel.faults import ChannelDegradedError
+from ..core.snapshot import AbortRun
 from .cache import ResultCache, plan_resume
+from .chaos import ChaosConfig, ChaosMonkey
 from .claims import DEFAULT_LEASE_TTL, ClaimBoard
-from .request import RunRecord, RunRequest, canonical_json, execute_request, _sha256
+from .durable import CheckpointPolicy, DurableRunEvents, execute_request_durable
+from .request import RunRecord, RunRequest, canonical_json, _sha256
 from .runner import BatchRunner
 from .store import RunStore, atomic_write_text
+from .supervisor import RunFailure
 
 #: Seconds an idle worker sleeps before re-scanning the grid for newly
 #: expired leases or newly cached results.
@@ -66,6 +74,92 @@ def manifest_path(cache_root: Union[str, Path]) -> Path:
 
 def stats_dir(cache_root: Union[str, Path], sweep_id: str) -> Path:
     return fleet_dir(cache_root) / "stats" / sweep_id
+
+
+def snapshots_dir(cache_root: Union[str, Path]) -> Path:
+    """Shared durable-snapshot directory, keyed by ``request_id``.
+
+    Shared (not per-worker) on purpose: a worker stealing an expired lease
+    finds the victim's last snapshot at the same path its own checkpoints
+    would use, so the stolen point **resumes mid-run** instead of restarting
+    at cycle 0.
+    """
+    return fleet_dir(cache_root) / "snapshots"
+
+
+def chaos_state_dir(cache_root: Union[str, Path]) -> Path:
+    """Shared fired-marker directory for the chaos harness (survives kills)."""
+    return fleet_dir(cache_root) / "chaos"
+
+
+def attempts_dir(cache_root: Union[str, Path], sweep_id: str) -> Path:
+    """Cross-worker attempt ledger: one marker file per execution attempt."""
+    return fleet_dir(cache_root) / "attempts" / sweep_id
+
+
+def quarantine_dir(cache_root: Union[str, Path], sweep_id: str) -> Path:
+    return fleet_dir(cache_root) / "quarantine" / sweep_id
+
+
+def quarantine_path(
+    cache_root: Union[str, Path], sweep_id: str, request_id: str
+) -> Path:
+    return quarantine_dir(cache_root, sweep_id) / f"{request_id}.json"
+
+
+def write_quarantine(
+    cache_root: Union[str, Path], sweep_id: str, failure: RunFailure
+) -> None:
+    """Quarantine one poison point: its failure record, atomically published.
+
+    The file's existence is the signal -- every worker (and the fleet driver)
+    treats a quarantined point as done, which is what stops a poisonous
+    request from eating the whole fleet's restart budget.
+    """
+    atomic_write_text(
+        quarantine_path(cache_root, sweep_id, failure.request_id),
+        canonical_json(failure.as_dict()) + "\n",
+    )
+
+
+def load_quarantine(
+    cache_root: Union[str, Path], sweep_id: str
+) -> List[RunFailure]:
+    """Every quarantined point of one sweep, sorted by request id."""
+    directory = quarantine_dir(cache_root, sweep_id)
+    failures = []
+    if directory.is_dir():
+        for path in sorted(directory.glob("*.json")):
+            try:
+                failures.append(RunFailure.from_dict(json.loads(path.read_text())))
+            except (ValueError, KeyError, TypeError):
+                continue  # torn quarantine file from a crash mid-write
+    return failures
+
+
+def _count_attempts(
+    cache_root: Union[str, Path], sweep_id: str, request_id: str
+) -> int:
+    directory = attempts_dir(cache_root, sweep_id) / request_id
+    if not directory.is_dir():
+        return 0
+    return sum(1 for _ in directory.glob("*.attempt"))
+
+
+def _record_attempt(
+    cache_root: Union[str, Path], sweep_id: str, request_id: str, owner: str
+) -> None:
+    """Durably mark "an execution of this point is starting".
+
+    Written *before* executing, so an attempt that SIGKILLs its worker still
+    counts -- that persistence is what lets the surviving workers recognise
+    a poison point (attempt markers pile up without a cached record) and
+    quarantine it instead of dying one by one forever.
+    """
+    directory = attempts_dir(cache_root, sweep_id) / request_id
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, _ = tempfile.mkstemp(dir=str(directory), prefix=f"{owner}.", suffix=".attempt")
+    os.close(fd)
 
 
 def sweep_id_for(requests: Sequence[RunRequest]) -> str:
@@ -122,6 +216,10 @@ class FleetWorkerStats:
     deduped: int = 0
     released: int = 0
     lost: int = 0
+    resumed: int = 0  # executions resumed from a durable snapshot
+    retried: int = 0  # executions of points with a prior failed attempt
+    quarantined: int = 0  # poison/degraded points this worker quarantined
+    drained: int = 0  # leases released on a drain signal (SIGTERM/SIGINT)
     elapsed_seconds: float = 0.0
 
     @property
@@ -140,6 +238,10 @@ class FleetWorkerStats:
             "deduped": self.deduped,
             "released": self.released,
             "lost": self.lost,
+            "resumed": self.resumed,
+            "retried": self.retried,
+            "quarantined": self.quarantined,
+            "drained": self.drained,
             "elapsed_seconds": round(self.elapsed_seconds, 4),
         }
 
@@ -153,6 +255,12 @@ class FleetWorkerStats:
             deduped=int(payload["deduped"]),
             released=int(payload["released"]),
             lost=int(payload["lost"]),
+            # Durability counters arrived after the first stats schema; reports
+            # written by older workers simply lack them.
+            resumed=int(payload.get("resumed", 0)),
+            retried=int(payload.get("retried", 0)),
+            quarantined=int(payload.get("quarantined", 0)),
+            drained=int(payload.get("drained", 0)),
             elapsed_seconds=float(payload["elapsed_seconds"]),
         )
 
@@ -163,11 +271,28 @@ class _HeartbeatPump:
     Runs independently of the worker's main loop so a long engine run cannot
     starve its own lease into stealability; a SIGKILL stops the pump with
     the process, which is exactly what lets survivors steal.
+
+    ``progress`` + ``stall_after`` make the pump *progress-aware*: when the
+    supplied monotonic progress stamp has not advanced for ``stall_after``
+    seconds, the pump stops renewing -- a worker that is alive but **stuck**
+    (hung engine, chaos hang, deadlocked I/O) then looks exactly like a dead
+    one, and survivors steal its lease.  Legitimate long runs keep beating
+    because the engine loop stamps progress at every safe point.  A steal
+    provoked by a merely-slow cycle stays benign: runs are deterministic,
+    both executions publish byte-identical records.
     """
 
-    def __init__(self, board: ClaimBoard, interval: float) -> None:
+    def __init__(
+        self,
+        board: ClaimBoard,
+        interval: float,
+        progress: Optional[Callable[[], float]] = None,
+        stall_after: Optional[float] = None,
+    ) -> None:
         self._board = board
         self._interval = interval
+        self._progress = progress
+        self._stall_after = stall_after
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name="fleet-heartbeat", daemon=True
@@ -178,6 +303,12 @@ class _HeartbeatPump:
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
+            if (
+                self._progress is not None
+                and self._stall_after is not None
+                and time.monotonic() - self._progress() > self._stall_after
+            ):
+                continue  # stuck: let the lease age into stealability
             for request_id in list(self._board.owned):
                 if request_id not in self._board.owned:
                     continue  # released while we iterated
@@ -199,6 +330,33 @@ def _rotation(owner: str, count: int) -> int:
     return int(_sha256(owner)[:8], 16) % count
 
 
+def _install_drain_handlers(drain: threading.Event) -> Optional[Dict[int, object]]:
+    """Route SIGTERM/SIGINT into the drain event; ``None`` off the main thread.
+
+    Signal handlers are a main-thread-only facility in CPython; a worker
+    embedded in a test thread simply runs without them (its ``drain`` event
+    can still be set programmatically).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return None
+    previous: Dict[int, object] = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(
+            signum, lambda _signum, _frame: drain.set()
+        )
+    return previous
+
+
+def _restore_handlers(previous: Optional[Dict[int, object]]) -> None:
+    if previous is None:
+        return
+    for signum, handler in previous.items():
+        try:
+            signal.signal(signum, handler)
+        except (TypeError, ValueError):  # pragma: no cover - exotic handler
+            pass
+
+
 def run_worker(
     cache_dir: Union[str, Path],
     owner: Optional[str] = None,
@@ -207,14 +365,35 @@ def run_worker(
     heartbeat_interval: Optional[float] = None,
     kill_after: Optional[int] = None,
     requests: Optional[Sequence[RunRequest]] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
+    chaos: Optional[ChaosConfig] = None,
+    max_retries: int = 2,
+    drain_on_signal: bool = False,
+    drain: Optional[threading.Event] = None,
 ) -> FleetWorkerStats:
     """Join the sweep published in ``cache_dir`` and work until it is done.
 
     The loop is: skip points already cached (counted as *deduped*), claim or
     steal a miss, re-check the cache (the claim may have raced a completion),
     execute, store through the atomic cache shards, release.  The worker
-    exits when every grid point is cached -- its own work plus everyone
-    else's.
+    exits when every grid point is cached or quarantined -- its own work
+    plus everyone else's.
+
+    Execution is durable (:func:`~repro.orchestration.durable.
+    execute_request_durable`): with a ``checkpoint`` policy the worker
+    snapshots under its lease into the sweep's shared snapshot directory, so
+    a worker stealing this point after a crash **resumes from the victim's
+    last snapshot** instead of cycle 0.  A request whose attempts (recorded
+    durably, across all workers) exceed ``max_retries`` extra tries is
+    quarantined as a poison point rather than executed again; deterministic
+    channel degradations are quarantined immediately, with no retry burned.
+
+    ``drain_on_signal`` turns SIGTERM/SIGINT into a *graceful drain*: the
+    engine loop stops at the next safe point (persisting a final snapshot
+    when checkpointing is on), every owned lease is released, the heartbeat
+    pump is joined and the stats report is written -- nothing is left for
+    survivors to steal or re-execute beyond the snapshot handoff.  ``drain``
+    exposes the same event programmatically.
 
     ``kill_after`` is the crash-tolerance test hook used by CI: after that
     many successful executions the worker SIGKILLs itself *while holding its
@@ -236,25 +415,56 @@ def run_worker(
     )
     if heartbeat_interval is None:
         heartbeat_interval = max(ttl / 4.0, 0.02)
-    pump = _HeartbeatPump(board, heartbeat_interval)
+    if drain is None:
+        drain = threading.Event()
+    previous_handlers = _install_drain_handlers(drain) if drain_on_signal else None
+    snapshot_root = snapshots_dir(cache_dir)
+    snapshot_root.mkdir(parents=True, exist_ok=True)
+    monkey = (
+        None
+        if chaos is None
+        else ChaosMonkey(chaos, state_dir=chaos_state_dir(cache_dir))
+    )
+    # The progress stamp feeds the stall-aware heartbeat pump: bumped by the
+    # loop between points and by the engine at every safe point.  If it stops
+    # moving the pump stops renewing and this worker's leases become
+    # stealable -- a hung run must not be kept alive by its own heartbeat.
+    progress_stamp = [time.monotonic()]
+
+    def touch_progress(_committed: int = 0) -> None:
+        progress_stamp[0] = time.monotonic()
+
+    pump = _HeartbeatPump(
+        board,
+        heartbeat_interval,
+        progress=lambda: progress_stamp[0],
+        stall_after=max(ttl, 4.0 * heartbeat_interval),
+    )
     pump.start()
     pending: Dict[str, RunRequest] = {
         request.request_id: request for request in request_list
     }
     executed_ids: set = set()
-    deduped = 0
+    stats = FleetWorkerStats(owner=board.owner)
     try:
-        while pending:
+        while pending and not drain.is_set():
             progress = False
             order = list(pending)
             offset = _rotation(board.owner, len(order))
             for request_id in order[offset:] + order[:offset]:
+                if drain.is_set():
+                    break
                 if request_id not in pending:
                     continue  # completed earlier in this same pass
+                touch_progress()
+                if quarantine_path(cache_dir, sweep_id, request_id).exists():
+                    pending.pop(request_id)
+                    progress = True
+                    continue
                 cache.refresh(request_id)
                 if request_id in cache:
                     pending.pop(request_id)
-                    deduped += 1
+                    stats.deduped += 1
                     progress = True
                     continue
                 if board.try_acquire(request_id) is None:
@@ -267,29 +477,117 @@ def run_worker(
                 if request_id in cache:
                     board.release(request_id)
                     pending.pop(request_id)
-                    deduped += 1
+                    stats.deduped += 1
                     progress = True
                     continue
-                record = execute_request(pending[request_id])
+                request = pending[request_id]
+                prior = _count_attempts(cache_dir, sweep_id, request_id)
+                if prior > max_retries:
+                    # 1 + max_retries attempts started and none produced a
+                    # record: every execution died with its worker.  Poison.
+                    write_quarantine(
+                        cache_dir,
+                        sweep_id,
+                        RunFailure(
+                            request_id=request_id,
+                            label=request.display_label(),
+                            scenario=request.scenario,
+                            mode=request.mode,
+                            kind="poison",
+                            attempts=prior,
+                            message=(
+                                f"{prior} attempt(s) started without ever "
+                                "publishing a record; quarantined as poison"
+                            ),
+                        ),
+                    )
+                    stats.quarantined += 1
+                    board.release(request_id)
+                    pending.pop(request_id)
+                    progress = True
+                    continue
+                _record_attempt(cache_dir, sweep_id, request_id, board.owner)
+                if prior:
+                    stats.retried += 1
+                events = DurableRunEvents()
+                try:
+                    record = execute_request_durable(
+                        request,
+                        snapshot_root,
+                        policy=checkpoint or CheckpointPolicy(),
+                        heartbeat=touch_progress,
+                        chaos=monkey,
+                        drain=drain.is_set,
+                        events=events,
+                    )
+                except AbortRun:
+                    # Drain fired mid-run; the final snapshot (if
+                    # checkpointing) is already on disk for a successor.
+                    break
+                except ChannelDegradedError as exc:
+                    write_quarantine(
+                        cache_dir,
+                        sweep_id,
+                        RunFailure(
+                            request_id=request_id,
+                            label=request.display_label(),
+                            scenario=request.scenario,
+                            mode=request.mode,
+                            kind="degraded",
+                            attempts=prior + 1,
+                            message=str(exc),
+                        ),
+                    )
+                    stats.quarantined += 1
+                    board.release(request_id)
+                    pending.pop(request_id)
+                    progress = True
+                    continue
+                except Exception as exc:
+                    if prior + 1 > max_retries:
+                        write_quarantine(
+                            cache_dir,
+                            sweep_id,
+                            RunFailure(
+                                request_id=request_id,
+                                label=request.display_label(),
+                                scenario=request.scenario,
+                                mode=request.mode,
+                                kind="poison",
+                                attempts=prior + 1,
+                                message=f"{type(exc).__name__}: {exc}",
+                            ),
+                        )
+                        stats.quarantined += 1
+                        pending.pop(request_id)
+                    board.release(request_id)
+                    progress = True
+                    continue
+                if events.resumed_from_cycle is not None:
+                    stats.resumed += 1
                 cache.put(record)
                 board.release(request_id)
                 executed_ids.add(request_id)
                 pending.pop(request_id)
                 progress = True
-            if pending and not progress:
+            if pending and not progress and not drain.is_set():
                 time.sleep(poll_interval)
     finally:
+        # Graceful shutdown for drain, KeyboardInterrupt and plain
+        # completion alike: nothing may stay claimed, and the pump thread
+        # must be joined before the process exits.
+        for request_id in list(board.owned):
+            board.release(request_id)
+            if drain.is_set():
+                stats.drained += 1
         pump.stop()
-    stats = FleetWorkerStats(
-        owner=board.owner,
-        claimed=board.stats.claimed,
-        stolen=board.stats.stolen,
-        executed=len(executed_ids),
-        deduped=deduped,
-        released=board.stats.released,
-        lost=board.stats.lost,
-        elapsed_seconds=time.perf_counter() - start,
-    )
+        _restore_handlers(previous_handlers)
+    stats.claimed = board.stats.claimed
+    stats.stolen = board.stats.stolen
+    stats.executed = len(executed_ids)
+    stats.released = board.stats.released
+    stats.lost = board.stats.lost
+    stats.elapsed_seconds = time.perf_counter() - start
     _write_worker_stats(cache_dir, sweep_id, stats)
     return stats
 
@@ -336,14 +634,28 @@ def _worker_entry(
     ttl: float,
     poll_interval: float,
     kill_after: Optional[int],
+    checkpoint: Optional[Tuple[Optional[int], Optional[float]]] = None,
+    chaos_payload: Optional[Dict[str, object]] = None,
+    max_retries: int = 2,
+    drain_on_signal: bool = True,
 ) -> None:
     """Module-level process target (must stay picklable for spawn contexts)."""
+    policy = None
+    if checkpoint is not None:
+        policy = CheckpointPolicy(
+            every_cycles=checkpoint[0], every_seconds=checkpoint[1]
+        )
+    chaos = None if chaos_payload is None else ChaosConfig.from_dict(chaos_payload)
     run_worker(
         cache_dir,
         owner=owner,
         ttl=ttl,
         poll_interval=poll_interval,
         kill_after=kill_after,
+        checkpoint=policy,
+        chaos=chaos,
+        max_retries=max_retries,
+        drain_on_signal=drain_on_signal,
     )
 
 
@@ -366,6 +678,7 @@ class FleetStats:
     executed_locally: int = 0  # reconciliation fallback executions
     torn_records: int = 0  # damaged store lines seen while reconciling
     reaped_leases: int = 0  # dangling leases of already-completed points
+    quarantined: int = 0  # points in the sweep's quarantine report
 
     def total(self, field_name: str) -> int:
         return sum(getattr(worker, field_name) for worker in self.workers)
@@ -389,6 +702,8 @@ class FleetStats:
             text += f", {self.torn_records} torn record(s) dropped"
         if self.reaped_leases:
             text += f", {self.reaped_leases} dangling lease(s) reaped"
+        if self.quarantined:
+            text += f", {self.quarantined} point(s) quarantined"
         return text
 
 
@@ -453,6 +768,9 @@ def run_fleet(
     max_restarts: Optional[int] = None,
     mp_context: Optional[str] = None,
     log: Optional[Callable[[str], None]] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
+    chaos: Optional[ChaosConfig] = None,
+    max_retries: int = 2,
 ) -> Tuple[List[RunRecord], FleetStats]:
     """Publish the grid, drive ``workers`` local workers, reconcile.
 
@@ -465,6 +783,15 @@ def run_fleet(
     ``max_restarts`` times (default: one restart per worker); their leases
     are stolen by survivors after ``ttl``.  ``kill_after`` arms the crash
     hook on the *first* worker only -- see :func:`run_worker`.
+
+    ``checkpoint`` enables durable snapshots under the leases, making every
+    steal and restart a mid-run resume; ``chaos`` arms the deterministic
+    failure-injection harness in every worker.  Points quarantined by the
+    workers (poison or deterministically degraded) are excluded from the
+    returned records and from the store; read their failure records with
+    :func:`load_quarantine` (``stats.quarantined`` carries the count).
+    Workers are spawned with ``drain_on_signal`` enabled, so the driver's
+    terminate-on-teardown is a graceful drain, not a kill.
     """
     request_list = list(requests)
     sweep_id = publish_grid(cache_dir, request_list)
@@ -473,13 +800,35 @@ def run_fleet(
         max_restarts = max(1, workers)
     cache = ResultCache(cache_dir)
     wanted = [request.request_id for request in request_list]
+    checkpoint_spec = (
+        None
+        if checkpoint is None
+        else (checkpoint.every_cycles, checkpoint.every_seconds)
+    )
+    chaos_payload = None if chaos is None else chaos.as_dict()
+
+    def quarantined_ids() -> set:
+        directory = quarantine_dir(cache_dir, sweep_id)
+        if not directory.is_dir():
+            return set()
+        return {path.stem for path in directory.glob("*.json")}
 
     context = multiprocessing.get_context(mp_context)
 
     def spawn(index: int, hook: Optional[int]) -> multiprocessing.process.BaseProcess:
         process = context.Process(
             target=_worker_entry,
-            args=(str(cache_dir), None, ttl, poll_interval, hook),
+            args=(
+                str(cache_dir),
+                None,
+                ttl,
+                poll_interval,
+                hook,
+                checkpoint_spec,
+                chaos_payload,
+                max_retries,
+                True,
+            ),
             name=f"fleet-worker-{index}",
             daemon=True,
         )
@@ -492,7 +841,11 @@ def run_fleet(
         if processes:
             while True:
                 cache.refresh()
-                if all(request_id in cache for request_id in wanted):
+                done = quarantined_ids()
+                if all(
+                    request_id in cache or request_id in done
+                    for request_id in wanted
+                ):
                     break
                 alive = 0
                 for index, process in enumerate(processes):
@@ -519,12 +872,23 @@ def run_fleet(
     finally:
         for process in processes:
             if process.is_alive():  # pragma: no cover - defensive teardown
-                process.terminate()
+                process.terminate()  # workers drain: release leases, snapshot
+                process.join(timeout=max(10.0, 4 * ttl))
+            if process.is_alive():  # pragma: no cover - drain itself wedged
+                process.kill()
                 process.join(timeout=5.0)
 
-    records = reconcile(request_list, cache, store=store, stats=stats)
+    quarantined = quarantined_ids()
+    stats.quarantined = len(quarantined)
+    healthy = [
+        request for request in request_list
+        if request.request_id not in quarantined
+    ]
+    records = reconcile(healthy, cache, store=store, stats=stats)
     board = ClaimBoard(claims_dir(cache_dir), owner="reconciler", ttl=ttl)
     cache.refresh()
-    stats.reaped_leases = board.sweep_completed(lambda rid: rid in cache)
+    stats.reaped_leases = board.sweep_completed(
+        lambda rid: rid in cache or rid in quarantined
+    )
     stats.workers = load_worker_stats(cache_dir, sweep_id)
     return records, stats

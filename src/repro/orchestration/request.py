@@ -253,12 +253,12 @@ def _beat_digest(result: CoEmulationResult) -> str:
     return _sha256(repr((result.sim_beat_keys, result.acc_beat_keys)))[:16]
 
 
-def execute_request(request: RunRequest) -> RunRecord:
-    """Execute one request through the catalog and the engine registry.
+def build_request_engine(request: RunRequest):
+    """Build the (un-run) engine a request describes.
 
-    This is the worker entry point of the batch runner: it must stay
-    importable at module level (``multiprocessing`` resolves it by qualified
-    name when spawning) and side-effect free apart from the run itself.
+    Shared by :func:`execute_request` and the durable executor
+    (:mod:`repro.orchestration.durable`), so a resumed run is constructed
+    through exactly the code path an uninterrupted one uses.
     """
     config = request.build_config()
     engine_name = request.engine_name()
@@ -273,7 +273,13 @@ def execute_request(request: RunRequest) -> RunRecord:
         config, partition = spec.prepare_run(config)
     else:
         partition = None
-    result = create_engine(config, partition=partition, engine=engine_name).run()
+    return create_engine(config, partition=partition, engine=engine_name)
+
+
+def record_from_result(
+    request: RunRequest, engine_name: str, result: CoEmulationResult
+) -> RunRecord:
+    """Package one engine result as the request's deterministic record."""
     return RunRecord(
         request_id=request.request_id,
         label=request.display_label(),
@@ -296,6 +302,17 @@ def execute_request(request: RunRequest) -> RunRecord:
         beat_digest=_beat_digest(result),
         trace_replay=dict(result.trace_replay),
     )
+
+
+def execute_request(request: RunRequest) -> RunRecord:
+    """Execute one request through the catalog and the engine registry.
+
+    This is the worker entry point of the batch runner: it must stay
+    importable at module level (``multiprocessing`` resolves it by qualified
+    name when spawning) and side-effect free apart from the run itself.
+    """
+    engine = build_request_engine(request)
+    return record_from_result(request, request.engine_name(), engine.run())
 
 
 def grid_requests(

@@ -182,6 +182,21 @@ class CheckpointManager:
     def has_checkpoint(self) -> bool:
         return bool(self._stack)
 
+    @property
+    def snapshot_safe(self) -> bool:
+        """Whether a durable whole-engine snapshot may be taken right now.
+
+        A durable snapshot (:mod:`repro.core.snapshot`) pickles the live
+        component graph; with a rollback checkpoint outstanding that graph
+        includes an open speculation -- incremental checkpoint windows whose
+        journals are still growing, or full snapshots aliasing live state --
+        and a resume from such a pickle would not replay bit-identically.
+        The engine run loops only offer safe points between transitions, so
+        this is ``True`` exactly when the protocol says it must be; the
+        snapshot writer asserts it as a belt-and-braces guard.
+        """
+        return not self._stack
+
     def variable_count(self) -> int:
         """Number of rollback variables a store captures.
 

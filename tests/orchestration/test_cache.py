@@ -124,6 +124,70 @@ def test_wrong_shard_record_is_ignored(tmp_path, record):
 
 
 # ---------------------------------------------------------------------------
+# Damage quarantine: corrupt lines move to a .corrupt sidecar exactly once.
+# ---------------------------------------------------------------------------
+
+def test_damaged_lines_are_quarantined_to_sidecar(tmp_path, record):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(record)
+    shard = cache.shard_path(record.request_id)
+    line = canonical_line(record)
+    torn = line[: len(line) // 2]
+    shard.write_text(torn + "\n" + line + "\n" + "{not json\n")
+
+    fresh = ResultCache(tmp_path / "cache")
+    assert fresh.get(record.request_id) is not None
+    assert fresh.stats.invalid == 2
+    assert fresh.stats.quarantined == 2
+    # The raw damaged bytes are preserved verbatim for post-mortems...
+    sidecar = shard.with_name(shard.name + ".corrupt")
+    assert sidecar.read_text() == torn + "\n" + "{not json\n"
+    # ...and the shard itself was rewritten clean, keeping only verified
+    # records, so the damage is not re-counted on every future load.
+    assert shard.read_text() == line + "\n"
+    again = ResultCache(tmp_path / "cache")
+    assert again.get(record.request_id) is not None
+    assert again.stats.invalid == 0
+    assert again.stats.quarantined == 0
+
+
+def test_quarantine_sidecar_accumulates_across_incidents(tmp_path, record):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(record)
+    shard = cache.shard_path(record.request_id)
+    line = canonical_line(record)
+    sidecar = shard.with_name(shard.name + ".corrupt")
+    for junk in ("first incident\n", "second incident\n"):
+        shard.write_text(line + "\n" + junk)
+        ResultCache(tmp_path / "cache").get(record.request_id)
+    assert sidecar.read_text() == "first incident\nsecond incident\n"
+
+
+def test_quarantine_counts_in_stats_summary(tmp_path, record):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(record)
+    shard = cache.shard_path(record.request_id)
+    shard.write_text(canonical_line(record) + "\n" + "garbage\n")
+    fresh = ResultCache(tmp_path / "cache")
+    fresh.get(record.request_id)
+    summary = fresh.stats.summary()
+    assert "1 invalid line(s) dropped" in summary
+    assert "1 damaged line(s) quarantined" in summary
+
+
+def test_wrong_shard_record_is_quarantined_too(tmp_path, record):
+    cache = ResultCache(tmp_path / "cache")
+    wrong = tmp_path / "cache" / "zz.jsonl"
+    wrong.parent.mkdir(parents=True, exist_ok=True)
+    wrong.write_text(canonical_line(record) + "\n")
+    assert cache.get("zz" + record.request_id[2:]) is None
+    assert cache.stats.quarantined == 1
+    assert wrong.read_text() == ""  # rewritten clean: nothing verified
+    sidecar = wrong.with_name(wrong.name + ".corrupt")
+    assert sidecar.read_text() == canonical_line(record) + "\n"
+
+
+# ---------------------------------------------------------------------------
 # Runner integration: hits skip execution, results stay byte-identical.
 # ---------------------------------------------------------------------------
 

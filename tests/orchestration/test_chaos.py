@@ -1,0 +1,129 @@
+"""The deterministic chaos harness: schedules, markers, once-only firing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestration import ChaosConfig, ChaosMonkey, plan_for
+from repro.orchestration.chaos import CHAOS_ACTIONS
+
+
+class _FakeEngine:
+    """Just enough engine surface for the injection points."""
+
+    def __init__(self, committed: int, total: int) -> None:
+        class Ledger:
+            committed_cycles = committed
+
+        class Config:
+            total_cycles = total
+
+        self.ledger = Ledger()
+        self.config = Config()
+
+
+# ---------------------------------------------------------------------------
+# Config validation and serialisation.
+# ---------------------------------------------------------------------------
+
+def test_config_rejects_probability_overflow_and_bad_window():
+    with pytest.raises(ValueError, match="sum into"):
+        ChaosConfig(kill_probability=0.6, hang_probability=0.6)
+    with pytest.raises(ValueError, match="window"):
+        ChaosConfig(kill_probability=0.1, window_start=0.8, window_end=0.2)
+
+
+def test_config_roundtrip_and_idle():
+    config = ChaosConfig(seed=9, kill_probability=0.3, hang_seconds=5.0, once=False)
+    assert ChaosConfig.from_dict(config.as_dict()) == config
+    assert not config.is_idle
+    assert ChaosConfig().is_idle
+    with pytest.raises(ValueError, match="schema"):
+        ChaosConfig.from_dict({"seed": 1, "mystery": True})
+
+
+# ---------------------------------------------------------------------------
+# Plans.
+# ---------------------------------------------------------------------------
+
+def test_plan_is_deterministic_and_mid_run():
+    config = ChaosConfig(seed=3, kill_probability=0.5, hang_probability=0.5)
+    for request_id in ("aa" * 6, "bc" * 6, "07" * 6):
+        first = plan_for(config, request_id, 1000)
+        again = plan_for(config, request_id, 1000)
+        assert first == again
+        assert first.armed
+        assert first.action in CHAOS_ACTIONS
+        # Window default [0.25, 0.75]: chaos strikes mid-run, never cycle 0.
+        assert 250 <= first.trigger_cycle <= 750
+
+
+def test_plan_idle_config_never_arms():
+    plan = plan_for(ChaosConfig(seed=1), "ab" * 6, 500)
+    assert not plan.armed
+    assert plan.action is None
+
+
+def test_plan_probabilities_partition_requests():
+    """With kill+hang+none at 1/3 each, a large sample hits all outcomes."""
+    config = ChaosConfig(seed=5, kill_probability=1 / 3, hang_probability=1 / 3)
+    actions = {
+        plan_for(config, f"{i:012x}", 100).action for i in range(64)
+    }
+    assert actions == {None, "kill", "hang"}
+
+
+def test_distinct_seeds_sabotage_distinct_subsets():
+    ids = [f"{i:012x}" for i in range(64)]
+
+    def victims(seed):
+        config = ChaosConfig(seed=seed, kill_probability=0.3)
+        return {r for r in ids if plan_for(config, r, 100).armed}
+
+    assert victims(1) != victims(2)
+
+
+# ---------------------------------------------------------------------------
+# Markers and once-only semantics.
+# ---------------------------------------------------------------------------
+
+def test_sabotage_snapshot_fires_once_with_markers(tmp_path):
+    config = ChaosConfig(seed=0, disk_full_probability=1.0)
+    monkey = ChaosMonkey(config, state_dir=tmp_path)
+    request_id = "ab" * 6
+    plan = monkey.plan(request_id, 100)
+    engine = _FakeEngine(committed=plan.trigger_cycle, total=100)
+    assert monkey.sabotage_snapshot(request_id, engine)
+    # The marker is on disk, so a *different* monkey (retry in a new
+    # process) sees it and does not re-fire.
+    fresh = ChaosMonkey(config, state_dir=tmp_path)
+    assert fresh.has_fired(request_id, "disk_full")
+    assert not fresh.sabotage_snapshot(request_id, engine)
+
+
+def test_sabotage_snapshot_refires_when_once_is_false(tmp_path):
+    config = ChaosConfig(seed=0, disk_full_probability=1.0, once=False)
+    monkey = ChaosMonkey(config, state_dir=tmp_path)
+    request_id = "ab" * 6
+    engine = _FakeEngine(committed=99, total=100)
+    assert monkey.sabotage_snapshot(request_id, engine)
+    assert monkey.sabotage_snapshot(request_id, engine)  # again, by design
+
+
+def test_no_fire_before_trigger_cycle(tmp_path):
+    config = ChaosConfig(seed=0, disk_full_probability=1.0)
+    monkey = ChaosMonkey(config, state_dir=tmp_path)
+    request_id = "cd" * 6
+    plan = monkey.plan(request_id, 1000)
+    early = _FakeEngine(committed=plan.trigger_cycle - 1, total=1000)
+    assert not monkey.sabotage_snapshot(request_id, early)
+
+
+def test_memory_only_markers_without_state_dir():
+    config = ChaosConfig(seed=0, disk_full_probability=1.0)
+    monkey = ChaosMonkey(config)
+    engine = _FakeEngine(committed=99, total=100)
+    assert monkey.sabotage_snapshot("ef" * 6, engine)
+    assert not monkey.sabotage_snapshot("ef" * 6, engine)  # in-memory once
+    # But a fresh monkey has no memory: once-across-processes needs a dir.
+    assert ChaosMonkey(config).sabotage_snapshot("ef" * 6, engine)

@@ -1,0 +1,212 @@
+"""Durable request execution: snapshot cadence, resume, quarantine, drain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.snapshot import AbortRun, write_snapshot
+from repro.orchestration import (
+    ChaosConfig,
+    ChaosMonkey,
+    CheckpointPolicy,
+    DurableRunEvents,
+    execute_request,
+    execute_request_durable,
+    snapshot_path,
+)
+from repro.orchestration.durable import CORRUPT_SUFFIX
+from repro.orchestration.request import (
+    RunRequest,
+    build_request_engine,
+    canonical_json,
+)
+
+REQUEST = RunRequest(scenario="als_streaming", mode="als", cycles=150)
+
+
+def _canonical(record):
+    return canonical_json(record.as_dict())
+
+
+# ---------------------------------------------------------------------------
+# CheckpointPolicy.
+# ---------------------------------------------------------------------------
+
+def test_policy_default_is_disabled():
+    assert not CheckpointPolicy().enabled
+    assert CheckpointPolicy(every_cycles=10).enabled
+    assert CheckpointPolicy(every_seconds=1.0).enabled
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"every_cycles": 0},
+    {"every_cycles": -5},
+    {"every_seconds": 0.0},
+    {"every_seconds": -1.0},
+])
+def test_policy_rejects_non_positive_cadence(kwargs):
+    with pytest.raises(ValueError):
+        CheckpointPolicy(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# The happy path.
+# ---------------------------------------------------------------------------
+
+def test_durable_matches_plain_execution_and_cleans_up(tmp_path):
+    events = DurableRunEvents()
+    record = execute_request_durable(
+        REQUEST,
+        tmp_path,
+        policy=CheckpointPolicy(every_cycles=25),
+        events=events,
+    )
+    assert _canonical(record) == _canonical(execute_request(REQUEST))
+    assert events.snapshots_written > 0
+    assert events.resumed_from_cycle is None
+    # Success consumes the snapshot: the record is the durable artefact now.
+    assert not snapshot_path(tmp_path, REQUEST.request_id).exists()
+
+
+def test_durable_without_policy_writes_nothing(tmp_path):
+    events = DurableRunEvents()
+    record = execute_request_durable(REQUEST, tmp_path, events=events)
+    assert events.snapshots_written == 0
+    assert _canonical(record) == _canonical(execute_request(REQUEST))
+
+
+def test_durable_heartbeat_reports_progress(tmp_path):
+    beats = []
+    execute_request_durable(REQUEST, tmp_path, heartbeat=beats.append)
+    assert beats and beats == sorted(beats)
+    assert beats[-1] <= REQUEST.cycles
+
+
+def test_durable_pseudo_engine_skips_machinery(tmp_path):
+    request = RunRequest(
+        scenario="als_streaming", mode="als", cycles=150, engine="analytical"
+    )
+    events = DurableRunEvents()
+    record = execute_request_durable(
+        request, tmp_path, policy=CheckpointPolicy(every_cycles=10), events=events
+    )
+    assert record.engine == "analytical"
+    assert events.snapshots_written == 0
+
+
+# ---------------------------------------------------------------------------
+# Resume.
+# ---------------------------------------------------------------------------
+
+def _park_snapshot(tmp_path, request, at_cycle):
+    """A mid-run snapshot of ``request``, as a crashed worker leaves it."""
+
+    class AbortAt:
+        def __call__(self, engine):
+            if engine.ledger.committed_cycles >= at_cycle:
+                raise AbortRun("test interrupt")
+
+    engine = build_request_engine(request)
+    engine.run_hook = AbortAt()
+    with pytest.raises(AbortRun):
+        engine.run()
+    engine.run_hook = None
+    write_snapshot(
+        snapshot_path(tmp_path, request.request_id),
+        engine,
+        request_id=request.request_id,
+    )
+
+
+def test_durable_resumes_from_existing_snapshot_bit_identical(tmp_path):
+    baseline = execute_request(REQUEST)
+    _park_snapshot(tmp_path, REQUEST, at_cycle=60)
+    events = DurableRunEvents()
+    record = execute_request_durable(REQUEST, tmp_path, events=events)
+    assert events.resumed_from_cycle is not None
+    assert events.resumed_from_cycle >= 60
+    assert _canonical(record) == _canonical(baseline)
+
+
+def test_durable_quarantines_corrupt_snapshot_and_runs_cold(tmp_path):
+    baseline = execute_request(REQUEST)
+    path = snapshot_path(tmp_path, REQUEST.request_id)
+    _park_snapshot(tmp_path, REQUEST, at_cycle=60)
+    data = bytearray(path.read_bytes())
+    data[-7] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+    events = DurableRunEvents()
+    record = execute_request_durable(REQUEST, tmp_path, events=events)
+    assert events.corrupt_snapshots == 1
+    assert events.resumed_from_cycle is None  # cold start, not a resume
+    assert _canonical(record) == _canonical(baseline)
+    assert not path.exists()
+    assert path.with_name(path.name + CORRUPT_SUFFIX).exists()  # post-mortem
+
+
+def test_durable_rejects_snapshot_of_another_request(tmp_path):
+    other = RunRequest(scenario="single_master", mode="conservative", cycles=80)
+    _park_snapshot(tmp_path, other, at_cycle=20)
+    # File the foreign snapshot under REQUEST's path (an addressing bug).
+    snapshot_path(tmp_path, other.request_id).rename(
+        snapshot_path(tmp_path, REQUEST.request_id)
+    )
+    events = DurableRunEvents()
+    record = execute_request_durable(REQUEST, tmp_path, events=events)
+    assert events.corrupt_snapshots == 1
+    assert events.resumed_from_cycle is None
+    assert _canonical(record) == _canonical(execute_request(REQUEST))
+
+
+# ---------------------------------------------------------------------------
+# Failure injection.
+# ---------------------------------------------------------------------------
+
+def test_disk_full_chaos_is_counted_never_fatal(tmp_path):
+    chaos = ChaosMonkey(
+        ChaosConfig(seed=1, disk_full_probability=1.0, once=False),
+        state_dir=tmp_path / "chaos",
+    )
+    events = DurableRunEvents()
+    record = execute_request_durable(
+        REQUEST,
+        tmp_path,
+        policy=CheckpointPolicy(every_cycles=20),
+        chaos=chaos,
+        events=events,
+    )
+    assert events.snapshot_write_errors > 0
+    assert events.snapshots_written == 0
+    assert _canonical(record) == _canonical(execute_request(REQUEST))
+
+
+def test_drain_persists_a_snapshot_and_aborts(tmp_path):
+    drained = []
+
+    def drain():
+        return bool(drained)
+
+    def heartbeat(committed):
+        if committed >= 50:
+            drained.append(committed)
+
+    events = DurableRunEvents()
+    with pytest.raises(AbortRun, match="drain"):
+        execute_request_durable(
+            REQUEST,
+            tmp_path,
+            policy=CheckpointPolicy(every_cycles=10**9),  # never due on its own
+            heartbeat=heartbeat,
+            drain=drain,
+            events=events,
+        )
+    path = snapshot_path(tmp_path, REQUEST.request_id)
+    assert path.exists()  # the drain's parting snapshot
+
+    # A successor (any process, any time) resumes and finishes bit-identically.
+    events2 = DurableRunEvents()
+    record = execute_request_durable(REQUEST, tmp_path, events=events2)
+    assert events2.resumed_from_cycle is not None
+    assert _canonical(record) == _canonical(execute_request(REQUEST))
+    assert not path.exists()

@@ -425,3 +425,151 @@ def test_worker_command_without_manifest_exits_nonzero(capsys, tmp_path):
     captured = capsys.readouterr()
     assert code == 1
     assert "--fleet" in captured.err  # the hint names the publishing command
+
+
+# ---------------------------------------------------------------------------
+# Durable runs, supervision and the exit-code taxonomy.
+# ---------------------------------------------------------------------------
+
+def test_run_durable_checkpoint_output_identical_and_cleaned_up(capsys, tmp_path):
+    plain = run_cli(capsys, "run", "--cycles", "150", "--mode", "als")
+    durable = run_cli(
+        capsys, "run", "--cycles", "150", "--mode", "als",
+        "--checkpoint-every", "40", "--snapshot-dir", str(tmp_path / "snaps"),
+    )
+    assert durable == plain  # durability must not perturb the result
+    assert list((tmp_path / "snaps").glob("*.snap")) == []  # consumed on success
+
+
+def test_run_supervised_output_identical(capsys, tmp_path):
+    plain = run_cli(capsys, "run", "--cycles", "120", "--mode", "conservative",
+                    "--soc", "single_master")
+    supervised = run_cli(
+        capsys, "run", "--cycles", "120", "--mode", "conservative",
+        "--soc", "single_master", "--deadline", "60",
+        "--snapshot-dir", str(tmp_path / "snaps"),
+    )
+    assert supervised == plain
+
+
+def test_run_deterministic_degradation_exits_13(capsys):
+    code = main([
+        "run", "--soc", "mixed", "--mode", "als", "--cycles", "300",
+        "--faults", '{"loss_rate": 1.0, "max_attempts": 3}',
+    ])
+    captured = capsys.readouterr()
+    assert code == 13
+    assert "degraded" in captured.err
+
+
+def test_run_supervised_degradation_prints_quarantine_table(capsys, tmp_path):
+    code = main([
+        "run", "--soc", "mixed", "--mode", "als", "--cycles", "300",
+        "--faults", '{"loss_rate": 1.0, "max_attempts": 3}',
+        "--deadline", "60", "--snapshot-dir", str(tmp_path / "snaps"),
+    ])
+    captured = capsys.readouterr()
+    assert code == 13
+    assert "quarantined" in captured.out or "quarantined" in captured.err
+    assert "degraded" in captured.out
+
+
+def test_sweep_supervised_chaos_kill_retried_to_identical_bytes(capsys, tmp_path):
+    argv = [
+        "sweep", "--scenarios", "single_master", "als_streaming",
+        "--modes", "conservative", "--cycles", "150",
+    ]
+    assert main(argv + ["--output", str(tmp_path / "plain.jsonl")]) == 0
+    plain = capsys.readouterr()
+    report = tmp_path / "quarantine.json"
+    code = main(argv + [
+        "--output", str(tmp_path / "chaos.jsonl"),
+        "--snapshot-dir", str(tmp_path / "snaps"),
+        "--checkpoint-every", "30", "--deadline", "60",
+        "--chaos-seed", "11", "--chaos-kill", "0.45",
+        "--quarantine-report", str(report),
+    ])
+    chaos = capsys.readouterr()
+    assert code == 0  # every sabotaged point was retried to success
+    assert chaos.out == plain.out
+    assert (tmp_path / "chaos.jsonl").read_bytes() == (
+        tmp_path / "plain.jsonl"
+    ).read_bytes()
+    assert not (tmp_path / "chaos.jsonl.failures").exists()
+    import json as _json
+
+    payload = _json.loads(report.read_text())
+    assert payload == {"total": 0, "by_kind": {}, "failures": []}
+
+
+def test_sweep_poison_exits_12_with_sidecar_and_report(capsys, tmp_path):
+    report = tmp_path / "quarantine.json"
+    code = main([
+        "sweep", "--scenarios", "single_master", "als_streaming",
+        "--modes", "conservative", "--cycles", "150",
+        "--output", str(tmp_path / "runs.jsonl"),
+        "--snapshot-dir", str(tmp_path / "snaps"),
+        "--deadline", "60", "--max-retries", "1",
+        "--chaos-seed", "11", "--chaos-kill", "0.45", "--chaos-every-attempt",
+        "--quarantine-report", str(report),
+    ])
+    captured = capsys.readouterr()
+    assert code == 12  # poison: retries exhausted
+    assert "Quarantine" in captured.err
+    import json as _json
+
+    payload = _json.loads(report.read_text())
+    assert payload["by_kind"] == {"poison": payload["total"]}
+    assert payload["total"] >= 1
+    sidecar = tmp_path / "runs.jsonl.failures"
+    assert sidecar.exists()
+    assert len(sidecar.read_text().splitlines()) == payload["total"]
+    # The store holds only healthy records -- failures never leak into it.
+    store_lines = (tmp_path / "runs.jsonl").read_text().splitlines()
+    assert len(store_lines) == 2 - payload["total"]
+
+
+def test_sweep_timeout_exits_10(capsys, tmp_path):
+    code = main([
+        "sweep", "--scenarios", "single_master", "--modes", "conservative",
+        "--cycles", "150", "--deadline", "1.0", "--max-retries", "0",
+        "--chaos-seed", "0", "--chaos-kill", "0.0",
+        "--chaos-hang", "1.0", "--chaos-hang-seconds", "30",
+        "--chaos-every-attempt",
+        "--snapshot-dir", str(tmp_path / "snaps"),
+    ])
+    captured = capsys.readouterr()
+    assert code == 10
+    assert "timeout" in captured.err
+
+
+def test_sweep_resume_rejects_supervision(capsys, tmp_path):
+    code = main([
+        "sweep", "--scenarios", "single_master", "--cycles", "60",
+        "--resume", "--output", str(tmp_path / "runs.jsonl"),
+        "--deadline", "5",
+    ])
+    assert code == 1
+    assert "--resume cannot combine" in capsys.readouterr().err
+
+
+def test_sweep_fleet_rejects_deadline(capsys, tmp_path):
+    code = main([
+        "sweep", "--scenarios", "single_master", "--cycles", "60",
+        "--fleet", "1", "--cache", str(tmp_path / "cache"), "--deadline", "5",
+    ])
+    assert code == 1
+    assert "--fleet-ttl" in capsys.readouterr().err
+
+
+def test_worker_parser_accepts_durability_flags():
+    args = build_parser().parse_args([
+        "worker", "--cache", "somewhere", "--drain-on-signal",
+        "--checkpoint-every", "500", "--max-retries", "3",
+    ])
+    assert args.drain_on_signal is True
+    assert args.checkpoint_every == 500
+    assert args.max_retries == 3
+    defaults = build_parser().parse_args(["worker", "--cache", "somewhere"])
+    assert defaults.drain_on_signal is False
+    assert defaults.max_retries is None
